@@ -1,0 +1,355 @@
+//! Ablation experiments (DESIGN.md §4, Abl. A–E): the design-choice probes
+//! that complement the paper's headline figures.
+
+use crate::{FigureSpec, Workload};
+use dcn_core::algorithms::rbma::{Rbma, RemovalMode};
+use dcn_core::algorithms::static_offline::{so_bma_matching, static_routing_cost};
+use dcn_core::algorithms::AlgorithmKind;
+use dcn_core::sweep::{run_jobs, Job};
+use dcn_core::OnlineScheduler;
+use dcn_topology::{builders, DistanceMatrix, Pair};
+use dcn_util::rngx::derive_seed;
+use rand::rngs::SmallRng;
+use rand::{RngExt, SeedableRng};
+use std::sync::Arc;
+
+/// A generic result table (rows × named columns).
+#[derive(Clone, Debug)]
+pub struct SimpleTable {
+    /// Table caption.
+    pub title: String,
+    /// Column headers (excluding the row-label column).
+    pub columns: Vec<String>,
+    /// (row label, one value per column).
+    pub rows: Vec<(String, Vec<f64>)>,
+}
+
+impl SimpleTable {
+    /// Markdown rendering.
+    pub fn to_markdown(&self) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        let _ = writeln!(out, "### {}\n", self.title);
+        let _ = write!(out, "| |");
+        for c in &self.columns {
+            let _ = write!(out, " {c} |");
+        }
+        let _ = writeln!(out);
+        let _ = write!(out, "|---|");
+        for _ in &self.columns {
+            let _ = write!(out, "---|");
+        }
+        let _ = writeln!(out);
+        for (label, values) in &self.rows {
+            let _ = write!(out, "| {label} |");
+            for v in values {
+                let _ = write!(out, " {v:.4} |");
+            }
+            let _ = writeln!(out);
+        }
+        out
+    }
+}
+
+fn base_spec(scale: usize) -> FigureSpec {
+    FigureSpec {
+        id: "ablation",
+        title: "ablation base (Facebook Database)",
+        workload: Workload::FacebookDb,
+        racks: 100,
+        bs: vec![12],
+        total_requests: 200_000 / scale.max(1),
+        num_checkpoints: 4,
+        alpha: 10,
+        repetitions: 3,
+    }
+}
+
+fn total_costs(spec: &FigureSpec, algorithm: AlgorithmKind, b: usize, alpha: u64) -> (f64, f64) {
+    // Returns (mean routing cost, mean reconfig cost) across repetitions.
+    let dm = spec.distances();
+    let mut routing = 0.0;
+    let mut reconfig = 0.0;
+    for rep in 0..spec.repetitions {
+        let trace = spec.trace(rep);
+        let jobs = vec![Job {
+            algorithm: algorithm.clone(),
+            b,
+            alpha,
+            seed: derive_seed(0xAB1, rep),
+            checkpoints: vec![],
+        }];
+        let report = run_jobs(&dm, &trace, &jobs, 1).pop().expect("one job");
+        routing += report.total.routing_cost as f64;
+        reconfig += report.total.reconfig_cost as f64;
+    }
+    let n = spec.repetitions as f64;
+    (routing / n, reconfig / n)
+}
+
+/// Abl. A — reconfiguration-cost sweep: how α moves the rent-or-buy point.
+pub fn ablation_alpha(scale: usize) -> SimpleTable {
+    let spec = base_spec(scale);
+    let b = 12;
+    let mut rows = Vec::new();
+    for alpha in [1u64, 2, 5, 10, 20, 50, 100] {
+        let (r_rbma, c_rbma) = total_costs(&spec, AlgorithmKind::Rbma { lazy: true }, b, alpha);
+        let (r_bma, c_bma) = total_costs(&spec, AlgorithmKind::Bma, b, alpha);
+        rows.push((
+            format!("α={alpha}"),
+            vec![r_rbma, c_rbma, r_rbma + c_rbma, r_bma, c_bma, r_bma + c_bma],
+        ));
+    }
+    SimpleTable {
+        title: format!(
+            "Ablation A: α sweep (FB-DB, b={b}, {} requests)",
+            spec.total_requests
+        ),
+        columns: vec![
+            "R-BMA routing".into(),
+            "R-BMA reconfig".into(),
+            "R-BMA total".into(),
+            "BMA routing".into(),
+            "BMA reconfig".into(),
+            "BMA total".into(),
+        ],
+        rows,
+    }
+}
+
+/// Abl. B — resource augmentation: online R-BMA with degree b versus the
+/// *offline static* optimum restricted to degree a ≤ b (the (b,a) setting
+/// of the analysis).
+pub fn ablation_augmentation(scale: usize) -> SimpleTable {
+    let spec = base_spec(scale);
+    let b = 12;
+    let dm = spec.distances();
+    let (rbma_routing, rbma_reconfig) =
+        total_costs(&spec, AlgorithmKind::Rbma { lazy: true }, b, spec.alpha);
+    let rbma_total = rbma_routing + rbma_reconfig;
+    let mut rows = Vec::new();
+    for a in [2usize, 4, 6, 8, 10, 12] {
+        let mut so = 0.0;
+        for rep in 0..spec.repetitions {
+            let trace = spec.trace(rep);
+            let m = so_bma_matching(&dm, &trace.requests, a);
+            so += static_routing_cost(&dm, &trace.requests, &m) as f64;
+        }
+        so /= spec.repetitions as f64;
+        rows.push((format!("a={a}"), vec![so, rbma_total, rbma_total / so]));
+    }
+    SimpleTable {
+        title: format!(
+            "Ablation B: (b,a)-augmentation (online R-BMA b={b} vs offline degree-a static)"
+        ),
+        columns: vec![
+            "SO-BMA(a) routing".into(),
+            "R-BMA total".into(),
+            "ratio".into(),
+        ],
+        rows,
+    }
+}
+
+/// Abl. C — spatial-skew sweep: routing-cost reduction vs the oblivious
+/// baseline as a function of the Zipf exponent.
+pub fn ablation_skew(scale: usize) -> SimpleTable {
+    let mut rows = Vec::new();
+    for s in [0.6, 0.9, 1.2, 1.5, 1.8] {
+        let spec = FigureSpec {
+            workload: Workload::Zipf(s),
+            ..base_spec(scale)
+        };
+        let b = 12;
+        let (rbma, _) = total_costs(&spec, AlgorithmKind::Rbma { lazy: true }, b, spec.alpha);
+        let (obl, _) = total_costs(&spec, AlgorithmKind::Oblivious, b, spec.alpha);
+        rows.push((format!("s={s}"), vec![obl, rbma, 1.0 - rbma / obl]));
+    }
+    SimpleTable {
+        title: "Ablation C: skew sweep (Zipf exponent vs R-BMA's routing-cost reduction, b=12)"
+            .into(),
+        columns: vec!["Oblivious".into(), "R-BMA".into(), "reduction".into()],
+        rows,
+    }
+}
+
+/// Abl. E — lazy vs strict removals (footnote 2 of the paper).
+pub fn ablation_removal(scale: usize) -> SimpleTable {
+    let spec = base_spec(scale);
+    let mut rows = Vec::new();
+    for b in [6usize, 12, 18] {
+        let (r_lazy, c_lazy) =
+            total_costs(&spec, AlgorithmKind::Rbma { lazy: true }, b, spec.alpha);
+        let (r_strict, c_strict) =
+            total_costs(&spec, AlgorithmKind::Rbma { lazy: false }, b, spec.alpha);
+        rows.push((
+            format!("b={b}"),
+            vec![r_lazy, r_strict, r_strict - r_lazy, c_lazy, c_strict],
+        ));
+    }
+    SimpleTable {
+        title: "Ablation E: lazy vs strict removal mode (FB-DB)".into(),
+        columns: vec![
+            "routing lazy".into(),
+            "routing strict".into(),
+            "strict - lazy".into(),
+            "reconfig lazy".into(),
+            "reconfig strict".into(),
+        ],
+        rows,
+    }
+}
+
+/// Abl. D — the power of randomization: excess cost of deterministic BMA
+/// (driven by an adaptive chaser) vs randomized R-BMA (oblivious uniform
+/// blocks) on the §2.4 star-of-pairs nemesis, as b grows.
+///
+/// All requests target pairs `{0, v}` on a leaf-spine (ℓ ≡ 2), in blocks
+/// long enough to cross both algorithms' buy thresholds. `excess` is the
+/// total cost above the all-matched ideal (`1` per request); the
+/// deterministic excess grows ≈ linearly in b while the randomized one
+/// grows ≈ logarithmically, so the ratio grows ≈ b/log b.
+pub fn lower_bound_gap(scale: usize) -> SimpleTable {
+    let alpha = 10u64;
+    let num_blocks = (2000 / scale.max(1)).max(200);
+    let mut rows = Vec::new();
+    for b in [2usize, 4, 8, 16] {
+        let spokes = b + 1;
+        let n = spokes + 1;
+        let net = builders::leaf_spine(n, 2);
+        let dm = Arc::new(DistanceMatrix::between_racks(&net));
+        let block_len = alpha as usize; // ≥ buy threshold for ℓ=2
+
+        // Deterministic BMA vs adaptive chaser.
+        let mut bma = dcn_core::algorithms::bma::Bma::new(dm.clone(), b, alpha);
+        let excess_bma =
+            drive_star_blocks(&mut bma, &dm, alpha, spokes, block_len, num_blocks, None);
+
+        // Randomized R-BMA vs oblivious uniform blocks (3 seeds).
+        let mut excess_rbma = 0.0;
+        let seeds = 3;
+        for seed in 0..seeds {
+            let mut rbma = Rbma::new(dm.clone(), b, alpha, RemovalMode::Lazy, seed);
+            excess_rbma += drive_star_blocks(
+                &mut rbma,
+                &dm,
+                alpha,
+                spokes,
+                block_len,
+                num_blocks,
+                Some(derive_seed(0xD00, seed)),
+            );
+        }
+        excess_rbma /= seeds as f64;
+
+        rows.push((
+            format!("b={b}"),
+            vec![excess_bma, excess_rbma, excess_bma / excess_rbma.max(1.0)],
+        ));
+    }
+    SimpleTable {
+        title: format!(
+            "Ablation D: deterministic vs randomized excess cost on the star nemesis \
+             (α={alpha}, {num_blocks} blocks)"
+        ),
+        columns: vec!["BMA excess".into(), "R-BMA excess".into(), "ratio".into()],
+        rows,
+    }
+}
+
+/// Feeds block requests to a scheduler. With `rng_seed = None`, plays the
+/// adaptive chaser (next block targets a pair missing from the matching);
+/// otherwise picks the spoke uniformly at random. Returns the cost in
+/// excess of the all-matched ideal (1/request).
+fn drive_star_blocks<S: OnlineScheduler + ?Sized>(
+    scheduler: &mut S,
+    dm: &DistanceMatrix,
+    alpha: u64,
+    spokes: usize,
+    block_len: usize,
+    num_blocks: usize,
+    rng_seed: Option<u64>,
+) -> f64 {
+    let mut rng = rng_seed.map(SmallRng::seed_from_u64);
+    let mut total = 0u64;
+    for blk in 0..num_blocks {
+        let spoke = match &mut rng {
+            Some(rng) => rng.random_range(1..=spokes as u32),
+            None => (1..=spokes as u32)
+                .find(|&v| !scheduler.matching().contains(Pair::new(0, v)))
+                .unwrap_or((blk % spokes) as u32 + 1),
+        };
+        let pair = Pair::new(0, spoke);
+        for _ in 0..block_len {
+            let out = scheduler.serve(pair);
+            total += if out.was_matched {
+                1
+            } else {
+                dm.ell(pair) as u64
+            };
+            total += alpha * (out.added + out.removed) as u64;
+        }
+    }
+    total as f64 - (num_blocks * block_len) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alpha_table_shape() {
+        let t = ablation_alpha(50);
+        assert_eq!(t.rows.len(), 7);
+        assert_eq!(t.columns.len(), 6);
+        // Reconfig cost at α=1 must be positive for both algorithms.
+        assert!(t.rows[0].1[1] > 0.0 && t.rows[0].1[4] > 0.0);
+        let md = t.to_markdown();
+        assert!(md.contains("α=1"));
+    }
+
+    #[test]
+    fn augmentation_ratio_decreases_with_a() {
+        let t = ablation_augmentation(50);
+        // SO-BMA with larger a can only do better (rows report its cost in
+        // column 0): monotone non-increasing.
+        let costs: Vec<f64> = t.rows.iter().map(|(_, v)| v[0]).collect();
+        assert!(costs.windows(2).all(|w| w[1] <= w[0] * 1.001), "{costs:?}");
+    }
+
+    #[test]
+    fn skew_reduction_increases_with_s() {
+        let t = ablation_skew(50);
+        let first = t.rows.first().expect("rows").1[2];
+        let last = t.rows.last().expect("rows").1[2];
+        assert!(
+            last > first,
+            "more skew should mean more reduction: {first} -> {last}"
+        );
+    }
+
+    #[test]
+    fn removal_mode_lazy_not_worse_routing() {
+        let t = ablation_removal(50);
+        for (label, v) in &t.rows {
+            // Keeping edges longer can only reduce routing cost: strict ≥ lazy
+            // (allow 2% noise).
+            assert!(
+                v[1] >= v[0] * 0.98,
+                "{label}: strict {} vs lazy {}",
+                v[1],
+                v[0]
+            );
+        }
+    }
+
+    #[test]
+    fn lower_bound_gap_grows_with_b() {
+        let t = lower_bound_gap(10);
+        let ratios: Vec<f64> = t.rows.iter().map(|(_, v)| v[2]).collect();
+        assert!(
+            ratios.last().expect("rows") > ratios.first().expect("rows"),
+            "deterministic/randomized gap should widen with b: {ratios:?}"
+        );
+    }
+}

@@ -1,0 +1,174 @@
+//! Regenerates the paper's evaluation figures and the DESIGN.md ablations.
+//!
+//! ```text
+//! repro_figures [--fast] [--out DIR] <target>...
+//!
+//! targets:
+//!   fig1 fig2 fig3 fig4      the paper's Figures 1-4 (panels a, b, c)
+//!   figures                  all four figures
+//!   ablation-alpha           Abl. A: reconfiguration-cost sweep
+//!   ablation-augmentation    Abl. B: (b,a) resource augmentation
+//!   ablation-skew            Abl. C: spatial-skew sweep
+//!   ablation-removal         Abl. E: lazy vs strict removals
+//!   lower-bound              Abl. D: deterministic vs randomized gap
+//!   ablations                all ablations
+//!   all                      everything
+//!
+//! --fast    scale workloads down ~20x (quick smoke run)
+//! --out DIR also write each panel as CSV into DIR
+//! ```
+
+use dcn_bench::{
+    ablation_alpha, ablation_augmentation, ablation_removal, ablation_skew, lower_bound_gap,
+    run_panel, series_to_csv, series_to_markdown, FigureSpec, Panel, SimpleTable,
+};
+use std::path::PathBuf;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let fast = args.iter().any(|a| a == "--fast");
+    let out_dir: Option<PathBuf> = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .map(PathBuf::from);
+    let mut targets: Vec<String> = Vec::new();
+    let mut skip_next = false;
+    for a in &args {
+        if skip_next {
+            skip_next = false;
+            continue;
+        }
+        if a == "--out" {
+            skip_next = true;
+            continue;
+        }
+        if !a.starts_with("--") {
+            targets.push(a.clone());
+        }
+    }
+    if targets.is_empty() {
+        targets.push("all".into());
+    }
+    if let Some(dir) = &out_dir {
+        std::fs::create_dir_all(dir).expect("create output directory");
+    }
+
+    let scale = if fast { 20 } else { 1 };
+    let expand = |t: &str| -> Vec<String> {
+        match t {
+            "all" => vec![
+                "fig1",
+                "fig2",
+                "fig3",
+                "fig4",
+                "ablation-alpha",
+                "ablation-augmentation",
+                "ablation-skew",
+                "ablation-removal",
+                "lower-bound",
+            ]
+            .into_iter()
+            .map(String::from)
+            .collect(),
+            "figures" => vec!["fig1", "fig2", "fig3", "fig4"]
+                .into_iter()
+                .map(String::from)
+                .collect(),
+            "ablations" => vec![
+                "ablation-alpha",
+                "ablation-augmentation",
+                "ablation-skew",
+                "ablation-removal",
+                "lower-bound",
+            ]
+            .into_iter()
+            .map(String::from)
+            .collect(),
+            other => vec![other.to_string()],
+        }
+    };
+
+    let mut queue: Vec<String> = targets.iter().flat_map(|t| expand(t)).collect();
+    queue.dedup();
+
+    for target in queue {
+        match target.as_str() {
+            id @ ("fig1" | "fig2" | "fig3" | "fig4") => {
+                let spec = FigureSpec::by_id(id).expect("known figure id");
+                let spec = if fast { spec.scaled(scale) } else { spec };
+                run_figure(&spec, out_dir.as_deref());
+            }
+            "ablation-alpha" => print_table(ablation_alpha(scale), out_dir.as_deref()),
+            "ablation-augmentation" => {
+                print_table(ablation_augmentation(scale), out_dir.as_deref())
+            }
+            "ablation-skew" => print_table(ablation_skew(scale), out_dir.as_deref()),
+            "ablation-removal" => print_table(ablation_removal(scale), out_dir.as_deref()),
+            "lower-bound" => print_table(lower_bound_gap(scale), out_dir.as_deref()),
+            other => {
+                eprintln!("unknown target: {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+}
+
+fn run_figure(spec: &FigureSpec, out_dir: Option<&std::path::Path>) {
+    let threads = std::thread::available_parallelism().map_or(4, |p| p.get());
+    println!(
+        "\n## {} — {} ({} requests, α={})\n",
+        spec.id, spec.title, spec.total_requests, spec.alpha
+    );
+    for (panel, suffix, label) in [
+        (Panel::RoutingCost, "a", "Routing cost"),
+        (Panel::ExecutionTime, "b", "Execution time [s]"),
+        (Panel::BestOf, "c", "Best-of comparison (routing cost)"),
+    ] {
+        // Panel b is timing-sensitive: single-threaded.
+        let t = if panel == Panel::ExecutionTime {
+            1
+        } else {
+            threads
+        };
+        let series = run_panel(spec, panel, t);
+        println!(
+            "{}",
+            series_to_markdown(&format!("{}{suffix}: {label}", spec.id), &series)
+        );
+        if let Some(dir) = out_dir {
+            let path = dir.join(format!("{}{suffix}.csv", spec.id));
+            std::fs::write(&path, series_to_csv(&series)).expect("write CSV");
+            println!("(wrote {})\n", path.display());
+        }
+    }
+}
+
+fn print_table(table: SimpleTable, out_dir: Option<&std::path::Path>) {
+    println!("\n{}", table.to_markdown());
+    if let Some(dir) = out_dir {
+        let slug: String = table
+            .title
+            .chars()
+            .take_while(|&c| c != ':')
+            .filter(|c| c.is_alphanumeric())
+            .collect::<String>()
+            .to_lowercase();
+        let mut csv = String::from("row");
+        for c in &table.columns {
+            csv.push(',');
+            csv.push_str(&c.replace(',', ";"));
+        }
+        csv.push('\n');
+        for (label, values) in &table.rows {
+            csv.push_str(label);
+            for v in values {
+                csv.push_str(&format!(",{v}"));
+            }
+            csv.push('\n');
+        }
+        let path = dir.join(format!("{slug}.csv"));
+        std::fs::write(&path, csv).expect("write CSV");
+        println!("(wrote {})\n", path.display());
+    }
+}

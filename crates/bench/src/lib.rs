@@ -1,0 +1,472 @@
+//! # dcn-bench
+//!
+//! The figure-reproduction harness. Every figure panel of the paper's
+//! evaluation (§3.2) and every ablation listed in DESIGN.md is regenerated
+//! either by the `repro_figures` binary (series printed as markdown/CSV) or
+//! by the Criterion benches (micro-level timing claims).
+//!
+//! Mapping (see DESIGN.md §4 for the full experiment index):
+//!
+//! | Paper artifact | Harness entry |
+//! |---|---|
+//! | Fig. 1a/1b/1c (Facebook Database) | `repro_figures fig1` |
+//! | Fig. 2a/2b/2c (Facebook Web)      | `repro_figures fig2` |
+//! | Fig. 3a/3b/3c (Facebook Hadoop)   | `repro_figures fig3` |
+//! | Fig. 4a/4b/4c (Microsoft)         | `repro_figures fig4` |
+//! | Ablations A–E                     | `repro_figures ablation-*` / `lower-bound` |
+//! | per-request latency vs b          | `cargo bench -p dcn-bench` |
+
+pub mod ablations;
+
+pub use ablations::{
+    ablation_alpha, ablation_augmentation, ablation_removal, ablation_skew, lower_bound_gap,
+    SimpleTable,
+};
+
+use dcn_core::algorithms::static_offline::so_bma_series;
+use dcn_core::algorithms::AlgorithmKind;
+use dcn_core::report::AveragedSeries;
+use dcn_core::sweep::{run_jobs, run_jobs_sequential, Job};
+use dcn_core::RunReport;
+use dcn_topology::{builders, DistanceMatrix};
+use dcn_traces::generators::facebook::facebook_cluster_trace;
+use dcn_traces::{
+    microsoft_trace, uniform_trace, zipf_pair_trace, FacebookCluster, MicrosoftParams, Trace,
+};
+use dcn_util::rngx::derive_seed;
+use std::sync::Arc;
+
+/// Workload selector for figure specs.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Workload {
+    /// Facebook Database cluster stand-in (Fig. 1).
+    FacebookDb,
+    /// Facebook Web-Service cluster stand-in (Fig. 2).
+    FacebookWeb,
+    /// Facebook Hadoop cluster stand-in (Fig. 3).
+    FacebookHadoop,
+    /// Microsoft i.i.d. traffic-matrix stand-in (Fig. 4).
+    Microsoft,
+    /// Pure-Zipf pair trace with the given exponent (skew ablation).
+    Zipf(f64),
+    /// Uniform traffic (structure-free reference).
+    Uniform,
+}
+
+/// A reproducible figure configuration.
+#[derive(Clone, Debug)]
+pub struct FigureSpec {
+    /// Identifier, e.g. `fig1`.
+    pub id: &'static str,
+    /// Human title matching the paper.
+    pub title: &'static str,
+    /// Workload generator.
+    pub workload: Workload,
+    /// Number of racks (100 for Facebook figures, 50 for Microsoft).
+    pub racks: usize,
+    /// The b values swept in panel (a)/(b); the last is panel (c)'s b.
+    pub bs: Vec<usize>,
+    /// Trace length.
+    pub total_requests: usize,
+    /// Number of x-axis points.
+    pub num_checkpoints: usize,
+    /// Reconfiguration cost α.
+    pub alpha: u64,
+    /// Seed repetitions averaged per configuration (paper: 5).
+    pub repetitions: u64,
+}
+
+impl FigureSpec {
+    /// The four figures of §3.2 at paper scale.
+    pub fn paper_figures() -> Vec<FigureSpec> {
+        vec![
+            FigureSpec {
+                id: "fig1",
+                title: "Facebook Database cluster",
+                workload: Workload::FacebookDb,
+                racks: 100,
+                bs: vec![6, 12, 18],
+                total_requests: 350_000,
+                num_checkpoints: 14,
+                alpha: 10,
+                repetitions: 5,
+            },
+            FigureSpec {
+                id: "fig2",
+                title: "Facebook Web Service cluster",
+                workload: Workload::FacebookWeb,
+                racks: 100,
+                bs: vec![6, 12, 18],
+                total_requests: 400_000,
+                num_checkpoints: 14,
+                alpha: 10,
+                repetitions: 5,
+            },
+            FigureSpec {
+                id: "fig3",
+                title: "Facebook Hadoop cluster",
+                workload: Workload::FacebookHadoop,
+                racks: 100,
+                bs: vec![6, 12, 18],
+                total_requests: 185_000,
+                num_checkpoints: 14,
+                alpha: 10,
+                repetitions: 5,
+            },
+            FigureSpec {
+                id: "fig4",
+                title: "Microsoft cluster",
+                workload: Workload::Microsoft,
+                racks: 50,
+                bs: vec![3, 6, 9],
+                total_requests: 1_750_000,
+                num_checkpoints: 14,
+                alpha: 10,
+                repetitions: 5,
+            },
+        ]
+    }
+
+    /// Looks up a paper figure by id.
+    pub fn by_id(id: &str) -> Option<FigureSpec> {
+        Self::paper_figures().into_iter().find(|f| f.id == id)
+    }
+
+    /// A proportionally scaled-down copy (for smoke tests / fast mode).
+    pub fn scaled(&self, divisor: usize) -> FigureSpec {
+        let mut s = self.clone();
+        s.total_requests = (s.total_requests / divisor).max(s.num_checkpoints);
+        s.repetitions = s.repetitions.min(2);
+        s
+    }
+
+    /// Generates the trace for repetition `rep`.
+    pub fn trace(&self, rep: u64) -> Trace {
+        let seed = derive_seed(0xF16, rep);
+        match self.workload {
+            Workload::FacebookDb => facebook_cluster_trace(
+                FacebookCluster::Database,
+                self.racks,
+                self.total_requests,
+                seed,
+            ),
+            Workload::FacebookWeb => facebook_cluster_trace(
+                FacebookCluster::WebService,
+                self.racks,
+                self.total_requests,
+                seed,
+            ),
+            Workload::FacebookHadoop => facebook_cluster_trace(
+                FacebookCluster::Hadoop,
+                self.racks,
+                self.total_requests,
+                seed,
+            ),
+            Workload::Microsoft => microsoft_trace(
+                self.racks,
+                self.total_requests,
+                MicrosoftParams::default(),
+                seed,
+            ),
+            Workload::Zipf(s) => zipf_pair_trace(self.racks, self.total_requests, s, seed),
+            Workload::Uniform => uniform_trace(self.racks, self.total_requests, seed),
+        }
+    }
+
+    /// Fat-tree distance matrix for this spec's rack count.
+    pub fn distances(&self) -> Arc<DistanceMatrix> {
+        let net = builders::fat_tree_with_racks(self.racks);
+        Arc::new(DistanceMatrix::between_racks_parallel(&net, 4))
+    }
+
+    /// The checkpoint grid.
+    pub fn checkpoints(&self) -> Vec<usize> {
+        dcn_core::SimConfig::evenly_spaced(self.total_requests, self.num_checkpoints)
+    }
+}
+
+/// Panel selector for figure runs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Panel {
+    /// Routing cost, b-sweep + oblivious (Figs. *a).
+    RoutingCost,
+    /// Execution time, b-sweep (Figs. *b) — always run sequentially.
+    ExecutionTime,
+    /// Best-of comparison at max b incl. SO-BMA (Figs. *c).
+    BestOf,
+}
+
+/// Runs one panel of a figure; returns one averaged series per legend entry.
+pub fn run_panel(spec: &FigureSpec, panel: Panel, threads: usize) -> Vec<AveragedSeries> {
+    match panel {
+        Panel::RoutingCost => {
+            let mut series = run_b_sweep(spec, threads, |c| c.routing_cost as f64);
+            series.push(oblivious_series(spec, threads));
+            series
+        }
+        Panel::ExecutionTime => run_b_sweep_sequential(spec, |c| c.elapsed_secs),
+        Panel::BestOf => best_of_series(spec, threads),
+    }
+}
+
+fn grid_jobs(spec: &FigureSpec, algorithm: AlgorithmKind, b: usize) -> Vec<Job> {
+    (0..spec.repetitions)
+        .map(|rep| Job {
+            algorithm: algorithm.clone(),
+            b,
+            alpha: spec.alpha,
+            seed: derive_seed(0xA1, rep),
+            checkpoints: spec.checkpoints(),
+        })
+        .collect()
+}
+
+/// Runs R-BMA and BMA for every b, averaging `metric` across repetitions.
+fn run_b_sweep(
+    spec: &FigureSpec,
+    threads: usize,
+    metric: impl Fn(&dcn_core::Checkpoint) -> f64 + Copy,
+) -> Vec<AveragedSeries> {
+    let dm = spec.distances();
+    let mut out = Vec::new();
+    for algorithm in [AlgorithmKind::Rbma { lazy: true }, AlgorithmKind::Bma] {
+        for &b in &spec.bs {
+            let reports = run_reps(spec, &dm, algorithm.clone(), b, threads);
+            out.push(AveragedSeries::from_reports(
+                format!("{} (b: {b})", algorithm.label()),
+                &reports,
+                metric,
+            ));
+        }
+    }
+    out
+}
+
+/// Like [`run_b_sweep`] but strictly sequential (wall-clock fidelity) and
+/// with the elapsed-seconds metric.
+fn run_b_sweep_sequential(
+    spec: &FigureSpec,
+    metric: impl Fn(&dcn_core::Checkpoint) -> f64 + Copy,
+) -> Vec<AveragedSeries> {
+    let dm = spec.distances();
+    let mut out = Vec::new();
+    for algorithm in [AlgorithmKind::Rbma { lazy: true }, AlgorithmKind::Bma] {
+        for &b in &spec.bs {
+            let reports: Vec<RunReport> = (0..spec.repetitions)
+                .map(|rep| {
+                    let trace = spec.trace(rep);
+                    run_jobs_sequential(
+                        &dm,
+                        &trace,
+                        &grid_jobs(spec, algorithm.clone(), b)[rep as usize..=rep as usize],
+                    )
+                    .pop()
+                    .expect("one job")
+                })
+                .collect();
+            out.push(AveragedSeries::from_reports(
+                format!("{} (b: {b})", algorithm.label()),
+                &reports,
+                metric,
+            ));
+        }
+    }
+    out
+}
+
+fn run_reps(
+    spec: &FigureSpec,
+    dm: &Arc<DistanceMatrix>,
+    algorithm: AlgorithmKind,
+    b: usize,
+    threads: usize,
+) -> Vec<RunReport> {
+    // Each repetition has its own trace (fresh workload randomness) and its
+    // own algorithm seed, as in the paper's 5-run averaging.
+    (0..spec.repetitions)
+        .map(|rep| {
+            let trace = spec.trace(rep);
+            let jobs = vec![grid_jobs(spec, algorithm.clone(), b)[rep as usize].clone()];
+            run_jobs(dm, &trace, &jobs, threads).pop().expect("one job")
+        })
+        .collect()
+}
+
+fn oblivious_series(spec: &FigureSpec, threads: usize) -> AveragedSeries {
+    let dm = spec.distances();
+    let reports = run_reps(spec, &dm, AlgorithmKind::Oblivious, spec.bs[0], threads);
+    AveragedSeries::from_reports("Oblivious", &reports, |c| c.routing_cost as f64)
+}
+
+/// Panel (c): R-BMA vs BMA vs SO-BMA at the largest b.
+fn best_of_series(spec: &FigureSpec, threads: usize) -> Vec<AveragedSeries> {
+    let dm = spec.distances();
+    let b = *spec.bs.last().expect("non-empty b sweep");
+    let mut out = Vec::new();
+    for algorithm in [AlgorithmKind::Rbma { lazy: true }, AlgorithmKind::Bma] {
+        let reports = run_reps(spec, &dm, algorithm.clone(), b, threads);
+        out.push(AveragedSeries::from_reports(
+            format!("{} (b: {b})", algorithm.label()),
+            &reports,
+            |c| c.routing_cost as f64,
+        ));
+    }
+    // SO-BMA: clairvoyant static matching recomputed per checkpoint.
+    let cps = spec.checkpoints();
+    let mut per_rep: Vec<Vec<f64>> = Vec::new();
+    for rep in 0..spec.repetitions {
+        let trace = spec.trace(rep);
+        let series = so_bma_series(&dm, &trace.requests, b, &cps);
+        per_rep.push(series.into_iter().map(|(_, cost)| cost as f64).collect());
+    }
+    let x: Vec<u64> = cps.iter().map(|&c| c as u64).collect();
+    let mut y_mean = Vec::with_capacity(x.len());
+    let mut y_std = Vec::with_capacity(x.len());
+    for i in 0..x.len() {
+        let samples: Vec<f64> = per_rep.iter().map(|r| r[i]).collect();
+        let s = dcn_util::summarize(&samples);
+        y_mean.push(s.mean);
+        y_std.push(s.stddev);
+    }
+    out.push(AveragedSeries {
+        label: format!("SO-BMA (b: {b})"),
+        x,
+        y_mean,
+        y_std,
+    });
+    out
+}
+
+/// Renders series as a markdown table (x column + one column per series).
+pub fn series_to_markdown(title: &str, series: &[AveragedSeries]) -> String {
+    use std::fmt::Write;
+    let mut out = String::new();
+    let _ = writeln!(out, "### {title}\n");
+    let _ = write!(out, "| #Requests |");
+    for s in series {
+        let _ = write!(out, " {} |", s.label);
+    }
+    let _ = writeln!(out);
+    let _ = write!(out, "|---|");
+    for _ in series {
+        let _ = write!(out, "---|");
+    }
+    let _ = writeln!(out);
+    let rows = series.first().map_or(0, |s| s.x.len());
+    for i in 0..rows {
+        let _ = write!(out, "| {} |", series[0].x[i]);
+        for s in series {
+            let _ = write!(out, " {:.4} |", s.y_mean[i]);
+        }
+        let _ = writeln!(out);
+    }
+    out
+}
+
+/// Renders series as CSV (long format: series,x,y_mean,y_std).
+pub fn series_to_csv(series: &[AveragedSeries]) -> String {
+    let mut out = String::from("series,requests,mean,stddev\n");
+    for s in series {
+        for i in 0..s.x.len() {
+            out.push_str(&format!(
+                "{},{},{},{}\n",
+                s.label, s.x[i], s.y_mean[i], s.y_std[i]
+            ));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_spec() -> FigureSpec {
+        FigureSpec {
+            id: "test",
+            title: "tiny",
+            workload: Workload::FacebookDb,
+            racks: 20,
+            bs: vec![2, 4],
+            total_requests: 4000,
+            num_checkpoints: 4,
+            alpha: 10,
+            repetitions: 2,
+        }
+    }
+
+    #[test]
+    fn panel_a_has_expected_legends_and_order() {
+        let series = run_panel(&tiny_spec(), Panel::RoutingCost, 4);
+        let labels: Vec<&str> = series.iter().map(|s| s.label.as_str()).collect();
+        assert_eq!(
+            labels,
+            vec![
+                "R-BMA (b: 2)",
+                "R-BMA (b: 4)",
+                "BMA (b: 2)",
+                "BMA (b: 4)",
+                "Oblivious"
+            ]
+        );
+        // Oblivious is the upper envelope at the final checkpoint.
+        let last = series[0].x.len() - 1;
+        let oblivious = series.last().expect("series").y_mean[last];
+        for s in &series[..series.len() - 1] {
+            assert!(
+                s.y_mean[last] <= oblivious,
+                "{} ({}) should not exceed oblivious ({oblivious})",
+                s.label,
+                s.y_mean[last]
+            );
+        }
+    }
+
+    #[test]
+    fn larger_b_does_not_hurt_rbma() {
+        let series = run_panel(&tiny_spec(), Panel::RoutingCost, 4);
+        let last = series[0].x.len() - 1;
+        let rbma_b2 = series[0].y_mean[last];
+        let rbma_b4 = series[1].y_mean[last];
+        assert!(
+            rbma_b4 <= rbma_b2 * 1.02,
+            "more switches should not increase routing cost: b2={rbma_b2} b4={rbma_b4}"
+        );
+    }
+
+    #[test]
+    fn panel_c_includes_so_bma() {
+        let series = run_panel(&tiny_spec(), Panel::BestOf, 4);
+        assert_eq!(series.len(), 3);
+        assert!(series[2].label.starts_with("SO-BMA"));
+        // SO-BMA routing cost is monotone in the prefix.
+        assert!(series[2].y_mean.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn markdown_and_csv_render() {
+        let series = vec![AveragedSeries {
+            label: "A".into(),
+            x: vec![10, 20],
+            y_mean: vec![1.0, 2.0],
+            y_std: vec![0.0, 0.1],
+        }];
+        let md = series_to_markdown("t", &series);
+        assert!(md.contains("| 10 | 1.0000 |"));
+        let csv = series_to_csv(&series);
+        assert!(csv.contains("A,20,2,0.1"));
+    }
+
+    #[test]
+    fn paper_figures_well_formed() {
+        let figs = FigureSpec::paper_figures();
+        assert_eq!(figs.len(), 4);
+        assert!(FigureSpec::by_id("fig4").is_some());
+        assert!(FigureSpec::by_id("fig9").is_none());
+        let f4 = FigureSpec::by_id("fig4").expect("fig4 exists");
+        assert_eq!(f4.racks, 50);
+        assert_eq!(f4.bs, vec![3, 6, 9]);
+        let scaled = f4.scaled(100);
+        assert_eq!(scaled.total_requests, 17_500);
+    }
+}

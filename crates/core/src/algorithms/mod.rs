@@ -1,0 +1,93 @@
+//! The online and offline algorithms evaluated in the paper (§2, §3) plus
+//! the extensions discussed in §5.
+
+pub mod bma;
+pub mod oblivious;
+pub mod periodic;
+pub mod predictive;
+pub mod rbma;
+pub mod rotor;
+pub mod static_offline;
+
+use crate::scheduler::OnlineScheduler;
+use dcn_topology::DistanceMatrix;
+use std::sync::Arc;
+
+/// Configuration-friendly algorithm selector for sweeps and benches.
+#[derive(Clone, Debug, PartialEq)]
+pub enum AlgorithmKind {
+    /// No reconfigurable links at all (the violet baseline of Figs. 1–4).
+    Oblivious,
+    /// The paper's randomized algorithm (§2.2/§2.3).
+    Rbma {
+        /// Lazy removals per footnote 2 (the experimental default) or the
+        /// strict both-caches invariant of the analysis.
+        lazy: bool,
+    },
+    /// Deterministic online b-matching baseline (Bienkowski et al. \[11\]).
+    Bma,
+    /// Demand-oblivious rotating matchings (RotorNet \[56\]-style).
+    Rotor {
+        /// Requests between rotation steps.
+        period: u64,
+    },
+    /// R-BMA with next-request predictions (§5 future work). `noise`
+    /// blurs the oracle (0.0 = perfect).
+    PredictiveRbma {
+        /// Relative prediction error magnitude.
+        noise: f64,
+    },
+    /// Coarse-granular baseline: rebuild a greedy heavy b-matching from the
+    /// last window every `period` requests (Proteus/OSA-style).
+    Periodic {
+        /// Requests between rebuilds.
+        period: u64,
+    },
+}
+
+impl AlgorithmKind {
+    /// Display name matching the paper's figure legends.
+    pub fn label(&self) -> String {
+        match self {
+            AlgorithmKind::Oblivious => "Oblivious".into(),
+            AlgorithmKind::Rbma { lazy: true } => "R-BMA".into(),
+            AlgorithmKind::Rbma { lazy: false } => "R-BMA(strict)".into(),
+            AlgorithmKind::Bma => "BMA".into(),
+            AlgorithmKind::Rotor { .. } => "Rotor".into(),
+            AlgorithmKind::PredictiveRbma { noise } => format!("P-BMA(noise={noise})"),
+            AlgorithmKind::Periodic { period } => format!("Periodic({period})"),
+        }
+    }
+
+    /// Instantiates a scheduler. `trace` is only needed by the predictive
+    /// variant (its oracle is built from the future sequence).
+    pub fn build(
+        &self,
+        dm: Arc<DistanceMatrix>,
+        b: usize,
+        alpha: u64,
+        seed: u64,
+        trace: &[dcn_topology::Pair],
+    ) -> Box<dyn OnlineScheduler> {
+        let n = dm.num_racks();
+        match *self {
+            AlgorithmKind::Oblivious => Box::new(oblivious::Oblivious::new(n, b)),
+            AlgorithmKind::Rbma { lazy } => {
+                let mode = if lazy {
+                    rbma::RemovalMode::Lazy
+                } else {
+                    rbma::RemovalMode::Strict
+                };
+                Box::new(rbma::Rbma::new(dm, b, alpha, mode, seed))
+            }
+            AlgorithmKind::Bma => Box::new(bma::Bma::new(dm, b, alpha)),
+            AlgorithmKind::Rotor { period } => Box::new(rotor::Rotor::new(n, b, period)),
+            AlgorithmKind::PredictiveRbma { noise } => Box::new(predictive::PredictiveRbma::new(
+                dm, b, alpha, trace, noise, seed,
+            )),
+            AlgorithmKind::Periodic { period } => {
+                Box::new(periodic::PeriodicRebuild::new(dm, b, period))
+            }
+        }
+    }
+}

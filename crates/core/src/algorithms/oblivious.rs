@@ -1,0 +1,60 @@
+//! The demand-oblivious baseline: no reconfigurable links at all. Every
+//! request rides the fixed network at cost `ℓ_e` — the violet reference
+//! line in Figs. 1a–4a.
+
+use crate::scheduler::{OnlineScheduler, ServeOutcome};
+use dcn_matching::BMatching;
+use dcn_topology::Pair;
+
+/// Scheduler that never configures a matching edge.
+#[derive(Clone, Debug)]
+pub struct Oblivious {
+    matching: BMatching,
+}
+
+impl Oblivious {
+    /// Creates the baseline over `n` racks (cap kept for reporting parity).
+    pub fn new(n: usize, b: usize) -> Self {
+        Self {
+            matching: BMatching::new(n, b.max(1)),
+        }
+    }
+}
+
+impl OnlineScheduler for Oblivious {
+    fn name(&self) -> &str {
+        "Oblivious"
+    }
+
+    fn cap(&self) -> usize {
+        self.matching.cap()
+    }
+
+    fn serve(&mut self, _pair: Pair) -> ServeOutcome {
+        ServeOutcome {
+            was_matched: false,
+            added: 0,
+            removed: 0,
+        }
+    }
+
+    fn matching(&self) -> &BMatching {
+        &self.matching
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn never_matches() {
+        let mut o = Oblivious::new(5, 2);
+        for _ in 0..10 {
+            let out = o.serve(Pair::new(0, 1));
+            assert!(!out.was_matched);
+            assert_eq!(out.added + out.removed, 0);
+        }
+        assert!(o.matching().is_empty());
+    }
+}

@@ -1,0 +1,326 @@
+//! Prediction-augmented R-BMA — the §5 future-work direction: "it would be
+//! interesting to explore algorithms which can leverage certain predictions
+//! about future demands, without losing the worst-case guarantees."
+//!
+//! Same two-layer construction as [`crate::algorithms::rbma::Rbma`], but the
+//! per-node caches run *predictive marking*: the phase/marking structure is
+//! kept (preserving the worst-case guarantee of marking algorithms), while
+//! the eviction choice among unmarked entries follows a next-request oracle
+//! (evict the pair predicted to be requested farthest in the future —
+//! Belady's rule applied to predictions). The oracle is built from the
+//! trace and can be blurred with multiplicative noise to study robustness.
+
+use crate::scheduler::{OnlineScheduler, ServeOutcome};
+use dcn_matching::BMatching;
+use dcn_topology::{DistanceMatrix, NodeId, Pair};
+use dcn_util::rngx::derive_seed;
+use dcn_util::{FxHashMap, FxHashSet, IndexedSet};
+use rand::rngs::SmallRng;
+use rand::{RngExt, SeedableRng};
+use std::sync::Arc;
+
+/// Next-request oracle over pairs, with optional multiplicative noise.
+struct PairOracle {
+    /// pair -> sorted request positions.
+    occurrences: FxHashMap<Pair, Vec<u64>>,
+    noise: f64,
+    rng: SmallRng,
+}
+
+impl PairOracle {
+    fn new(trace: &[Pair], noise: f64, seed: u64) -> Self {
+        assert!(noise >= 0.0);
+        let mut occurrences: FxHashMap<Pair, Vec<u64>> = FxHashMap::default();
+        for (i, &p) in trace.iter().enumerate() {
+            occurrences.entry(p).or_default().push(i as u64);
+        }
+        Self {
+            occurrences,
+            noise,
+            rng: SmallRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Predicted next request time of `pair` strictly after `now`.
+    fn next_use(&mut self, pair: Pair, now: u64) -> u64 {
+        let truth = match self.occurrences.get(&pair) {
+            None => u64::MAX,
+            Some(pos) => {
+                let i = pos.partition_point(|&t| t <= now);
+                pos.get(i).copied().unwrap_or(u64::MAX)
+            }
+        };
+        if truth == u64::MAX || self.noise == 0.0 {
+            return truth;
+        }
+        let gap = (truth - now).max(1) as f64;
+        let factor = 1.0 + self.noise * self.rng.random_range(-1.0..1.0f64);
+        now.saturating_add((gap * factor.max(0.0)).round() as u64)
+            .max(now + 1)
+    }
+}
+
+/// Per-node marking cache with prediction-guided eviction.
+struct PredictiveCache {
+    capacity: usize,
+    marked: IndexedSet<u32>,
+    unmarked: IndexedSet<u32>,
+}
+
+impl PredictiveCache {
+    fn new(capacity: usize) -> Self {
+        Self {
+            capacity,
+            marked: IndexedSet::with_capacity(capacity),
+            unmarked: IndexedSet::with_capacity(capacity),
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.marked.len() + self.unmarked.len()
+    }
+
+    #[allow(dead_code)] // used by debug assertions and future strict mode
+    fn contains(&self, partner: u32) -> bool {
+        self.marked.contains(&partner) || self.unmarked.contains(&partner)
+    }
+
+    /// Accesses `partner`; on a fault with a full cache evicts the unmarked
+    /// partner whose pair (with `node`) has the farthest predicted use.
+    fn access(
+        &mut self,
+        node: NodeId,
+        partner: u32,
+        now: u64,
+        oracle: &mut PairOracle,
+    ) -> Option<u32> {
+        if self.marked.contains(&partner) {
+            return None;
+        }
+        if self.unmarked.remove(&partner) {
+            self.marked.insert(partner);
+            return None;
+        }
+        let mut evicted = None;
+        if self.len() == self.capacity {
+            if self.unmarked.is_empty() {
+                for p in self.marked.drain_to_vec() {
+                    self.unmarked.insert(p);
+                }
+            }
+            let victim = self
+                .unmarked
+                .iter()
+                .map(|&w| (oracle.next_use(Pair::new(node, w), now), w))
+                .max()
+                .map(|(_, w)| w)
+                .expect("full cache has an unmarked entry after phase reset");
+            self.unmarked.remove(&victim);
+            evicted = Some(victim);
+        }
+        self.marked.insert(partner);
+        evicted
+    }
+}
+
+/// R-BMA with prediction-guided evictions (lazy removals).
+pub struct PredictiveRbma {
+    dm: Arc<DistanceMatrix>,
+    alpha: u64,
+    counters: FxHashMap<Pair, u32>,
+    caches: Vec<PredictiveCache>,
+    oracle: PairOracle,
+    clock: u64,
+    matching: BMatching,
+    marked: FxHashSet<Pair>,
+    name: String,
+}
+
+impl PredictiveRbma {
+    /// Builds the scheduler; the oracle sees the full `trace` (blurred by
+    /// `noise`).
+    pub fn new(
+        dm: Arc<DistanceMatrix>,
+        b: usize,
+        alpha: u64,
+        trace: &[Pair],
+        noise: f64,
+        seed: u64,
+    ) -> Self {
+        assert!(alpha >= 1);
+        let n = dm.num_racks();
+        Self {
+            dm,
+            alpha,
+            counters: FxHashMap::default(),
+            caches: (0..n).map(|_| PredictiveCache::new(b)).collect(),
+            oracle: PairOracle::new(trace, noise, derive_seed(seed, 0x9C)),
+            clock: 0,
+            matching: BMatching::new(n, b),
+            marked: FxHashSet::default(),
+            name: format!("P-BMA(noise={noise})"),
+        }
+    }
+
+    fn prune_marked_at(&mut self, node: NodeId) -> u32 {
+        let mut removed = 0;
+        while self.matching.degree(node) >= self.matching.cap() {
+            let victim = self
+                .matching
+                .incident_edges(node)
+                .iter()
+                .copied()
+                .find(|e| self.marked.contains(e))
+                .expect("predictive R-BMA: full node must carry a marked edge");
+            self.matching.remove(victim);
+            self.marked.remove(&victim);
+            removed += 1;
+        }
+        removed
+    }
+}
+
+impl OnlineScheduler for PredictiveRbma {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn cap(&self) -> usize {
+        self.matching.cap()
+    }
+
+    fn serve(&mut self, pair: Pair) -> ServeOutcome {
+        let now = self.clock;
+        self.clock += 1;
+        let was_matched = self.matching.contains(pair);
+
+        let ell = self.dm.ell(pair).max(1) as u64;
+        let k = self.alpha.div_ceil(ell) as u32;
+        let counter = self.counters.entry(pair).or_insert(0);
+        *counter += 1;
+        if *counter < k {
+            return ServeOutcome {
+                was_matched,
+                added: 0,
+                removed: 0,
+            };
+        }
+        *counter = 0;
+
+        let (u, v) = pair.endpoints();
+        let mut removed = 0;
+        for (node, partner) in [(u, v), (v, u)] {
+            if let Some(evicted) =
+                self.caches[node as usize].access(node, partner, now, &mut self.oracle)
+            {
+                let gone = Pair::new(node, evicted);
+                if self.matching.contains(gone) {
+                    self.marked.insert(gone);
+                }
+            }
+        }
+        let mut added = 0;
+        if !self.matching.contains(pair) {
+            removed += self.prune_marked_at(u);
+            removed += self.prune_marked_at(v);
+            self.matching.insert(pair);
+            added = 1;
+        }
+        self.marked.remove(&pair);
+        ServeOutcome {
+            was_matched,
+            added,
+            removed,
+        }
+    }
+
+    fn matching(&self) -> &BMatching {
+        &self.matching
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn uniform(n: usize) -> Arc<DistanceMatrix> {
+        Arc::new(DistanceMatrix::uniform(n))
+    }
+
+    fn cyclic_trace(n: u32, len: usize) -> Vec<Pair> {
+        (0..len)
+            .map(|i| {
+                let a = (i as u32) % n;
+                let b = (a + 1 + (i as u32 / n) % (n - 1)) % n;
+                if a == b {
+                    Pair::new(a, (b + 1) % n)
+                } else {
+                    Pair::new(a, b)
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn degree_bound_and_accounting() {
+        let trace = cyclic_trace(10, 3000);
+        let mut p = PredictiveRbma::new(uniform(10), 2, 1, &trace, 0.0, 3);
+        let mut net = 0i64;
+        for &r in &trace {
+            let o = p.serve(r);
+            net += o.added as i64 - o.removed as i64;
+            p.matching().assert_valid();
+        }
+        assert_eq!(net, p.matching().len() as i64);
+    }
+
+    #[test]
+    fn perfect_predictions_no_worse_than_random_evictions() {
+        use crate::algorithms::rbma::{Rbma, RemovalMode};
+        // Bursty synthetic sequence where foresight helps.
+        let n = 16u32;
+        let mut trace = Vec::new();
+        for block in 0..400u32 {
+            let a = block % n;
+            let b = (a + 1 + block % (n - 1)) % n;
+            if a == b {
+                continue;
+            }
+            for _ in 0..12 {
+                trace.push(Pair::new(a, b));
+            }
+        }
+        let dm = uniform(n as usize);
+        let mut pred = PredictiveRbma::new(dm.clone(), 2, 4, &trace, 0.0, 1);
+        let mut cost_pred = 0u64;
+        for &r in &trace {
+            let o = pred.serve(r);
+            cost_pred += if o.was_matched { 1 } else { 2 };
+        }
+        let mut rand_costs = Vec::new();
+        for seed in 0..3 {
+            let mut rb = Rbma::new(dm.clone(), 2, 4, RemovalMode::Lazy, seed);
+            let mut c = 0u64;
+            for &r in &trace {
+                let o = rb.serve(r);
+                c += if o.was_matched { 1 } else { 2 };
+            }
+            rand_costs.push(c);
+        }
+        let avg_rand = rand_costs.iter().sum::<u64>() / rand_costs.len() as u64;
+        assert!(
+            cost_pred <= avg_rand + avg_rand / 10,
+            "predictions should not hurt much: pred {cost_pred} vs rand {avg_rand}"
+        );
+    }
+
+    #[test]
+    fn noisy_oracle_still_respects_invariants() {
+        let trace = cyclic_trace(8, 2000);
+        let mut p = PredictiveRbma::new(uniform(8), 2, 2, &trace, 3.0, 7);
+        for &r in &trace {
+            p.serve(r);
+        }
+        p.matching().assert_valid();
+    }
+}

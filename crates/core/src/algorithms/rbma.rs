@@ -1,0 +1,343 @@
+//! **R-BMA** — the paper's randomized online (b,a)-matching algorithm
+//! (§2.2, Corollary 3).
+//!
+//! Composition of the two reductions:
+//!
+//! 1. **Uniform reduction (Theorem 1).** For each pair `e`, only every
+//!    `k_e = ⌈α/ℓ_e⌉`-th request is *special*; only special requests reach
+//!    the paging layer. This amortizes the reconfiguration cost α against
+//!    the routing cost the algorithm pays on ordinary requests, losing a
+//!    factor 4γ = 4(1 + ℓmax/α).
+//! 2. **Paging reduction (Theorem 2).** One randomized-marking paging
+//!    instance per rack; the cache of rack `u` (capacity `b`) holds the
+//!    partner racks of pairs incident to `u`. A special request to
+//!    `e = {u, v}` is fed to both endpoint caches; the matching invariant is
+//!    `e ∈ M ⇔ v ∈ cache(u) ∧ u ∈ cache(v)`.
+//!
+//! **Removal modes** (footnote 2 of the paper): under `Strict`, a pair
+//! evicted from either endpoint cache leaves `M` immediately (the invariant
+//! of the analysis). Under `Lazy` — the paper's experimental choice —
+//! eviction only *marks* the edge; marked edges are pruned when a node's
+//! degree would exceed `b`. Keeping an edge longer can only save routing
+//! cost; the degree bound stays intact either way (tested).
+
+use crate::scheduler::{OnlineScheduler, ServeOutcome};
+use dcn_matching::BMatching;
+use dcn_paging::{Marking, PagingPolicy};
+use dcn_topology::{DistanceMatrix, NodeId, Pair};
+use dcn_util::rngx::derive_seed;
+use dcn_util::{FxHashMap, FxHashSet};
+use std::sync::Arc;
+
+/// How evictions from the per-node caches translate to matching removals.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RemovalMode {
+    /// Matching = exact intersection of endpoint caches (as analyzed).
+    Strict,
+    /// Evictions mark edges; marked edges are pruned on demand
+    /// (the paper's experimental setting, footnote 2).
+    Lazy,
+}
+
+/// The randomized online b-matching scheduler.
+pub struct Rbma {
+    dm: Arc<DistanceMatrix>,
+    alpha: u64,
+    mode: RemovalMode,
+    /// Per-pair counter toward the next special request (Theorem 1).
+    counters: FxHashMap<Pair, u32>,
+    /// Per-rack randomized marking caches (Theorem 2). Page ids are the
+    /// partner rack ids.
+    caches: Vec<Marking>,
+    matching: BMatching,
+    /// Lazy mode: edges marked for removal but still carried in `M`.
+    marked: FxHashSet<Pair>,
+}
+
+impl Rbma {
+    /// Creates R-BMA with degree cap `b` and reconfiguration cost `alpha`.
+    pub fn new(
+        dm: Arc<DistanceMatrix>,
+        b: usize,
+        alpha: u64,
+        mode: RemovalMode,
+        seed: u64,
+    ) -> Self {
+        assert!(alpha >= 1, "alpha must be at least 1");
+        let n = dm.num_racks();
+        let caches = (0..n)
+            .map(|v| Marking::new(b, derive_seed(seed, v as u64)))
+            .collect();
+        Self {
+            dm,
+            alpha,
+            mode,
+            counters: FxHashMap::default(),
+            caches,
+            matching: BMatching::new(n, b),
+            marked: FxHashSet::default(),
+        }
+    }
+
+    /// `k_e = ⌈α/ℓ_e⌉` — the special-request period of a pair.
+    #[inline]
+    fn k_e(&self, pair: Pair) -> u32 {
+        let ell = self.dm.ell(pair).max(1) as u64;
+        self.alpha.div_ceil(ell) as u32
+    }
+
+    /// Applies one endpoint's cache update for a special request; returns
+    /// the matching removals it caused.
+    fn touch_cache(&mut self, node: NodeId, partner: NodeId) -> u32 {
+        let access = self.caches[node as usize].access(partner as u64);
+        let mut removed = 0;
+        for &evicted_page in access.evicted() {
+            let gone = Pair::new(node, evicted_page as NodeId);
+            match self.mode {
+                RemovalMode::Strict => {
+                    if self.matching.remove(gone) {
+                        removed += 1;
+                    }
+                }
+                RemovalMode::Lazy => {
+                    if self.matching.contains(gone) {
+                        self.marked.insert(gone);
+                    }
+                }
+            }
+        }
+        removed
+    }
+
+    /// Lazy mode: frees capacity at `node` by pruning marked edges.
+    fn prune_marked_at(&mut self, node: NodeId) -> u32 {
+        let mut removed = 0;
+        while self.matching.degree(node) >= self.matching.cap() {
+            let victim = self
+                .matching
+                .incident_edges(node)
+                .iter()
+                .copied()
+                .find(|e| self.marked.contains(e))
+                .expect("lazy R-BMA: a full node must carry a marked edge");
+            self.matching.remove(victim);
+            self.marked.remove(&victim);
+            removed += 1;
+        }
+        removed
+    }
+
+    /// Number of edges currently marked for (lazy) removal.
+    pub fn marked_count(&self) -> usize {
+        self.marked.len()
+    }
+
+    /// The removal mode this instance runs with.
+    pub fn mode(&self) -> RemovalMode {
+        self.mode
+    }
+}
+
+impl OnlineScheduler for Rbma {
+    fn name(&self) -> &str {
+        "R-BMA"
+    }
+
+    fn cap(&self) -> usize {
+        self.matching.cap()
+    }
+
+    fn serve(&mut self, pair: Pair) -> ServeOutcome {
+        let was_matched = self.matching.contains(pair);
+
+        // Theorem-1 reduction: count toward the next special request.
+        let k = self.k_e(pair);
+        let counter = self.counters.entry(pair).or_insert(0);
+        *counter += 1;
+        if *counter < k {
+            return ServeOutcome {
+                was_matched,
+                added: 0,
+                removed: 0,
+            };
+        }
+        *counter = 0;
+
+        // Special request: feed both endpoint paging instances.
+        let (u, v) = pair.endpoints();
+        let mut removed = self.touch_cache(u, v);
+        removed += self.touch_cache(v, u);
+
+        // Matching invariant: the pair is now in both caches.
+        debug_assert!(self.caches[u as usize].contains(v as u64));
+        debug_assert!(self.caches[v as usize].contains(u as u64));
+        let mut added = 0;
+        if !self.matching.contains(pair) {
+            if self.mode == RemovalMode::Lazy {
+                removed += self.prune_marked_at(u);
+                removed += self.prune_marked_at(v);
+            }
+            self.matching.insert(pair);
+            added = 1;
+        }
+        // A re-requested edge is alive again.
+        self.marked.remove(&pair);
+
+        ServeOutcome {
+            was_matched,
+            added,
+            removed,
+        }
+    }
+
+    fn matching(&self) -> &BMatching {
+        &self.matching
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dcn_topology::builders;
+
+    fn uniform_dm(n: usize) -> Arc<DistanceMatrix> {
+        Arc::new(DistanceMatrix::uniform(n))
+    }
+
+    fn fat_tree_dm(racks: usize) -> Arc<DistanceMatrix> {
+        Arc::new(DistanceMatrix::between_racks(
+            &builders::fat_tree_with_racks(racks),
+        ))
+    }
+
+    #[test]
+    fn uniform_alpha_one_matches_immediately() {
+        // α = 1 and ℓ = 1 ⇒ k_e = 1: every request is special.
+        let mut r = Rbma::new(uniform_dm(6), 2, 1, RemovalMode::Strict, 0);
+        let out = r.serve(Pair::new(0, 1));
+        assert!(!out.was_matched);
+        assert_eq!(out.added, 1);
+        let out = r.serve(Pair::new(0, 1));
+        assert!(out.was_matched);
+        assert_eq!(out.added, 0);
+    }
+
+    #[test]
+    fn special_period_follows_alpha_over_ell() {
+        // Fat-tree: ℓ ∈ {2, 4}. α = 8 ⇒ k = 4 for same-pod, 2 for cross-pod.
+        let dm = fat_tree_dm(8);
+        let same_pod = Pair::new(0, 1);
+        assert_eq!(dm.ell(same_pod), 2);
+        let mut r = Rbma::new(dm, 2, 8, RemovalMode::Strict, 0);
+        // k = 8/2 = 4: first three requests are ordinary.
+        for _ in 0..3 {
+            assert_eq!(r.serve(same_pod).added, 0);
+        }
+        assert_eq!(r.serve(same_pod).added, 1, "4th request is special");
+    }
+
+    #[test]
+    fn degree_bound_never_violated_strict_and_lazy() {
+        for mode in [RemovalMode::Strict, RemovalMode::Lazy] {
+            let n = 12;
+            let b = 3;
+            let mut r = Rbma::new(uniform_dm(n), b, 1, mode, 9);
+            // Hammer rack 0 with all partners repeatedly.
+            for round in 0..50u32 {
+                for v in 1..n as u32 {
+                    r.serve(Pair::new(0, v));
+                    r.matching().assert_valid();
+                    assert!(r.matching().degree(0) <= b, "mode {mode:?} round {round}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn strict_mode_keeps_intersection_invariant() {
+        let n = 10;
+        let mut r = Rbma::new(uniform_dm(n), 2, 1, RemovalMode::Strict, 3);
+        let reqs: Vec<Pair> = (0..500u32)
+            .map(|i| {
+                let a = i % n as u32;
+                let b = (i * 7 + 1) % n as u32;
+                if a == b {
+                    Pair::new(a, (b + 1) % n as u32)
+                } else {
+                    Pair::new(a, b)
+                }
+            })
+            .collect();
+        for &p in &reqs {
+            r.serve(p);
+            // Every matching edge must be cached at both endpoints.
+            for e in r.matching().edges() {
+                assert!(r.caches[e.lo() as usize].contains(e.hi() as u64));
+                assert!(r.caches[e.hi() as usize].contains(e.lo() as u64));
+            }
+        }
+    }
+
+    #[test]
+    fn lazy_mode_superset_of_strict_invariant() {
+        // In lazy mode M may exceed the cache intersection, but every edge
+        // NOT in the intersection must be marked.
+        let n = 10;
+        let mut r = Rbma::new(uniform_dm(n), 2, 1, RemovalMode::Lazy, 3);
+        for i in 0..800u32 {
+            let a = i % n as u32;
+            let b = (i / 3 + a + 1) % n as u32;
+            if a == b {
+                continue;
+            }
+            r.serve(Pair::new(a, b));
+            for e in r.matching().edges() {
+                let in_both = r.caches[e.lo() as usize].contains(e.hi() as u64)
+                    && r.caches[e.hi() as usize].contains(e.lo() as u64);
+                assert!(
+                    in_both || r.marked.contains(&e),
+                    "unmarked edge {e} outside cache intersection"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let run = |seed: u64| {
+            let mut r = Rbma::new(uniform_dm(8), 2, 1, RemovalMode::Lazy, seed);
+            (0..2000u32)
+                .map(|i| {
+                    let a = i % 8;
+                    let b = (i.wrapping_mul(2654435761) % 7 + 1 + a) % 8;
+                    if a == b {
+                        return 0;
+                    }
+                    let o = r.serve(Pair::new(a, b));
+                    o.added + o.removed
+                })
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(4), run(4));
+    }
+
+    #[test]
+    fn reported_mutations_match_matching_size() {
+        let mut r = Rbma::new(uniform_dm(10), 2, 1, RemovalMode::Lazy, 1);
+        let mut net: i64 = 0;
+        for i in 0..1000u32 {
+            let a = i % 10;
+            let b = (i * 13 + 1) % 10;
+            if a == b {
+                continue;
+            }
+            let o = r.serve(Pair::new(a, b));
+            net += o.added as i64 - o.removed as i64;
+        }
+        assert_eq!(
+            net,
+            r.matching().len() as i64,
+            "add/remove accounting drifted"
+        );
+    }
+}

@@ -1,0 +1,127 @@
+//! Link-level analysis: translate matchings into the bandwidth-tax terms
+//! that motivate the whole problem (§1.1: “routing can be seen as a form of
+//! bandwidth tax”; throughput is inversely proportional to route length
+//! \[2, 58\]).
+//!
+//! Given a trace and a matching, replay the traffic with ECMP over the
+//! fixed network (unmatched pairs) and direct circuits (matched pairs) and
+//! compare the induced link-load profiles against the oblivious baseline.
+
+use dcn_topology::routing::EcmpRouter;
+use dcn_topology::{Network, Pair};
+use serde::Serialize;
+
+/// Link-load profile of one configuration.
+#[derive(Clone, Copy, Debug, Serialize)]
+pub struct LoadProfile {
+    /// Maximum load on any fixed-network link.
+    pub max_fixed_load: f64,
+    /// Mean load over loaded fixed-network links.
+    pub mean_fixed_load: f64,
+    /// Total hop-traffic on the fixed network (requests × hops).
+    pub fixed_hop_traffic: f64,
+    /// Traffic served by optical circuits (requests over matching edges).
+    pub optical_traffic: f64,
+}
+
+/// Side-by-side comparison against the oblivious baseline.
+#[derive(Clone, Copy, Debug, Serialize)]
+pub struct LoadComparison {
+    /// Loads with no reconfigurable links.
+    pub oblivious: LoadProfile,
+    /// Loads with the given matching installed.
+    pub with_matching: LoadProfile,
+}
+
+impl LoadComparison {
+    /// Relative reduction of the hottest fixed-network link.
+    pub fn max_load_reduction(&self) -> f64 {
+        if self.oblivious.max_fixed_load == 0.0 {
+            0.0
+        } else {
+            1.0 - self.with_matching.max_fixed_load / self.oblivious.max_fixed_load
+        }
+    }
+
+    /// Fraction of traffic offloaded to optical circuits.
+    pub fn offloaded_fraction(&self) -> f64 {
+        let total = self.with_matching.optical_traffic
+            + (self.oblivious.fixed_hop_traffic - self.with_matching.fixed_hop_traffic).max(0.0);
+        let requests = self.with_matching.optical_traffic;
+        if total == 0.0 {
+            0.0
+        } else {
+            requests / total.max(requests)
+        }
+    }
+}
+
+fn profile(router: &EcmpRouter<'_>, requests: &[Pair], matching: &[Pair]) -> LoadProfile {
+    let (fixed, optical) = router.replay(requests, matching);
+    LoadProfile {
+        max_fixed_load: fixed.max_load(),
+        mean_fixed_load: fixed.mean_load(),
+        fixed_hop_traffic: fixed.total_hop_traffic,
+        optical_traffic: optical.total_hop_traffic,
+    }
+}
+
+/// Replays `requests` with and without `matching` over `net` and compares
+/// the link-load profiles.
+pub fn link_load_comparison(net: &Network, requests: &[Pair], matching: &[Pair]) -> LoadComparison {
+    let router = EcmpRouter::new(net);
+    LoadComparison {
+        oblivious: profile(&router, requests, &[]),
+        with_matching: profile(&router, requests, matching),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dcn_topology::builders;
+
+    #[test]
+    fn matched_hot_pair_drains_fixed_network() {
+        let net = builders::leaf_spine(6, 2);
+        let hot = Pair::new(0, 1);
+        let requests = vec![hot; 50];
+        let cmp = link_load_comparison(&net, &requests, &[hot]);
+        assert!(cmp.oblivious.max_fixed_load > 0.0);
+        assert_eq!(cmp.with_matching.max_fixed_load, 0.0);
+        assert!((cmp.max_load_reduction() - 1.0).abs() < 1e-12);
+        assert_eq!(cmp.with_matching.optical_traffic, 50.0);
+    }
+
+    #[test]
+    fn empty_matching_equals_oblivious() {
+        let net = builders::fat_tree(4);
+        let requests: Vec<Pair> = (0..40u32)
+            .map(|i| Pair::new(i % 8, (i % 7 + 1 + i % 8) % 8))
+            .filter(|p| p.lo() != p.hi())
+            .collect();
+        let cmp = link_load_comparison(&net, &requests, &[]);
+        assert_eq!(
+            cmp.oblivious.max_fixed_load,
+            cmp.with_matching.max_fixed_load
+        );
+        assert_eq!(cmp.max_load_reduction(), 0.0);
+        assert_eq!(cmp.with_matching.optical_traffic, 0.0);
+    }
+
+    #[test]
+    fn partial_matching_reduces_hop_traffic() {
+        let net = builders::fat_tree(4);
+        // Two hot pairs leaving the same rack (their loads share rack 0's
+        // uplinks); matching one of them must halve the hottest link.
+        let mut requests = Vec::new();
+        for _ in 0..30 {
+            requests.push(Pair::new(0, 4)); // cross-pod, ℓ=4
+            requests.push(Pair::new(0, 6));
+        }
+        let cmp = link_load_comparison(&net, &requests, &[Pair::new(0, 4)]);
+        assert!(cmp.with_matching.fixed_hop_traffic < cmp.oblivious.fixed_hop_traffic);
+        assert!(cmp.with_matching.optical_traffic > 0.0);
+        assert!(cmp.max_load_reduction() > 0.0);
+    }
+}

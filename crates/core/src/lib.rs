@@ -1,0 +1,51 @@
+//! # dcn-core
+//!
+//! The paper's primary contribution as a library: **online (b,a)-matching
+//! for reconfigurable optical datacenters**.
+//!
+//! The model (§1.1): racks communicate over a fixed network with
+//! shortest-path lengths `ℓ_e`; `b` optical circuit switches provide a
+//! reconfigurable b-matching `M`. Serving request `e` costs 1 if `e ∈ M`
+//! and `ℓ_e` otherwise; each matching-edge insertion or removal costs `α`.
+//!
+//! * [`scheduler`] — the [`OnlineScheduler`] contract and serve outcomes.
+//! * [`algorithms`] — the algorithms of §2/§3:
+//!   [`algorithms::rbma::Rbma`] (the paper's randomized O(γ·log b)
+//!   algorithm), [`algorithms::bma::Bma`] (the deterministic Θ(b) baseline
+//!   of Bienkowski et al. \[11\]), [`algorithms::static_offline`] (SO-BMA),
+//!   [`algorithms::oblivious::Oblivious`], plus a RotorNet-style oblivious
+//!   rotor and a prediction-augmented R-BMA (§5 future work).
+//! * [`simulator`] — trace-driven execution with checkpointed routing-cost /
+//!   reconfiguration-cost / wall-clock series (the x/y data of Figs. 1–4).
+//! * [`sweep`] — deterministic parallel fan-out of (algorithm × b × seed)
+//!   runs across threads.
+//! * [`report`] — serializable run reports and cross-seed averaging.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use dcn_core::algorithms::rbma::{Rbma, RemovalMode};
+//! use dcn_core::simulator::{run, SimConfig};
+//! use dcn_topology::{builders, DistanceMatrix};
+//! use dcn_traces::generators::facebook::{facebook_cluster_trace, FacebookCluster};
+//! use std::sync::Arc;
+//!
+//! let net = builders::fat_tree_with_racks(16);
+//! let dm = Arc::new(DistanceMatrix::between_racks(&net));
+//! let trace = facebook_cluster_trace(FacebookCluster::Database, 16, 20_000, 42);
+//! let alpha = 10;
+//! let mut rbma = Rbma::new(dm.clone(), 4, alpha, RemovalMode::Lazy, 7);
+//! let report = run(&mut rbma, &dm, alpha, &trace.requests, &SimConfig::default());
+//! assert!(report.total.routing_cost > 0);
+//! ```
+
+pub mod algorithms;
+pub mod analysis;
+pub mod report;
+pub mod scheduler;
+pub mod simulator;
+pub mod sweep;
+
+pub use report::{AveragedSeries, Checkpoint, RunReport};
+pub use scheduler::{OnlineScheduler, ServeOutcome};
+pub use simulator::{run, SimConfig};

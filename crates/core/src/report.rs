@@ -1,0 +1,175 @@
+//! Serializable run reports and cross-seed aggregation.
+
+use serde::Serialize;
+
+/// Cumulative state snapshot at a checkpoint (one x-axis point of the
+/// paper's figures).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize)]
+pub struct Checkpoint {
+    /// Requests processed so far.
+    pub requests: u64,
+    /// Cumulative routing cost (1 per matched request, `ℓ_e` otherwise) —
+    /// the y-axis of Figs. 1a–4a and 1c–4c.
+    pub routing_cost: u64,
+    /// Cumulative reconfiguration cost (α per matching change).
+    pub reconfig_cost: u64,
+    /// Number of matching-edge insertions + removals so far.
+    pub reconfigurations: u64,
+    /// Requests served over a matching edge so far.
+    pub matched_requests: u64,
+    /// Wall-clock seconds spent in the serve loop so far — the y-axis of
+    /// Figs. 1b–4b.
+    pub elapsed_secs: f64,
+}
+
+impl Checkpoint {
+    /// Routing + reconfiguration cost (the objective of §1.1).
+    pub fn total_cost(&self) -> u64 {
+        self.routing_cost + self.reconfig_cost
+    }
+
+    /// Fraction of requests served over matching edges.
+    pub fn matched_fraction(&self) -> f64 {
+        if self.requests == 0 {
+            0.0
+        } else {
+            self.matched_requests as f64 / self.requests as f64
+        }
+    }
+}
+
+/// Full result of one simulation run.
+#[derive(Clone, Debug, Serialize)]
+pub struct RunReport {
+    /// Algorithm label (figure legend entry).
+    pub algorithm: String,
+    /// Trace name.
+    pub trace: String,
+    /// Degree bound b ("cache size" in the paper's terminology).
+    pub b: usize,
+    /// Reconfiguration cost α.
+    pub alpha: u64,
+    /// RNG seed of this run.
+    pub seed: u64,
+    /// Snapshots at the configured request counts.
+    pub checkpoints: Vec<Checkpoint>,
+    /// Final state (== last checkpoint if one lands on the trace end).
+    pub total: Checkpoint,
+}
+
+impl RunReport {
+    /// Serializes to a compact JSON string.
+    pub fn to_json(&self) -> String {
+        dcn_util::json::to_json_string(self).expect("report serialization cannot fail")
+    }
+}
+
+/// Mean ± stddev series aggregated over seeds (the paper averages 5 runs).
+#[derive(Clone, Debug, Serialize)]
+pub struct AveragedSeries {
+    /// Legend label.
+    pub label: String,
+    /// X values (request counts).
+    pub x: Vec<u64>,
+    /// Mean y per checkpoint.
+    pub y_mean: Vec<f64>,
+    /// Sample standard deviation per checkpoint.
+    pub y_std: Vec<f64>,
+}
+
+impl AveragedSeries {
+    /// Aggregates one metric across reports that share checkpoints.
+    ///
+    /// Panics if the reports have inconsistent checkpoint grids.
+    pub fn from_reports(
+        label: impl Into<String>,
+        reports: &[RunReport],
+        metric: impl Fn(&Checkpoint) -> f64,
+    ) -> Self {
+        assert!(!reports.is_empty(), "need at least one report");
+        let x: Vec<u64> = reports[0].checkpoints.iter().map(|c| c.requests).collect();
+        for r in reports {
+            let rx: Vec<u64> = r.checkpoints.iter().map(|c| c.requests).collect();
+            assert_eq!(rx, x, "checkpoint grids differ between runs");
+        }
+        let mut y_mean = Vec::with_capacity(x.len());
+        let mut y_std = Vec::with_capacity(x.len());
+        for i in 0..x.len() {
+            let samples: Vec<f64> = reports.iter().map(|r| metric(&r.checkpoints[i])).collect();
+            let s = dcn_util::summarize(&samples);
+            y_mean.push(s.mean);
+            y_std.push(s.stddev);
+        }
+        Self {
+            label: label.into(),
+            x,
+            y_mean,
+            y_std,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mk_report(costs: &[u64]) -> RunReport {
+        let checkpoints: Vec<Checkpoint> = costs
+            .iter()
+            .enumerate()
+            .map(|(i, &c)| Checkpoint {
+                requests: (i as u64 + 1) * 100,
+                routing_cost: c,
+                ..Default::default()
+            })
+            .collect();
+        RunReport {
+            algorithm: "X".into(),
+            trace: "t".into(),
+            b: 6,
+            alpha: 10,
+            seed: 0,
+            total: *checkpoints.last().unwrap(),
+            checkpoints,
+        }
+    }
+
+    #[test]
+    fn checkpoint_helpers() {
+        let c = Checkpoint {
+            requests: 10,
+            routing_cost: 30,
+            reconfig_cost: 5,
+            matched_requests: 4,
+            ..Default::default()
+        };
+        assert_eq!(c.total_cost(), 35);
+        assert!((c.matched_fraction() - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn averaging_across_seeds() {
+        let a = mk_report(&[100, 200]);
+        let b = mk_report(&[120, 240]);
+        let s = AveragedSeries::from_reports("R-BMA", &[a, b], |c| c.routing_cost as f64);
+        assert_eq!(s.x, vec![100, 200]);
+        assert_eq!(s.y_mean, vec![110.0, 220.0]);
+        assert!(s.y_std[0] > 0.0);
+    }
+
+    #[test]
+    fn json_emission() {
+        let r = mk_report(&[1]);
+        let j = r.to_json();
+        assert!(j.contains("\"algorithm\":\"X\""));
+        assert!(j.contains("\"routing_cost\":1"));
+    }
+
+    #[test]
+    #[should_panic(expected = "checkpoint grids differ")]
+    fn mismatched_grids_detected() {
+        let a = mk_report(&[1, 2]);
+        let b = mk_report(&[1]);
+        AveragedSeries::from_reports("x", &[a, b], |c| c.routing_cost as f64);
+    }
+}

@@ -1,0 +1,49 @@
+//! The contract between online algorithms and the simulator.
+//!
+//! The simulator owns all cost accounting; schedulers own the matching and
+//! report what they changed. This split keeps the cost model in one place
+//! (and lets tests cross-check the reported mutations against the actual
+//! matching state).
+
+use dcn_matching::BMatching;
+use dcn_topology::Pair;
+
+/// What happened while serving one request.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ServeOutcome {
+    /// Whether the requested pair was a matching edge *when the request
+    /// arrived* (determines routing cost: 1 vs `ℓ_e`). Reconfigurations
+    /// triggered by the request take effect after it is served (§1.1).
+    pub was_matched: bool,
+    /// Number of edges the scheduler added to the matching.
+    pub added: u32,
+    /// Number of edges the scheduler removed from the matching.
+    pub removed: u32,
+}
+
+/// An online algorithm maintaining a dynamic b-matching.
+pub trait OnlineScheduler {
+    /// Short machine-readable name for reports (e.g. `"R-BMA"`).
+    fn name(&self) -> &str;
+
+    /// The degree bound `b`.
+    fn cap(&self) -> usize;
+
+    /// Serves one request and applies any reconfigurations.
+    fn serve(&mut self, pair: Pair) -> ServeOutcome;
+
+    /// Read access to the current matching (for verification and analysis).
+    fn matching(&self) -> &BMatching;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn outcome_default() {
+        let o = ServeOutcome::default();
+        assert!(!o.was_matched);
+        assert_eq!(o.added + o.removed, 0);
+    }
+}

@@ -1,0 +1,205 @@
+//! Trace-driven simulation with the paper's cost model and checkpointed
+//! series (§3.1 methodology).
+//!
+//! The simulator owns all cost accounting: routing cost is decided by the
+//! matching state *at request arrival* (1 if matched, `ℓ_e` otherwise),
+//! reconfigurations cost α each. Wall-clock time covers only the serve
+//! loop — snapshotting is excluded, and runs are single-threaded, matching
+//! "each simulation is run sequentially" in §3.1.
+
+use crate::report::{Checkpoint, RunReport};
+use crate::scheduler::OnlineScheduler;
+use dcn_topology::{DistanceMatrix, Pair};
+use dcn_util::Stopwatch;
+
+/// Simulation options.
+#[derive(Clone, Debug, Default)]
+pub struct SimConfig {
+    /// Request counts at which to snapshot cumulative series; the trace end
+    /// is always snapshotted. Out-of-range entries are ignored.
+    pub checkpoints: Vec<usize>,
+    /// Verify the matching invariant every this many requests (0 = never;
+    /// tests use small values, benches 0).
+    pub verify_every: usize,
+    /// Seed recorded in the report (provenance only).
+    pub seed: u64,
+    /// Trace name recorded in the report.
+    pub trace_name: String,
+}
+
+impl SimConfig {
+    /// Evenly spaced checkpoints: `count` points up to `total`.
+    pub fn evenly_spaced(total: usize, count: usize) -> Vec<usize> {
+        assert!(count >= 1 && total >= count);
+        (1..=count).map(|i| total * i / count).collect()
+    }
+}
+
+/// Runs `scheduler` over `requests`, returning the checkpointed report.
+pub fn run<S: OnlineScheduler + ?Sized>(
+    scheduler: &mut S,
+    dm: &DistanceMatrix,
+    alpha: u64,
+    requests: &[Pair],
+    config: &SimConfig,
+) -> RunReport {
+    let mut cps: Vec<usize> = config
+        .checkpoints
+        .iter()
+        .copied()
+        .filter(|&c| c > 0 && c <= requests.len())
+        .collect();
+    cps.sort_unstable();
+    cps.dedup();
+    if cps.last() != Some(&requests.len()) && !requests.is_empty() {
+        cps.push(requests.len());
+    }
+
+    let mut state = Checkpoint::default();
+    let mut checkpoints = Vec::with_capacity(cps.len());
+    let mut next_cp = 0usize;
+    let mut sw = Stopwatch::new();
+
+    for (i, &pair) in requests.iter().enumerate() {
+        sw.start();
+        let outcome = scheduler.serve(pair);
+        sw.pause();
+
+        state.requests += 1;
+        if outcome.was_matched {
+            state.matched_requests += 1;
+            state.routing_cost += 1;
+        } else {
+            state.routing_cost += dm.ell(pair) as u64;
+        }
+        let changes = (outcome.added + outcome.removed) as u64;
+        state.reconfigurations += changes;
+        state.reconfig_cost += alpha * changes;
+
+        if config.verify_every > 0 && (i + 1) % config.verify_every == 0 {
+            scheduler.matching().assert_valid();
+        }
+        if next_cp < cps.len() && i + 1 == cps[next_cp] {
+            state.elapsed_secs = sw.elapsed_secs();
+            checkpoints.push(state);
+            next_cp += 1;
+        }
+    }
+    state.elapsed_secs = sw.elapsed_secs();
+
+    RunReport {
+        algorithm: scheduler.name().to_string(),
+        trace: config.trace_name.clone(),
+        b: scheduler.cap(),
+        alpha,
+        seed: config.seed,
+        total: state,
+        checkpoints,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algorithms::oblivious::Oblivious;
+    use crate::algorithms::rbma::{Rbma, RemovalMode};
+    use dcn_topology::builders;
+    use std::sync::Arc;
+
+    fn setup(n: usize) -> (Arc<DistanceMatrix>, Vec<Pair>) {
+        let net = builders::leaf_spine(n, 2); // all distances 2
+        let dm = Arc::new(DistanceMatrix::between_racks(&net));
+        let reqs: Vec<Pair> = (0..600u32)
+            .map(|i| {
+                Pair::new(
+                    i % n as u32,
+                    (i % (n as u32 - 1) + 1 + i % n as u32) % n as u32,
+                )
+            })
+            .filter(|p| p.lo() != p.hi())
+            .collect();
+        (dm, reqs)
+    }
+
+    #[test]
+    fn oblivious_cost_is_sum_of_distances() {
+        let (dm, reqs) = setup(8);
+        let mut alg = Oblivious::new(8, 2);
+        let report = run(&mut alg, &dm, 10, &reqs, &SimConfig::default());
+        let expected: u64 = reqs.iter().map(|r| dm.ell(*r) as u64).sum();
+        assert_eq!(report.total.routing_cost, expected);
+        assert_eq!(report.total.reconfig_cost, 0);
+        assert_eq!(report.total.requests, reqs.len() as u64);
+    }
+
+    #[test]
+    fn checkpoints_are_cumulative_and_sorted() {
+        let (dm, reqs) = setup(8);
+        let mut alg = Oblivious::new(8, 2);
+        let config = SimConfig {
+            checkpoints: vec![100, 300, 200, 100_000],
+            ..Default::default()
+        };
+        let report = run(&mut alg, &dm, 10, &reqs, &config);
+        let xs: Vec<u64> = report.checkpoints.iter().map(|c| c.requests).collect();
+        assert_eq!(xs, vec![100, 200, 300, reqs.len() as u64]);
+        let costs: Vec<u64> = report.checkpoints.iter().map(|c| c.routing_cost).collect();
+        assert!(
+            costs.windows(2).all(|w| w[0] <= w[1]),
+            "cumulative must be monotone"
+        );
+    }
+
+    #[test]
+    fn rbma_cheaper_than_oblivious_on_repetitive_trace() {
+        let n = 10;
+        let net = builders::leaf_spine(n, 2);
+        let dm = Arc::new(DistanceMatrix::between_racks(&net));
+        // A few hot pairs requested over and over.
+        let reqs: Vec<Pair> = (0..4000u32).map(|i| Pair::new(i % 3, 5 + i % 3)).collect();
+        let alpha = 5;
+        let mut rbma = Rbma::new(dm.clone(), 3, alpha, RemovalMode::Lazy, 1);
+        let r1 = run(&mut rbma, &dm, alpha, &reqs, &SimConfig::default());
+        let mut obl = Oblivious::new(n, 3);
+        let r2 = run(&mut obl, &dm, alpha, &reqs, &SimConfig::default());
+        assert!(
+            r1.total.routing_cost < r2.total.routing_cost,
+            "R-BMA should beat oblivious on hot pairs: {} vs {}",
+            r1.total.routing_cost,
+            r2.total.routing_cost
+        );
+        // Total cost (incl. reconfig) must also win on this easy trace.
+        assert!(r1.total.total_cost() < r2.total.total_cost());
+    }
+
+    #[test]
+    fn reconfig_cost_is_alpha_times_changes() {
+        let (dm, reqs) = setup(8);
+        let alpha = 7;
+        let mut rbma = Rbma::new(dm.clone(), 2, alpha, RemovalMode::Lazy, 2);
+        let report = run(&mut rbma, &dm, alpha, &reqs, &SimConfig::default());
+        assert_eq!(
+            report.total.reconfig_cost,
+            alpha * report.total.reconfigurations
+        );
+    }
+
+    #[test]
+    fn verification_hook_runs() {
+        let (dm, reqs) = setup(8);
+        let mut rbma = Rbma::new(dm.clone(), 2, 4, RemovalMode::Lazy, 3);
+        let config = SimConfig {
+            verify_every: 50,
+            ..Default::default()
+        };
+        // Passes iff assert_valid never fires.
+        let report = run(&mut rbma, &dm, 4, &reqs, &config);
+        assert_eq!(report.total.requests, reqs.len() as u64);
+    }
+
+    #[test]
+    fn evenly_spaced_grid() {
+        assert_eq!(SimConfig::evenly_spaced(100, 4), vec![25, 50, 75, 100]);
+        assert_eq!(SimConfig::evenly_spaced(10, 1), vec![10]);
+    }
+}

@@ -1,0 +1,179 @@
+//! Deterministic parallel fan-out of simulation runs.
+//!
+//! Cost figures need (algorithm × b × seed) grids of runs; each run is
+//! single-threaded (per the paper's methodology) but runs are independent,
+//! so the grid fans out over worker threads via a crossbeam channel. The
+//! output order is deterministic regardless of scheduling: results carry
+//! their job index and are re-sorted.
+//!
+//! Execution-*time* figures must not share cores; use `threads = 1` (or
+//! [`run_jobs_sequential`]) for those, as the figure harness does.
+
+use crate::algorithms::AlgorithmKind;
+use crate::report::RunReport;
+use crate::simulator::{run, SimConfig};
+use dcn_topology::DistanceMatrix;
+use dcn_traces::Trace;
+use parking_lot::Mutex;
+use std::sync::Arc;
+
+/// One simulation job.
+#[derive(Clone, Debug)]
+pub struct Job {
+    /// Algorithm to instantiate.
+    pub algorithm: AlgorithmKind,
+    /// Degree bound b.
+    pub b: usize,
+    /// Reconfiguration cost α.
+    pub alpha: u64,
+    /// RNG seed for the algorithm.
+    pub seed: u64,
+    /// Checkpoint grid (request counts).
+    pub checkpoints: Vec<usize>,
+}
+
+/// Runs all jobs over the shared trace using `threads` workers; results are
+/// in job order.
+pub fn run_jobs(
+    dm: &Arc<DistanceMatrix>,
+    trace: &Trace,
+    jobs: &[Job],
+    threads: usize,
+) -> Vec<RunReport> {
+    assert!(threads >= 1);
+    if threads == 1 || jobs.len() <= 1 {
+        return run_jobs_sequential(dm, trace, jobs);
+    }
+    let (tx, rx) = crossbeam::channel::unbounded::<(usize, Job)>();
+    for (i, j) in jobs.iter().cloned().enumerate() {
+        tx.send((i, j)).expect("queue send");
+    }
+    drop(tx);
+
+    let results: Mutex<Vec<Option<RunReport>>> = Mutex::new(vec![None; jobs.len()]);
+    std::thread::scope(|scope| {
+        for _ in 0..threads.min(jobs.len()) {
+            let rx = rx.clone();
+            let results = &results;
+            let dm = Arc::clone(dm);
+            let trace = &trace;
+            scope.spawn(move || {
+                while let Ok((i, job)) = rx.recv() {
+                    let report = execute(&dm, trace, &job);
+                    results.lock()[i] = Some(report);
+                }
+            });
+        }
+    });
+    results
+        .into_inner()
+        .into_iter()
+        .map(|r| r.expect("all jobs completed"))
+        .collect()
+}
+
+/// Single-threaded variant (for wall-clock fidelity).
+pub fn run_jobs_sequential(
+    dm: &Arc<DistanceMatrix>,
+    trace: &Trace,
+    jobs: &[Job],
+) -> Vec<RunReport> {
+    jobs.iter().map(|j| execute(dm, trace, j)).collect()
+}
+
+fn execute(dm: &Arc<DistanceMatrix>, trace: &Trace, job: &Job) -> RunReport {
+    let mut scheduler =
+        job.algorithm
+            .build(Arc::clone(dm), job.b, job.alpha, job.seed, &trace.requests);
+    let config = SimConfig {
+        checkpoints: job.checkpoints.clone(),
+        verify_every: 0,
+        seed: job.seed,
+        trace_name: trace.name.clone(),
+    };
+    let mut report = run(scheduler.as_mut(), dm, job.alpha, &trace.requests, &config);
+    report.algorithm = job.algorithm.label();
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dcn_topology::builders;
+    use dcn_traces::uniform_trace;
+
+    fn setup() -> (Arc<DistanceMatrix>, Trace) {
+        let net = builders::leaf_spine(10, 2);
+        let dm = Arc::new(DistanceMatrix::between_racks(&net));
+        let trace = uniform_trace(10, 3000, 5);
+        (dm, trace)
+    }
+
+    fn jobs() -> Vec<Job> {
+        let mut jobs = Vec::new();
+        for b in [2usize, 4] {
+            for seed in 0..3u64 {
+                jobs.push(Job {
+                    algorithm: AlgorithmKind::Rbma { lazy: true },
+                    b,
+                    alpha: 5,
+                    seed,
+                    checkpoints: vec![1000, 2000, 3000],
+                });
+            }
+        }
+        jobs.push(Job {
+            algorithm: AlgorithmKind::Oblivious,
+            b: 2,
+            alpha: 5,
+            seed: 0,
+            checkpoints: vec![1000, 2000, 3000],
+        });
+        jobs
+    }
+
+    #[test]
+    fn parallel_equals_sequential() {
+        let (dm, trace) = setup();
+        let js = jobs();
+        let seq = run_jobs_sequential(&dm, &trace, &js);
+        let par = run_jobs(&dm, &trace, &js, 4);
+        assert_eq!(seq.len(), par.len());
+        for (a, b) in seq.iter().zip(&par) {
+            assert_eq!(a.algorithm, b.algorithm);
+            assert_eq!(a.b, b.b);
+            assert_eq!(a.seed, b.seed);
+            // Costs are deterministic given the seed; only wall-clock differs.
+            assert_eq!(a.total.routing_cost, b.total.routing_cost);
+            assert_eq!(a.total.reconfigurations, b.total.reconfigurations);
+        }
+    }
+
+    #[test]
+    fn results_in_job_order() {
+        let (dm, trace) = setup();
+        let js = jobs();
+        let out = run_jobs(&dm, &trace, &js, 3);
+        for (job, report) in js.iter().zip(&out) {
+            assert_eq!(report.b, job.b);
+            assert_eq!(report.seed, job.seed);
+            assert_eq!(report.algorithm, job.algorithm.label());
+        }
+    }
+
+    #[test]
+    fn single_job_runs_inline() {
+        let (dm, trace) = setup();
+        let js = vec![Job {
+            algorithm: AlgorithmKind::Bma,
+            b: 3,
+            alpha: 4,
+            seed: 0,
+            checkpoints: vec![1500],
+        }];
+        let out = run_jobs(&dm, &trace, &js, 8);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].algorithm, "BMA");
+        assert_eq!(out[0].checkpoints.len(), 2, "1500 plus trace end");
+    }
+}

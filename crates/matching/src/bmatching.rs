@@ -1,0 +1,252 @@
+//! The dynamic b-matching `M` that online algorithms reconfigure.
+//!
+//! Invariant (§1.1): every node has at most `b` incident matching edges.
+//! The structure tracks per-node incident sets so membership, insertion,
+//! removal and degree queries are all O(1), and exposes enough surface for
+//! both R-BMA's lazy-removal mode (callers pick which incident edge to
+//! prune) and BMA's counter-driven evictions.
+
+use dcn_topology::{NodeId, Pair};
+use dcn_util::{FxHashSet, IndexedSet};
+
+/// A degree-capped dynamic edge set over racks `0..n`.
+///
+/// ```
+/// use dcn_matching::BMatching;
+/// use dcn_topology::Pair;
+///
+/// let mut m = BMatching::new(4, 1); // 4 racks, one circuit each
+/// assert!(m.try_insert(Pair::new(0, 1)));
+/// assert!(!m.try_insert(Pair::new(1, 2)), "rack 1 is at capacity");
+/// assert!(m.remove(Pair::new(0, 1)));
+/// assert!(m.try_insert(Pair::new(1, 2)));
+/// m.assert_valid();
+/// ```
+#[derive(Clone, Debug)]
+pub struct BMatching {
+    cap: usize,
+    edges: FxHashSet<Pair>,
+    incident: Vec<IndexedSet<Pair>>,
+}
+
+impl BMatching {
+    /// Empty matching over `n` racks with degree cap `b ≥ 1`.
+    pub fn new(n: usize, b: usize) -> Self {
+        assert!(b >= 1, "degree cap must be positive");
+        Self {
+            cap: b,
+            edges: FxHashSet::default(),
+            incident: (0..n).map(|_| IndexedSet::new()).collect(),
+        }
+    }
+
+    /// Degree cap `b`.
+    pub fn cap(&self) -> usize {
+        self.cap
+    }
+
+    /// Number of racks.
+    pub fn num_racks(&self) -> usize {
+        self.incident.len()
+    }
+
+    /// Number of matching edges.
+    pub fn len(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Whether the matching is empty.
+    pub fn is_empty(&self) -> bool {
+        self.edges.is_empty()
+    }
+
+    /// Whether `pair` is a matching edge.
+    #[inline]
+    pub fn contains(&self, pair: Pair) -> bool {
+        self.edges.contains(&pair)
+    }
+
+    /// Current number of matching edges incident to `v`.
+    #[inline]
+    pub fn degree(&self, v: NodeId) -> usize {
+        self.incident[v as usize].len()
+    }
+
+    /// Whether `pair` could be inserted without violating the degree cap.
+    pub fn can_insert(&self, pair: Pair) -> bool {
+        !self.contains(pair)
+            && self.degree(pair.lo()) < self.cap
+            && self.degree(pair.hi()) < self.cap
+    }
+
+    /// Inserts `pair` if absent and within the cap; returns whether inserted.
+    pub fn try_insert(&mut self, pair: Pair) -> bool {
+        if !self.can_insert(pair) {
+            return false;
+        }
+        self.edges.insert(pair);
+        self.incident[pair.lo() as usize].insert(pair);
+        self.incident[pair.hi() as usize].insert(pair);
+        true
+    }
+
+    /// Inserts `pair`; panics if present or over the cap (use when the caller
+    /// has already made room — a violated cap is an algorithm bug).
+    pub fn insert(&mut self, pair: Pair) {
+        assert!(
+            self.try_insert(pair),
+            "insert of {pair} violates b-matching invariant"
+        );
+    }
+
+    /// Removes `pair`; returns whether it was present.
+    pub fn remove(&mut self, pair: Pair) -> bool {
+        if !self.edges.remove(&pair) {
+            return false;
+        }
+        self.incident[pair.lo() as usize].remove(&pair);
+        self.incident[pair.hi() as usize].remove(&pair);
+        true
+    }
+
+    /// The matching edges incident to `v` (unspecified order).
+    pub fn incident_edges(&self, v: NodeId) -> &[Pair] {
+        self.incident[v as usize].as_slice()
+    }
+
+    /// Iterates over all matching edges (unspecified order).
+    pub fn edges(&self) -> impl Iterator<Item = Pair> + '_ {
+        self.edges.iter().copied()
+    }
+
+    /// Removes all edges.
+    pub fn clear(&mut self) {
+        self.edges.clear();
+        self.incident.iter_mut().for_each(IndexedSet::clear);
+    }
+
+    /// Exhaustive invariant check (O(n + m)); used by tests and debug builds.
+    pub fn assert_valid(&self) {
+        let mut recount = vec![0usize; self.incident.len()];
+        for &e in &self.edges {
+            recount[e.lo() as usize] += 1;
+            recount[e.hi() as usize] += 1;
+            assert!(self.incident[e.lo() as usize].contains(&e));
+            assert!(self.incident[e.hi() as usize].contains(&e));
+        }
+        for (v, set) in self.incident.iter().enumerate() {
+            assert_eq!(set.len(), recount[v], "incident set out of sync at {v}");
+            assert!(set.len() <= self.cap, "degree cap violated at {v}");
+            for e in set.iter() {
+                assert!(self.edges.contains(e), "stale incident edge at {v}");
+            }
+        }
+    }
+}
+
+/// Checks that `edges` forms a valid b-matching (no duplicates, degrees ≤ b).
+pub fn is_valid_b_matching(edges: &[Pair], b: usize) -> bool {
+    let mut degree: std::collections::HashMap<NodeId, usize> = std::collections::HashMap::new();
+    let mut seen = std::collections::HashSet::new();
+    for &e in edges {
+        if !seen.insert(e) {
+            return false;
+        }
+        for v in [e.lo(), e.hi()] {
+            let d = degree.entry(v).or_insert(0);
+            *d += 1;
+            if *d > b {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(a: u32, b: u32) -> Pair {
+        Pair::new(a, b)
+    }
+
+    #[test]
+    fn insert_respects_cap() {
+        let mut m = BMatching::new(4, 1);
+        assert!(m.try_insert(p(0, 1)));
+        assert!(!m.try_insert(p(1, 2)), "degree of 1 would exceed cap");
+        assert!(m.try_insert(p(2, 3)));
+        assert_eq!(m.len(), 2);
+        m.assert_valid();
+    }
+
+    #[test]
+    fn b_two_allows_two_edges_per_node() {
+        let mut m = BMatching::new(4, 2);
+        assert!(m.try_insert(p(0, 1)));
+        assert!(m.try_insert(p(0, 2)));
+        assert!(!m.try_insert(p(0, 3)));
+        assert_eq!(m.degree(0), 2);
+        m.assert_valid();
+    }
+
+    #[test]
+    fn remove_frees_capacity() {
+        let mut m = BMatching::new(3, 1);
+        m.insert(p(0, 1));
+        assert!(m.remove(p(0, 1)));
+        assert!(!m.remove(p(0, 1)));
+        assert!(m.try_insert(p(0, 2)));
+        m.assert_valid();
+    }
+
+    #[test]
+    fn duplicate_insert_rejected() {
+        let mut m = BMatching::new(3, 2);
+        assert!(m.try_insert(p(0, 1)));
+        assert!(!m.try_insert(p(1, 0)), "same unordered pair");
+        assert_eq!(m.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "violates b-matching invariant")]
+    fn hard_insert_panics_over_cap() {
+        let mut m = BMatching::new(3, 1);
+        m.insert(p(0, 1));
+        m.insert(p(1, 2));
+    }
+
+    #[test]
+    fn incident_edges_tracked() {
+        let mut m = BMatching::new(5, 3);
+        m.insert(p(0, 1));
+        m.insert(p(0, 2));
+        m.insert(p(0, 3));
+        let mut inc: Vec<Pair> = m.incident_edges(0).to_vec();
+        inc.sort();
+        assert_eq!(inc, vec![p(0, 1), p(0, 2), p(0, 3)]);
+        assert_eq!(m.incident_edges(4), &[]);
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut m = BMatching::new(3, 1);
+        m.insert(p(0, 1));
+        m.clear();
+        assert!(m.is_empty());
+        assert_eq!(m.degree(0), 0);
+        assert!(m.try_insert(p(0, 2)));
+    }
+
+    #[test]
+    fn validity_checker() {
+        assert!(is_valid_b_matching(&[p(0, 1), p(2, 3)], 1));
+        assert!(!is_valid_b_matching(&[p(0, 1), p(1, 2)], 1));
+        assert!(is_valid_b_matching(&[p(0, 1), p(1, 2)], 2));
+        assert!(
+            !is_valid_b_matching(&[p(0, 1), p(0, 1)], 5),
+            "duplicate edge"
+        );
+    }
+}

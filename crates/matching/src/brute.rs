@@ -1,0 +1,118 @@
+//! Exponential-time exact optima for tiny instances — the ground truth that
+//! the blossom implementation and the heuristics are tested against.
+
+use crate::WeightedEdge;
+use dcn_topology::Pair;
+
+/// Exhaustive maximum-weight b-matching by branching over every edge
+/// (include/exclude). Only positive-weight edges can help, but zero/negative
+/// edges are still considered excluded implicitly. Feasible for
+/// `edges.len()` ≲ 24.
+///
+/// Returns `(best_weight, best_edge_set)`.
+pub fn brute_force_max_weight_b_matching(
+    n: usize,
+    edges: &[WeightedEdge],
+    b: usize,
+) -> (i64, Vec<Pair>) {
+    assert!(b >= 1);
+    assert!(edges.len() <= 24, "brute force limited to 24 edges");
+    let mut degree = vec![0usize; n];
+    let mut best = (0i64, Vec::new());
+    let mut current: Vec<Pair> = Vec::new();
+
+    fn rec(
+        idx: usize,
+        weight: i64,
+        edges: &[WeightedEdge],
+        b: usize,
+        degree: &mut Vec<usize>,
+        current: &mut Vec<Pair>,
+        best: &mut (i64, Vec<Pair>),
+    ) {
+        if idx == edges.len() {
+            if weight > best.0 {
+                *best = (weight, current.clone());
+            }
+            return;
+        }
+        // Upper bound prune: even taking every remaining positive edge
+        // cannot beat the incumbent.
+        let remaining: i64 = edges[idx..].iter().map(|e| e.weight.max(0)).sum();
+        if weight + remaining <= best.0 {
+            return;
+        }
+        let e = edges[idx];
+        // Branch 1: include (if feasible and useful).
+        if e.weight > 0 && degree[e.u as usize] < b && degree[e.v as usize] < b {
+            degree[e.u as usize] += 1;
+            degree[e.v as usize] += 1;
+            current.push(Pair::new(e.u, e.v));
+            rec(idx + 1, weight + e.weight, edges, b, degree, current, best);
+            current.pop();
+            degree[e.u as usize] -= 1;
+            degree[e.v as usize] -= 1;
+        }
+        // Branch 2: exclude.
+        rec(idx + 1, weight, edges, b, degree, current, best);
+    }
+
+    rec(0, 0, edges, b, &mut degree, &mut current, &mut best);
+    best
+}
+
+/// Exhaustive maximum-weight (1-)matching.
+pub fn brute_force_max_weight_matching(n: usize, edges: &[WeightedEdge]) -> (i64, Vec<Pair>) {
+    brute_force_max_weight_b_matching(n, edges, 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bmatching::is_valid_b_matching;
+
+    fn we(u: u32, v: u32, w: i64) -> WeightedEdge {
+        WeightedEdge::new(u, v, w)
+    }
+
+    #[test]
+    fn triangle() {
+        // Triangle with weights 5, 4, 3: best 1-matching takes the single
+        // heaviest edge (any two edges share a node).
+        let edges = [we(0, 1, 5), we(1, 2, 4), we(0, 2, 3)];
+        let (w, m) = brute_force_max_weight_matching(3, &edges);
+        assert_eq!(w, 5);
+        assert_eq!(m, vec![Pair::new(0, 1)]);
+    }
+
+    #[test]
+    fn path_prefers_outer_edges() {
+        let edges = [we(0, 1, 3), we(1, 2, 4), we(2, 3, 3)];
+        let (w, m) = brute_force_max_weight_matching(4, &edges);
+        assert_eq!(w, 6);
+        assert_eq!(m.len(), 2);
+        assert!(is_valid_b_matching(&m, 1));
+    }
+
+    #[test]
+    fn b_two_takes_more() {
+        let edges = [we(0, 1, 3), we(1, 2, 4), we(2, 3, 3)];
+        let (w, m) = brute_force_max_weight_b_matching(4, &edges, 2);
+        assert_eq!(w, 10, "with b=2 the whole path fits");
+        assert!(is_valid_b_matching(&m, 2));
+    }
+
+    #[test]
+    fn negative_weights_excluded() {
+        let (w, m) = brute_force_max_weight_matching(4, &[we(0, 1, -3), we(2, 3, 2)]);
+        assert_eq!(w, 2);
+        assert_eq!(m, vec![Pair::new(2, 3)]);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let (w, m) = brute_force_max_weight_matching(5, &[]);
+        assert_eq!(w, 0);
+        assert!(m.is_empty());
+    }
+}

@@ -1,0 +1,130 @@
+//! Greedy heavy matchings — the classic ½-approximation and its b-matching
+//! generalization (cf. Hanauer et al. \[40\], who study exactly these greedy
+//! schemes for reconfigurable datacenters).
+
+use crate::WeightedEdge;
+use dcn_topology::Pair;
+
+/// Greedy maximum-weight matching: scan edges by decreasing weight, keep an
+/// edge iff both endpoints are still free. Guarantees ≥ ½ of the optimum.
+/// Ties are broken by (u, v) for determinism. Edges with non-positive weight
+/// are skipped (they can never improve a matching).
+pub fn greedy_matching(n: usize, edges: &[WeightedEdge]) -> Vec<Pair> {
+    greedy_b_matching(n, edges, 1)
+}
+
+/// Greedy maximum-weight b-matching: like [`greedy_matching`] but each node
+/// may be covered up to `b` times.
+pub fn greedy_b_matching(n: usize, edges: &[WeightedEdge], b: usize) -> Vec<Pair> {
+    assert!(b >= 1);
+    let mut sorted: Vec<&WeightedEdge> = edges.iter().filter(|e| e.weight > 0).collect();
+    sorted.sort_by(|x, y| {
+        y.weight
+            .cmp(&x.weight)
+            .then_with(|| (x.u, x.v).cmp(&(y.u, y.v)))
+    });
+    let mut degree = vec![0usize; n];
+    let mut chosen = Vec::new();
+    let mut taken = std::collections::HashSet::new();
+    for e in sorted {
+        let pair = Pair::new(e.u, e.v);
+        if degree[e.u as usize] < b && degree[e.v as usize] < b && taken.insert(pair) {
+            degree[e.u as usize] += 1;
+            degree[e.v as usize] += 1;
+            chosen.push(pair);
+        }
+    }
+    chosen
+}
+
+/// Total weight of `pairs` under the weight table given by `edges`
+/// (missing pairs count 0; duplicates in `edges` are summed — callers are
+/// expected to pass deduplicated candidate lists).
+pub fn matching_weight(pairs: &[Pair], edges: &[WeightedEdge]) -> i64 {
+    let table: std::collections::HashMap<Pair, i64> = edges
+        .iter()
+        .map(|e| (Pair::new(e.u, e.v), e.weight))
+        .collect();
+    pairs
+        .iter()
+        .map(|p| table.get(p).copied().unwrap_or(0))
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bmatching::is_valid_b_matching;
+    use crate::brute::brute_force_max_weight_b_matching;
+    use rand::rngs::SmallRng;
+    use rand::{RngExt, SeedableRng};
+
+    fn we(u: u32, v: u32, w: i64) -> WeightedEdge {
+        WeightedEdge::new(u, v, w)
+    }
+
+    #[test]
+    fn picks_heaviest_compatible() {
+        // Path 0-1-2 with weights 5, 4: greedy takes 5 only.
+        let m = greedy_matching(3, &[we(0, 1, 5), we(1, 2, 4)]);
+        assert_eq!(m, vec![Pair::new(0, 1)]);
+    }
+
+    #[test]
+    fn greedy_can_be_suboptimal_but_half() {
+        // Path 0-1-2-3 with weights 3,4,3: greedy takes 4 (weight 4),
+        // optimum takes 3+3=6. 4 >= 6/2.
+        let edges = [we(0, 1, 3), we(1, 2, 4), we(2, 3, 3)];
+        let m = greedy_matching(4, &edges);
+        assert_eq!(matching_weight(&m, &edges), 4);
+        let (opt_w, _) = brute_force_max_weight_b_matching(4, &edges, 1);
+        assert_eq!(opt_w, 6);
+        assert!(2 * matching_weight(&m, &edges) >= opt_w);
+    }
+
+    #[test]
+    fn half_approximation_on_random_graphs() {
+        let mut rng = SmallRng::seed_from_u64(17);
+        for trial in 0..25 {
+            let n = 6 + (trial % 3);
+            let mut edges = Vec::new();
+            for u in 0..n as u32 {
+                for v in (u + 1)..n as u32 {
+                    if rng.random_bool(0.6) {
+                        edges.push(we(u, v, rng.random_range(1..50)));
+                    }
+                }
+            }
+            for b in 1..=2usize {
+                let m = greedy_b_matching(n, &edges, b);
+                assert!(is_valid_b_matching(&m, b));
+                let (opt, _) = brute_force_max_weight_b_matching(n, &edges, b);
+                let got = matching_weight(&m, &edges);
+                assert!(2 * got >= opt, "greedy {got} < opt/2 {}", opt / 2);
+            }
+        }
+    }
+
+    #[test]
+    fn skips_non_positive_weights() {
+        let m = greedy_matching(4, &[we(0, 1, 0), we(2, 3, -5)]);
+        assert!(m.is_empty());
+    }
+
+    #[test]
+    fn b_matching_respects_cap() {
+        let edges = [we(0, 1, 9), we(0, 2, 8), we(0, 3, 7)];
+        let m = greedy_b_matching(4, &edges, 2);
+        assert_eq!(m.len(), 2);
+        assert!(is_valid_b_matching(&m, 2));
+        assert_eq!(matching_weight(&m, &edges), 17);
+    }
+
+    #[test]
+    fn deterministic_order() {
+        let edges = [we(0, 1, 5), we(2, 3, 5), we(1, 2, 5)];
+        let a = greedy_matching(4, &edges);
+        let b = greedy_matching(4, &edges);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,166 @@
+//! CLOCK (second-chance) — the classic constant-overhead LRU approximation
+//! used by real operating systems.
+
+use crate::policy::{Access, PageId, PagingPolicy};
+use dcn_util::FxHashMap;
+
+/// CLOCK replacement: pages sit on a circular buffer with a reference bit;
+/// the hand clears bits until it finds an unreferenced victim.
+#[derive(Clone, Debug)]
+pub struct Clock {
+    capacity: usize,
+    /// Circular buffer slots: (page, referenced). `None` = free slot.
+    slots: Vec<Option<(PageId, bool)>>,
+    slot_of: FxHashMap<PageId, usize>,
+    hand: usize,
+    used: usize,
+}
+
+impl Clock {
+    /// Creates an empty CLOCK cache.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity >= 1, "capacity must be positive");
+        Self {
+            capacity,
+            slots: vec![None; capacity],
+            slot_of: FxHashMap::default(),
+            hand: 0,
+            used: 0,
+        }
+    }
+
+    fn advance(&mut self) {
+        self.hand = (self.hand + 1) % self.capacity;
+    }
+}
+
+impl PagingPolicy for Clock {
+    fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    fn len(&self) -> usize {
+        self.used
+    }
+
+    fn contains(&self, page: PageId) -> bool {
+        self.slot_of.contains_key(&page)
+    }
+
+    fn access(&mut self, page: PageId) -> Access {
+        if let Some(&slot) = self.slot_of.get(&page) {
+            if let Some(entry) = self.slots[slot].as_mut() {
+                entry.1 = true;
+            }
+            return Access::Hit;
+        }
+        let mut evicted = Vec::new();
+        if self.used == self.capacity {
+            // Sweep: give referenced pages a second chance.
+            loop {
+                match self.slots[self.hand].as_mut() {
+                    Some(entry) if entry.1 => {
+                        entry.1 = false;
+                        self.advance();
+                    }
+                    Some(entry) => {
+                        let victim = entry.0;
+                        self.slots[self.hand] = None;
+                        self.slot_of.remove(&victim);
+                        self.used -= 1;
+                        evicted.push(victim);
+                        break;
+                    }
+                    None => self.advance(), // hole left by invalidate()
+                }
+            }
+        }
+        // Place into the first free slot from the hand onward.
+        while self.slots[self.hand].is_some() {
+            self.advance();
+        }
+        self.slots[self.hand] = Some((page, true));
+        self.slot_of.insert(page, self.hand);
+        self.used += 1;
+        self.advance();
+        Access::Fault { evicted }
+    }
+
+    fn reset(&mut self) {
+        self.slots.iter_mut().for_each(|s| *s = None);
+        self.slot_of.clear();
+        self.hand = 0;
+        self.used = 0;
+    }
+
+    fn cached_pages(&self) -> Vec<PageId> {
+        self.slot_of.keys().copied().collect()
+    }
+
+    fn invalidate(&mut self, page: PageId) -> bool {
+        match self.slot_of.remove(&page) {
+            Some(slot) => {
+                self.slots[slot] = None;
+                self.used -= 1;
+                true
+            }
+            None => false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_fill_and_hit() {
+        let mut c = Clock::new(3);
+        assert!(c.access(1).is_fault());
+        assert!(c.access(2).is_fault());
+        assert_eq!(c.access(1), Access::Hit);
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn second_chance_spares_referenced() {
+        let mut c = Clock::new(2);
+        c.access(1);
+        c.access(2);
+        c.access(1); // reference 1
+                     // Fault: hand sweeps, clears 1's bit... both were inserted with
+                     // bit=true, so the sweep clears both and evicts the first
+                     // unreferenced slot it revisits (slot of 1 cleared first, then 2
+                     // cleared, then 1 evicted on second pass? No: after clearing both,
+                     // hand returns to slot 0 which is now unreferenced -> evict).
+        let acc = c.access(3);
+        assert_eq!(acc.evicted().len(), 1);
+        assert!(c.contains(3));
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn capacity_never_exceeded() {
+        let mut c = Clock::new(4);
+        for i in 0..200u64 {
+            c.access(i % 9);
+            assert!(c.len() <= 4);
+        }
+    }
+
+    #[test]
+    fn invalidate_leaves_hole_then_reuses() {
+        let mut c = Clock::new(3);
+        c.access(1);
+        c.access(2);
+        c.access(3);
+        assert!(c.invalidate(2));
+        assert_eq!(c.len(), 2);
+        let acc = c.access(4);
+        assert!(
+            acc.is_fault() && acc.evicted().is_empty(),
+            "hole must be reused"
+        );
+        assert_eq!(c.len(), 3);
+    }
+}

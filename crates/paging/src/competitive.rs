@@ -1,0 +1,113 @@
+//! Empirical competitive-ratio harness: fault counts of online policies
+//! normalized by the offline optimum, including the resource-augmented
+//! (b,a) setting of the paper's analysis.
+
+use crate::belady::Belady;
+use crate::policy::{PageId, PagingPolicy};
+use crate::sim::run_policy;
+
+/// Empirical competitive ratio of `policy` (cache size as constructed)
+/// against Belady with cache size `opt_capacity` — set it below the
+/// policy's capacity for the (b,a)-augmented comparison of Young \[75\].
+///
+/// Returns `faults(policy) / faults(OPT_a)`; `f64::INFINITY` if OPT never
+/// faults while the policy does.
+pub fn empirical_ratio<P: PagingPolicy + ?Sized>(
+    policy: &mut P,
+    opt_capacity: usize,
+    sequence: &[PageId],
+) -> f64 {
+    let online = run_policy(policy, sequence).faults;
+    let opt = Belady::total_faults(opt_capacity, sequence);
+    if opt == 0 {
+        if online == 0 {
+            1.0
+        } else {
+            f64::INFINITY
+        }
+    } else {
+        online as f64 / opt as f64
+    }
+}
+
+/// Averaged empirical ratio of randomized marking over `seeds` runs.
+pub fn marking_ratio(capacity: usize, opt_capacity: usize, sequence: &[PageId], seeds: u64) -> f64 {
+    assert!(seeds >= 1);
+    let total: f64 = (0..seeds)
+        .map(|s| {
+            empirical_ratio(
+                &mut crate::marking::Marking::new(capacity, s),
+                opt_capacity,
+                sequence,
+            )
+        })
+        .sum();
+    total / seeds as f64
+}
+
+/// The theoretical (b,a)-paging bound the paper plugs into Corollary 3:
+/// `2·ln(b/(b−a+1)) + O(1)`; exposed so experiments can plot measured vs
+/// predicted. Returns the bound without the additive constant.
+pub fn young_bound(b: usize, a: usize) -> f64 {
+    assert!(a >= 1 && a <= b);
+    2.0 * ((b as f64) / (b as f64 - a as f64 + 1.0)).ln()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::adversary::uniform_sequence;
+    use crate::lru::Lru;
+
+    #[test]
+    fn ratio_at_least_one_for_online_policies() {
+        let seq = uniform_sequence(6, 20_000, 3);
+        let r = empirical_ratio(&mut Lru::new(6), 6, &seq);
+        assert!(r >= 1.0, "online cannot beat OPT, got {r}");
+    }
+
+    #[test]
+    fn augmentation_reduces_marking_ratio() {
+        // Same online cache b; OPT restricted to a < b gets weaker, so the
+        // measured ratio must drop as a decreases.
+        let b = 12;
+        let seq = uniform_sequence(b, 40_000, 5);
+        let full = marking_ratio(b, b, &seq, 3);
+        let augmented = marking_ratio(b, b / 2, &seq, 3);
+        assert!(
+            augmented < full,
+            "(b, b/2) ratio {augmented} should be below (b,b) ratio {full}"
+        );
+    }
+
+    #[test]
+    fn marking_respects_young_bound_on_uniform_nemesis() {
+        for (b, a) in [(8usize, 8usize), (16, 16), (16, 8)] {
+            let seq = uniform_sequence(b, 50_000, 7);
+            let measured = marking_ratio(b, a, &seq, 5);
+            // Additive slack for the O(1) term and finite-length effects.
+            let bound = young_bound(b, a) + 2.5;
+            assert!(
+                measured <= bound,
+                "(b={b}, a={a}): measured {measured} > bound {bound}"
+            );
+        }
+    }
+
+    #[test]
+    fn young_bound_shape() {
+        assert!(young_bound(16, 16) > young_bound(16, 8));
+        assert!((young_bound(16, 1) - 0.0).abs() < 1e-12);
+        // (b,b): 2 ln b.
+        assert!((young_bound(10, 10) - 2.0 * (10f64).ln()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn augmented_opt_dominates_thrashing_policy() {
+        // Cyclic scan over 4 pages: LRU with cache 2 faults on every
+        // request, while OPT with cache 4 pays only the 4 cold faults.
+        let seq: Vec<u64> = (0..4).cycle().take(100).collect();
+        let r = empirical_ratio(&mut Lru::new(2), 4, &seq);
+        assert!((r - 25.0).abs() < 1e-9, "expected 100/4, got {r}");
+    }
+}

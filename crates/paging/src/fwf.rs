@@ -1,0 +1,89 @@
+//! Flush-when-full: the simplest marking-family policy — on a fault with a
+//! full cache, evict *everything*. `k`-competitive, and a useful stress case
+//! for callers because `Access::Fault::evicted` can contain many pages.
+
+use crate::policy::{Access, PageId, PagingPolicy};
+use dcn_util::FxHashSet;
+
+/// Flush-when-full cache.
+#[derive(Clone, Debug)]
+pub struct Fwf {
+    capacity: usize,
+    cached: FxHashSet<PageId>,
+}
+
+impl Fwf {
+    /// Creates an empty flush-when-full cache.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity >= 1, "capacity must be positive");
+        Self {
+            capacity,
+            cached: FxHashSet::default(),
+        }
+    }
+}
+
+impl PagingPolicy for Fwf {
+    fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    fn len(&self) -> usize {
+        self.cached.len()
+    }
+
+    fn contains(&self, page: PageId) -> bool {
+        self.cached.contains(&page)
+    }
+
+    fn access(&mut self, page: PageId) -> Access {
+        if self.cached.contains(&page) {
+            return Access::Hit;
+        }
+        let mut evicted = Vec::new();
+        if self.cached.len() == self.capacity {
+            evicted.extend(self.cached.drain());
+        }
+        self.cached.insert(page);
+        Access::Fault { evicted }
+    }
+
+    fn reset(&mut self) {
+        self.cached.clear();
+    }
+
+    fn cached_pages(&self) -> Vec<PageId> {
+        self.cached.iter().copied().collect()
+    }
+
+    fn invalidate(&mut self, page: PageId) -> bool {
+        self.cached.remove(&page)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flushes_all_when_full() {
+        let mut f = Fwf::new(3);
+        f.access(1);
+        f.access(2);
+        f.access(3);
+        let acc = f.access(4);
+        let mut ev = acc.evicted().to_vec();
+        ev.sort_unstable();
+        assert_eq!(ev, vec![1, 2, 3]);
+        assert_eq!(f.len(), 1);
+        assert!(f.contains(4));
+    }
+
+    #[test]
+    fn no_flush_below_capacity() {
+        let mut f = Fwf::new(3);
+        f.access(1);
+        let acc = f.access(2);
+        assert!(acc.evicted().is_empty());
+    }
+}

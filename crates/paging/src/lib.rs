@@ -1,0 +1,60 @@
+//! # dcn-paging
+//!
+//! The **paging substrate** behind R-BMA. Theorem 2 of the paper reduces the
+//! uniform (b,a)-matching problem to (b,a)-**paging**: one paging instance per
+//! node whose cache (capacity `b`) holds the node pairs incident to it. The
+//! randomized marking algorithm ([`Marking`]) plugged into that reduction
+//! gives the `O(log(b/(b−a+1)))`-competitive uniform algorithm; Lemma 1 runs
+//! the reduction in reverse to obtain the lower bound.
+//!
+//! The crate implements the classic paging model: a cache of fixed capacity,
+//! fetch-on-fault (no bypassing), unit fault cost, free evictions — exactly
+//! the model the paper's Theorem 2 adapts (§2.2 discusses the two cost-model
+//! differences and handles them inside the proof; the reduction code in
+//! `dcn-core` mirrors that).
+//!
+//! Policies:
+//!
+//! * [`Marking`] — randomized marking (Fiat et al. \[28\]); also the
+//!   (b,a)-variant of Young \[75\] (the algorithm is identical, only the
+//!   analysis compares against a smaller offline cache).
+//! * [`Lru`], [`Fifo`], [`Fwf`], [`RandomEvict`], [`Lfu`], [`Clock`] —
+//!   deterministic and randomized baselines.
+//! * [`Belady`] — the offline optimum (farthest-in-future), used as the
+//!   denominator of empirical competitive ratios.
+//! * [`PredictiveMarking`] — marking with next-use predictions (the paper's
+//!   §5 future-work direction), robust to prediction noise.
+//!
+//! [`adversary`] generates nemesis sequences: the uniform random sequence
+//! over `k+1` pages (hard for randomized algorithms) and a *chaser* that
+//! defeats any deterministic policy by always requesting an uncached page.
+//! These drive the Θ(b) vs Θ(log b) separation experiment.
+
+pub mod adversary;
+pub mod belady;
+pub mod clock;
+pub mod competitive;
+pub mod fifo;
+pub mod fwf;
+pub mod lfu;
+pub mod lru;
+pub mod marking;
+pub mod policy;
+pub mod predictive;
+pub mod random_evict;
+pub mod sim;
+pub mod slru;
+
+pub use belady::Belady;
+pub use clock::Clock;
+pub use competitive::{empirical_ratio, marking_ratio, young_bound};
+pub use fifo::Fifo;
+pub use fwf::Fwf;
+pub use lfu::Lfu;
+pub use lru::Lru;
+pub use marking::Marking;
+pub use policy::{Access, PageId, PagingPolicy};
+pub use predictive::{NoisyOracle, PredictiveMarking, Predictor};
+pub use random_evict::RandomEvict;
+pub use sim::{phase_count, run_policy, PagingStats};
+pub use slru::Slru;

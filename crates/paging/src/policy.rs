@@ -1,0 +1,85 @@
+//! The paging-policy contract shared by all cache replacement algorithms.
+
+/// Identifier of a page. In the R-BMA reduction a page is the packed id of
+/// the *partner* node of a cached pair; in the standalone paging experiments
+/// it is an arbitrary small integer.
+pub type PageId = u64;
+
+/// Result of a single page access under fetch-on-fault semantics.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Access {
+    /// The page was already cached; no cost.
+    Hit,
+    /// The page was fetched (cost 1); `evicted` lists pages removed to make
+    /// room. For most policies this has length 0 (cache not yet full) or 1;
+    /// flush-when-full may evict many at once.
+    Fault { evicted: Vec<PageId> },
+}
+
+impl Access {
+    /// Whether this access was a fault.
+    pub fn is_fault(&self) -> bool {
+        matches!(self, Access::Fault { .. })
+    }
+
+    /// Evicted pages (empty slice on a hit).
+    pub fn evicted(&self) -> &[PageId] {
+        match self {
+            Access::Hit => &[],
+            Access::Fault { evicted } => evicted,
+        }
+    }
+}
+
+/// An online paging algorithm over a cache of fixed capacity.
+///
+/// Model: requests arrive one at a time; a requested page **must** be in the
+/// cache after the access (no bypassing); fetching costs 1; evictions are
+/// free. This is the cost model of Sleator–Tarjan \[70\] that Theorem 2 builds
+/// on; the two differences to the matching cost model (bypassing, eviction
+/// cost) are absorbed by the reduction in `dcn-core` as in the paper's proof.
+pub trait PagingPolicy {
+    /// Cache capacity (the `b` of (b,a)-paging).
+    fn capacity(&self) -> usize;
+
+    /// Number of currently cached pages (≤ capacity).
+    fn len(&self) -> usize;
+
+    /// Whether the cache is empty.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Whether `page` is cached.
+    fn contains(&self, page: PageId) -> bool;
+
+    /// Processes a request for `page`, fetching it on a fault.
+    fn access(&mut self, page: PageId) -> Access;
+
+    /// Forgets all cached pages (and any internal state such as marks).
+    fn reset(&mut self);
+
+    /// Snapshot of cached pages in unspecified order (diagnostics/tests).
+    fn cached_pages(&self) -> Vec<PageId>;
+
+    /// Evicts `page` if cached, returning whether it was. Policies that keep
+    /// auxiliary state must stay consistent. Used by callers that prune
+    /// caches externally (e.g. R-BMA's strict-invariant mode).
+    fn invalidate(&mut self, page: PageId) -> bool;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn access_inspectors() {
+        assert!(!Access::Hit.is_fault());
+        assert!(Access::Hit.evicted().is_empty());
+        let f = Access::Fault {
+            evicted: vec![3, 4],
+        };
+        assert!(f.is_fault());
+        assert_eq!(f.evicted(), &[3, 4]);
+    }
+}

@@ -1,0 +1,247 @@
+//! Marking with next-use **predictions** — the paper's §5 future-work
+//! direction (“algorithms which can leverage certain predictions about
+//! future demands, without losing the worst-case guarantees”).
+//!
+//! [`PredictiveMarking`] keeps the marking phase structure (which is what
+//! gives marking algorithms their worst-case guarantee) but replaces the
+//! *uniform* eviction choice by “evict the unmarked page with the farthest
+//! **predicted** next use” — the eviction rule of Belady applied to
+//! predictions, in the spirit of learning-augmented marking (Lykouris &
+//! Vassilvitskii; Rohatgi). With perfect predictions it tracks Belady's
+//! choices inside each phase; with garbage predictions it is still a marking
+//! algorithm and inherits the O(k) worst case of any marking scheme (the
+//! phase structure never evicts a page requested earlier in the phase).
+
+use crate::policy::{Access, PageId, PagingPolicy};
+use dcn_util::{FxHashMap, IndexedSet};
+use rand::rngs::SmallRng;
+use rand::{RngExt, SeedableRng};
+
+/// A source of next-use predictions.
+pub trait Predictor {
+    /// Predicted next time (abstract step counter) at which `page` will be
+    /// requested, given the current time `now`. Larger = later;
+    /// `u64::MAX` = never again.
+    fn predict_next_use(&mut self, page: PageId, now: u64) -> u64;
+}
+
+/// An oracle built from the true sequence, with optional multiplicative
+/// noise — `noise = 0.0` gives perfect predictions, larger values blur them.
+#[derive(Clone, Debug)]
+pub struct NoisyOracle {
+    /// page -> sorted positions at which it occurs.
+    occurrences: FxHashMap<PageId, Vec<u64>>,
+    noise: f64,
+    rng: SmallRng,
+}
+
+impl NoisyOracle {
+    /// Builds the oracle from the full request sequence.
+    pub fn new(sequence: &[PageId], noise: f64, seed: u64) -> Self {
+        assert!(noise >= 0.0, "noise must be non-negative");
+        let mut occurrences: FxHashMap<PageId, Vec<u64>> = FxHashMap::default();
+        for (i, &p) in sequence.iter().enumerate() {
+            occurrences.entry(p).or_default().push(i as u64);
+        }
+        Self {
+            occurrences,
+            noise,
+            rng: SmallRng::seed_from_u64(seed),
+        }
+    }
+}
+
+impl Predictor for NoisyOracle {
+    fn predict_next_use(&mut self, page: PageId, now: u64) -> u64 {
+        let truth = match self.occurrences.get(&page) {
+            None => u64::MAX,
+            Some(positions) => {
+                let idx = positions.partition_point(|&t| t <= now);
+                positions.get(idx).copied().unwrap_or(u64::MAX)
+            }
+        };
+        if truth == u64::MAX || self.noise == 0.0 {
+            return truth;
+        }
+        // Multiplicative noise: distort the *gap* until next use.
+        let gap = (truth - now).max(1) as f64;
+        let factor = 1.0 + self.noise * (self.rng.random_range(-1.0..1.0f64));
+        now.saturating_add((gap * factor.max(0.0)).round() as u64)
+            .max(now + 1)
+    }
+}
+
+/// Marking algorithm whose eviction choice follows predictions.
+#[derive(Debug)]
+pub struct PredictiveMarking<P: Predictor> {
+    capacity: usize,
+    marked: IndexedSet<PageId>,
+    unmarked: IndexedSet<PageId>,
+    predictor: P,
+    now: u64,
+}
+
+impl<P: Predictor> PredictiveMarking<P> {
+    /// Creates an empty cache driven by `predictor`.
+    pub fn new(capacity: usize, predictor: P) -> Self {
+        assert!(capacity >= 1, "capacity must be positive");
+        Self {
+            capacity,
+            marked: IndexedSet::with_capacity(capacity),
+            unmarked: IndexedSet::with_capacity(capacity),
+            predictor,
+            now: 0,
+        }
+    }
+
+    /// Current internal time (number of accesses processed).
+    pub fn now(&self) -> u64 {
+        self.now
+    }
+}
+
+impl<P: Predictor> PagingPolicy for PredictiveMarking<P> {
+    fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    fn len(&self) -> usize {
+        self.marked.len() + self.unmarked.len()
+    }
+
+    fn contains(&self, page: PageId) -> bool {
+        self.marked.contains(&page) || self.unmarked.contains(&page)
+    }
+
+    fn access(&mut self, page: PageId) -> Access {
+        let now = self.now;
+        self.now += 1;
+        if self.marked.contains(&page) {
+            return Access::Hit;
+        }
+        if self.unmarked.remove(&page) {
+            self.marked.insert(page);
+            return Access::Hit;
+        }
+        let mut evicted = Vec::new();
+        if self.len() == self.capacity {
+            if self.unmarked.is_empty() {
+                for p in self.marked.drain_to_vec() {
+                    self.unmarked.insert(p);
+                }
+            }
+            // Evict the unmarked page with the farthest predicted next use.
+            let victim = self
+                .unmarked
+                .iter()
+                .map(|&p| (self.predictor.predict_next_use(p, now), p))
+                .max()
+                .map(|(_, p)| p)
+                .expect("full cache must have an unmarked page after phase reset");
+            self.unmarked.remove(&victim);
+            evicted.push(victim);
+        }
+        self.marked.insert(page);
+        Access::Fault { evicted }
+    }
+
+    fn reset(&mut self) {
+        self.marked.clear();
+        self.unmarked.clear();
+        self.now = 0;
+    }
+
+    fn cached_pages(&self) -> Vec<PageId> {
+        self.marked
+            .iter()
+            .chain(self.unmarked.iter())
+            .copied()
+            .collect()
+    }
+
+    fn invalidate(&mut self, page: PageId) -> bool {
+        self.marked.remove(&page) || self.unmarked.remove(&page)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::belady::Belady;
+    use crate::marking::Marking;
+    use crate::sim::run_policy;
+    use rand::rngs::SmallRng;
+    use rand::{RngExt, SeedableRng};
+
+    fn random_zipfy_sequence(len: usize, universe: u64, seed: u64) -> Vec<PageId> {
+        // Crude skewed sequence: page j requested with weight 1/(j+1).
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let weights: Vec<f64> = (0..universe).map(|j| 1.0 / (j + 1) as f64).collect();
+        let total: f64 = weights.iter().sum();
+        (0..len)
+            .map(|_| {
+                let mut x = rng.random_range(0.0..total);
+                for (j, w) in weights.iter().enumerate() {
+                    if x < *w {
+                        return j as PageId;
+                    }
+                    x -= w;
+                }
+                universe - 1
+            })
+            .collect()
+    }
+
+    #[test]
+    fn perfect_predictions_beat_plain_marking() {
+        let seq = random_zipfy_sequence(4000, 30, 11);
+        let cap = 8;
+        let oracle = NoisyOracle::new(&seq, 0.0, 0);
+        let predictive = run_policy(&mut PredictiveMarking::new(cap, oracle), &seq).faults;
+        // Average plain marking over a few seeds.
+        let plain: u64 = (0..5)
+            .map(|s| run_policy(&mut Marking::new(cap, s), &seq).faults)
+            .sum::<u64>()
+            / 5;
+        assert!(
+            predictive <= plain,
+            "perfect predictions should not lose: predictive={predictive} plain={plain}"
+        );
+    }
+
+    #[test]
+    fn perfect_predictions_close_to_opt() {
+        let seq = random_zipfy_sequence(4000, 20, 5);
+        let cap = 6;
+        let oracle = NoisyOracle::new(&seq, 0.0, 0);
+        let predictive = run_policy(&mut PredictiveMarking::new(cap, oracle), &seq).faults;
+        let opt = Belady::total_faults(cap, &seq);
+        // Marking constraints keep it from exactly matching OPT, but with
+        // perfect predictions it should be within a factor 2 on easy inputs.
+        assert!(
+            (predictive as f64) <= 2.0 * opt as f64 + 10.0,
+            "predictive={predictive} opt={opt}"
+        );
+    }
+
+    #[test]
+    fn noisy_predictions_still_respect_capacity_and_phases() {
+        let seq = random_zipfy_sequence(2000, 25, 3);
+        let oracle = NoisyOracle::new(&seq, 5.0, 9); // heavy noise
+        let mut p = PredictiveMarking::new(5, oracle);
+        for &page in &seq {
+            p.access(page);
+            assert!(p.len() <= 5);
+        }
+    }
+
+    #[test]
+    fn oracle_predicts_truth_without_noise() {
+        let seq: Vec<PageId> = vec![3, 1, 3, 2, 3];
+        let mut o = NoisyOracle::new(&seq, 0.0, 0);
+        assert_eq!(o.predict_next_use(3, 0), 2);
+        assert_eq!(o.predict_next_use(3, 2), 4);
+        assert_eq!(o.predict_next_use(3, 4), u64::MAX);
+        assert_eq!(o.predict_next_use(7, 0), u64::MAX);
+    }
+}

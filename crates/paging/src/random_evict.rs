@@ -1,0 +1,105 @@
+//! Uniform random eviction (the RAND policy) — memoryless randomized
+//! baseline, `k`-competitive.
+
+use crate::policy::{Access, PageId, PagingPolicy};
+use dcn_util::IndexedSet;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+/// Evicts a uniformly random cached page on each fault with a full cache.
+#[derive(Clone, Debug)]
+pub struct RandomEvict {
+    capacity: usize,
+    cached: IndexedSet<PageId>,
+    rng: SmallRng,
+}
+
+impl RandomEvict {
+    /// Creates an empty cache with a seeded RNG.
+    pub fn new(capacity: usize, seed: u64) -> Self {
+        assert!(capacity >= 1, "capacity must be positive");
+        Self {
+            capacity,
+            cached: IndexedSet::with_capacity(capacity),
+            rng: SmallRng::seed_from_u64(seed),
+        }
+    }
+}
+
+impl PagingPolicy for RandomEvict {
+    fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    fn len(&self) -> usize {
+        self.cached.len()
+    }
+
+    fn contains(&self, page: PageId) -> bool {
+        self.cached.contains(&page)
+    }
+
+    fn access(&mut self, page: PageId) -> Access {
+        if self.cached.contains(&page) {
+            return Access::Hit;
+        }
+        let mut evicted = Vec::new();
+        if self.cached.len() == self.capacity {
+            evicted.push(
+                self.cached
+                    .sample_remove(&mut self.rng)
+                    .expect("full cache"),
+            );
+        }
+        self.cached.insert(page);
+        Access::Fault { evicted }
+    }
+
+    fn reset(&mut self) {
+        self.cached.clear();
+    }
+
+    fn cached_pages(&self) -> Vec<PageId> {
+        self.cached.iter().copied().collect()
+    }
+
+    fn invalidate(&mut self, page: PageId) -> bool {
+        self.cached.remove(&page)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn capacity_respected() {
+        let mut r = RandomEvict::new(4, 11);
+        for i in 0..100 {
+            r.access(i);
+            assert!(r.len() <= 4);
+        }
+    }
+
+    #[test]
+    fn evicted_page_is_gone() {
+        let mut r = RandomEvict::new(2, 5);
+        r.access(1);
+        r.access(2);
+        let acc = r.access(3);
+        let victim = acc.evicted()[0];
+        assert!(!r.contains(victim));
+        assert!(r.contains(3));
+    }
+
+    #[test]
+    fn seeded_determinism() {
+        let run = |seed| {
+            let mut r = RandomEvict::new(3, seed);
+            (0..500u64)
+                .map(|i| r.access(i % 7).is_fault())
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(9), run(9));
+    }
+}

@@ -1,0 +1,331 @@
+//! Datacenter topology generators.
+//!
+//! Each builder returns a [`Network`]: the switch-level graph plus the list
+//! of nodes that host racks (top-of-rack switches). Requests are exchanged
+//! between racks only; the remaining nodes (aggregation/spine/core switches)
+//! exist to define routing distances.
+
+use crate::graph::{Graph, GraphBuilder, NodeId};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// A fixed network: switch graph plus the subset of nodes that are racks.
+#[derive(Clone, Debug)]
+pub struct Network {
+    /// The switch-level topology (`G = (V, F)` in the paper).
+    pub graph: Graph,
+    /// Nodes acting as top-of-rack switches; request endpoints index into
+    /// this list (rack `i` is node `racks[i]`).
+    pub racks: Vec<NodeId>,
+    /// Human-readable name for reports.
+    pub name: String,
+}
+
+impl Network {
+    /// Number of racks (the `|V|` of the matching problem).
+    pub fn num_racks(&self) -> usize {
+        self.racks.len()
+    }
+}
+
+/// A `k`-ary fat-tree (Al-Fares et al. \[3\]): `k` pods of `k/2` edge and `k/2`
+/// aggregation switches plus `(k/2)²` core switches. Racks are the edge
+/// switches: `k²/2` racks total. `k` must be even and ≥ 2.
+///
+/// Rack-to-rack distances are 2 (same pod) or 4 (different pods).
+pub fn fat_tree(k: usize) -> Network {
+    assert!(
+        k >= 2 && k.is_multiple_of(2),
+        "fat-tree arity must be even and >= 2 (got {k})"
+    );
+    let half = k / 2;
+    let num_edge = k * half;
+    let num_agg = k * half;
+    let num_core = half * half;
+    let n = num_edge + num_agg + num_core;
+    // Layout: [edge switches | aggregation switches | core switches].
+    let edge_id = |pod: usize, i: usize| (pod * half + i) as NodeId;
+    let agg_id = |pod: usize, i: usize| (num_edge + pod * half + i) as NodeId;
+    let core_id = |g: usize, j: usize| (num_edge + num_agg + g * half + j) as NodeId;
+
+    let mut b = GraphBuilder::new(n);
+    for pod in 0..k {
+        for e in 0..half {
+            for a in 0..half {
+                b.add_edge(edge_id(pod, e), agg_id(pod, a));
+            }
+        }
+        // Aggregation switch `a` of each pod uplinks to core group `a`.
+        for a in 0..half {
+            for j in 0..half {
+                b.add_edge(agg_id(pod, a), core_id(a, j));
+            }
+        }
+    }
+    let racks = (0..num_edge as NodeId).collect();
+    Network {
+        graph: b.build(),
+        racks,
+        name: format!("fat-tree(k={k})"),
+    }
+}
+
+/// A fat-tree with at least `min_racks` racks, exposing exactly `min_racks`
+/// of its edge switches as racks (the paper simulates 100 racks on a
+/// fat-tree, which is not a power-of-k/2 count).
+pub fn fat_tree_with_racks(min_racks: usize) -> Network {
+    assert!(min_racks >= 1);
+    let mut k = 2;
+    while k * (k / 2) < min_racks {
+        k += 2;
+    }
+    let mut net = fat_tree(k);
+    net.racks.truncate(min_racks);
+    net.name = format!("fat-tree(k={k}, racks={min_racks})");
+    net
+}
+
+/// Two-tier leaf–spine Clos: every leaf connects to every spine. Racks are
+/// the leaves; every rack pair is 2 hops apart.
+pub fn leaf_spine(leaves: usize, spines: usize) -> Network {
+    assert!(leaves >= 1 && spines >= 1);
+    let mut b = GraphBuilder::new(leaves + spines);
+    for l in 0..leaves {
+        for s in 0..spines {
+            b.add_edge(l as NodeId, (leaves + s) as NodeId);
+        }
+    }
+    let racks = (0..leaves as NodeId).collect();
+    Network {
+        graph: b.build(),
+        racks,
+        name: format!("leaf-spine({leaves}x{spines})"),
+    }
+}
+
+/// Star: node 0 is the hub, nodes `1..=leaves` are spokes. **All** nodes are
+/// racks (the lower-bound construction of §2.4 sends requests `{v0, vi}`).
+/// Hub–spoke distance is 1, spoke–spoke distance is 2.
+pub fn star(leaves: usize) -> Network {
+    assert!(leaves >= 1);
+    let mut b = GraphBuilder::new(leaves + 1);
+    for i in 1..=leaves {
+        b.add_edge(0, i as NodeId);
+    }
+    let racks = (0..=leaves as NodeId).collect();
+    Network {
+        graph: b.build(),
+        racks,
+        name: format!("star({leaves})"),
+    }
+}
+
+/// Cycle of `n ≥ 3` nodes; all nodes are racks.
+pub fn ring(n: usize) -> Network {
+    assert!(n >= 3, "ring needs at least 3 nodes");
+    let mut b = GraphBuilder::new(n);
+    for i in 0..n {
+        b.add_edge(i as NodeId, ((i + 1) % n) as NodeId);
+    }
+    Network {
+        graph: b.build(),
+        racks: (0..n as NodeId).collect(),
+        name: format!("ring({n})"),
+    }
+}
+
+/// 2-D torus of `rows × cols` (each ≥ 3 to stay simple); all nodes are racks.
+pub fn torus(rows: usize, cols: usize) -> Network {
+    assert!(rows >= 3 && cols >= 3, "torus dimensions must be >= 3");
+    let id = |r: usize, c: usize| (r * cols + c) as NodeId;
+    let mut b = GraphBuilder::new(rows * cols);
+    for r in 0..rows {
+        for c in 0..cols {
+            b.add_edge(id(r, c), id(r, (c + 1) % cols));
+            b.add_edge(id(r, c), id((r + 1) % rows, c));
+        }
+    }
+    Network {
+        graph: b.build(),
+        racks: (0..(rows * cols) as NodeId).collect(),
+        name: format!("torus({rows}x{cols})"),
+    }
+}
+
+/// Hypercube of dimension `dim` (`2^dim` nodes); all nodes are racks.
+/// Distances equal Hamming distances between node indices.
+pub fn hypercube(dim: usize) -> Network {
+    assert!((1..=20).contains(&dim), "hypercube dimension out of range");
+    let n = 1usize << dim;
+    let mut b = GraphBuilder::new(n);
+    for v in 0..n {
+        for bit in 0..dim {
+            let w = v ^ (1 << bit);
+            if v < w {
+                b.add_edge(v as NodeId, w as NodeId);
+            }
+        }
+    }
+    Network {
+        graph: b.build(),
+        racks: (0..n as NodeId).collect(),
+        name: format!("hypercube({dim})"),
+    }
+}
+
+/// Random `d`-regular graph on `n` nodes (Jellyfish-style expander \[68\]),
+/// built with the pairing model and resampled until simple and connected.
+/// Requires `n * d` even, `d < n`. All nodes are racks.
+pub fn random_regular(n: usize, d: usize, seed: u64) -> Network {
+    assert!(
+        n >= 2 && d >= 1 && d < n,
+        "invalid regular graph parameters"
+    );
+    assert!((n * d).is_multiple_of(2), "n*d must be even");
+    let mut rng = StdRng::seed_from_u64(seed);
+    'attempt: for _ in 0..1000 {
+        // Pairing model: each node owns d stubs; match stubs uniformly.
+        let mut stubs: Vec<NodeId> = (0..n as NodeId)
+            .flat_map(|v| std::iter::repeat_n(v, d))
+            .collect();
+        // Fisher-Yates shuffle.
+        for i in (1..stubs.len()).rev() {
+            let j = rng.random_range(0..=i);
+            stubs.swap(i, j);
+        }
+        let mut seen = std::collections::HashSet::new();
+        let mut b = GraphBuilder::new(n);
+        for chunk in stubs.chunks_exact(2) {
+            let (u, v) = (chunk[0], chunk[1]);
+            if u == v || !seen.insert((u.min(v), u.max(v))) {
+                continue 'attempt; // self-loop or multi-edge: resample
+            }
+            b.add_edge(u, v);
+        }
+        let g = b.build();
+        if g.is_connected() {
+            return Network {
+                graph: g,
+                racks: (0..n as NodeId).collect(),
+                name: format!("random-regular(n={n}, d={d})"),
+            };
+        }
+    }
+    panic!("failed to sample a connected simple {d}-regular graph on {n} nodes");
+}
+
+/// Complete graph on `n` nodes; all distances 1; all nodes are racks.
+/// The degenerate baseline where the fixed network already connects
+/// everything directly (matching edges can never help).
+pub fn complete(n: usize) -> Network {
+    assert!(n >= 2);
+    let mut b = GraphBuilder::new(n);
+    for u in 0..n {
+        for v in (u + 1)..n {
+            b.add_edge(u as NodeId, v as NodeId);
+        }
+    }
+    Network {
+        graph: b.build(),
+        racks: (0..n as NodeId).collect(),
+        name: format!("complete({n})"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fat_tree_counts() {
+        let net = fat_tree(4);
+        // 8 edge + 8 agg + 4 core = 20 switches; 8 racks.
+        assert_eq!(net.graph.num_nodes(), 20);
+        assert_eq!(net.num_racks(), 8);
+        // Edges: k pods * (half*half edge-agg) + k pods * (half*half agg-core)
+        // = 4*4 + 4*4 = 32.
+        assert_eq!(net.graph.num_edges(), 32);
+        assert!(net.graph.is_connected());
+        // Every edge switch has half = 2 uplinks.
+        for &r in &net.racks {
+            assert_eq!(net.graph.degree(r), 2);
+        }
+    }
+
+    #[test]
+    fn fat_tree_with_racks_covers_paper_sizes() {
+        let net100 = fat_tree_with_racks(100);
+        assert_eq!(net100.num_racks(), 100);
+        assert!(net100.graph.is_connected());
+        let net50 = fat_tree_with_racks(50);
+        assert_eq!(net50.num_racks(), 50);
+    }
+
+    #[test]
+    fn leaf_spine_structure() {
+        let net = leaf_spine(10, 4);
+        assert_eq!(net.graph.num_nodes(), 14);
+        assert_eq!(net.graph.num_edges(), 40);
+        assert_eq!(net.num_racks(), 10);
+        for l in 0..10 {
+            assert_eq!(net.graph.degree(l), 4);
+        }
+    }
+
+    #[test]
+    fn star_includes_hub_as_rack() {
+        let net = star(5);
+        assert_eq!(net.num_racks(), 6);
+        assert_eq!(net.graph.degree(0), 5);
+    }
+
+    #[test]
+    fn ring_and_torus_regular() {
+        let r = ring(7);
+        for v in 0..7 {
+            assert_eq!(r.graph.degree(v), 2);
+        }
+        let t = torus(3, 4);
+        assert_eq!(t.graph.num_nodes(), 12);
+        for v in 0..12 {
+            assert_eq!(t.graph.degree(v), 4);
+        }
+        assert!(t.graph.is_connected());
+    }
+
+    #[test]
+    fn hypercube_structure() {
+        let h = hypercube(4);
+        assert_eq!(h.graph.num_nodes(), 16);
+        for v in 0..16 {
+            assert_eq!(h.graph.degree(v), 4);
+        }
+        // Distance = Hamming distance.
+        let d = h.graph.bfs(0);
+        for v in 0..16u32 {
+            assert_eq!(d[v as usize], v.count_ones());
+        }
+    }
+
+    #[test]
+    fn random_regular_is_regular_connected_and_deterministic() {
+        let g1 = random_regular(30, 3, 42);
+        let g2 = random_regular(30, 3, 42);
+        assert!(g1.graph.is_connected());
+        for v in 0..30 {
+            assert_eq!(g1.graph.degree(v), 3);
+            assert_eq!(g2.graph.degree(v), 3);
+        }
+        // Same seed, same graph.
+        for v in 0..30 {
+            assert_eq!(g1.graph.neighbors(v), g2.graph.neighbors(v));
+        }
+    }
+
+    #[test]
+    fn complete_distances() {
+        let c = complete(6);
+        assert_eq!(c.graph.num_edges(), 15);
+        assert!(c.graph.bfs(0).iter().skip(1).all(|&d| d == 1));
+    }
+}

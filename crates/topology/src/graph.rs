@@ -1,0 +1,229 @@
+//! Compact undirected graph in CSR (compressed sparse row) form.
+//!
+//! The simulator performs BFS over switch-level topologies of at most a few
+//! hundred nodes, but does so once per rack per experiment; CSR keeps that
+//! cache-friendly and allocation-free per traversal.
+
+use std::collections::VecDeque;
+
+/// Node identifier within a [`Graph`].
+pub type NodeId = u32;
+
+/// Incremental edge-list builder for [`Graph`].
+#[derive(Clone, Debug, Default)]
+pub struct GraphBuilder {
+    num_nodes: usize,
+    edges: Vec<(NodeId, NodeId)>,
+}
+
+impl GraphBuilder {
+    /// Creates a builder for a graph with `num_nodes` isolated nodes.
+    pub fn new(num_nodes: usize) -> Self {
+        Self {
+            num_nodes,
+            edges: Vec::new(),
+        }
+    }
+
+    /// Adds an undirected edge `{u, v}`.
+    ///
+    /// Self-loops and duplicate edges are rejected with a panic: the
+    /// datacenter topologies built in this workspace never contain them, so
+    /// their appearance indicates a builder bug.
+    pub fn add_edge(&mut self, u: NodeId, v: NodeId) -> &mut Self {
+        assert!(u != v, "self-loop {u}");
+        assert!(
+            (u as usize) < self.num_nodes && (v as usize) < self.num_nodes,
+            "edge out of range"
+        );
+        self.edges.push((u, v));
+        self
+    }
+
+    /// Finalizes into a CSR graph. Panics on duplicate edges.
+    pub fn build(&self) -> Graph {
+        let n = self.num_nodes;
+        let mut degree = vec![0u32; n];
+        for &(u, v) in &self.edges {
+            degree[u as usize] += 1;
+            degree[v as usize] += 1;
+        }
+        let mut offsets = Vec::with_capacity(n + 1);
+        let mut acc = 0u32;
+        offsets.push(0);
+        for d in &degree {
+            acc += d;
+            offsets.push(acc);
+        }
+        let mut cursor: Vec<u32> = offsets[..n].to_vec();
+        let mut neighbors = vec![0 as NodeId; 2 * self.edges.len()];
+        for &(u, v) in &self.edges {
+            neighbors[cursor[u as usize] as usize] = v;
+            cursor[u as usize] += 1;
+            neighbors[cursor[v as usize] as usize] = u;
+            cursor[v as usize] += 1;
+        }
+        let graph = Graph {
+            offsets,
+            neighbors,
+            num_edges: self.edges.len(),
+        };
+        graph.assert_simple();
+        graph
+    }
+}
+
+/// Immutable undirected graph in CSR form.
+#[derive(Clone, Debug)]
+pub struct Graph {
+    /// `offsets[v]..offsets[v+1]` indexes `neighbors` for node `v`.
+    offsets: Vec<u32>,
+    neighbors: Vec<NodeId>,
+    num_edges: usize,
+}
+
+impl Graph {
+    /// Number of nodes.
+    #[inline]
+    pub fn num_nodes(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Number of undirected edges.
+    #[inline]
+    pub fn num_edges(&self) -> usize {
+        self.num_edges
+    }
+
+    /// Degree of node `v`.
+    #[inline]
+    pub fn degree(&self, v: NodeId) -> usize {
+        (self.offsets[v as usize + 1] - self.offsets[v as usize]) as usize
+    }
+
+    /// Neighbors of node `v`.
+    #[inline]
+    pub fn neighbors(&self, v: NodeId) -> &[NodeId] {
+        &self.neighbors[self.offsets[v as usize] as usize..self.offsets[v as usize + 1] as usize]
+    }
+
+    /// Breadth-first distances (in hops) from `source` to every node;
+    /// `u32::MAX` marks unreachable nodes. `scratch` is reused across calls
+    /// to avoid reallocation; it is resized as needed.
+    pub fn bfs_into(&self, source: NodeId, dist: &mut Vec<u32>, queue: &mut VecDeque<NodeId>) {
+        let n = self.num_nodes();
+        dist.clear();
+        dist.resize(n, u32::MAX);
+        queue.clear();
+        dist[source as usize] = 0;
+        queue.push_back(source);
+        while let Some(u) = queue.pop_front() {
+            let du = dist[u as usize];
+            for &w in self.neighbors(u) {
+                if dist[w as usize] == u32::MAX {
+                    dist[w as usize] = du + 1;
+                    queue.push_back(w);
+                }
+            }
+        }
+    }
+
+    /// Convenience wrapper around [`Graph::bfs_into`] allocating fresh buffers.
+    pub fn bfs(&self, source: NodeId) -> Vec<u32> {
+        let mut dist = Vec::new();
+        let mut queue = VecDeque::new();
+        self.bfs_into(source, &mut dist, &mut queue);
+        dist
+    }
+
+    /// Whether the graph is connected (true for the empty graph).
+    pub fn is_connected(&self) -> bool {
+        if self.num_nodes() == 0 {
+            return true;
+        }
+        self.bfs(0).iter().all(|&d| d != u32::MAX)
+    }
+
+    fn assert_simple(&self) {
+        for v in 0..self.num_nodes() as NodeId {
+            let nb = self.neighbors(v);
+            let mut sorted: Vec<NodeId> = nb.to_vec();
+            sorted.sort_unstable();
+            sorted.dedup();
+            assert_eq!(sorted.len(), nb.len(), "duplicate edge at node {v}");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn path_graph(n: usize) -> Graph {
+        let mut b = GraphBuilder::new(n);
+        for i in 0..n - 1 {
+            b.add_edge(i as NodeId, (i + 1) as NodeId);
+        }
+        b.build()
+    }
+
+    #[test]
+    fn csr_layout() {
+        let mut b = GraphBuilder::new(4);
+        b.add_edge(0, 1)
+            .add_edge(1, 2)
+            .add_edge(2, 3)
+            .add_edge(3, 0);
+        let g = b.build();
+        assert_eq!(g.num_nodes(), 4);
+        assert_eq!(g.num_edges(), 4);
+        for v in 0..4 {
+            assert_eq!(g.degree(v), 2);
+        }
+        let mut nb: Vec<_> = g.neighbors(0).to_vec();
+        nb.sort_unstable();
+        assert_eq!(nb, vec![1, 3]);
+    }
+
+    #[test]
+    fn bfs_distances_on_path() {
+        let g = path_graph(5);
+        assert_eq!(g.bfs(0), vec![0, 1, 2, 3, 4]);
+        assert_eq!(g.bfs(2), vec![2, 1, 0, 1, 2]);
+    }
+
+    #[test]
+    fn disconnected_detected() {
+        let mut b = GraphBuilder::new(4);
+        b.add_edge(0, 1).add_edge(2, 3);
+        let g = b.build();
+        assert!(!g.is_connected());
+        assert_eq!(g.bfs(0)[2], u32::MAX);
+        assert!(path_graph(3).is_connected());
+    }
+
+    #[test]
+    #[should_panic(expected = "self-loop")]
+    fn rejects_self_loop() {
+        GraphBuilder::new(2).add_edge(1, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate edge")]
+    fn rejects_duplicate_edge() {
+        let mut b = GraphBuilder::new(2);
+        b.add_edge(0, 1).add_edge(1, 0);
+        b.build();
+    }
+
+    #[test]
+    fn bfs_into_reuses_buffers() {
+        let g = path_graph(6);
+        let mut dist = Vec::new();
+        let mut queue = VecDeque::new();
+        g.bfs_into(1, &mut dist, &mut queue);
+        assert_eq!(dist, vec![1, 0, 1, 2, 3, 4]);
+        g.bfs_into(5, &mut dist, &mut queue);
+        assert_eq!(dist, vec![5, 4, 3, 2, 1, 0]);
+    }
+}

@@ -1,0 +1,120 @@
+//! Unordered rack pairs — the request/matching-edge currency of the model.
+//!
+//! A request is a pair `{s, t} ∈ V²` (§1.1); a matching edge is likewise an
+//! unordered pair. `Pair` normalizes the order and packs into a `u64` so it
+//! can serve as a cheap hash key throughout the workspace.
+
+use crate::graph::NodeId;
+
+/// An unordered pair of distinct rack indices, stored with `lo() < hi()`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Pair(u64);
+
+impl Pair {
+    /// Creates a pair; panics if `a == b` (requests are between distinct racks).
+    #[inline]
+    pub fn new(a: NodeId, b: NodeId) -> Self {
+        assert!(a != b, "pair endpoints must differ (got {a})");
+        let (lo, hi) = if a < b { (a, b) } else { (b, a) };
+        Pair(((lo as u64) << 32) | hi as u64)
+    }
+
+    /// Smaller endpoint.
+    #[inline]
+    pub fn lo(self) -> NodeId {
+        (self.0 >> 32) as NodeId
+    }
+
+    /// Larger endpoint.
+    #[inline]
+    pub fn hi(self) -> NodeId {
+        self.0 as NodeId
+    }
+
+    /// Both endpoints as `(lo, hi)`.
+    #[inline]
+    pub fn endpoints(self) -> (NodeId, NodeId) {
+        (self.lo(), self.hi())
+    }
+
+    /// Given one endpoint, returns the other; panics if `v` is not an endpoint.
+    #[inline]
+    pub fn other(self, v: NodeId) -> NodeId {
+        if v == self.lo() {
+            self.hi()
+        } else if v == self.hi() {
+            self.lo()
+        } else {
+            panic!("{v} is not an endpoint of {self:?}")
+        }
+    }
+
+    /// Whether `v` is one of the endpoints.
+    #[inline]
+    pub fn contains(self, v: NodeId) -> bool {
+        v == self.lo() || v == self.hi()
+    }
+
+    /// Packed representation (usable as a dense/stable key).
+    #[inline]
+    pub fn packed(self) -> u64 {
+        self.0
+    }
+
+    /// Rebuilds from [`Pair::packed`].
+    #[inline]
+    pub fn from_packed(packed: u64) -> Self {
+        let p = Pair(packed);
+        debug_assert!(p.lo() < p.hi());
+        p
+    }
+}
+
+impl std::fmt::Display for Pair {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{{{}, {}}}", self.lo(), self.hi())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn normalizes_order() {
+        assert_eq!(Pair::new(3, 7), Pair::new(7, 3));
+        assert_eq!(Pair::new(3, 7).lo(), 3);
+        assert_eq!(Pair::new(3, 7).hi(), 7);
+    }
+
+    #[test]
+    fn other_endpoint() {
+        let p = Pair::new(2, 9);
+        assert_eq!(p.other(2), 9);
+        assert_eq!(p.other(9), 2);
+        assert!(p.contains(2) && p.contains(9) && !p.contains(5));
+    }
+
+    #[test]
+    #[should_panic(expected = "not an endpoint")]
+    fn other_rejects_non_endpoint() {
+        Pair::new(2, 9).other(4);
+    }
+
+    #[test]
+    #[should_panic(expected = "must differ")]
+    fn rejects_degenerate() {
+        Pair::new(5, 5);
+    }
+
+    #[test]
+    fn packed_roundtrip() {
+        let p = Pair::new(123, 456);
+        assert_eq!(Pair::from_packed(p.packed()), p);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Pair::new(9, 2).to_string(), "{2, 9}");
+    }
+}

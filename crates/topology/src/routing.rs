@@ -1,0 +1,340 @@
+//! Shortest-path routing and link-load accounting.
+//!
+//! The cost model of §1.1 charges `ℓ_e` hops per fixed-network request —
+//! the “bandwidth tax” \[56\]: every extra hop consumes capacity on another
+//! link. This module makes that tax concrete: it extracts actual
+//! shortest paths, spreads traffic over equal-cost multipaths (ECMP, the
+//! standard fat-tree practice), and accounts per-link load, so experiments
+//! can report not just hop costs but the induced link-utilization profile
+//! that motivates reconfigurable shortcuts in the first place.
+
+use crate::builders::Network;
+use crate::graph::{Graph, NodeId};
+use crate::pair::Pair;
+use dcn_util::FxHashMap;
+use std::collections::VecDeque;
+
+/// A directed link `u -> v` of the switch graph.
+pub type Link = (NodeId, NodeId);
+
+/// Single-source shortest-path DAG: for each node, its predecessors on
+/// shortest paths from the source and the number of such paths.
+#[derive(Clone, Debug)]
+pub struct SpDag {
+    /// Source node.
+    pub source: NodeId,
+    /// `dist[v]`: hop distance from the source (u32::MAX if unreachable).
+    pub dist: Vec<u32>,
+    /// `preds[v]`: neighbors of v that lie on a shortest source→v path.
+    pub preds: Vec<Vec<NodeId>>,
+    /// `count[v]`: number of distinct shortest source→v paths (saturating).
+    pub count: Vec<u64>,
+}
+
+impl SpDag {
+    /// BFS from `source`, recording all shortest-path predecessors.
+    pub fn build(graph: &Graph, source: NodeId) -> Self {
+        let n = graph.num_nodes();
+        let mut dist = vec![u32::MAX; n];
+        let mut preds: Vec<Vec<NodeId>> = vec![Vec::new(); n];
+        let mut count = vec![0u64; n];
+        let mut queue = VecDeque::new();
+        dist[source as usize] = 0;
+        count[source as usize] = 1;
+        queue.push_back(source);
+        while let Some(u) = queue.pop_front() {
+            let du = dist[u as usize];
+            for &w in graph.neighbors(u) {
+                if dist[w as usize] == u32::MAX {
+                    dist[w as usize] = du + 1;
+                    queue.push_back(w);
+                }
+                if dist[w as usize] == du + 1 {
+                    preds[w as usize].push(u);
+                    count[w as usize] = count[w as usize].saturating_add(count[u as usize]);
+                }
+            }
+        }
+        Self {
+            source,
+            dist,
+            preds,
+            count,
+        }
+    }
+
+    /// One canonical shortest path source→`target` (lexicographically
+    /// smallest predecessor chain), or `None` if unreachable.
+    pub fn path_to(&self, target: NodeId) -> Option<Vec<NodeId>> {
+        if self.dist[target as usize] == u32::MAX {
+            return None;
+        }
+        let mut path = vec![target];
+        let mut cur = target;
+        while cur != self.source {
+            let &p = self.preds[cur as usize]
+                .iter()
+                .min()
+                .expect("reachable node has preds");
+            path.push(p);
+            cur = p;
+        }
+        path.reverse();
+        Some(path)
+    }
+
+    /// Number of shortest paths to `target`.
+    pub fn num_paths(&self, target: NodeId) -> u64 {
+        self.count[target as usize]
+    }
+}
+
+/// Per-link load ledger over a switch topology, with ECMP traffic splitting.
+///
+/// Loads are fractional because ECMP splits a request's unit of traffic
+/// equally over all shortest paths (the fluid model standard in
+/// throughput analyses \[2, 58\]).
+#[derive(Clone, Debug)]
+pub struct LinkLoads {
+    loads: FxHashMap<Link, f64>,
+    /// Total traffic units routed (requests × hops, fractional).
+    pub total_hop_traffic: f64,
+}
+
+impl Default for LinkLoads {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LinkLoads {
+    /// Empty ledger.
+    pub fn new() -> Self {
+        Self {
+            loads: FxHashMap::default(),
+            total_hop_traffic: 0.0,
+        }
+    }
+
+    /// Adds `amount` units on the directed link.
+    pub fn add(&mut self, link: Link, amount: f64) {
+        *self.loads.entry(link).or_insert(0.0) += amount;
+        self.total_hop_traffic += amount;
+    }
+
+    /// Load of a directed link.
+    pub fn get(&self, link: Link) -> f64 {
+        self.loads.get(&link).copied().unwrap_or(0.0)
+    }
+
+    /// Maximum link load (0 for an empty ledger).
+    pub fn max_load(&self) -> f64 {
+        self.loads.values().copied().fold(0.0, f64::max)
+    }
+
+    /// Number of links carrying non-zero load.
+    pub fn active_links(&self) -> usize {
+        self.loads.len()
+    }
+
+    /// Mean load over active links.
+    pub fn mean_load(&self) -> f64 {
+        if self.loads.is_empty() {
+            0.0
+        } else {
+            self.loads.values().sum::<f64>() / self.loads.len() as f64
+        }
+    }
+}
+
+/// ECMP router over a fixed network: splits each rack-to-rack unit of
+/// traffic equally across all shortest switch-level paths.
+pub struct EcmpRouter<'a> {
+    net: &'a Network,
+    dags: Vec<SpDag>,
+}
+
+impl<'a> EcmpRouter<'a> {
+    /// Precomputes one shortest-path DAG per rack.
+    pub fn new(net: &'a Network) -> Self {
+        let dags = net
+            .racks
+            .iter()
+            .map(|&r| SpDag::build(&net.graph, r))
+            .collect();
+        Self { net, dags }
+    }
+
+    /// Spreads one unit of traffic for rack pair `pair` over the fixed
+    /// network into `loads` (ECMP fractional splitting).
+    ///
+    /// Implementation: walk the shortest-path DAG from the destination back
+    /// toward the source, distributing each node's incoming share equally
+    /// over its shortest-path predecessors weighted by path counts.
+    pub fn route_fixed(&self, pair: Pair, loads: &mut LinkLoads) {
+        let src_rack = pair.lo() as usize;
+        let dag = &self.dags[src_rack];
+        let target = self.net.racks[pair.hi() as usize];
+        assert!(dag.dist[target as usize] != u32::MAX, "disconnected pair");
+        // share[v]: traffic flowing through v toward the source.
+        let mut share: FxHashMap<NodeId, f64> = FxHashMap::default();
+        share.insert(target, 1.0);
+        // Process nodes in decreasing distance (walk back level by level).
+        let mut frontier = vec![target];
+        while let Some(v) = frontier.pop() {
+            let amount = share.remove(&v).unwrap_or(0.0);
+            if amount == 0.0 || v == dag.source {
+                continue;
+            }
+            // Split over predecessors proportionally to their path counts.
+            let total: f64 = dag.preds[v as usize]
+                .iter()
+                .map(|&p| dag.count[p as usize] as f64)
+                .sum();
+            for &p in &dag.preds[v as usize] {
+                let frac = amount * dag.count[p as usize] as f64 / total;
+                // Traffic flows p -> v.
+                loads.add((p, v), frac);
+                let entry = share.entry(p).or_insert(0.0);
+                let was_zero = *entry == 0.0;
+                *entry += frac;
+                if was_zero {
+                    frontier.push(p);
+                }
+            }
+            // Keep frontier sorted by distance descending so shares are
+            // complete before a node is processed.
+            frontier.sort_by_key(|&u| dag.dist[u as usize]);
+        }
+    }
+
+    /// Routes one unit over a direct matching edge (rack-to-rack optical
+    /// circuit): a single logical link, tagged with the rack node ids.
+    pub fn route_matching(&self, pair: Pair, loads: &mut LinkLoads) {
+        let u = self.net.racks[pair.lo() as usize];
+        let v = self.net.racks[pair.hi() as usize];
+        loads.add((u, v), 1.0);
+    }
+
+    /// Replays a trace against a static matching; returns
+    /// `(fixed-network loads, matching-edge loads)`.
+    pub fn replay(&self, requests: &[Pair], matching: &[Pair]) -> (LinkLoads, LinkLoads) {
+        let in_m: std::collections::HashSet<Pair> = matching.iter().copied().collect();
+        let mut fixed = LinkLoads::new();
+        let mut optical = LinkLoads::new();
+        for &r in requests {
+            if in_m.contains(&r) {
+                self.route_matching(r, &mut optical);
+            } else {
+                self.route_fixed(r, &mut fixed);
+            }
+        }
+        (fixed, optical)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builders;
+
+    #[test]
+    fn dag_distances_match_bfs() {
+        let net = builders::fat_tree(4);
+        let dag = SpDag::build(&net.graph, 0);
+        assert_eq!(dag.dist, net.graph.bfs(0));
+    }
+
+    #[test]
+    fn path_extraction_is_shortest() {
+        let net = builders::fat_tree(4);
+        let dag = SpDag::build(&net.graph, 0);
+        for target in 0..net.graph.num_nodes() as NodeId {
+            let path = dag.path_to(target).expect("connected");
+            assert_eq!(path.len() as u32 - 1, dag.dist[target as usize]);
+            assert_eq!(path[0], 0);
+            assert_eq!(*path.last().expect("non-empty"), target);
+            // Consecutive hops are edges.
+            for w in path.windows(2) {
+                assert!(net.graph.neighbors(w[0]).contains(&w[1]));
+            }
+        }
+    }
+
+    #[test]
+    fn fat_tree_cross_pod_has_multiple_paths() {
+        let net = builders::fat_tree(4);
+        let dag = SpDag::build(&net.graph, 0);
+        // Cross-pod rack (rack 2 = edge switch of pod 1): 2 aggs × 2 cores
+        // give 4 shortest paths.
+        assert_eq!(dag.num_paths(2), 4);
+        // Same-pod rack: one per shared aggregation switch = 2.
+        assert_eq!(dag.num_paths(1), 2);
+    }
+
+    #[test]
+    fn ecmp_conserves_traffic() {
+        let net = builders::fat_tree(4);
+        let router = EcmpRouter::new(&net);
+        let mut loads = LinkLoads::new();
+        router.route_fixed(Pair::new(0, 5), &mut loads);
+        // Total hop-traffic equals the path length (4 for cross-pod).
+        assert!(
+            (loads.total_hop_traffic - 4.0).abs() < 1e-9,
+            "{}",
+            loads.total_hop_traffic
+        );
+        // First-hop links out of the source edge switch carry 1.0 total.
+        let out: f64 = net
+            .graph
+            .neighbors(0)
+            .iter()
+            .map(|&a| loads.get((0, a)))
+            .sum();
+        assert!((out - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ecmp_splits_equally_on_symmetric_topology() {
+        let net = builders::leaf_spine(4, 3);
+        let router = EcmpRouter::new(&net);
+        let mut loads = LinkLoads::new();
+        router.route_fixed(Pair::new(0, 1), &mut loads);
+        // 3 spines, each shortest path 0->spine->1: each spine link carries 1/3.
+        for s in 0..3u32 {
+            let spine = 4 + s;
+            assert!((loads.get((0, spine)) - 1.0 / 3.0).abs() < 1e-9);
+            assert!((loads.get((spine, 1)) - 1.0 / 3.0).abs() < 1e-9);
+        }
+        assert!((loads.total_hop_traffic - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn matching_offload_reduces_max_fixed_load() {
+        // A hot pair hammered 100x: offloading it to a matching edge must
+        // drain the fixed network.
+        let net = builders::leaf_spine(6, 2);
+        let router = EcmpRouter::new(&net);
+        let hot = Pair::new(0, 1);
+        let requests = vec![hot; 100];
+        let (fixed_none, _) = router.replay(&requests, &[]);
+        let (fixed_matched, optical) = router.replay(&requests, &[hot]);
+        assert!(fixed_none.max_load() > 0.0);
+        assert_eq!(fixed_matched.max_load(), 0.0);
+        assert_eq!(optical.max_load(), 100.0);
+    }
+
+    #[test]
+    fn load_ledger_stats() {
+        let mut l = LinkLoads::new();
+        assert_eq!(l.max_load(), 0.0);
+        l.add((0, 1), 2.0);
+        l.add((1, 2), 4.0);
+        l.add((0, 1), 1.0);
+        assert_eq!(l.get((0, 1)), 3.0);
+        assert_eq!(l.max_load(), 4.0);
+        assert_eq!(l.active_links(), 2);
+        assert!((l.mean_load() - 3.5).abs() < 1e-12);
+        assert!((l.total_hop_traffic - 7.0).abs() < 1e-12);
+    }
+}

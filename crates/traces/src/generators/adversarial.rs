@@ -1,0 +1,93 @@
+//! Adversarial block sequences on the star graph — the lower-bound
+//! construction of §2.4 (Lemma 1).
+//!
+//! The reduction maps a (b,a)-paging request for item `v_i` to a *block* of
+//! `α` consecutive requests to the node pair `{v0, v_i}` on a star with hub
+//! `v0`. An algorithm that does not hold `{v0, v_i}` as a matching edge pays
+//! ≈ α·ℓ for the block; holding it costs 1 per request plus α per
+//! reconfiguration — exactly the paging trade-off scaled by α.
+
+use crate::trace::Trace;
+use dcn_topology::Pair;
+use dcn_util::rngx::derive_seed;
+use rand::rngs::SmallRng;
+use rand::{RngExt, SeedableRng};
+
+/// Oblivious nemesis: each block picks a spoke uniformly from `1..=spokes`
+/// (a universe of `spokes` items; choose `spokes = b + 1` to stress a cache
+/// of size `b`). Produces `num_blocks` blocks of `alpha` requests each, on
+/// the star network with racks `0..=spokes` (hub = rack 0).
+pub fn star_uniform_blocks(spokes: usize, alpha: usize, num_blocks: usize, seed: u64) -> Trace {
+    assert!(spokes >= 2 && alpha >= 1);
+    let mut rng = SmallRng::seed_from_u64(derive_seed(seed, 0xAD));
+    let mut requests = Vec::with_capacity(alpha * num_blocks);
+    for _ in 0..num_blocks {
+        let spoke = rng.random_range(1..=(spokes as u32));
+        let pair = Pair::new(0, spoke);
+        requests.extend(std::iter::repeat_n(pair, alpha));
+    }
+    Trace::new(
+        spokes + 1,
+        requests,
+        format!("star-nemesis(spokes={spokes}, alpha={alpha})"),
+    )
+}
+
+/// Round-robin nemesis: blocks cycle deterministically through all spokes —
+/// the classic worst case for LRU-like deterministic schemes when the cache
+/// holds `spokes - 1` items.
+pub fn star_round_robin_blocks(spokes: usize, alpha: usize, num_blocks: usize) -> Trace {
+    assert!(spokes >= 2 && alpha >= 1);
+    let mut requests = Vec::with_capacity(alpha * num_blocks);
+    for blk in 0..num_blocks {
+        let spoke = (blk % spokes) as u32 + 1;
+        requests.extend(std::iter::repeat_n(Pair::new(0, spoke), alpha));
+    }
+    Trace::new(
+        spokes + 1,
+        requests,
+        format!("star-rr(spokes={spokes}, alpha={alpha})"),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn block_structure() {
+        let t = star_uniform_blocks(5, 7, 100, 3);
+        assert_eq!(t.len(), 700);
+        // Every request involves the hub.
+        assert!(t.requests.iter().all(|r| r.lo() == 0));
+        // Requests arrive in runs of alpha.
+        for chunk in t.requests.chunks_exact(7) {
+            assert!(
+                chunk.iter().all(|&r| r == chunk[0]),
+                "block must repeat one pair"
+            );
+        }
+    }
+
+    #[test]
+    fn round_robin_cycles() {
+        let t = star_round_robin_blocks(3, 2, 6);
+        let spokes: Vec<u32> = t.requests.chunks_exact(2).map(|c| c[0].hi()).collect();
+        assert_eq!(spokes, vec![1, 2, 3, 1, 2, 3]);
+    }
+
+    #[test]
+    fn uniform_nemesis_touches_all_spokes() {
+        let t = star_uniform_blocks(6, 1, 5000, 1);
+        let distinct: std::collections::HashSet<u32> = t.requests.iter().map(|r| r.hi()).collect();
+        assert_eq!(distinct.len(), 6);
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(
+            star_uniform_blocks(4, 3, 50, 9).requests,
+            star_uniform_blocks(4, 3, 50, 9).requests
+        );
+    }
+}

@@ -1,0 +1,144 @@
+//! Microsoft-like workload (substitute for the ProjecToR \[32\] rack-to-rack
+//! probability matrix used in the paper's Fig. 4).
+//!
+//! The paper itself *generates* its Microsoft trace by sampling i.i.d. from
+//! a probability matrix: “In order to generate a trace, we sample from this
+//! distribution i.i.d. Hence, this trace does not contain any temporal
+//! structure by design. However, it is known that it contains significant
+//! spatial structure (i.e., is skewed).” We reproduce exactly that recipe
+//! with a synthetic matrix of the same character: heavy-tailed pair weights
+//! (product of Zipf rack popularities with log-normal-style noise), i.i.d.
+//! sampling, no temporal correlation.
+
+use crate::sampler::{zipf_weights, AliasTable};
+use crate::trace::Trace;
+use dcn_topology::Pair;
+use dcn_util::rngx::derive_seed;
+use rand::rngs::SmallRng;
+use rand::{RngExt, SeedableRng};
+
+/// Parameters of the synthetic traffic matrix.
+#[derive(Clone, Copy, Debug)]
+pub struct MicrosoftParams {
+    /// Zipf exponent of rack popularity (drives the spatial skew).
+    pub rack_skew: f64,
+    /// Standard deviation of multiplicative log-noise on each pair weight.
+    pub noise_sigma: f64,
+}
+
+impl Default for MicrosoftParams {
+    fn default() -> Self {
+        Self {
+            rack_skew: 1.1,
+            noise_sigma: 1.0,
+        }
+    }
+}
+
+/// Builds the synthetic rack-to-rack weight matrix (upper triangle, indexed
+/// by pair) and returns `(pairs, weights)`.
+pub fn microsoft_matrix(
+    num_racks: usize,
+    params: MicrosoftParams,
+    seed: u64,
+) -> (Vec<Pair>, Vec<f64>) {
+    assert!(num_racks >= 2);
+    let mut rng = SmallRng::seed_from_u64(derive_seed(seed, 0x7153));
+    let mut perm: Vec<u32> = (0..num_racks as u32).collect();
+    for i in (1..perm.len()).rev() {
+        let j = rng.random_range(0..=i);
+        perm.swap(i, j);
+    }
+    let pop = zipf_weights(num_racks, params.rack_skew);
+    let mut pairs = Vec::with_capacity(num_racks * (num_racks - 1) / 2);
+    let mut weights = Vec::with_capacity(pairs.capacity());
+    for i in 0..num_racks {
+        for j in (i + 1)..num_racks {
+            // Box-Muller-free log-noise: sum of uniforms approximates a
+            // normal well enough for a heavy-ish tail here.
+            let g: f64 = (0..4).map(|_| rng.random_range(-1.0..1.0f64)).sum::<f64>() * 0.5;
+            let noise = (params.noise_sigma * g).exp();
+            pairs.push(Pair::new(perm[i], perm[j]));
+            weights.push(pop[i] * pop[j] * noise);
+        }
+    }
+    (pairs, weights)
+}
+
+/// Generates an i.i.d. trace of `len` requests over `num_racks` racks.
+pub fn microsoft_trace(num_racks: usize, len: usize, params: MicrosoftParams, seed: u64) -> Trace {
+    let (pairs, weights) = microsoft_matrix(num_racks, params, seed);
+    let table = AliasTable::new(&weights);
+    let mut rng = SmallRng::seed_from_u64(derive_seed(seed, 0x7154));
+    let requests = (0..len)
+        .map(|_| pairs[table.sample(&mut rng) as usize])
+        .collect();
+    Trace::new(num_racks, requests, format!("microsoft(n={num_racks})"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::TraceStats;
+
+    #[test]
+    fn deterministic_and_in_range() {
+        let a = microsoft_trace(20, 10_000, MicrosoftParams::default(), 4);
+        let b = microsoft_trace(20, 10_000, MicrosoftParams::default(), 4);
+        assert_eq!(a.requests, b.requests);
+        for r in &a.requests {
+            assert!((r.hi() as usize) < 20);
+        }
+    }
+
+    #[test]
+    fn spatially_skewed() {
+        let t = microsoft_trace(50, 100_000, MicrosoftParams::default(), 9);
+        let gini = TraceStats::compute(&t).pair_gini;
+        assert!(gini > 0.5, "traffic matrix should be skewed, gini {gini}");
+    }
+
+    #[test]
+    fn no_temporal_structure() {
+        // The canonical test: randomly permuting an i.i.d. trace leaves its
+        // reuse-distance profile unchanged (there is no temporal structure
+        // to destroy), whereas permuting a bursty trace inflates it.
+        fn shuffled_ratio(trace: &crate::trace::Trace, seed: u64) -> f64 {
+            use rand::rngs::SmallRng;
+            use rand::{RngExt, SeedableRng};
+            let before = TraceStats::compute(trace).median_reuse_distance;
+            let mut rng = SmallRng::seed_from_u64(seed);
+            let mut shuffled = trace.clone();
+            for i in (1..shuffled.requests.len()).rev() {
+                let j = rng.random_range(0..=i);
+                shuffled.requests.swap(i, j);
+            }
+            TraceStats::compute(&shuffled).median_reuse_distance / before
+        }
+        let iid = microsoft_trace(50, 50_000, MicrosoftParams::default(), 2);
+        let iid_ratio = shuffled_ratio(&iid, 1);
+        assert!(
+            (0.6..=1.6).contains(&iid_ratio),
+            "shuffling an i.i.d. trace should not change reuse (ratio {iid_ratio})"
+        );
+        let bursty = crate::generators::facebook::facebook_cluster_trace(
+            crate::generators::facebook::FacebookCluster::Database,
+            50,
+            50_000,
+            2,
+        );
+        let bursty_ratio = shuffled_ratio(&bursty, 1);
+        assert!(
+            bursty_ratio > 1.5,
+            "shuffling a bursty trace should inflate reuse distances (ratio {bursty_ratio})"
+        );
+    }
+
+    #[test]
+    fn matrix_covers_all_pairs() {
+        let (pairs, weights) = microsoft_matrix(10, MicrosoftParams::default(), 1);
+        assert_eq!(pairs.len(), 45);
+        assert_eq!(weights.len(), 45);
+        assert!(weights.iter().all(|&w| w > 0.0));
+    }
+}

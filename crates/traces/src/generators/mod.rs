@@ -1,0 +1,7 @@
+//! Workload generators: Facebook-like clusters, Microsoft-like traffic
+//! matrices, synthetic references and adversarial sequences.
+
+pub mod adversarial;
+pub mod facebook;
+pub mod microsoft;
+pub mod synthetic;

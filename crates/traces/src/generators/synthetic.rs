@@ -1,0 +1,170 @@
+//! Reference synthetic workloads: uniform, fixed permutation, hotspot and
+//! pure-Zipf pair traces. These bracket the structured generators: uniform
+//! has no structure at all (worst case for demand-aware networks),
+//! permutation is the best case (a perfect matching exists), hotspot and
+//! Zipf interpolate.
+
+use crate::sampler::{zipf_weights, AliasTable};
+use crate::trace::Trace;
+use dcn_topology::Pair;
+use dcn_util::rngx::derive_seed;
+use rand::rngs::SmallRng;
+use rand::{RngExt, SeedableRng};
+
+/// Uniform i.i.d. requests over all distinct pairs.
+pub fn uniform_trace(num_racks: usize, len: usize, seed: u64) -> Trace {
+    assert!(num_racks >= 2);
+    let mut rng = SmallRng::seed_from_u64(derive_seed(seed, 0x01));
+    let requests = (0..len)
+        .map(|_| {
+            let a = rng.random_range(0..num_racks as u32);
+            let mut b = rng.random_range(0..num_racks as u32 - 1);
+            if b >= a {
+                b += 1;
+            }
+            Pair::new(a, b)
+        })
+        .collect();
+    Trace::new(num_racks, requests, format!("uniform(n={num_racks})"))
+}
+
+/// Requests cycle deterministically over a fixed random perfect-matching-like
+/// permutation: rack `i` talks only to `π(i)`. The ideal case for
+/// reconfigurable links — b=1 already serves everything after one
+/// reconfiguration per pair.
+pub fn permutation_trace(num_racks: usize, len: usize, seed: u64) -> Trace {
+    assert!(
+        num_racks >= 2 && num_racks.is_multiple_of(2),
+        "permutation trace needs an even rack count"
+    );
+    let mut rng = SmallRng::seed_from_u64(derive_seed(seed, 0x02));
+    let mut racks: Vec<u32> = (0..num_racks as u32).collect();
+    for i in (1..racks.len()).rev() {
+        let j = rng.random_range(0..=i);
+        racks.swap(i, j);
+    }
+    let pairs: Vec<Pair> = racks
+        .chunks_exact(2)
+        .map(|c| Pair::new(c[0], c[1]))
+        .collect();
+    let requests = (0..len).map(|t| pairs[t % pairs.len()]).collect();
+    Trace::new(num_racks, requests, format!("permutation(n={num_racks})"))
+}
+
+/// A few hot racks exchange most of the traffic; the rest is uniform noise.
+pub fn hotspot_trace(num_racks: usize, len: usize, num_hot: usize, p_hot: f64, seed: u64) -> Trace {
+    assert!(num_racks >= 4 && num_hot >= 2 && num_hot <= num_racks);
+    assert!((0.0..=1.0).contains(&p_hot));
+    let mut rng = SmallRng::seed_from_u64(derive_seed(seed, 0x03));
+    let requests = (0..len)
+        .map(|_| {
+            if rng.random_range(0.0..1.0f64) < p_hot {
+                let a = rng.random_range(0..num_hot as u32);
+                let mut b = rng.random_range(0..num_hot as u32 - 1);
+                if b >= a {
+                    b += 1;
+                }
+                Pair::new(a, b)
+            } else {
+                let a = rng.random_range(0..num_racks as u32);
+                let mut b = rng.random_range(0..num_racks as u32 - 1);
+                if b >= a {
+                    b += 1;
+                }
+                Pair::new(a, b)
+            }
+        })
+        .collect();
+    Trace::new(
+        num_racks,
+        requests,
+        format!("hotspot({num_hot}/{num_racks})"),
+    )
+}
+
+/// I.i.d. requests where pair ranks follow a Zipf law with exponent `s` —
+/// the knob for the skew-sweep ablation.
+pub fn zipf_pair_trace(num_racks: usize, len: usize, s: f64, seed: u64) -> Trace {
+    assert!(num_racks >= 2);
+    let mut rng = SmallRng::seed_from_u64(derive_seed(seed, 0x04));
+    let mut pairs: Vec<Pair> = (0..num_racks as u32)
+        .flat_map(|a| ((a + 1)..num_racks as u32).map(move |b| Pair::new(a, b)))
+        .collect();
+    // Random rank assignment.
+    for i in (1..pairs.len()).rev() {
+        let j = rng.random_range(0..=i);
+        pairs.swap(i, j);
+    }
+    let table = AliasTable::new(&zipf_weights(pairs.len(), s));
+    let requests = (0..len)
+        .map(|_| pairs[table.sample(&mut rng) as usize])
+        .collect();
+    Trace::new(num_racks, requests, format!("zipf(s={s})"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::TraceStats;
+
+    #[test]
+    fn uniform_covers_pairs_evenly() {
+        let t = uniform_trace(10, 50_000, 1);
+        let stats = TraceStats::compute(&t);
+        assert_eq!(stats.distinct_pairs, 45);
+        assert!(
+            stats.pair_gini < 0.15,
+            "uniform should have tiny gini, got {}",
+            stats.pair_gini
+        );
+    }
+
+    #[test]
+    fn permutation_uses_each_rack_once() {
+        let t = permutation_trace(10, 1000, 2);
+        let stats = TraceStats::compute(&t);
+        assert_eq!(stats.distinct_pairs, 5);
+        // Every rack appears in exactly one pair.
+        let mut seen = std::collections::HashSet::new();
+        for r in &t.requests {
+            seen.insert(r.lo());
+            seen.insert(r.hi());
+        }
+        assert_eq!(seen.len(), 10);
+    }
+
+    #[test]
+    fn hotspot_concentrates() {
+        let t = hotspot_trace(20, 50_000, 4, 0.8, 3);
+        let hot_share = t.requests.iter().filter(|r| r.hi() < 4).count() as f64 / t.len() as f64;
+        assert!(hot_share > 0.75, "hot share {hot_share}");
+    }
+
+    #[test]
+    fn zipf_skew_monotone_in_s() {
+        let g1 = TraceStats::compute(&zipf_pair_trace(15, 40_000, 0.5, 4)).pair_gini;
+        let g2 = TraceStats::compute(&zipf_pair_trace(15, 40_000, 1.5, 4)).pair_gini;
+        assert!(
+            g2 > g1,
+            "higher exponent must be more skewed ({g1} vs {g2})"
+        );
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(
+            uniform_trace(8, 100, 5).requests,
+            uniform_trace(8, 100, 5).requests
+        );
+        assert_eq!(
+            zipf_pair_trace(8, 100, 1.0, 5).requests,
+            zipf_pair_trace(8, 100, 1.0, 5).requests
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "even rack count")]
+    fn permutation_rejects_odd() {
+        permutation_trace(7, 10, 0);
+    }
+}

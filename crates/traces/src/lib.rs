@@ -1,0 +1,45 @@
+//! # dcn-traces
+//!
+//! The **workload substrate**: request traces with the spatial and temporal
+//! structure of real datacenter traffic.
+//!
+//! The paper's evaluation (§3.1) uses Facebook cluster traces (Roy et
+//! al. \[63\]) and a Microsoft rack-to-rack probability matrix (ProjecToR
+//! \[32\]). Neither dataset ships with this repository, so this crate
+//! *synthesizes* workloads with the two structural properties that — per
+//! Avin et al. \[5\], which the paper cites for exactly this point — determine
+//! how reconfigurable-network algorithms behave:
+//!
+//! * **spatial skew** (“complexity of the traffic matrix”): a small set of
+//!   rack pairs carries most traffic; and
+//! * **temporal structure** (“burstiness”): requests to a pair arrive in
+//!   correlated bursts rather than i.i.d.
+//!
+//! [`generators::facebook`] produces bursty, skewed streams with per-cluster
+//! presets (Database / WebService / Hadoop); [`generators::microsoft`]
+//! samples i.i.d. from a skewed random traffic matrix — i.i.d. sampling from
+//! a matrix is exactly how the paper generates its Microsoft workload, so
+//! that experiment transfers unchanged. [`generators::synthetic`] provides
+//! uniform / permutation / hotspot / Zipf reference workloads,
+//! [`generators::adversarial`] the star-graph block sequences of the lower
+//! bound (§2.4). [`stats`] quantifies skew (Gini, top-k coverage) and
+//! temporal locality (reuse distances), so tests can *verify* the synthetic
+//! workloads have the paper-claimed structure. [`csvio`] round-trips traces
+//! so users can feed their own real traces to the simulator.
+
+pub mod csvio;
+pub mod generators;
+pub mod sampler;
+pub mod stats;
+pub mod trace;
+
+pub use sampler::{zipf_weights, AliasTable};
+pub use stats::TraceStats;
+pub use trace::Trace;
+
+pub use generators::adversarial::{star_round_robin_blocks, star_uniform_blocks};
+pub use generators::facebook::{
+    facebook_cluster_trace, facebook_trace, FacebookCluster, FacebookParams,
+};
+pub use generators::microsoft::{microsoft_trace, MicrosoftParams};
+pub use generators::synthetic::{hotspot_trace, permutation_trace, uniform_trace, zipf_pair_trace};

@@ -1,0 +1,157 @@
+//! Weighted sampling: Walker's alias method and Zipf weight vectors.
+//!
+//! Trace generation samples millions of requests from skewed categorical
+//! distributions; the alias method gives O(1) per sample after O(n) setup.
+
+use rand::rngs::SmallRng;
+use rand::RngExt;
+
+/// Walker alias table over categories `0..n` with the given non-negative
+/// weights (not all zero).
+///
+/// ```
+/// use dcn_traces::AliasTable;
+/// use rand::rngs::SmallRng;
+/// use rand::SeedableRng;
+///
+/// let table = AliasTable::new(&[0.0, 3.0, 1.0]);
+/// let mut rng = SmallRng::seed_from_u64(1);
+/// let draw = table.sample(&mut rng);
+/// assert!(draw == 1 || draw == 2, "zero-weight category is never drawn");
+/// ```
+#[derive(Clone, Debug)]
+pub struct AliasTable {
+    prob: Vec<f64>,
+    alias: Vec<u32>,
+}
+
+impl AliasTable {
+    /// Builds the table in O(n).
+    pub fn new(weights: &[f64]) -> Self {
+        let n = weights.len();
+        assert!(n > 0, "alias table needs at least one category");
+        let total: f64 = weights.iter().sum();
+        assert!(
+            total > 0.0 && weights.iter().all(|&w| w >= 0.0),
+            "weights must be non-negative, not all zero"
+        );
+        let scale = n as f64 / total;
+        let mut prob: Vec<f64> = weights.iter().map(|&w| w * scale).collect();
+        let mut alias = vec![0u32; n];
+        let mut small: Vec<u32> = Vec::with_capacity(n);
+        let mut large: Vec<u32> = Vec::with_capacity(n);
+        for (i, &p) in prob.iter().enumerate() {
+            if p < 1.0 {
+                small.push(i as u32);
+            } else {
+                large.push(i as u32);
+            }
+        }
+        while let (Some(&s), Some(&l)) = (small.last(), large.last()) {
+            small.pop();
+            alias[s as usize] = l;
+            prob[l as usize] -= 1.0 - prob[s as usize];
+            if prob[l as usize] < 1.0 {
+                large.pop();
+                small.push(l);
+            }
+        }
+        // Numerical leftovers: everything remaining gets probability 1.
+        for &i in small.iter().chain(large.iter()) {
+            prob[i as usize] = 1.0;
+        }
+        Self { prob, alias }
+    }
+
+    /// Number of categories.
+    pub fn len(&self) -> usize {
+        self.prob.len()
+    }
+
+    /// Whether the table is empty (never true by construction).
+    pub fn is_empty(&self) -> bool {
+        self.prob.is_empty()
+    }
+
+    /// Draws one category in O(1).
+    #[inline]
+    pub fn sample(&self, rng: &mut SmallRng) -> u32 {
+        let i = rng.random_range(0..self.prob.len());
+        if rng.random_range(0.0..1.0f64) < self.prob[i] {
+            i as u32
+        } else {
+            self.alias[i]
+        }
+    }
+}
+
+/// Zipf weights `w_i = 1/(i+1)^s` for ranks `0..n`.
+///
+/// `s = 0` is uniform; real rack popularity distributions are commonly
+/// fitted with `s ∈ [0.8, 1.6]`.
+pub fn zipf_weights(n: usize, s: f64) -> Vec<f64> {
+    assert!(n > 0 && s >= 0.0);
+    (0..n).map(|i| 1.0 / ((i + 1) as f64).powf(s)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn matches_expected_frequencies() {
+        let weights = [1.0, 2.0, 3.0, 4.0];
+        let table = AliasTable::new(&weights);
+        let mut rng = SmallRng::seed_from_u64(2);
+        let mut counts = [0usize; 4];
+        const N: usize = 200_000;
+        for _ in 0..N {
+            counts[table.sample(&mut rng) as usize] += 1;
+        }
+        let total_w: f64 = weights.iter().sum();
+        for (i, &w) in weights.iter().enumerate() {
+            let expected = N as f64 * w / total_w;
+            let sd = (expected * (1.0 - w / total_w)).sqrt();
+            assert!(
+                (counts[i] as f64 - expected).abs() < 6.0 * sd,
+                "category {i}: {} vs expected {expected}",
+                counts[i]
+            );
+        }
+    }
+
+    #[test]
+    fn zero_weight_categories_never_sampled() {
+        let table = AliasTable::new(&[0.0, 1.0, 0.0]);
+        let mut rng = SmallRng::seed_from_u64(5);
+        for _ in 0..10_000 {
+            assert_eq!(table.sample(&mut rng), 1);
+        }
+    }
+
+    #[test]
+    fn single_category() {
+        let table = AliasTable::new(&[42.0]);
+        let mut rng = SmallRng::seed_from_u64(0);
+        assert_eq!(table.sample(&mut rng), 0);
+        assert_eq!(table.len(), 1);
+    }
+
+    #[test]
+    fn zipf_shapes() {
+        let u = zipf_weights(4, 0.0);
+        assert!(u.iter().all(|&w| (w - 1.0).abs() < 1e-12));
+        let z = zipf_weights(4, 1.0);
+        assert!((z[0] - 1.0).abs() < 1e-12);
+        assert!((z[3] - 0.25).abs() < 1e-12);
+        // Monotone decreasing.
+        assert!(z.windows(2).all(|w| w[0] >= w[1]));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn rejects_all_zero() {
+        AliasTable::new(&[0.0, 0.0]);
+    }
+}

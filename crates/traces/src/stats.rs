@@ -1,0 +1,147 @@
+//! Workload structure statistics: spatial skew and temporal locality.
+//!
+//! Used both by tests (to *prove* the synthetic traces have the structure
+//! the paper attributes to the real ones) and by the `trace_analysis`
+//! example.
+
+use crate::trace::Trace;
+use dcn_topology::Pair;
+use dcn_util::{gini, FxHashMap};
+
+/// Summary statistics of a trace.
+#[derive(Clone, Debug)]
+pub struct TraceStats {
+    /// Total number of requests.
+    pub total_requests: usize,
+    /// Number of distinct rack pairs appearing at least once.
+    pub distinct_pairs: usize,
+    /// Gini coefficient of per-pair request counts (0 uniform → 1 skewed).
+    pub pair_gini: f64,
+    /// Median time gap between consecutive requests to the same pair
+    /// (smaller = burstier). `f64::INFINITY` if no pair repeats.
+    pub median_reuse_distance: f64,
+    /// Fraction of requests carried by the heaviest 1% of pairs.
+    pub top1pct_share: f64,
+}
+
+impl TraceStats {
+    /// Computes all statistics in one pass (plus sorting for quantiles).
+    pub fn compute(trace: &Trace) -> Self {
+        let mut counts: FxHashMap<Pair, u64> = FxHashMap::default();
+        let mut last_seen: FxHashMap<Pair, usize> = FxHashMap::default();
+        let mut gaps: Vec<u64> = Vec::new();
+        for (t, &r) in trace.requests.iter().enumerate() {
+            *counts.entry(r).or_insert(0) += 1;
+            if let Some(prev) = last_seen.insert(r, t) {
+                gaps.push((t - prev) as u64);
+            }
+        }
+        let weights: Vec<f64> = counts.values().map(|&c| c as f64).collect();
+        let median_reuse = if gaps.is_empty() {
+            f64::INFINITY
+        } else {
+            gaps.sort_unstable();
+            gaps[gaps.len() / 2] as f64
+        };
+        let mut sorted: Vec<u64> = counts.values().copied().collect();
+        sorted.sort_unstable_by(|a, b| b.cmp(a));
+        let top_n = (sorted.len().max(100) / 100).min(sorted.len());
+        let top_share = if trace.is_empty() || sorted.is_empty() {
+            0.0
+        } else {
+            sorted[..top_n].iter().sum::<u64>() as f64 / trace.len() as f64
+        };
+        Self {
+            total_requests: trace.len(),
+            distinct_pairs: counts.len(),
+            pair_gini: gini(&weights),
+            median_reuse_distance: median_reuse,
+            top1pct_share: top_share,
+        }
+    }
+
+    /// Average fraction of a rack's traffic carried by its `k` heaviest
+    /// partners — the quantity that upper-bounds what a b-matching with
+    /// `b = k` can convert to 1-hop routes.
+    pub fn topk_partner_coverage(&self, trace: &Trace, k: usize) -> f64 {
+        let mut per_node: FxHashMap<u32, FxHashMap<u32, u64>> = FxHashMap::default();
+        for r in &trace.requests {
+            *per_node
+                .entry(r.lo())
+                .or_default()
+                .entry(r.hi())
+                .or_insert(0) += 1;
+            *per_node
+                .entry(r.hi())
+                .or_default()
+                .entry(r.lo())
+                .or_insert(0) += 1;
+        }
+        if per_node.is_empty() {
+            return 0.0;
+        }
+        let mut covered = 0u64;
+        let mut total = 0u64;
+        for partners in per_node.values() {
+            let mut counts: Vec<u64> = partners.values().copied().collect();
+            counts.sort_unstable_by(|a, b| b.cmp(a));
+            total += counts.iter().sum::<u64>();
+            covered += counts.iter().take(k).sum::<u64>();
+        }
+        covered as f64 / total as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn trace_of(n: usize, reqs: &[(u32, u32)]) -> Trace {
+        Trace::new(n, reqs.iter().map(|&(a, b)| Pair::new(a, b)).collect(), "t")
+    }
+
+    #[test]
+    fn counts_and_distinct() {
+        let t = trace_of(4, &[(0, 1), (0, 1), (2, 3)]);
+        let s = TraceStats::compute(&t);
+        assert_eq!(s.total_requests, 3);
+        assert_eq!(s.distinct_pairs, 2);
+    }
+
+    #[test]
+    fn reuse_distance_of_tight_bursts() {
+        let t = trace_of(4, &[(0, 1), (0, 1), (0, 1), (2, 3), (2, 3)]);
+        let s = TraceStats::compute(&t);
+        assert_eq!(s.median_reuse_distance, 1.0);
+    }
+
+    #[test]
+    fn no_repeats_gives_infinite_reuse() {
+        let t = trace_of(6, &[(0, 1), (2, 3), (4, 5)]);
+        assert_eq!(TraceStats::compute(&t).median_reuse_distance, f64::INFINITY);
+    }
+
+    #[test]
+    fn coverage_full_when_k_large() {
+        let t = trace_of(4, &[(0, 1), (0, 2), (0, 3), (1, 2)]);
+        let s = TraceStats::compute(&t);
+        assert!((s.topk_partner_coverage(&t, 3) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn coverage_partial_when_k_one() {
+        // Rack 0 talks to 1 (twice) and 2 (once): top-1 covers 2/3 of rack
+        // 0's traffic.
+        let t = trace_of(3, &[(0, 1), (0, 1), (0, 2)]);
+        let s = TraceStats::compute(&t);
+        let cov = s.topk_partner_coverage(&t, 1);
+        // rack0: 2/3, rack1: 2/2, rack2: 1/1 => (2+2+1)/(3+2+1) = 5/6.
+        assert!((cov - 5.0 / 6.0).abs() < 1e-9, "coverage {cov}");
+    }
+
+    #[test]
+    fn gini_zero_for_balanced() {
+        let t = trace_of(4, &[(0, 1), (2, 3), (0, 1), (2, 3)]);
+        assert!(TraceStats::compute(&t).pair_gini.abs() < 1e-12);
+    }
+}

@@ -1,0 +1,84 @@
+//! Minimal CSV emission for benchmark series.
+//!
+//! Only what the harness needs: header + rows of `Display`-able cells with
+//! RFC-4180-style quoting. Reading CSV traces lives in `dcn-traces::csvio`.
+
+use std::fmt::Display;
+use std::io::{self, Write};
+
+/// Streaming CSV writer over any [`Write`] sink.
+pub struct CsvWriter<W: Write> {
+    out: W,
+    columns: usize,
+}
+
+impl<W: Write> CsvWriter<W> {
+    /// Creates a writer and emits the header row.
+    pub fn new(mut out: W, header: &[&str]) -> io::Result<Self> {
+        let columns = header.len();
+        write_cells(&mut out, header.iter())?;
+        Ok(Self { out, columns })
+    }
+
+    /// Writes one row; panics if the cell count differs from the header.
+    pub fn write_row<D: Display>(&mut self, cells: &[D]) -> io::Result<()> {
+        assert_eq!(cells.len(), self.columns, "CSV row width mismatch");
+        write_cells(&mut self.out, cells.iter())
+    }
+
+    /// Flushes and returns the underlying sink.
+    pub fn into_inner(mut self) -> io::Result<W> {
+        self.out.flush()?;
+        Ok(self.out)
+    }
+}
+
+fn write_cells<D: Display, I: Iterator<Item = D>>(
+    out: &mut impl Write,
+    cells: I,
+) -> io::Result<()> {
+    let mut first = true;
+    for cell in cells {
+        if !first {
+            out.write_all(b",")?;
+        }
+        first = false;
+        let text = cell.to_string();
+        if text.contains([',', '"', '\n']) {
+            write!(out, "\"{}\"", text.replace('"', "\"\""))?;
+        } else {
+            out.write_all(text.as_bytes())?;
+        }
+    }
+    out.write_all(b"\n")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plain_rows() {
+        let mut w = CsvWriter::new(Vec::new(), &["a", "b"]).unwrap();
+        w.write_row(&[1, 2]).unwrap();
+        w.write_row(&[3, 4]).unwrap();
+        let bytes = w.into_inner().unwrap();
+        assert_eq!(String::from_utf8(bytes).unwrap(), "a,b\n1,2\n3,4\n");
+    }
+
+    #[test]
+    fn quoting() {
+        let mut w = CsvWriter::new(Vec::new(), &["x"]).unwrap();
+        w.write_row(&["he,llo"]).unwrap();
+        w.write_row(&["say \"hi\""]).unwrap();
+        let s = String::from_utf8(w.into_inner().unwrap()).unwrap();
+        assert_eq!(s, "x\n\"he,llo\"\n\"say \"\"hi\"\"\"\n");
+    }
+
+    #[test]
+    #[should_panic(expected = "width mismatch")]
+    fn row_width_checked() {
+        let mut w = CsvWriter::new(Vec::new(), &["a", "b"]).unwrap();
+        let _ = w.write_row(&[1]);
+    }
+}

@@ -1,0 +1,146 @@
+//! Fx-style multiplicative hashing.
+//!
+//! A reimplementation of the well-known `FxHasher` used by rustc: a
+//! fold-and-multiply hash that is extremely fast on small integer keys and
+//! adequate for hash tables keyed by node ids and packed node pairs. It is
+//! **not** HashDoS-resistant; the simulator only ever hashes its own data.
+
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// Multiplicative constant (64-bit golden-ratio based, as used by rustc).
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// Fast non-cryptographic hasher for small keys.
+///
+/// Implements the fold-multiply scheme: `state = (state.rotate_left(5) ^ word)
+/// * SEED` per ingested word.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add_to_hash(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for chunk in &mut chunks {
+            let word = u64::from_le_bytes(chunk.try_into().expect("chunk of 8"));
+            self.add_to_hash(word);
+        }
+        let rem = chunks.remainder();
+        if !rem.is_empty() {
+            let mut buf = [0u8; 8];
+            buf[..rem.len()].copy_from_slice(rem);
+            self.add_to_hash(u64::from_le_bytes(buf));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, n: u8) {
+        self.add_to_hash(n as u64);
+    }
+
+    #[inline]
+    fn write_u16(&mut self, n: u16) {
+        self.add_to_hash(n as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, n: u32) {
+        self.add_to_hash(n as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, n: u64) {
+        self.add_to_hash(n);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, n: usize) {
+        self.add_to_hash(n as u64);
+    }
+}
+
+/// `BuildHasher` for [`FxHasher`].
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+/// A `HashMap` using [`FxHasher`].
+pub type FxHashMap<K, V> = std::collections::HashMap<K, V, FxBuildHasher>;
+
+/// A `HashSet` using [`FxHasher`].
+pub type FxHashSet<K> = std::collections::HashSet<K, FxBuildHasher>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::hash::{BuildHasher, Hash};
+
+    fn hash_of<T: Hash>(value: &T) -> u64 {
+        FxBuildHasher::default().hash_one(value)
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(hash_of(&42u64), hash_of(&42u64));
+        assert_eq!(hash_of(&"hello"), hash_of(&"hello"));
+    }
+
+    #[test]
+    fn distinguishes_values() {
+        assert_ne!(hash_of(&1u64), hash_of(&2u64));
+        assert_ne!(hash_of(&(1u32, 2u32)), hash_of(&(2u32, 1u32)));
+    }
+
+    #[test]
+    fn map_roundtrip() {
+        let mut m: FxHashMap<u64, u64> = FxHashMap::default();
+        for i in 0..1000u64 {
+            m.insert(i, i * i);
+        }
+        for i in 0..1000u64 {
+            assert_eq!(m.get(&i), Some(&(i * i)));
+        }
+        assert_eq!(m.len(), 1000);
+    }
+
+    #[test]
+    fn byte_stream_tail_handling() {
+        // Writing the same logical bytes in different chunkings must agree
+        // with a single write of the concatenation (Hasher contract is looser
+        // than this, but our implementation keeps it for whole-slice writes).
+        let mut a = FxHasher::default();
+        a.write(&[1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11]);
+        let mut b = FxHasher::default();
+        b.write(&[1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11]);
+        assert_eq!(a.finish(), b.finish());
+        // And differing tails must differ.
+        let mut c = FxHasher::default();
+        c.write(&[1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 12]);
+        assert_ne!(a.finish(), c.finish());
+    }
+
+    #[test]
+    fn low_collision_on_packed_pairs() {
+        // Packed (u32, u32) pairs as used for node pairs should not collide
+        // in a 100-node universe.
+        let mut seen = FxHashSet::default();
+        for a in 0..100u64 {
+            for b in (a + 1)..100u64 {
+                seen.insert(hash_of(&((a << 32) | b)));
+            }
+        }
+        assert_eq!(seen.len(), 100 * 99 / 2);
+    }
+}

@@ -1,0 +1,228 @@
+//! A set with O(1) insert / remove / contains **and O(1) uniform sampling**.
+//!
+//! The randomized marking algorithm evicts a *uniformly random unmarked*
+//! cache entry on every fault. A plain `HashSet` cannot sample uniformly in
+//! O(1); this structure keeps elements in a dense `Vec` (supporting
+//! `swap_remove`) plus a hash index from element to its slot.
+
+use crate::fxhash::FxHashMap;
+use rand::{Rng, RngExt};
+use std::hash::Hash;
+
+/// Dense set with O(1) insert, remove, membership and uniform random sampling.
+///
+/// Elements must be `Copy` (they are stored both in the dense vector and as
+/// hash keys); in this workspace they are node ids or packed node pairs.
+#[derive(Clone, Debug, Default)]
+pub struct IndexedSet<T: Copy + Eq + Hash> {
+    items: Vec<T>,
+    index: FxHashMap<T, usize>,
+}
+
+impl<T: Copy + Eq + Hash> IndexedSet<T> {
+    /// Creates an empty set.
+    pub fn new() -> Self {
+        Self {
+            items: Vec::new(),
+            index: FxHashMap::default(),
+        }
+    }
+
+    /// Creates an empty set with capacity for `cap` elements.
+    pub fn with_capacity(cap: usize) -> Self {
+        Self {
+            items: Vec::with_capacity(cap),
+            index: FxHashMap::with_capacity_and_hasher(cap, Default::default()),
+        }
+    }
+
+    /// Number of elements.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Whether the set is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Membership test.
+    #[inline]
+    pub fn contains(&self, value: &T) -> bool {
+        self.index.contains_key(value)
+    }
+
+    /// Inserts `value`; returns `true` if it was not present.
+    #[inline]
+    pub fn insert(&mut self, value: T) -> bool {
+        if self.index.contains_key(&value) {
+            return false;
+        }
+        self.index.insert(value, self.items.len());
+        self.items.push(value);
+        true
+    }
+
+    /// Removes `value`; returns `true` if it was present.
+    ///
+    /// Uses `swap_remove`, so iteration order is not stable across removals —
+    /// irrelevant for set semantics and required for O(1).
+    #[inline]
+    pub fn remove(&mut self, value: &T) -> bool {
+        match self.index.remove(value) {
+            None => false,
+            Some(slot) => {
+                let last = self.items.len() - 1;
+                self.items.swap_remove(slot);
+                if slot != last {
+                    let moved = self.items[slot];
+                    self.index.insert(moved, slot);
+                }
+                true
+            }
+        }
+    }
+
+    /// Returns a uniformly random element, or `None` if empty.
+    #[inline]
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<T> {
+        if self.items.is_empty() {
+            None
+        } else {
+            Some(self.items[rng.random_range(0..self.items.len())])
+        }
+    }
+
+    /// Removes and returns a uniformly random element, or `None` if empty.
+    #[inline]
+    pub fn sample_remove<R: Rng + ?Sized>(&mut self, rng: &mut R) -> Option<T> {
+        if self.items.is_empty() {
+            return None;
+        }
+        let slot = rng.random_range(0..self.items.len());
+        let value = self.items[slot];
+        let last = self.items.len() - 1;
+        self.index.remove(&value);
+        self.items.swap_remove(slot);
+        if slot != last {
+            let moved = self.items[slot];
+            self.index.insert(moved, slot);
+        }
+        Some(value)
+    }
+
+    /// Iterates over the elements in unspecified order.
+    pub fn iter(&self) -> impl Iterator<Item = &T> + '_ {
+        self.items.iter()
+    }
+
+    /// Removes all elements, keeping allocations.
+    pub fn clear(&mut self) {
+        self.items.clear();
+        self.index.clear();
+    }
+
+    /// Drains all elements into a vector (unspecified order), leaving the set empty.
+    pub fn drain_to_vec(&mut self) -> Vec<T> {
+        self.index.clear();
+        std::mem::take(&mut self.items)
+    }
+
+    /// Read-only view of the dense storage (unspecified order).
+    pub fn as_slice(&self) -> &[T] {
+        &self.items
+    }
+}
+
+impl<T: Copy + Eq + Hash> FromIterator<T> for IndexedSet<T> {
+    fn from_iter<I: IntoIterator<Item = T>>(iter: I) -> Self {
+        let mut set = Self::new();
+        for item in iter {
+            set.insert(item);
+        }
+        set
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn insert_remove_contains() {
+        let mut s = IndexedSet::new();
+        assert!(s.insert(3u32));
+        assert!(s.insert(7));
+        assert!(!s.insert(3));
+        assert_eq!(s.len(), 2);
+        assert!(s.contains(&3));
+        assert!(s.remove(&3));
+        assert!(!s.remove(&3));
+        assert!(!s.contains(&3));
+        assert!(s.contains(&7));
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn swap_remove_keeps_index_consistent() {
+        let mut s: IndexedSet<u32> = (0..100).collect();
+        // Remove from the middle repeatedly; every member must stay reachable.
+        for v in (0..100).step_by(3) {
+            assert!(s.remove(&v));
+        }
+        for v in 0..100u32 {
+            assert_eq!(s.contains(&v), v % 3 != 0);
+            if v % 3 != 0 {
+                assert!(s.remove(&v));
+            }
+        }
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn sampling_is_roughly_uniform() {
+        let s: IndexedSet<u32> = (0..10).collect();
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut counts = [0usize; 10];
+        const N: usize = 100_000;
+        for _ in 0..N {
+            counts[s.sample(&mut rng).unwrap() as usize] += 1;
+        }
+        let expected = N as f64 / 10.0;
+        for &c in &counts {
+            // 5-sigma-ish band for binomial(N, 1/10).
+            assert!(
+                (c as f64 - expected).abs() < 5.0 * (expected * 0.9).sqrt(),
+                "count {c}"
+            );
+        }
+    }
+
+    #[test]
+    fn sample_remove_empties_exactly() {
+        let mut s: IndexedSet<u32> = (0..50).collect();
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut seen = std::collections::HashSet::new();
+        while let Some(v) = s.sample_remove(&mut rng) {
+            assert!(seen.insert(v), "duplicate sample_remove of {v}");
+        }
+        assert_eq!(seen.len(), 50);
+        assert!(s.sample(&mut rng).is_none());
+    }
+
+    #[test]
+    fn drain_and_clear() {
+        let mut s: IndexedSet<u32> = (0..10).collect();
+        let drained = s.drain_to_vec();
+        assert_eq!(drained.len(), 10);
+        assert!(s.is_empty());
+        let mut s: IndexedSet<u32> = (0..10).collect();
+        s.clear();
+        assert!(s.is_empty());
+        assert!(!s.contains(&5));
+    }
+}

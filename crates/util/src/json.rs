@@ -1,0 +1,449 @@
+//! A compact, dependency-free JSON serializer compatible with `serde`.
+//!
+//! `dcn-core` persists simulation reports as JSON. Pulling in a full JSON
+//! crate is unnecessary for write-only output, so this module implements the
+//! subset of the [`serde::Serializer`] contract that plain-old-data report
+//! types exercise: primitives, strings, options, sequences, maps, structs,
+//! and unit/newtype enum variants.
+//!
+//! Note: this is intentionally an emitter only; the workspace never parses
+//! JSON back.
+
+use serde::ser::{self, Serialize};
+use std::fmt::{self, Display, Write as FmtWrite};
+
+/// Serialization error (only string formatting can fail, plus custom messages).
+#[derive(Debug)]
+pub struct JsonError(String);
+
+impl Display for JsonError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "json serialization error: {}", self.0)
+    }
+}
+
+impl std::error::Error for JsonError {}
+
+impl ser::Error for JsonError {
+    fn custom<T: Display>(msg: T) -> Self {
+        JsonError(msg.to_string())
+    }
+}
+
+/// Serializes any [`Serialize`] value to a compact JSON string.
+pub fn to_json_string<T: Serialize>(value: &T) -> Result<String, JsonError> {
+    let mut out = String::with_capacity(256);
+    value.serialize(&mut JsonSerializer { out: &mut out })?;
+    Ok(out)
+}
+
+fn escape_into(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn float_into(out: &mut String, v: f64) {
+    if v.is_finite() {
+        let _ = write!(out, "{v}");
+    } else {
+        // JSON has no Inf/NaN; emit null like serde_json's lossy mode.
+        out.push_str("null");
+    }
+}
+
+struct JsonSerializer<'a> {
+    out: &'a mut String,
+}
+
+/// Compound serializer state shared by sequences, maps and structs.
+struct Compound<'a, 'b> {
+    ser: &'b mut JsonSerializer<'a>,
+    first: bool,
+    closer: char,
+}
+
+impl<'a, 'b> Compound<'a, 'b> {
+    fn comma(&mut self) {
+        if self.first {
+            self.first = false;
+        } else {
+            self.ser.out.push(',');
+        }
+    }
+}
+
+type Result_<T = ()> = Result<T, JsonError>;
+
+impl<'a, 'b> ser::Serializer for &'b mut JsonSerializer<'a> {
+    type Ok = ();
+    type Error = JsonError;
+    type SerializeSeq = Compound<'a, 'b>;
+    type SerializeTuple = Compound<'a, 'b>;
+    type SerializeTupleStruct = Compound<'a, 'b>;
+    type SerializeTupleVariant = Compound<'a, 'b>;
+    type SerializeMap = Compound<'a, 'b>;
+    type SerializeStruct = Compound<'a, 'b>;
+    type SerializeStructVariant = Compound<'a, 'b>;
+
+    fn serialize_bool(self, v: bool) -> Result_ {
+        self.out.push_str(if v { "true" } else { "false" });
+        Ok(())
+    }
+    fn serialize_i8(self, v: i8) -> Result_ {
+        self.serialize_i64(v as i64)
+    }
+    fn serialize_i16(self, v: i16) -> Result_ {
+        self.serialize_i64(v as i64)
+    }
+    fn serialize_i32(self, v: i32) -> Result_ {
+        self.serialize_i64(v as i64)
+    }
+    fn serialize_i64(self, v: i64) -> Result_ {
+        let _ = write!(self.out, "{v}");
+        Ok(())
+    }
+    fn serialize_u8(self, v: u8) -> Result_ {
+        self.serialize_u64(v as u64)
+    }
+    fn serialize_u16(self, v: u16) -> Result_ {
+        self.serialize_u64(v as u64)
+    }
+    fn serialize_u32(self, v: u32) -> Result_ {
+        self.serialize_u64(v as u64)
+    }
+    fn serialize_u64(self, v: u64) -> Result_ {
+        let _ = write!(self.out, "{v}");
+        Ok(())
+    }
+    fn serialize_f32(self, v: f32) -> Result_ {
+        float_into(self.out, v as f64);
+        Ok(())
+    }
+    fn serialize_f64(self, v: f64) -> Result_ {
+        float_into(self.out, v);
+        Ok(())
+    }
+    fn serialize_char(self, v: char) -> Result_ {
+        let mut buf = [0u8; 4];
+        escape_into(self.out, v.encode_utf8(&mut buf));
+        Ok(())
+    }
+    fn serialize_str(self, v: &str) -> Result_ {
+        escape_into(self.out, v);
+        Ok(())
+    }
+    fn serialize_bytes(self, v: &[u8]) -> Result_ {
+        use serde::ser::SerializeSeq;
+        let mut seq = self.serialize_seq(Some(v.len()))?;
+        for b in v {
+            seq.serialize_element(b)?;
+        }
+        seq.end()
+    }
+    fn serialize_none(self) -> Result_ {
+        self.out.push_str("null");
+        Ok(())
+    }
+    fn serialize_some<T: ?Sized + Serialize>(self, value: &T) -> Result_ {
+        value.serialize(self)
+    }
+    fn serialize_unit(self) -> Result_ {
+        self.out.push_str("null");
+        Ok(())
+    }
+    fn serialize_unit_struct(self, _name: &'static str) -> Result_ {
+        self.serialize_unit()
+    }
+    fn serialize_unit_variant(
+        self,
+        _name: &'static str,
+        _index: u32,
+        variant: &'static str,
+    ) -> Result_ {
+        self.serialize_str(variant)
+    }
+    fn serialize_newtype_struct<T: ?Sized + Serialize>(
+        self,
+        _name: &'static str,
+        value: &T,
+    ) -> Result_ {
+        value.serialize(self)
+    }
+    fn serialize_newtype_variant<T: ?Sized + Serialize>(
+        self,
+        _name: &'static str,
+        _index: u32,
+        variant: &'static str,
+        value: &T,
+    ) -> Result_ {
+        self.out.push('{');
+        escape_into(self.out, variant);
+        self.out.push(':');
+        value.serialize(&mut *self)?;
+        self.out.push('}');
+        Ok(())
+    }
+    fn serialize_seq(self, _len: Option<usize>) -> Result_<Self::SerializeSeq> {
+        self.out.push('[');
+        Ok(Compound {
+            ser: self,
+            first: true,
+            closer: ']',
+        })
+    }
+    fn serialize_tuple(self, len: usize) -> Result_<Self::SerializeTuple> {
+        self.serialize_seq(Some(len))
+    }
+    fn serialize_tuple_struct(
+        self,
+        _name: &'static str,
+        len: usize,
+    ) -> Result_<Self::SerializeTupleStruct> {
+        self.serialize_seq(Some(len))
+    }
+    fn serialize_tuple_variant(
+        self,
+        _name: &'static str,
+        _index: u32,
+        variant: &'static str,
+        _len: usize,
+    ) -> Result_<Self::SerializeTupleVariant> {
+        self.out.push('{');
+        escape_into(self.out, variant);
+        self.out.push_str(":[");
+        Ok(Compound {
+            ser: self,
+            first: true,
+            closer: ']',
+        })
+        // Note: the trailing '}' for the variant wrapper is emitted in `end`
+        // via the two-character closer trick below; see SerializeTupleVariant.
+    }
+    fn serialize_map(self, _len: Option<usize>) -> Result_<Self::SerializeMap> {
+        self.out.push('{');
+        Ok(Compound {
+            ser: self,
+            first: true,
+            closer: '}',
+        })
+    }
+    fn serialize_struct(self, _name: &'static str, _len: usize) -> Result_<Self::SerializeStruct> {
+        self.out.push('{');
+        Ok(Compound {
+            ser: self,
+            first: true,
+            closer: '}',
+        })
+    }
+    fn serialize_struct_variant(
+        self,
+        _name: &'static str,
+        _index: u32,
+        variant: &'static str,
+        _len: usize,
+    ) -> Result_<Self::SerializeStructVariant> {
+        self.out.push('{');
+        escape_into(self.out, variant);
+        self.out.push_str(":{");
+        Ok(Compound {
+            ser: self,
+            first: true,
+            closer: '}',
+        })
+        // Same note as tuple variants: outer '}' handled in `end`.
+    }
+}
+
+impl<'a, 'b> ser::SerializeSeq for Compound<'a, 'b> {
+    type Ok = ();
+    type Error = JsonError;
+    fn serialize_element<T: ?Sized + Serialize>(&mut self, value: &T) -> Result_ {
+        self.comma();
+        value.serialize(&mut *self.ser)
+    }
+    fn end(self) -> Result_ {
+        self.ser.out.push(self.closer);
+        Ok(())
+    }
+}
+
+impl<'a, 'b> ser::SerializeTuple for Compound<'a, 'b> {
+    type Ok = ();
+    type Error = JsonError;
+    fn serialize_element<T: ?Sized + Serialize>(&mut self, value: &T) -> Result_ {
+        ser::SerializeSeq::serialize_element(self, value)
+    }
+    fn end(self) -> Result_ {
+        ser::SerializeSeq::end(self)
+    }
+}
+
+impl<'a, 'b> ser::SerializeTupleStruct for Compound<'a, 'b> {
+    type Ok = ();
+    type Error = JsonError;
+    fn serialize_field<T: ?Sized + Serialize>(&mut self, value: &T) -> Result_ {
+        ser::SerializeSeq::serialize_element(self, value)
+    }
+    fn end(self) -> Result_ {
+        ser::SerializeSeq::end(self)
+    }
+}
+
+impl<'a, 'b> ser::SerializeTupleVariant for Compound<'a, 'b> {
+    type Ok = ();
+    type Error = JsonError;
+    fn serialize_field<T: ?Sized + Serialize>(&mut self, value: &T) -> Result_ {
+        ser::SerializeSeq::serialize_element(self, value)
+    }
+    fn end(self) -> Result_ {
+        self.ser.out.push(self.closer);
+        self.ser.out.push('}'); // close the {"variant": ...} wrapper
+        Ok(())
+    }
+}
+
+impl<'a, 'b> ser::SerializeMap for Compound<'a, 'b> {
+    type Ok = ();
+    type Error = JsonError;
+    fn serialize_key<T: ?Sized + Serialize>(&mut self, key: &T) -> Result_ {
+        self.comma();
+        // JSON object keys must be strings; serialize the key and require it
+        // produced a string literal.
+        let before = self.ser.out.len();
+        key.serialize(&mut *self.ser)?;
+        if !self.ser.out[before..].starts_with('"') {
+            // Wrap non-string keys (e.g. integers) in quotes, as serde_json does.
+            let raw = self.ser.out.split_off(before);
+            escape_into(self.ser.out, &raw);
+        }
+        self.ser.out.push(':');
+        Ok(())
+    }
+    fn serialize_value<T: ?Sized + Serialize>(&mut self, value: &T) -> Result_ {
+        value.serialize(&mut *self.ser)
+    }
+    fn end(self) -> Result_ {
+        self.ser.out.push(self.closer);
+        Ok(())
+    }
+}
+
+impl<'a, 'b> ser::SerializeStruct for Compound<'a, 'b> {
+    type Ok = ();
+    type Error = JsonError;
+    fn serialize_field<T: ?Sized + Serialize>(&mut self, key: &'static str, value: &T) -> Result_ {
+        self.comma();
+        escape_into(self.ser.out, key);
+        self.ser.out.push(':');
+        value.serialize(&mut *self.ser)
+    }
+    fn end(self) -> Result_ {
+        self.ser.out.push(self.closer);
+        Ok(())
+    }
+}
+
+impl<'a, 'b> ser::SerializeStructVariant for Compound<'a, 'b> {
+    type Ok = ();
+    type Error = JsonError;
+    fn serialize_field<T: ?Sized + Serialize>(&mut self, key: &'static str, value: &T) -> Result_ {
+        ser::SerializeStruct::serialize_field(self, key, value)
+    }
+    fn end(self) -> Result_ {
+        self.ser.out.push(self.closer);
+        self.ser.out.push('}'); // close the {"variant": {...}} wrapper
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use serde::Serialize;
+    use std::collections::BTreeMap;
+
+    #[derive(Serialize)]
+    struct Report {
+        name: String,
+        nodes: u32,
+        costs: Vec<u64>,
+        ratio: f64,
+        note: Option<String>,
+    }
+
+    #[test]
+    fn struct_roundtrip_shape() {
+        let r = Report {
+            name: "fig1".into(),
+            nodes: 100,
+            costs: vec![1, 2, 3],
+            ratio: 0.5,
+            note: None,
+        };
+        let s = to_json_string(&r).unwrap();
+        assert_eq!(
+            s,
+            r#"{"name":"fig1","nodes":100,"costs":[1,2,3],"ratio":0.5,"note":null}"#
+        );
+    }
+
+    #[test]
+    fn escaping() {
+        let s = to_json_string(&"a\"b\\c\nd").unwrap();
+        assert_eq!(s, r#""a\"b\\c\nd""#);
+    }
+
+    #[test]
+    fn map_with_integer_keys() {
+        let mut m = BTreeMap::new();
+        m.insert(1u32, "one");
+        m.insert(2u32, "two");
+        let s = to_json_string(&m).unwrap();
+        assert_eq!(s, r#"{"1":"one","2":"two"}"#);
+    }
+
+    #[derive(Serialize)]
+    enum Algo {
+        Oblivious,
+        Rbma { b: u32 },
+        Pair(u32, u32),
+    }
+
+    #[test]
+    fn enum_variants() {
+        assert_eq!(to_json_string(&Algo::Oblivious).unwrap(), r#""Oblivious""#);
+        assert_eq!(
+            to_json_string(&Algo::Rbma { b: 6 }).unwrap(),
+            r#"{"Rbma":{"b":6}}"#
+        );
+        assert_eq!(
+            to_json_string(&Algo::Pair(1, 2)).unwrap(),
+            r#"{"Pair":[1,2]}"#
+        );
+    }
+
+    #[test]
+    fn non_finite_floats_become_null() {
+        assert_eq!(to_json_string(&f64::NAN).unwrap(), "null");
+        assert_eq!(to_json_string(&f64::INFINITY).unwrap(), "null");
+    }
+
+    #[test]
+    fn nested_options_and_tuples() {
+        let v: (Option<u8>, Option<u8>, bool) = (Some(3), None, true);
+        assert_eq!(to_json_string(&v).unwrap(), "[3,null,true]");
+    }
+}

@@ -1,0 +1,115 @@
+//! Wall-clock stopwatch for the execution-time panels (Figs 1b-4b).
+
+use std::time::{Duration, Instant};
+
+/// A restartable stopwatch that can be paused and resumed.
+///
+/// The simulator pauses it around bookkeeping that the paper's methodology
+/// excludes from the measured run time (e.g. checkpoint snapshotting).
+#[derive(Clone, Debug)]
+pub struct Stopwatch {
+    accumulated: Duration,
+    running_since: Option<Instant>,
+}
+
+impl Default for Stopwatch {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Stopwatch {
+    /// Creates a stopped stopwatch at zero.
+    pub fn new() -> Self {
+        Self {
+            accumulated: Duration::ZERO,
+            running_since: None,
+        }
+    }
+
+    /// Creates and immediately starts a stopwatch.
+    pub fn started() -> Self {
+        Self {
+            accumulated: Duration::ZERO,
+            running_since: Some(Instant::now()),
+        }
+    }
+
+    /// Starts (or resumes) the stopwatch; no-op if already running.
+    pub fn start(&mut self) {
+        if self.running_since.is_none() {
+            self.running_since = Some(Instant::now());
+        }
+    }
+
+    /// Pauses the stopwatch; no-op if already paused.
+    pub fn pause(&mut self) {
+        if let Some(since) = self.running_since.take() {
+            self.accumulated += since.elapsed();
+        }
+    }
+
+    /// Total accumulated time (including the current running span).
+    pub fn elapsed(&self) -> Duration {
+        match self.running_since {
+            Some(since) => self.accumulated + since.elapsed(),
+            None => self.accumulated,
+        }
+    }
+
+    /// Total accumulated time in seconds.
+    pub fn elapsed_secs(&self) -> f64 {
+        self.elapsed().as_secs_f64()
+    }
+
+    /// Resets to zero; keeps running state.
+    pub fn reset(&mut self) {
+        self.accumulated = Duration::ZERO;
+        if self.running_since.is_some() {
+            self.running_since = Some(Instant::now());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread::sleep;
+
+    #[test]
+    fn accumulates_across_pause() {
+        let mut sw = Stopwatch::new();
+        sw.start();
+        sleep(Duration::from_millis(5));
+        sw.pause();
+        let after_first = sw.elapsed();
+        assert!(after_first >= Duration::from_millis(4));
+        sleep(Duration::from_millis(10));
+        // Paused time must not count.
+        assert_eq!(sw.elapsed(), after_first);
+        sw.start();
+        sleep(Duration::from_millis(5));
+        sw.pause();
+        assert!(sw.elapsed() >= after_first + Duration::from_millis(4));
+    }
+
+    #[test]
+    fn reset_zeroes() {
+        let mut sw = Stopwatch::started();
+        sleep(Duration::from_millis(2));
+        sw.reset();
+        assert!(sw.elapsed() < Duration::from_millis(2));
+    }
+
+    #[test]
+    fn idempotent_start_pause() {
+        let mut sw = Stopwatch::new();
+        sw.pause(); // pause while stopped: no-op
+        sw.start();
+        sw.start(); // double start: no-op
+        sw.pause();
+        sw.pause();
+        let e = sw.elapsed();
+        assert_eq!(sw.elapsed(), e);
+    }
+}

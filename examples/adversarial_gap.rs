@@ -1,0 +1,59 @@
+//! “The power of randomization”: the Θ(b) vs Θ(log b) separation, live.
+//!
+//! Layer 1 (paging, §2.2/§2.4 machinery): an adaptive chaser forces any
+//! deterministic policy to fault on *every* request, while randomized
+//! marking keeps its expected ratio near 2·H_k.
+//!
+//! Layer 2 (matching): the same story on the star-of-pairs nemesis against
+//! the full schedulers, reported as excess cost over the all-matched ideal.
+//!
+//! ```text
+//! cargo run --release --example adversarial_gap
+//! ```
+
+use rdcn::paging::adversary::{uniform_sequence, Chaser};
+use rdcn::paging::{run_policy, Belady, Lru, Marking};
+
+fn main() {
+    println!("=== Layer 1: paging (cache size k, universe k+1) ===\n");
+    println!(
+        "{:>4} {:>12} {:>12} {:>12} {:>10}",
+        "k", "LRU ratio", "MARK ratio", "2·H_k", "gap"
+    );
+    for k in [4usize, 8, 16, 32, 64] {
+        let len = 4000 * k.max(8);
+        // Adaptive chaser vs deterministic LRU.
+        let mut lru = Lru::new(k);
+        let (seq, lru_faults) = Chaser::new(k).drive(&mut lru, len);
+        let opt = Belady::total_faults(k, &seq).max(1);
+        let det_ratio = lru_faults as f64 / opt as f64;
+
+        // Oblivious uniform nemesis vs randomized marking (5 seeds).
+        let useq = uniform_sequence(k, len, 99);
+        let uopt = Belady::total_faults(k, &useq).max(1);
+        let mark: f64 = (0..5)
+            .map(|s| run_policy(&mut Marking::new(k, s), &useq).faults as f64)
+            .sum::<f64>()
+            / 5.0;
+        let rand_ratio = mark / uopt as f64;
+        let h_k: f64 = (1..=k).map(|i| 1.0 / i as f64).sum();
+        println!(
+            "{k:>4} {det_ratio:>12.2} {rand_ratio:>12.2} {:>12.2} {:>9.1}x",
+            2.0 * h_k,
+            det_ratio / rand_ratio
+        );
+    }
+    println!(
+        "\nThe deterministic ratio tracks k (the cache size); the randomized one\n\
+         tracks 2 ln k — an exponential improvement, Theorem 4's tight regime.\n"
+    );
+
+    println!("=== Layer 2: full schedulers on the star-of-pairs nemesis ===\n");
+    let table = dcn_bench::lower_bound_gap(1);
+    println!("{}", table.to_markdown());
+    println!(
+        "BMA is driven by an adaptive chaser (it always requests a pair missing\n\
+         from BMA's matching); R-BMA faces uniform random blocks. Excess = cost\n\
+         above the all-matched ideal. The ratio grows with b ≈ b/log b."
+    );
+}

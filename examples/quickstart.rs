@@ -1,0 +1,62 @@
+//! Quickstart: build a fat-tree, generate a workload, run R-BMA, and read
+//! the cost report.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use rdcn::core::algorithms::oblivious::Oblivious;
+use rdcn::core::algorithms::rbma::{Rbma, RemovalMode};
+use rdcn::core::{run, SimConfig};
+use rdcn::topology::{builders, DistanceMatrix};
+use rdcn::traces::{facebook_cluster_trace, FacebookCluster};
+use std::sync::Arc;
+
+fn main() {
+    // A fat-tree datacenter with 32 top-of-rack switches.
+    let net = builders::fat_tree_with_racks(32);
+    let dm = Arc::new(DistanceMatrix::between_racks(&net));
+    println!(
+        "fixed network: {} (racks: {}, mean rack distance: {:.2}, max: {})",
+        net.name,
+        dm.num_racks(),
+        dm.mean_dist(),
+        dm.max_dist()
+    );
+
+    // A bursty, skewed workload shaped like a Facebook database cluster.
+    let trace = facebook_cluster_trace(FacebookCluster::Database, 32, 100_000, 42);
+    println!("workload: {} requests from {}", trace.len(), trace.name);
+
+    // b = 8 optical circuit switches, reconfiguration cost α = 10.
+    let (b, alpha) = (8, 10);
+    let config = SimConfig {
+        checkpoints: SimConfig::evenly_spaced(trace.len(), 4),
+        ..Default::default()
+    };
+
+    let mut rbma = Rbma::new(dm.clone(), b, alpha, RemovalMode::Lazy, 7);
+    let report = run(&mut rbma, &dm, alpha, &trace.requests, &config);
+
+    let mut oblivious = Oblivious::new(dm.num_racks(), b);
+    let baseline = run(&mut oblivious, &dm, alpha, &trace.requests, &config);
+
+    println!("\n#requests | R-BMA routing | Oblivious routing");
+    for (c, o) in report.checkpoints.iter().zip(&baseline.checkpoints) {
+        println!(
+            "{:>9} | {:>13} | {:>17}",
+            c.requests, c.routing_cost, o.routing_cost
+        );
+    }
+    let reduction = 1.0 - report.total.routing_cost as f64 / baseline.total.routing_cost as f64;
+    println!(
+        "\nR-BMA served {:.1}% of requests over matching edges,",
+        100.0 * report.total.matched_fraction()
+    );
+    println!(
+        "cutting routing cost by {:.1}% (reconfiguration cost paid: {}).",
+        100.0 * reduction,
+        report.total.reconfig_cost
+    );
+    println!("\nJSON report:\n{}", report.to_json());
+}

@@ -1,0 +1,72 @@
+//! Workload structure analysis: quantify the spatial skew and temporal
+//! locality of every built-in generator — the two properties (§3.1, citing
+//! Avin et al. \[5\]) that decide how much reconfigurable links can help.
+//!
+//! Optionally analyzes a user-provided CSV trace (`src,dst` per line):
+//!
+//! ```text
+//! cargo run --release --example trace_analysis [path/to/trace.csv]
+//! ```
+
+use rdcn::traces::csvio::load_trace;
+use rdcn::traces::{
+    facebook_cluster_trace, hotspot_trace, microsoft_trace, uniform_trace, zipf_pair_trace,
+    FacebookCluster, MicrosoftParams, Trace, TraceStats,
+};
+
+fn analyze(trace: &Trace) {
+    let stats = TraceStats::compute(trace);
+    let cov18 = stats.topk_partner_coverage(trace, 18);
+    let cov6 = stats.topk_partner_coverage(trace, 6);
+    println!(
+        "{:<34} {:>9} {:>8} {:>7.3} {:>10.1} {:>8.2} {:>8.2} {:>8.2}",
+        trace.name,
+        stats.total_requests,
+        stats.distinct_pairs,
+        stats.pair_gini,
+        stats.median_reuse_distance,
+        stats.top1pct_share,
+        cov6,
+        cov18,
+    );
+}
+
+fn main() {
+    let n = 100;
+    let len = 100_000;
+    println!(
+        "{:<34} {:>9} {:>8} {:>7} {:>10} {:>8} {:>8} {:>8}",
+        "trace", "requests", "pairs", "gini", "reuse~", "top1%", "cov(6)", "cov(18)"
+    );
+    analyze(&facebook_cluster_trace(
+        FacebookCluster::Database,
+        n,
+        len,
+        1,
+    ));
+    analyze(&facebook_cluster_trace(
+        FacebookCluster::WebService,
+        n,
+        len,
+        1,
+    ));
+    analyze(&facebook_cluster_trace(FacebookCluster::Hadoop, n, len, 1));
+    analyze(&microsoft_trace(50, len, MicrosoftParams::default(), 1));
+    analyze(&uniform_trace(n, len, 1));
+    analyze(&hotspot_trace(n, len, 8, 0.8, 1));
+    analyze(&zipf_pair_trace(n, len, 1.2, 1));
+
+    for arg in std::env::args().skip(1) {
+        match load_trace(std::path::Path::new(&arg), None) {
+            Ok(trace) => analyze(&trace),
+            Err(e) => eprintln!("could not load {arg}: {e}"),
+        }
+    }
+
+    println!(
+        "\ngini      = spatial skew of the pair-count distribution (0 uniform, 1 skewed)\n\
+         reuse~    = median gap between repeat requests to a pair (small = bursty)\n\
+         cov(k)    = average share of a rack's traffic covered by its top-k partners —\n\
+                     the headroom available to a b-matching with b = k."
+    );
+}
