@@ -1,0 +1,52 @@
+//! Keeps README.md honest: its quickstart code block claims to mirror the
+//! `src/lib.rs` doctest, so this test diffs the two. Editing one without the
+//! other fails `cargo test` instead of leaving the README silently stale.
+
+/// Extracts the first fenced code block from `text` whose fence opens with
+/// one of `openers`, as trimmed-right lines.
+fn fenced_block(text: &str, openers: &[&str]) -> Vec<String> {
+    let mut lines = Vec::new();
+    let mut inside = false;
+    for line in text.lines() {
+        let t = line.trim();
+        if !inside && openers.contains(&t) {
+            inside = true;
+            continue;
+        }
+        if inside {
+            if t == "```" {
+                return lines;
+            }
+            lines.push(line.trim_end().to_string());
+        }
+    }
+    panic!("no fenced code block {openers:?} found");
+}
+
+#[test]
+fn readme_quickstart_matches_lib_doctest() {
+    let root = env!("CARGO_MANIFEST_DIR");
+    let readme = std::fs::read_to_string(format!("{root}/README.md")).expect("read README.md");
+    let lib = std::fs::read_to_string(format!("{root}/src/lib.rs")).expect("read src/lib.rs");
+
+    let readme_code = fenced_block(&readme, &["```rust"]);
+
+    // The doctest lives in `//!` doc comments; strip the prefix and collect
+    // the first ``` fence.
+    let doc_text: String = lib
+        .lines()
+        .filter_map(|l| {
+            let l = l.trim_start();
+            l.strip_prefix("//! ")
+                .or_else(|| l.strip_prefix("//!"))
+                .map(|s| format!("{s}\n"))
+        })
+        .collect();
+    let doctest_code = fenced_block(&doc_text, &["```", "```rust"]);
+
+    assert_eq!(
+        readme_code, doctest_code,
+        "README.md quickstart and the src/lib.rs doctest have drifted apart; \
+         update both together"
+    );
+}

@@ -1,0 +1,213 @@
+//! Smoke tests mirroring the core path of each of the six `examples/`
+//! binaries, at reduced scale, through the `rdcn::` facade — so a facade
+//! re-export drifting away from the crates (or an example's pipeline
+//! breaking) fails `cargo test` instead of surfacing only when someone runs
+//! the example. CI additionally runs the example binaries themselves; these
+//! tests keep the coverage inside the tier-1 command.
+
+use rdcn::core::algorithms::rbma::{Rbma, RemovalMode};
+use rdcn::core::algorithms::static_offline::{so_bma_matching, static_routing_cost};
+use rdcn::core::algorithms::AlgorithmKind;
+use rdcn::core::analysis::link_load_comparison;
+use rdcn::core::sweep::{run_jobs, Job};
+use rdcn::core::{run, OnlineScheduler, SimConfig};
+use rdcn::matching::coloring::{assign_switches, validate_coloring};
+use rdcn::matching::edge_coloring;
+use rdcn::paging::adversary::{uniform_sequence, Chaser};
+use rdcn::paging::{run_policy, Belady, Lru, Marking};
+use rdcn::topology::{builders, DistanceMatrix, Pair};
+use rdcn::traces::{
+    facebook_cluster_trace, hotspot_trace, microsoft_trace, uniform_trace, zipf_pair_trace,
+    FacebookCluster, MicrosoftParams, TraceStats,
+};
+use std::sync::Arc;
+
+/// `examples/quickstart.rs`: fat-tree → Facebook trace → R-BMA vs Oblivious.
+#[test]
+fn quickstart_core_path() {
+    let net = builders::fat_tree_with_racks(16);
+    let dm = Arc::new(DistanceMatrix::between_racks(&net));
+    let trace = facebook_cluster_trace(FacebookCluster::Database, 16, 10_000, 42);
+    let (b, alpha) = (4, 10);
+    let config = SimConfig {
+        checkpoints: SimConfig::evenly_spaced(trace.len(), 4),
+        ..Default::default()
+    };
+
+    let mut rbma = Rbma::new(dm.clone(), b, alpha, RemovalMode::Lazy, 7);
+    let report = run(&mut rbma, &dm, alpha, &trace.requests, &config);
+
+    let mut oblivious = AlgorithmKind::Oblivious.build(dm.clone(), b, alpha, 0, &trace.requests);
+    let baseline = run(oblivious.as_mut(), &dm, alpha, &trace.requests, &config);
+
+    assert_eq!(report.checkpoints.len(), 4);
+    assert!(report.total.matched_fraction() > 0.0);
+    assert!(
+        report.total.routing_cost < baseline.total.routing_cost,
+        "R-BMA should beat the no-matching baseline on a skewed trace"
+    );
+    // The JSON emission path the example prints.
+    let json = rdcn::util::json::to_json_string(&report).expect("report serializes");
+    assert!(json.contains("\"routing_cost\""));
+}
+
+/// `examples/datacenter_comparison.rs`: sweep fan-out plus offline SO-BMA.
+#[test]
+fn datacenter_comparison_core_path() {
+    let racks = 20;
+    let net = builders::fat_tree_with_racks(racks);
+    let dm = Arc::new(DistanceMatrix::between_racks_parallel(&net, 2));
+    let trace = facebook_cluster_trace(FacebookCluster::Database, racks, 8_000, 11);
+    let alpha = 10u64;
+
+    let mut jobs = Vec::new();
+    for algorithm in [
+        AlgorithmKind::Rbma { lazy: true },
+        AlgorithmKind::Bma,
+        AlgorithmKind::Rotor { period: 100 },
+    ] {
+        jobs.push(Job {
+            algorithm,
+            b: 4,
+            alpha,
+            seed: 1,
+            checkpoints: vec![],
+        });
+    }
+    jobs.push(Job {
+        algorithm: AlgorithmKind::Oblivious,
+        b: 1,
+        alpha,
+        seed: 1,
+        checkpoints: vec![],
+    });
+    let reports = run_jobs(&dm, &trace, &jobs, 3);
+    assert_eq!(reports.len(), jobs.len());
+    let oblivious_cost = reports.last().unwrap().total.routing_cost;
+    assert!(oblivious_cost > 0);
+
+    let matching = so_bma_matching(&dm, &trace.requests, 4);
+    let cost = static_routing_cost(&dm, &trace.requests, &matching);
+    assert!(
+        cost < oblivious_cost,
+        "offline static matching must save routing cost"
+    );
+}
+
+/// `examples/adversarial_gap.rs`: chaser vs LRU, uniform nemesis vs marking.
+#[test]
+fn adversarial_gap_core_path() {
+    let k = 8;
+    let len = 4_000;
+    let mut lru = Lru::new(k);
+    let (seq, lru_faults) = Chaser::new(k).drive(&mut lru, len);
+    assert_eq!(seq.len(), len);
+    let opt = Belady::total_faults(k, &seq).max(1);
+    let det_ratio = lru_faults as f64 / opt as f64;
+
+    let useq = uniform_sequence(k, len, 99);
+    let uopt = Belady::total_faults(k, &useq).max(1);
+    let mark = run_policy(&mut Marking::new(k, 0), &useq).faults as f64;
+    let rand_ratio = mark / uopt as f64;
+
+    assert!(
+        det_ratio > rand_ratio,
+        "adaptive chaser must hurt deterministic LRU ({det_ratio:.2}) more than the uniform \
+         nemesis hurts randomized marking ({rand_ratio:.2})"
+    );
+
+    // Layer 2 of the example (star-of-pairs nemesis table).
+    let table = dcn_bench::lower_bound_gap(4);
+    assert!(!table.to_markdown().is_empty());
+}
+
+/// `examples/link_load.rs`: final-matching link loads under ECMP.
+#[test]
+fn link_load_core_path() {
+    let racks = 16;
+    let (b, alpha) = (4, 10);
+    let net = builders::fat_tree_with_racks(racks);
+    let dm = Arc::new(DistanceMatrix::between_racks(&net));
+    let trace = facebook_cluster_trace(FacebookCluster::Database, racks, 6_000, 3);
+
+    let mut s = AlgorithmKind::Rbma { lazy: true }.build(dm.clone(), b, alpha, 1, &trace.requests);
+    run(
+        s.as_mut(),
+        &dm,
+        alpha,
+        &trace.requests,
+        &SimConfig::default(),
+    );
+    let matching: Vec<Pair> = s.matching().edges().collect();
+    assert!(!matching.is_empty());
+
+    let cmp = link_load_comparison(&net, &trace.requests, &matching);
+    assert!(cmp.with_matching.optical_traffic > 0.0);
+    assert!(
+        cmp.with_matching.fixed_hop_traffic < cmp.oblivious.fixed_hop_traffic,
+        "a non-empty matching must offload fixed-network hop traffic"
+    );
+}
+
+/// `examples/switch_scheduling.rs`: R-BMA matching → edge coloring → switches.
+#[test]
+fn switch_scheduling_core_path() {
+    let racks = 16;
+    let (b, alpha) = (4, 10);
+    let net = builders::fat_tree_with_racks(racks);
+    let dm = Arc::new(DistanceMatrix::between_racks(&net));
+    let trace = facebook_cluster_trace(FacebookCluster::WebService, racks, 6_000, 5);
+
+    let mut rbma = Rbma::new(dm.clone(), b, alpha, RemovalMode::Lazy, 3);
+    run(
+        &mut rbma,
+        &dm,
+        alpha,
+        &trace.requests,
+        &SimConfig::default(),
+    );
+    let matching: Vec<Pair> = rbma.matching().edges().collect();
+    assert!(!matching.is_empty());
+
+    let colors = edge_coloring(racks, &matching);
+    let used = validate_coloring(&matching, &colors).expect("coloring is proper");
+    assert!(used as usize <= b + 1, "Vizing bound violated");
+
+    let switches = assign_switches(racks, &matching);
+    for (s, edges) in switches.iter().enumerate() {
+        let mut seen = std::collections::HashSet::new();
+        for e in edges {
+            assert!(
+                seen.insert(e.lo()) && seen.insert(e.hi()),
+                "switch {s} carries a non-matching"
+            );
+        }
+    }
+}
+
+/// `examples/trace_analysis.rs`: structure statistics for every generator.
+#[test]
+fn trace_analysis_core_path() {
+    let n = 30;
+    let len = 10_000;
+    let traces = [
+        facebook_cluster_trace(FacebookCluster::Database, n, len, 1),
+        facebook_cluster_trace(FacebookCluster::Hadoop, n, len, 1),
+        microsoft_trace(20, len, MicrosoftParams::default(), 1),
+        uniform_trace(n, len, 1),
+        hotspot_trace(n, len, 4, 0.8, 1),
+        zipf_pair_trace(n, len, 1.2, 1),
+    ];
+    for trace in &traces {
+        let stats = TraceStats::compute(trace);
+        assert_eq!(stats.total_requests as usize, trace.len());
+        assert!(stats.distinct_pairs > 0);
+        assert!((0.0..=1.0).contains(&stats.pair_gini), "gini out of range");
+        let cov = stats.topk_partner_coverage(trace, 6);
+        assert!((0.0..=1.0 + 1e-9).contains(&cov));
+    }
+    // Skew ordering: Facebook Database is more skewed than uniform traffic.
+    let fb = TraceStats::compute(&traces[0]);
+    let uni = TraceStats::compute(&traces[3]);
+    assert!(fb.pair_gini > uni.pair_gini);
+}

@@ -1,0 +1,338 @@
+//! Vendored, dependency-free stand-in for the slice of `criterion` this
+//! workspace's benches use. The build environment has no registry access, so
+//! the workspace pins `criterion` to this local path crate.
+//!
+//! It is a real (if spartan) harness, not a husk: `cargo bench` runs each
+//! registered function with warm-up, multiple timed samples, and prints
+//! median time per iteration plus throughput where declared. There are no
+//! statistical confidence intervals, plots, or saved baselines. Honour the
+//! group's `measurement_time`/`sample_size` hints so bench wall-clock stays
+//! proportionate to what the authors asked for.
+
+use std::hint::black_box as std_black_box;
+use std::time::{Duration, Instant};
+
+/// Re-export of [`std::hint::black_box`] under criterion's historical name.
+pub fn black_box<T>(x: T) -> T {
+    std_black_box(x)
+}
+
+/// Declared per-iteration workload, for throughput reporting.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A benchmark identifier: function name plus an optional parameter.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    /// Identifier `"{name}/{parameter}"`.
+    pub fn new(name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            name: format!("{}/{}", name.into(), parameter),
+        }
+    }
+
+    /// Identifier with a parameter only (criterion's `from_parameter`).
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            name: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(name: &str) -> Self {
+        BenchmarkId { name: name.into() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(name: String) -> Self {
+        BenchmarkId { name }
+    }
+}
+
+/// Passed to bench closures; [`Bencher::iter`] times the payload.
+pub struct Bencher<'a> {
+    samples: Vec<Duration>,
+    iters_per_sample: u64,
+    settings: &'a Settings,
+}
+
+impl Bencher<'_> {
+    /// Times `routine`, collecting the samples configured on the group.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up: run until the warm-up budget is spent, measuring how long
+        // one iteration takes so the sample loop can batch appropriately.
+        let warm_start = Instant::now();
+        let mut warm_iters = 0u64;
+        let mut one_iter = Duration::from_nanos(1);
+        while warm_start.elapsed() < self.settings.warm_up_time || warm_iters == 0 {
+            std_black_box(routine());
+            warm_iters += 1;
+            if warm_iters >= 1_000_000 {
+                break;
+            }
+        }
+        one_iter = one_iter.max(warm_start.elapsed() / warm_iters.max(1) as u32);
+
+        // Choose a batch size so that sample_size batches fit roughly within
+        // the measurement budget.
+        let per_sample = self.settings.measurement_time / self.settings.sample_size.max(1) as u32;
+        let batch = (per_sample.as_nanos() / one_iter.as_nanos().max(1)).clamp(1, 1_000_000) as u64;
+
+        self.iters_per_sample = batch;
+        self.samples.clear();
+        for _ in 0..self.settings.sample_size {
+            let start = Instant::now();
+            for _ in 0..batch {
+                std_black_box(routine());
+            }
+            self.samples.push(start.elapsed());
+        }
+    }
+
+    fn median_ns(&self) -> f64 {
+        if self.samples.is_empty() {
+            return f64::NAN;
+        }
+        let mut per_iter: Vec<f64> = self
+            .samples
+            .iter()
+            .map(|d| d.as_nanos() as f64 / self.iters_per_sample.max(1) as f64)
+            .collect();
+        per_iter.sort_by(|a, b| a.total_cmp(b));
+        per_iter[per_iter.len() / 2]
+    }
+}
+
+#[derive(Clone, Debug)]
+struct Settings {
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+    throughput: Option<Throughput>,
+}
+
+impl Default for Settings {
+    fn default() -> Self {
+        Settings {
+            sample_size: 10,
+            warm_up_time: Duration::from_millis(300),
+            measurement_time: Duration::from_secs(1),
+            throughput: None,
+        }
+    }
+}
+
+/// The harness entry point; one per bench binary.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.into(),
+            settings: Settings::default(),
+        }
+    }
+
+    /// Runs a single ungrouped benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        run_one(&id.name, &Settings::default(), f);
+        self
+    }
+
+    /// CLI configuration hook; accepted and ignored.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+}
+
+/// A group of benchmarks sharing measurement settings.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    settings: Settings,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.settings.sample_size = n.max(1);
+        self
+    }
+
+    /// Sets the warm-up budget.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.settings.warm_up_time = d;
+        self
+    }
+
+    /// Sets the total measurement budget per benchmark.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.settings.measurement_time = d;
+        self
+    }
+
+    /// Declares per-iteration throughput for reporting.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.settings.throughput = Some(t);
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let full = format!("{}/{}", self.name, id.name);
+        run_one(&full, &self.settings, f);
+        self
+    }
+
+    /// Runs one benchmark parameterized by `input`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// Ends the group (report flushing is per-bench here, so this is a no-op).
+    pub fn finish(self) {}
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(name: &str, settings: &Settings, mut f: F) {
+    let mut bencher = Bencher {
+        samples: Vec::new(),
+        iters_per_sample: 1,
+        settings,
+    };
+    f(&mut bencher);
+    let ns = bencher.median_ns();
+    let mut line = format!("bench: {name:<50} {}", format_time(ns));
+    if let Some(tp) = settings.throughput {
+        let (count, unit) = match tp {
+            Throughput::Elements(n) => (n, "elem/s"),
+            Throughput::Bytes(n) => (n, "B/s"),
+        };
+        if ns.is_finite() && ns > 0.0 {
+            let rate = count as f64 / (ns * 1e-9);
+            line.push_str(&format!("   {} {unit}", format_rate(rate)));
+        }
+    }
+    println!("{line}");
+}
+
+fn format_time(ns: f64) -> String {
+    if !ns.is_finite() {
+        return "  (no samples)".into();
+    }
+    if ns < 1_000.0 {
+        format!("{ns:>10.1} ns/iter")
+    } else if ns < 1_000_000.0 {
+        format!("{:>10.2} µs/iter", ns / 1e3)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:>10.2} ms/iter", ns / 1e6)
+    } else {
+        format!("{:>10.2}  s/iter", ns / 1e9)
+    }
+}
+
+fn format_rate(rate: f64) -> String {
+    if rate >= 1e9 {
+        format!("{:.2}G", rate / 1e9)
+    } else if rate >= 1e6 {
+        format!("{:.2}M", rate / 1e6)
+    } else if rate >= 1e3 {
+        format!("{:.2}k", rate / 1e3)
+    } else {
+        format!("{rate:.0}")
+    }
+}
+
+/// Declares a bench entry point: `criterion_group!(name, fn_a, fn_b)`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main()` running the given [`criterion_group!`]s.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_collects_samples() {
+        let settings = Settings {
+            sample_size: 5,
+            warm_up_time: Duration::from_millis(1),
+            measurement_time: Duration::from_millis(5),
+            throughput: None,
+        };
+        let mut b = Bencher {
+            samples: Vec::new(),
+            iters_per_sample: 1,
+            settings: &settings,
+        };
+        let mut count = 0u64;
+        b.iter(|| {
+            count += 1;
+            black_box(count)
+        });
+        assert_eq!(b.samples.len(), 5);
+        assert!(b.median_ns().is_finite());
+        assert!(count > 5);
+    }
+
+    #[test]
+    fn group_pipeline_compiles_and_runs() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("g");
+        group
+            .sample_size(3)
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(3))
+            .throughput(Throughput::Elements(10));
+        group.bench_function("trivial", |b| b.iter(|| black_box(2 + 2)));
+        group.bench_with_input(BenchmarkId::new("param", 4), &4u64, |b, &n| {
+            b.iter(|| black_box(n * 2))
+        });
+        group.finish();
+    }
+}

@@ -1,0 +1,221 @@
+//! Vendored, dependency-free stand-in for the slice of `crossbeam` this
+//! workspace uses: [`channel::unbounded`] with a **clonable receiver** (the
+//! capability std's `mpsc` lacks, and the reason the sweep fan-out wants
+//! crossbeam). Implemented as a mutex-protected queue with a condvar; the
+//! sweep workloads put whole simulation jobs through it, so per-message
+//! overhead is irrelevant.
+
+pub mod channel {
+    //! Multi-producer multi-consumer FIFO channels.
+
+    use std::collections::VecDeque;
+    use std::fmt;
+    use std::sync::{Arc, Condvar, Mutex};
+
+    struct Inner<T> {
+        queue: Mutex<State<T>>,
+        ready: Condvar,
+    }
+
+    struct State<T> {
+        items: VecDeque<T>,
+        senders: usize,
+        receivers: usize,
+    }
+
+    /// Creates an unbounded MPMC channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let inner = Arc::new(Inner {
+            queue: Mutex::new(State {
+                items: VecDeque::new(),
+                senders: 1,
+                receivers: 1,
+            }),
+            ready: Condvar::new(),
+        });
+        (
+            Sender {
+                inner: Arc::clone(&inner),
+            },
+            Receiver { inner },
+        )
+    }
+
+    /// The sending half; clonable.
+    pub struct Sender<T> {
+        inner: Arc<Inner<T>>,
+    }
+
+    /// The receiving half; clonable (unlike std's `mpsc::Receiver`).
+    pub struct Receiver<T> {
+        inner: Arc<Inner<T>>,
+    }
+
+    /// Error returned by [`Sender::send`] when all receivers are gone;
+    /// carries the unsent value.
+    #[derive(Debug, PartialEq, Eq)]
+    pub struct SendError<T>(pub T);
+
+    impl<T> fmt::Display for SendError<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            write!(f, "sending on a disconnected channel")
+        }
+    }
+
+    impl<T: fmt::Debug> std::error::Error for SendError<T> {}
+
+    /// Error returned by [`Receiver::recv`] when the channel is empty and
+    /// all senders are gone.
+    #[derive(Debug, PartialEq, Eq)]
+    pub struct RecvError;
+
+    impl fmt::Display for RecvError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            write!(f, "receiving on an empty, disconnected channel")
+        }
+    }
+
+    impl std::error::Error for RecvError {}
+
+    /// Error returned by [`Receiver::try_recv`].
+    #[derive(Debug, PartialEq, Eq)]
+    pub enum TryRecvError {
+        /// Channel currently empty, but senders remain.
+        Empty,
+        /// Channel empty and all senders dropped.
+        Disconnected,
+    }
+
+    impl fmt::Display for TryRecvError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            match self {
+                TryRecvError::Empty => write!(f, "channel empty"),
+                TryRecvError::Disconnected => write!(f, "channel disconnected"),
+            }
+        }
+    }
+
+    impl std::error::Error for TryRecvError {}
+
+    impl<T> Sender<T> {
+        /// Enqueues `value`; fails only if every receiver was dropped.
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            let mut state = self.inner.queue.lock().unwrap();
+            if state.receivers == 0 {
+                return Err(SendError(value));
+            }
+            state.items.push_back(value);
+            drop(state);
+            self.inner.ready.notify_one();
+            Ok(())
+        }
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            self.inner.queue.lock().unwrap().senders += 1;
+            Sender {
+                inner: Arc::clone(&self.inner),
+            }
+        }
+    }
+
+    impl<T> Drop for Sender<T> {
+        fn drop(&mut self) {
+            let mut state = self.inner.queue.lock().unwrap();
+            state.senders -= 1;
+            if state.senders == 0 {
+                drop(state);
+                self.inner.ready.notify_all();
+            }
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Blocks until a value is available or the channel disconnects.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            let mut state = self.inner.queue.lock().unwrap();
+            loop {
+                if let Some(v) = state.items.pop_front() {
+                    return Ok(v);
+                }
+                if state.senders == 0 {
+                    return Err(RecvError);
+                }
+                state = self.inner.ready.wait(state).unwrap();
+            }
+        }
+
+        /// Non-blocking receive.
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            let mut state = self.inner.queue.lock().unwrap();
+            if let Some(v) = state.items.pop_front() {
+                Ok(v)
+            } else if state.senders == 0 {
+                Err(TryRecvError::Disconnected)
+            } else {
+                Err(TryRecvError::Empty)
+            }
+        }
+    }
+
+    impl<T> Clone for Receiver<T> {
+        fn clone(&self) -> Self {
+            self.inner.queue.lock().unwrap().receivers += 1;
+            Receiver {
+                inner: Arc::clone(&self.inner),
+            }
+        }
+    }
+
+    impl<T> Drop for Receiver<T> {
+        fn drop(&mut self) {
+            self.inner.queue.lock().unwrap().receivers -= 1;
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn fifo_single_thread() {
+            let (tx, rx) = unbounded();
+            tx.send(1).unwrap();
+            tx.send(2).unwrap();
+            drop(tx);
+            assert_eq!(rx.recv(), Ok(1));
+            assert_eq!(rx.recv(), Ok(2));
+            assert_eq!(rx.recv(), Err(RecvError));
+        }
+
+        #[test]
+        fn workers_drain_shared_receiver() {
+            let (tx, rx) = unbounded();
+            for i in 0..100u64 {
+                tx.send(i).unwrap();
+            }
+            drop(tx);
+            let total = std::sync::Mutex::new(0u64);
+            std::thread::scope(|s| {
+                for _ in 0..4 {
+                    let rx = rx.clone();
+                    let total = &total;
+                    s.spawn(move || {
+                        while let Ok(v) = rx.recv() {
+                            *total.lock().unwrap() += v;
+                        }
+                    });
+                }
+            });
+            assert_eq!(*total.lock().unwrap(), 4950);
+        }
+
+        #[test]
+        fn send_fails_after_receivers_gone() {
+            let (tx, rx) = unbounded();
+            drop(rx);
+            assert_eq!(tx.send(5), Err(SendError(5)));
+        }
+    }
+}

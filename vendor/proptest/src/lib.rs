@@ -1,0 +1,397 @@
+//! Vendored, minimal property-testing harness exposing the slice of the
+//! `proptest` surface this workspace's tests use: the [`proptest!`] macro,
+//! [`Strategy`] with `prop_map`, range / tuple / `any::<bool>()` strategies,
+//! [`collection::vec`], [`prop_oneof!`], the `prop_assert*` family, and
+//! [`ProptestConfig::with_cases`].
+//!
+//! Differences from real proptest, by design (the build environment has no
+//! registry access, so this replaces the real crate):
+//!
+//! * **No shrinking.** A failing case reports its inputs (via `Debug` where
+//!   the test formats them into the assertion message) and the case index;
+//!   re-running is deterministic, so the failure reproduces exactly.
+//! * **Deterministic seeding.** The RNG seed is derived from the test
+//!   function's name, so runs are reproducible and independent of execution
+//!   order. There is no persistence file.
+//! * `prop_assume!` skips the offending case without drawing a replacement
+//!   (case counts are upper bounds, as they effectively are upstream too).
+
+use rand::rngs::SmallRng;
+use rand::{RngExt, SeedableRng};
+
+pub mod collection;
+
+/// Re-export so `prelude::*` users can spell `prop::collection::vec` etc.
+pub use crate as prop;
+
+/// Runner configuration; only the case count is honoured.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of random cases each property is checked against.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Config running `cases` cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// A recipe for generating random values of one type.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut SmallRng) -> Self::Value;
+
+    /// Post-processes generated values with `f`.
+    fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Type-erases the strategy (used by [`prop_oneof!`]).
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        Box::new(self)
+    }
+}
+
+/// A type-erased strategy.
+pub type BoxedStrategy<V> = Box<dyn Strategy<Value = V>>;
+
+impl<V> Strategy for BoxedStrategy<V> {
+    type Value = V;
+    fn generate(&self, rng: &mut SmallRng) -> V {
+        (**self).generate(rng)
+    }
+}
+
+/// Strategy produced by [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+    fn generate(&self, rng: &mut SmallRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+macro_rules! range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for core::ops::Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut SmallRng) -> $t {
+                rng.random_range(self.clone())
+            }
+        }
+        impl Strategy for core::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut SmallRng) -> $t {
+                rng.random_range(self.clone())
+            }
+        }
+    )*};
+}
+
+range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for core::ops::Range<f64> {
+    type Value = f64;
+    fn generate(&self, rng: &mut SmallRng) -> f64 {
+        rng.random_range(self.clone())
+    }
+}
+
+macro_rules! tuple_strategy {
+    ($(($($n:tt $s:ident)+))+) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn generate(&self, rng: &mut SmallRng) -> Self::Value {
+                ($(self.$n.generate(rng),)+)
+            }
+        }
+    )+};
+}
+
+tuple_strategy! {
+    (0 A)
+    (0 A 1 B)
+    (0 A 1 B 2 C)
+    (0 A 1 B 2 C 3 D)
+    (0 A 1 B 2 C 3 D 4 E)
+    (0 A 1 B 2 C 3 D 4 E 5 F)
+}
+
+/// Marker returned by [`any`]; implements [`Strategy`] per supported type.
+pub struct Any<T>(core::marker::PhantomData<T>);
+
+/// The canonical strategy for `T` (`any::<bool>()` etc.).
+pub fn any<T>() -> Any<T>
+where
+    Any<T>: Strategy<Value = T>,
+{
+    Any(core::marker::PhantomData)
+}
+
+impl Strategy for Any<bool> {
+    type Value = bool;
+    fn generate(&self, rng: &mut SmallRng) -> bool {
+        rng.random_bool(0.5)
+    }
+}
+
+macro_rules! any_int_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Any<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut SmallRng) -> $t {
+                rng.random_range(<$t>::MIN..=<$t>::MAX)
+            }
+        }
+    )*};
+}
+
+any_int_strategy!(u8, u16, u32, u64, i8, i16, i32, i64);
+
+/// Uniform choice among type-erased alternatives (built by [`prop_oneof!`]).
+pub struct Union<V> {
+    arms: Vec<BoxedStrategy<V>>,
+}
+
+impl<V> Union<V> {
+    /// Builds a union; `arms` must be non-empty.
+    pub fn new(arms: Vec<BoxedStrategy<V>>) -> Self {
+        assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+        Union { arms }
+    }
+}
+
+impl<V> Strategy for Union<V> {
+    type Value = V;
+    fn generate(&self, rng: &mut SmallRng) -> V {
+        let idx = rng.random_range(0..self.arms.len());
+        self.arms[idx].generate(rng)
+    }
+}
+
+/// Deterministic per-test seed: FNV-1a over the test path.
+pub fn fnv1a_seed(name: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Builds the runner RNG for one property (used by [`proptest!`]).
+pub fn runner_rng(test_path: &str) -> SmallRng {
+    SmallRng::seed_from_u64(fnv1a_seed(test_path))
+}
+
+/// Outcome of one generated case (used by [`proptest!`]).
+pub enum CaseResult {
+    /// Property held.
+    Pass,
+    /// `prop_assume!` rejected the inputs.
+    Reject,
+    /// Property failed with a message.
+    Fail(String),
+}
+
+/// Everything the test files import.
+pub mod prelude {
+    pub use crate::{
+        any, prop, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+        BoxedStrategy, ProptestConfig, Strategy,
+    };
+}
+
+/// Defines property tests: `proptest! { #[test] fn f(x in strat) { .. } }`.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { ($crate::ProptestConfig::default()); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (($cfg:expr); $($(#[$meta:meta])* fn $name:ident($($arg:pat_param in $strat:expr),* $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __config: $crate::ProptestConfig = $cfg;
+                let mut __rng = $crate::runner_rng(concat!(module_path!(), "::", stringify!($name)));
+                for __case in 0..__config.cases {
+                    $(let $arg = $crate::Strategy::generate(&($strat), &mut __rng);)*
+                    let __outcome: $crate::CaseResult = (|| {
+                        $body
+                        #[allow(unreachable_code)]
+                        $crate::CaseResult::Pass
+                    })();
+                    match __outcome {
+                        $crate::CaseResult::Pass | $crate::CaseResult::Reject => {}
+                        $crate::CaseResult::Fail(msg) => panic!(
+                            "property `{}` failed at case {}/{}: {}",
+                            stringify!($name), __case + 1, __config.cases, msg
+                        ),
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// Fails the current case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return $crate::CaseResult::Fail(format!(
+                "assertion failed: {}", stringify!($cond)
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return $crate::CaseResult::Fail(format!(
+                "assertion failed: {} — {}", stringify!($cond), format!($($fmt)+)
+            ));
+        }
+    };
+}
+
+/// Fails the current case unless `left == right`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return $crate::CaseResult::Fail(format!(
+                "assertion failed: {} == {} (left: {:?}, right: {:?})",
+                stringify!($left), stringify!($right), l, r
+            ));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return $crate::CaseResult::Fail(format!(
+                "assertion failed: {} == {} (left: {:?}, right: {:?}) — {}",
+                stringify!($left), stringify!($right), l, r, format!($($fmt)+)
+            ));
+        }
+    }};
+}
+
+/// Fails the current case unless `left != right`.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if *l == *r {
+            return $crate::CaseResult::Fail(format!(
+                "assertion failed: {} != {} (both: {:?})",
+                stringify!($left), stringify!($right), l
+            ));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        if *l == *r {
+            return $crate::CaseResult::Fail(format!(
+                "assertion failed: {} != {} (both: {:?}) — {}",
+                stringify!($left), stringify!($right), l, format!($($fmt)+)
+            ));
+        }
+    }};
+}
+
+/// Skips the current case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return $crate::CaseResult::Reject;
+        }
+    };
+}
+
+/// Uniform choice among strategies with a common value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::Union::new(vec![$($crate::Strategy::boxed($strat)),+])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(50))]
+
+        #[test]
+        fn ranges_and_tuples(x in 0u32..10, (a, b) in (0u64..5, 1i64..=3), flip in any::<bool>()) {
+            prop_assert!(x < 10);
+            prop_assert!(a < 5);
+            prop_assert!((1..=3).contains(&b));
+            prop_assert!(flip || !flip);
+        }
+
+        #[test]
+        fn vec_and_map(v in prop::collection::vec((0u32..4, 0u32..4), 1..20)) {
+            prop_assert!(!v.is_empty() && v.len() < 20);
+            let doubled = (0usize..5).prop_map(|k| 2 * k);
+            let mut rng = crate::runner_rng("inner");
+            let d = doubled.generate(&mut rng);
+            prop_assert_eq!(d % 2, 0);
+        }
+
+        #[test]
+        fn oneof_and_assume(n in prop_oneof![1usize..4, 10usize..12]) {
+            prop_assume!(n != 2);
+            prop_assert!(n < 4 || n >= 10);
+            prop_assert_ne!(n, 2);
+        }
+    }
+
+    #[test]
+    fn seeds_differ_by_name() {
+        assert_ne!(super::fnv1a_seed("a::b"), super::fnv1a_seed("a::c"));
+    }
+
+    #[test]
+    #[should_panic(expected = "property `failing` failed")]
+    fn failures_panic_with_case_info() {
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(5))]
+            fn failing(x in 0u32..10) {
+                prop_assert!(x > 100, "x was {}", x);
+            }
+        }
+        failing();
+    }
+}

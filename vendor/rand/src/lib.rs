@@ -1,0 +1,293 @@
+//! Vendored, dependency-free stand-in for the parts of the `rand` crate this
+//! workspace uses. The build environment has no registry access, so the
+//! workspace pins `rand` to this local path crate (see the root
+//! `Cargo.toml`). The API mirrors `rand` 0.9 (`random_range` /
+//! `random_bool`), restricted to the surface the simulator exercises:
+//!
+//! * [`rngs::SmallRng`] / [`rngs::StdRng`] — deterministic 64-bit generators
+//!   seeded via [`SeedableRng::seed_from_u64`]. Both are SplitMix64-scrambled
+//!   xoshiro256++ streams; "std" vs "small" carry no security distinction
+//!   here (nothing in the workspace needs a CSPRNG).
+//! * [`Rng`] — the core trait: raw `u32`/`u64` output.
+//! * [`RngExt`] — range and Bernoulli sampling, blanket-implemented for every
+//!   [`Rng`].
+//!
+//! Determinism is part of the contract: for a fixed seed the exact output
+//! stream is stable across platforms and releases, because simulation tests
+//! assert on seeded runs.
+
+/// Core random-number source: raw 64-bit output.
+pub trait Rng {
+    /// Returns the next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Returns the next 32 random bits (upper half of [`Rng::next_u64`]).
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+impl<R: Rng + ?Sized> Rng for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// Derived sampling methods, blanket-implemented for every [`Rng`].
+pub trait RngExt: Rng {
+    /// Samples uniformly from `range` (`start..end` or `start..=end`).
+    ///
+    /// Panics if the range is empty.
+    fn random_range<T, S: SampleRange<T>>(&mut self, range: S) -> T {
+        range.sample_from(self)
+    }
+
+    /// Returns `true` with probability `p`.
+    ///
+    /// Panics unless `0.0 <= p <= 1.0`.
+    fn random_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "probability out of range: {p}");
+        unit_f64(self.next_u64()) < p
+    }
+}
+
+impl<R: Rng + ?Sized> RngExt for R {}
+
+/// Maps 64 random bits to a uniform `f64` in `[0, 1)`.
+#[inline]
+fn unit_f64(bits: u64) -> f64 {
+    // 53 significant bits, as rand's `Standard` distribution does.
+    (bits >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// A range that knows how to sample a uniform value from an [`Rng`].
+pub trait SampleRange<T> {
+    /// Draws one uniform sample.
+    fn sample_from<R: Rng + ?Sized>(self, rng: &mut R) -> T;
+}
+
+macro_rules! int_sample_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for core::ops::Range<$t> {
+            #[inline]
+            fn sample_from<R: Rng + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let draw = uniform_u128(rng, span);
+                (self.start as i128 + draw as i128) as $t
+            }
+        }
+        impl SampleRange<$t> for core::ops::RangeInclusive<$t> {
+            #[inline]
+            fn sample_from<R: Rng + ?Sized>(self, rng: &mut R) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "cannot sample empty range");
+                let span = (end as i128 - start as i128) as u128 + 1;
+                let draw = uniform_u128(rng, span);
+                (start as i128 + draw as i128) as $t
+            }
+        }
+    )*};
+}
+
+int_sample_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Uniform draw from `[0, span)` by rejection sampling (no modulo bias).
+#[inline]
+fn uniform_u128<R: Rng + ?Sized>(rng: &mut R, span: u128) -> u128 {
+    debug_assert!(span > 0);
+    if span == 1 {
+        return 0;
+    }
+    // span fits in u64 for every range the workspace uses; keep the wide
+    // fallback anyway for full-domain inclusive ranges.
+    if let Ok(span64) = u64::try_from(span) {
+        let zone = u64::MAX - (u64::MAX - span64 + 1) % span64;
+        loop {
+            let draw = rng.next_u64();
+            if draw <= zone {
+                return (draw % span64) as u128;
+            }
+        }
+    }
+    let draw = ((rng.next_u64() as u128) << 64) | rng.next_u64() as u128;
+    draw % span
+}
+
+impl SampleRange<f64> for core::ops::Range<f64> {
+    #[inline]
+    fn sample_from<R: Rng + ?Sized>(self, rng: &mut R) -> f64 {
+        assert!(self.start < self.end, "cannot sample empty range");
+        let v = self.start + (self.end - self.start) * unit_f64(rng.next_u64());
+        // `start + span * (1 - 2^-53)` can round up to exactly `end`; keep
+        // the half-open contract by stepping back below it (as real rand does).
+        if v < self.end {
+            v
+        } else {
+            self.end.next_down().max(self.start)
+        }
+    }
+}
+
+impl SampleRange<f32> for core::ops::Range<f32> {
+    #[inline]
+    fn sample_from<R: Rng + ?Sized>(self, rng: &mut R) -> f32 {
+        assert!(self.start < self.end, "cannot sample empty range");
+        let v = self.start + (self.end - self.start) * unit_f64(rng.next_u64()) as f32;
+        if v < self.end {
+            v
+        } else {
+            self.end.next_down().max(self.start)
+        }
+    }
+}
+
+/// Construction of a generator from a seed.
+pub trait SeedableRng: Sized {
+    /// Builds a generator whose stream is a pure function of `seed`.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+pub mod rngs {
+    //! The concrete generators: [`SmallRng`] and [`StdRng`].
+
+    use super::{Rng, SeedableRng};
+
+    /// xoshiro256++ with SplitMix64 seed expansion — fast, 256-bit state,
+    /// reproducible across platforms.
+    #[derive(Clone, Debug)]
+    pub struct SmallRng {
+        s: [u64; 4],
+    }
+
+    #[inline]
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    impl SeedableRng for SmallRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            let mut state = seed;
+            let s = [
+                splitmix64(&mut state),
+                splitmix64(&mut state),
+                splitmix64(&mut state),
+                splitmix64(&mut state),
+            ];
+            SmallRng { s }
+        }
+    }
+
+    impl Rng for SmallRng {
+        #[inline]
+        fn next_u64(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+    }
+
+    /// The "standard" generator. In real `rand` this is ChaCha-based; here it
+    /// shares the xoshiro engine (nothing in the workspace needs a CSPRNG),
+    /// but seeds are domain-separated so `StdRng` and `SmallRng` streams
+    /// differ for equal seeds, as they do upstream.
+    #[derive(Clone, Debug)]
+    pub struct StdRng(SmallRng);
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            StdRng(SmallRng::seed_from_u64(seed ^ 0x51D5_7D1F_E1C9_A9B3))
+        }
+    }
+
+    impl Rng for StdRng {
+        #[inline]
+        fn next_u64(&mut self) -> u64 {
+            self.0.next_u64()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::SmallRng;
+    use super::{Rng, RngExt, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = SmallRng::seed_from_u64(7);
+        let mut b = SmallRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = SmallRng::seed_from_u64(8);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn ranges_in_bounds() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            let x = rng.random_range(3..17u64);
+            assert!((3..17).contains(&x));
+            let y = rng.random_range(-5..=5i32);
+            assert!((-5..=5).contains(&y));
+            let f = rng.random_range(0.0..1.0f64);
+            assert!((0.0..1.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn range_covers_all_values() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        let mut seen = [false; 6];
+        for _ in 0..1000 {
+            seen[rng.random_range(0..6usize)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn float_range_stays_below_exclusive_bound() {
+        // At this magnitude `start + span * (1 - 2^-53)` rounds to `end`
+        // without the correction, breaking the half-open contract.
+        let mut rng = SmallRng::seed_from_u64(6);
+        let (start, end) = (1e16f64, 1e16 + 2.0);
+        for _ in 0..100_000 {
+            let v = rng.random_range(start..end);
+            assert!(v >= start && v < end, "draw {v} escaped [{start}, {end})");
+        }
+        // Degenerate one-ULP-wide range: only `start` is representable below `end`.
+        let tiny_end = 1.0f64.next_up();
+        for _ in 0..100 {
+            assert_eq!(rng.random_range(1.0..tiny_end), 1.0);
+        }
+    }
+
+    #[test]
+    fn bool_probability_roughly_respected() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let hits = (0..10_000).filter(|_| rng.random_bool(0.3)).count();
+        assert!((2000..4000).contains(&hits), "got {hits}");
+    }
+
+    #[test]
+    fn works_through_dyn_and_ref() {
+        fn sample(rng: &mut (impl Rng + ?Sized)) -> u64 {
+            rng.random_range(0..10u64)
+        }
+        let mut rng = SmallRng::seed_from_u64(4);
+        assert!(sample(&mut rng) < 10);
+    }
+}

@@ -1,0 +1,13 @@
+//! Vendored, dependency-free stand-in for the serialization half of `serde`.
+//!
+//! The build environment has no registry access, so the workspace pins
+//! `serde` to this local path crate. It provides the [`ser`] contract that
+//! `dcn-util`'s JSON emitter implements and that `dcn-core`'s report types
+//! derive against, plus `#[derive(Serialize)]` re-exported from the sibling
+//! `serde_derive` proc-macro crate. Deserialization is intentionally absent:
+//! the workspace is write-only (reports out, nothing parsed back in).
+
+pub mod ser;
+
+pub use ser::{Serialize, Serializer};
+pub use serde_derive::Serialize;

@@ -1,0 +1,294 @@
+//! Vendored minimal `#[derive(Serialize)]`.
+//!
+//! The build environment has no registry access, so this proc-macro crate
+//! replaces `serde_derive` without depending on `syn`/`quote`: it walks the
+//! raw [`proc_macro::TokenStream`] of the item and emits the impl as a
+//! string. Supported shapes — the ones the workspace derives on —
+//!
+//! * structs with named fields, tuple structs, unit structs;
+//! * enums whose variants are unit, tuple, or struct-like.
+//!
+//! Generic parameters are not supported; deriving on a generic type is a
+//! compile error directing the author to a manual impl.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derives `serde::Serialize` for non-generic structs and enums.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    skip_attributes(&tokens, &mut i);
+    skip_visibility(&tokens, &mut i);
+
+    let kind = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("derive(Serialize): expected `struct` or `enum`, got {other:?}"),
+    };
+    i += 1;
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("derive(Serialize): expected type name, got {other:?}"),
+    };
+    i += 1;
+    if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+        if p.as_char() == '<' {
+            panic!(
+                "derive(Serialize): generic type `{name}` is not supported by the vendored \
+                 serde_derive; write a manual Serialize impl"
+            );
+        }
+    }
+
+    let code = match kind.as_str() {
+        "struct" => derive_struct(&name, tokens.get(i)),
+        "enum" => derive_enum(&name, tokens.get(i)),
+        other => panic!("derive(Serialize): cannot derive for `{other}` items"),
+    };
+    code.parse()
+        .expect("derive(Serialize): generated code failed to parse")
+}
+
+fn impl_header(name: &str) -> String {
+    format!(
+        "impl ::serde::ser::Serialize for {name} {{\n\
+         fn serialize<__S: ::serde::ser::Serializer>(&self, __serializer: __S)\n\
+         -> ::core::result::Result<__S::Ok, __S::Error> {{\n"
+    )
+}
+
+fn derive_struct(name: &str, body: Option<&TokenTree>) -> String {
+    let mut out = impl_header(name);
+    match body {
+        // Unit struct: `struct Name;`
+        Some(TokenTree::Punct(p)) if p.as_char() == ';' => {
+            out.push_str(&format!(
+                "::serde::ser::Serializer::serialize_unit_struct(__serializer, \"{name}\")\n"
+            ));
+        }
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+            let fields = named_fields(g.stream());
+            out.push_str(&format!(
+                "let mut __state = ::serde::ser::Serializer::serialize_struct(__serializer, \
+                 \"{name}\", {}usize)?;\n",
+                fields.len()
+            ));
+            for f in &fields {
+                out.push_str(&format!(
+                    "::serde::ser::SerializeStruct::serialize_field(&mut __state, \"{f}\", \
+                     &self.{f})?;\n"
+                ));
+            }
+            out.push_str("::serde::ser::SerializeStruct::end(__state)\n");
+        }
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+            let n = tuple_field_count(g.stream());
+            out.push_str(&format!(
+                "let mut __state = ::serde::ser::Serializer::serialize_tuple_struct(__serializer, \
+                 \"{name}\", {n}usize)?;\n"
+            ));
+            for idx in 0..n {
+                out.push_str(&format!(
+                    "::serde::ser::SerializeTupleStruct::serialize_field(&mut __state, \
+                     &self.{idx})?;\n"
+                ));
+            }
+            out.push_str("::serde::ser::SerializeTupleStruct::end(__state)\n");
+        }
+        other => panic!("derive(Serialize): unexpected struct body {other:?}"),
+    }
+    out.push_str("}\n}\n");
+    out
+}
+
+fn derive_enum(name: &str, body: Option<&TokenTree>) -> String {
+    let group = match body {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g,
+        other => panic!("derive(Serialize): unexpected enum body {other:?}"),
+    };
+    let mut out = impl_header(name);
+    out.push_str("match self {\n");
+    let tokens: Vec<TokenTree> = group.stream().into_iter().collect();
+    let mut i = 0;
+    let mut index = 0u32;
+    while i < tokens.len() {
+        skip_attributes(&tokens, &mut i);
+        let variant = match tokens.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            other => panic!("derive(Serialize): expected variant name, got {other:?}"),
+        };
+        i += 1;
+        match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = named_fields(g.stream());
+                let bindings = fields.join(", ");
+                out.push_str(&format!("{name}::{variant} {{ {bindings} }} => {{\n"));
+                out.push_str(&format!(
+                    "let mut __state = ::serde::ser::Serializer::serialize_struct_variant(\
+                     __serializer, \"{name}\", {index}u32, \"{variant}\", {}usize)?;\n",
+                    fields.len()
+                ));
+                for f in &fields {
+                    out.push_str(&format!(
+                        "::serde::ser::SerializeStructVariant::serialize_field(&mut __state, \
+                         \"{f}\", {f})?;\n"
+                    ));
+                }
+                out.push_str("::serde::ser::SerializeStructVariant::end(__state)\n}\n");
+                i += 1;
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let n = tuple_field_count(g.stream());
+                let bindings: Vec<String> = (0..n).map(|k| format!("__f{k}")).collect();
+                out.push_str(&format!(
+                    "{name}::{variant}({}) => {{\n",
+                    bindings.join(", ")
+                ));
+                out.push_str(&format!(
+                    "let mut __state = ::serde::ser::Serializer::serialize_tuple_variant(\
+                     __serializer, \"{name}\", {index}u32, \"{variant}\", {n}usize)?;\n"
+                ));
+                for b in &bindings {
+                    out.push_str(&format!(
+                        "::serde::ser::SerializeTupleVariant::serialize_field(&mut __state, \
+                         {b})?;\n"
+                    ));
+                }
+                out.push_str("::serde::ser::SerializeTupleVariant::end(__state)\n}\n");
+                i += 1;
+            }
+            _ => {
+                out.push_str(&format!(
+                    "{name}::{variant} => ::serde::ser::Serializer::serialize_unit_variant(\
+                     __serializer, \"{name}\", {index}u32, \"{variant}\"),\n"
+                ));
+                // Skip an explicit discriminant (`= expr`) if present.
+                while i < tokens.len() && !is_comma(&tokens[i]) {
+                    i += 1;
+                }
+            }
+        }
+        // Consume the trailing comma between variants.
+        if matches!(tokens.get(i), Some(t) if is_comma(t)) {
+            i += 1;
+        }
+        index += 1;
+    }
+    out.push_str("}\n}\n}\n");
+    out
+}
+
+/// Extracts the field names of a named-field body (`a: T, pub b: U, ...`).
+fn named_fields(stream: TokenStream) -> Vec<String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attributes(&tokens, &mut i);
+        skip_visibility(&tokens, &mut i);
+        let field = match tokens.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            other => panic!("derive(Serialize): expected field name, got {other:?}"),
+        };
+        fields.push(field);
+        i += 1;
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            other => panic!("derive(Serialize): expected `:` after field name, got {other:?}"),
+        }
+        // Skip the type: everything until a comma at angle-bracket depth 0.
+        let mut depth = 0i32;
+        while i < tokens.len() {
+            if is_arrow(&tokens, i) {
+                i += 2; // `->` in an fn-pointer type; its `>` is not a closer
+                continue;
+            }
+            match &tokens[i] {
+                TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+                t if is_comma(t) && depth == 0 => break,
+                _ => {}
+            }
+            i += 1;
+        }
+        if i < tokens.len() {
+            i += 1; // the comma
+        }
+    }
+    fields
+}
+
+/// Counts top-level fields in a tuple body (`T, U, ...`).
+fn tuple_field_count(stream: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut depth = 0i32;
+    let mut count = 1;
+    let mut trailing_comma = false;
+    let mut i = 0;
+    while i < tokens.len() {
+        if is_arrow(&tokens, i) {
+            i += 2; // `->` in an fn-pointer type; its `>` is not a closer
+            trailing_comma = false;
+            continue;
+        }
+        match &tokens[i] {
+            TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+            t if is_comma(t) && depth == 0 => {
+                count += 1;
+                trailing_comma = true;
+                i += 1;
+                continue;
+            }
+            _ => {}
+        }
+        trailing_comma = false;
+        i += 1;
+    }
+    count - usize::from(trailing_comma)
+}
+
+fn is_comma(t: &TokenTree) -> bool {
+    matches!(t, TokenTree::Punct(p) if p.as_char() == ',')
+}
+
+/// True when tokens at `i` spell `->` (a joint `-` followed by `>`).
+fn is_arrow(tokens: &[TokenTree], i: usize) -> bool {
+    matches!(
+        (tokens.get(i), tokens.get(i + 1)),
+        (Some(TokenTree::Punct(a)), Some(TokenTree::Punct(b)))
+            if a.as_char() == '-'
+                && a.spacing() == proc_macro::Spacing::Joint
+                && b.as_char() == '>'
+    )
+}
+
+fn skip_attributes(tokens: &[TokenTree], i: &mut usize) {
+    while let (Some(TokenTree::Punct(p)), Some(TokenTree::Group(g))) =
+        (tokens.get(*i), tokens.get(*i + 1))
+    {
+        if p.as_char() == '#' && g.delimiter() == Delimiter::Bracket {
+            *i += 2;
+        } else {
+            break;
+        }
+    }
+}
+
+fn skip_visibility(tokens: &[TokenTree], i: &mut usize) {
+    if let Some(TokenTree::Ident(id)) = tokens.get(*i) {
+        if id.to_string() == "pub" {
+            *i += 1;
+            if let Some(TokenTree::Group(g)) = tokens.get(*i) {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    *i += 1;
+                }
+            }
+        }
+    }
+}
