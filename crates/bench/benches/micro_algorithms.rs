@@ -46,7 +46,8 @@ fn all_algorithms(c: &mut Criterion) {
     for algorithm in algorithms {
         group.bench_function(algorithm.label(), |bencher| {
             bencher.iter(|| {
-                let mut s = algorithm.build(dm.clone(), 12, spec.alpha, 5, &trace.requests);
+                let mut s =
+                    algorithm.build_with_trace(dm.clone(), 12, spec.alpha, 5, &trace.requests);
                 let mut matched = 0u64;
                 for &r in &trace.requests {
                     matched += s.serve(r).was_matched as u64;
@@ -72,7 +73,8 @@ fn b_sensitivity(c: &mut Criterion) {
         for b in [6usize, 12, 24, 48] {
             group.bench_with_input(BenchmarkId::new(algorithm.label(), b), &b, |bencher, &b| {
                 bencher.iter(|| {
-                    let mut s = algorithm.build(dm.clone(), b, spec.alpha, 5, &trace.requests);
+                    let mut s =
+                        algorithm.build_with_trace(dm.clone(), b, spec.alpha, 5, &trace.requests);
                     let mut matched = 0u64;
                     for &r in &trace.requests {
                         matched += s.serve(r).was_matched as u64;

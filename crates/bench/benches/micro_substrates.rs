@@ -100,7 +100,10 @@ fn topology_distances(c: &mut Criterion) {
         .sample_size(10)
         .warm_up_time(Duration::from_millis(200))
         .measurement_time(Duration::from_secs(2));
-    for racks in [50usize, 100] {
+    // ≤ 100 racks: between_racks_parallel must fall back to the sequential
+    // path (never slower at paper scale); 256 racks exercises the real
+    // chunked fan-out and is where parallel should win.
+    for racks in [50usize, 100, 256] {
         let net = builders::fat_tree_with_racks(racks);
         group.bench_with_input(
             BenchmarkId::new("apsp_sequential", racks),

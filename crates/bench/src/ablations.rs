@@ -51,44 +51,56 @@ impl SimpleTable {
     }
 }
 
-fn base_spec(scale: usize) -> FigureSpec {
+/// Base configuration at `scale` times the nominal 200k-request workload
+/// (`1.0` = full size; `repro_figures` passes `--scale / 20` under
+/// `--fast`).
+fn base_spec(scale: f64) -> FigureSpec {
     FigureSpec {
         id: "ablation",
         title: "ablation base (Facebook Database)",
         workload: Workload::FacebookDb,
         racks: 100,
         bs: vec![12],
-        total_requests: 200_000 / scale.max(1),
+        total_requests: 200_000,
         num_checkpoints: 4,
         alpha: 10,
         repetitions: 3,
     }
+    .scaled_by(scale)
 }
 
 fn total_costs(spec: &FigureSpec, algorithm: AlgorithmKind, b: usize, alpha: u64) -> (f64, f64) {
     // Returns (mean routing cost, mean reconfig cost) across repetitions.
+    // Each job streams its own trace; nothing is materialized.
     let dm = spec.distances();
-    let mut routing = 0.0;
-    let mut reconfig = 0.0;
-    for rep in 0..spec.repetitions {
-        let trace = spec.trace(rep);
-        let jobs = vec![Job {
+    let jobs: Vec<Job> = (0..spec.repetitions)
+        .map(|rep| Job {
             algorithm: algorithm.clone(),
             b,
             alpha,
             seed: derive_seed(0xAB1, rep),
             checkpoints: vec![],
-        }];
-        let report = run_jobs(&dm, &trace, &jobs, 1).pop().expect("one job");
-        routing += report.total.routing_cost as f64;
-        reconfig += report.total.reconfig_cost as f64;
-    }
+            trace: spec.trace_spec(rep),
+        })
+        .collect();
+    let reports = run_jobs(&dm, &jobs, 1);
     let n = spec.repetitions as f64;
-    (routing / n, reconfig / n)
+    (
+        reports
+            .iter()
+            .map(|r| r.total.routing_cost as f64)
+            .sum::<f64>()
+            / n,
+        reports
+            .iter()
+            .map(|r| r.total.reconfig_cost as f64)
+            .sum::<f64>()
+            / n,
+    )
 }
 
 /// Abl. A — reconfiguration-cost sweep: how α moves the rent-or-buy point.
-pub fn ablation_alpha(scale: usize) -> SimpleTable {
+pub fn ablation_alpha(scale: f64) -> SimpleTable {
     let spec = base_spec(scale);
     let b = 12;
     let mut rows = Vec::new();
@@ -120,7 +132,7 @@ pub fn ablation_alpha(scale: usize) -> SimpleTable {
 /// Abl. B — resource augmentation: online R-BMA with degree b versus the
 /// *offline static* optimum restricted to degree a ≤ b (the (b,a) setting
 /// of the analysis).
-pub fn ablation_augmentation(scale: usize) -> SimpleTable {
+pub fn ablation_augmentation(scale: f64) -> SimpleTable {
     let spec = base_spec(scale);
     let b = 12;
     let dm = spec.distances();
@@ -153,7 +165,7 @@ pub fn ablation_augmentation(scale: usize) -> SimpleTable {
 
 /// Abl. C — spatial-skew sweep: routing-cost reduction vs the oblivious
 /// baseline as a function of the Zipf exponent.
-pub fn ablation_skew(scale: usize) -> SimpleTable {
+pub fn ablation_skew(scale: f64) -> SimpleTable {
     let mut rows = Vec::new();
     for s in [0.6, 0.9, 1.2, 1.5, 1.8] {
         let spec = FigureSpec {
@@ -174,7 +186,7 @@ pub fn ablation_skew(scale: usize) -> SimpleTable {
 }
 
 /// Abl. E — lazy vs strict removals (footnote 2 of the paper).
-pub fn ablation_removal(scale: usize) -> SimpleTable {
+pub fn ablation_removal(scale: f64) -> SimpleTable {
     let spec = base_spec(scale);
     let mut rows = Vec::new();
     for b in [6usize, 12, 18] {
@@ -209,9 +221,10 @@ pub fn ablation_removal(scale: usize) -> SimpleTable {
 /// total cost above the all-matched ideal (`1` per request); the
 /// deterministic excess grows ≈ linearly in b while the randomized one
 /// grows ≈ logarithmically, so the ratio grows ≈ b/log b.
-pub fn lower_bound_gap(scale: usize) -> SimpleTable {
+pub fn lower_bound_gap(scale: f64) -> SimpleTable {
+    assert!(scale > 0.0);
     let alpha = 10u64;
-    let num_blocks = (2000 / scale.max(1)).max(200);
+    let num_blocks = ((2000.0 * scale).round() as usize).max(200);
     let mut rows = Vec::new();
     for b in [2usize, 4, 8, 16] {
         let spokes = b + 1;
@@ -299,7 +312,7 @@ mod tests {
 
     #[test]
     fn alpha_table_shape() {
-        let t = ablation_alpha(50);
+        let t = ablation_alpha(0.02);
         assert_eq!(t.rows.len(), 7);
         assert_eq!(t.columns.len(), 6);
         // Reconfig cost at α=1 must be positive for both algorithms.
@@ -310,7 +323,7 @@ mod tests {
 
     #[test]
     fn augmentation_ratio_decreases_with_a() {
-        let t = ablation_augmentation(50);
+        let t = ablation_augmentation(0.02);
         // SO-BMA with larger a can only do better (rows report its cost in
         // column 0): monotone non-increasing.
         let costs: Vec<f64> = t.rows.iter().map(|(_, v)| v[0]).collect();
@@ -319,7 +332,7 @@ mod tests {
 
     #[test]
     fn skew_reduction_increases_with_s() {
-        let t = ablation_skew(50);
+        let t = ablation_skew(0.02);
         let first = t.rows.first().expect("rows").1[2];
         let last = t.rows.last().expect("rows").1[2];
         assert!(
@@ -330,7 +343,7 @@ mod tests {
 
     #[test]
     fn removal_mode_lazy_not_worse_routing() {
-        let t = ablation_removal(50);
+        let t = ablation_removal(0.02);
         for (label, v) in &t.rows {
             // Keeping edges longer can only reduce routing cost: strict ≥ lazy
             // (allow 2% noise).
@@ -345,7 +358,7 @@ mod tests {
 
     #[test]
     fn lower_bound_gap_grows_with_b() {
-        let t = lower_bound_gap(10);
+        let t = lower_bound_gap(0.1);
         let ratios: Vec<f64> = t.rows.iter().map(|(_, v)| v[2]).collect();
         assert!(
             ratios.last().expect("rows") > ratios.first().expect("rows"),

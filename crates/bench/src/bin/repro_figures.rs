@@ -1,7 +1,7 @@
 //! Regenerates the paper's evaluation figures and the DESIGN.md ablations.
 //!
 //! ```text
-//! repro_figures [--fast] [--out DIR] <target>...
+//! repro_figures [--fast] [--scale F] [--out DIR] <target>...
 //!
 //! targets:
 //!   fig1 fig2 fig3 fig4      the paper's Figures 1-4 (panels a, b, c)
@@ -11,27 +11,50 @@
 //!   ablation-skew            Abl. C: spatial-skew sweep
 //!   ablation-removal         Abl. E: lazy vs strict removals
 //!   lower-bound              Abl. D: deterministic vs randomized gap
+//!   scaling                  streamed 10^5 -> 10^7 request sweep (O(1) memory)
 //!   ablations                all ablations
 //!   all                      everything
 //!
-//! --fast    scale workloads down ~20x (quick smoke run)
-//! --out DIR also write each panel as CSV into DIR
+//! --fast      scale workloads down ~20x (quick smoke run)
+//! --scale F   multiply request counts by F (e.g. 10 for a 10x longer run;
+//!             composes with --fast). Workloads stream, so memory stays flat.
+//! --out DIR   also write each panel as CSV into DIR
 //! ```
 
 use dcn_bench::{
     ablation_alpha, ablation_augmentation, ablation_removal, ablation_skew, lower_bound_gap,
-    run_panel, series_to_csv, series_to_markdown, FigureSpec, Panel, SimpleTable,
+    run_panel, scaling_sweep, series_to_csv, series_to_markdown, FigureSpec, Panel, SimpleTable,
 };
 use std::path::PathBuf;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let fast = args.iter().any(|a| a == "--fast");
-    let out_dir: Option<PathBuf> = args
-        .iter()
-        .position(|a| a == "--out")
-        .and_then(|i| args.get(i + 1))
-        .map(PathBuf::from);
+    // A flag whose value is missing is a hard error, not a silent no-op:
+    // `--scale` without a number must not quietly run at 1x.
+    let value_of = |flag: &str| -> Option<String> {
+        let i = args.iter().position(|a| a == flag)?;
+        match args.get(i + 1) {
+            Some(v) if !v.starts_with("--") => Some(v.clone()),
+            _ => {
+                eprintln!("{flag} requires a value");
+                std::process::exit(2);
+            }
+        }
+    };
+    let out_dir: Option<PathBuf> = value_of("--out").map(PathBuf::from);
+    let scale_factor: f64 = match value_of("--scale") {
+        Some(v) => match v.parse::<f64>() {
+            // `!(x > 0.0)` also rejects NaN, which `x <= 0.0` would let
+            // through (and which would otherwise degrade every length to 1).
+            Ok(f) if f.is_finite() && f > 0.0 => f,
+            _ => {
+                eprintln!("--scale expects a positive finite number, got {v:?}");
+                std::process::exit(2);
+            }
+        },
+        None => 1.0,
+    };
     let mut targets: Vec<String> = Vec::new();
     let mut skip_next = false;
     for a in &args {
@@ -39,7 +62,7 @@ fn main() {
             skip_next = false;
             continue;
         }
-        if a == "--out" {
+        if a == "--out" || a == "--scale" {
             skip_next = true;
             continue;
         }
@@ -54,7 +77,9 @@ fn main() {
         std::fs::create_dir_all(dir).expect("create output directory");
     }
 
-    let scale = if fast { 20 } else { 1 };
+    let divisor = if fast { 20 } else { 1 };
+    // Every target honours --scale; ablations take one combined multiplier.
+    let ablation_scale = scale_factor / divisor as f64;
     let expand = |t: &str| -> Vec<String> {
         match t {
             "all" => vec![
@@ -67,6 +92,7 @@ fn main() {
                 "ablation-skew",
                 "ablation-removal",
                 "lower-bound",
+                "scaling",
             ]
             .into_iter()
             .map(String::from)
@@ -96,16 +122,29 @@ fn main() {
         match target.as_str() {
             id @ ("fig1" | "fig2" | "fig3" | "fig4") => {
                 let spec = FigureSpec::by_id(id).expect("known figure id");
-                let spec = if fast { spec.scaled(scale) } else { spec };
+                let spec = if fast { spec.scaled(divisor) } else { spec };
+                let spec = spec.scaled_by(scale_factor);
                 run_figure(&spec, out_dir.as_deref());
             }
-            "ablation-alpha" => print_table(ablation_alpha(scale), out_dir.as_deref()),
+            "ablation-alpha" => print_table(ablation_alpha(ablation_scale), out_dir.as_deref()),
             "ablation-augmentation" => {
-                print_table(ablation_augmentation(scale), out_dir.as_deref())
+                print_table(ablation_augmentation(ablation_scale), out_dir.as_deref())
             }
-            "ablation-skew" => print_table(ablation_skew(scale), out_dir.as_deref()),
-            "ablation-removal" => print_table(ablation_removal(scale), out_dir.as_deref()),
-            "lower-bound" => print_table(lower_bound_gap(scale), out_dir.as_deref()),
+            "ablation-skew" => print_table(ablation_skew(ablation_scale), out_dir.as_deref()),
+            "ablation-removal" => print_table(ablation_removal(ablation_scale), out_dir.as_deref()),
+            "lower-bound" => print_table(lower_bound_gap(ablation_scale), out_dir.as_deref()),
+            "scaling" => {
+                let base: &[usize] = if fast {
+                    &[10_000, 100_000, 1_000_000]
+                } else {
+                    &[100_000, 1_000_000, 10_000_000]
+                };
+                let lens: Vec<usize> = base
+                    .iter()
+                    .map(|&l| ((l as f64 * scale_factor).round() as usize).max(1))
+                    .collect();
+                print_table(scaling_sweep(&lens), out_dir.as_deref());
+            }
             other => {
                 eprintln!("unknown target: {other}");
                 std::process::exit(2);

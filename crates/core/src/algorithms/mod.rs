@@ -59,15 +59,26 @@ impl AlgorithmKind {
         }
     }
 
-    /// Instantiates a scheduler. `trace` is only needed by the predictive
-    /// variant (its oracle is built from the future sequence).
-    pub fn build(
+    /// Whether building this algorithm requires the materialized future
+    /// request sequence (offline knowledge). Only the prediction-augmented
+    /// variant does — its oracle is synthesized from the trace. Everything
+    /// else is truly online and can run over an unmaterialized stream.
+    pub fn needs_materialized_trace(&self) -> bool {
+        matches!(self, AlgorithmKind::PredictiveRbma { .. })
+    }
+
+    /// Instantiates a purely online scheduler — no trace access at all, so
+    /// sweep workers can feed it an O(1)-memory request stream.
+    ///
+    /// Panics for algorithms whose construction needs the future sequence
+    /// (see [`AlgorithmKind::needs_materialized_trace`]); route those
+    /// through [`AlgorithmKind::build_with_trace`].
+    pub fn build_online(
         &self,
         dm: Arc<DistanceMatrix>,
         b: usize,
         alpha: u64,
         seed: u64,
-        trace: &[dcn_topology::Pair],
     ) -> Box<dyn OnlineScheduler> {
         let n = dm.num_racks();
         match *self {
@@ -82,12 +93,63 @@ impl AlgorithmKind {
             }
             AlgorithmKind::Bma => Box::new(bma::Bma::new(dm, b, alpha)),
             AlgorithmKind::Rotor { period } => Box::new(rotor::Rotor::new(n, b, period)),
-            AlgorithmKind::PredictiveRbma { noise } => Box::new(predictive::PredictiveRbma::new(
-                dm, b, alpha, trace, noise, seed,
-            )),
+            AlgorithmKind::PredictiveRbma { .. } => panic!(
+                "{} needs the materialized trace; use build_with_trace",
+                self.label()
+            ),
             AlgorithmKind::Periodic { period } => {
                 Box::new(periodic::PeriodicRebuild::new(dm, b, period))
             }
         }
+    }
+
+    /// Instantiates a scheduler when a materialized trace is at hand.
+    /// `trace` is only read by the prediction-needing variants; the online
+    /// algorithms ignore it and defer to
+    /// [`AlgorithmKind::build_online`].
+    pub fn build_with_trace(
+        &self,
+        dm: Arc<DistanceMatrix>,
+        b: usize,
+        alpha: u64,
+        seed: u64,
+        trace: &[dcn_topology::Pair],
+    ) -> Box<dyn OnlineScheduler> {
+        match *self {
+            AlgorithmKind::PredictiveRbma { noise } => Box::new(predictive::PredictiveRbma::new(
+                dm, b, alpha, trace, noise, seed,
+            )),
+            _ => self.build_online(dm, b, alpha, seed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn only_predictive_needs_the_trace() {
+        for kind in [
+            AlgorithmKind::Oblivious,
+            AlgorithmKind::Rbma { lazy: true },
+            AlgorithmKind::Rbma { lazy: false },
+            AlgorithmKind::Bma,
+            AlgorithmKind::Rotor { period: 10 },
+            AlgorithmKind::Periodic { period: 10 },
+        ] {
+            assert!(!kind.needs_materialized_trace(), "{}", kind.label());
+            let dm = Arc::new(DistanceMatrix::uniform(6));
+            let s = kind.build_online(dm, 2, 5, 0);
+            assert_eq!(s.cap(), 2);
+        }
+        assert!(AlgorithmKind::PredictiveRbma { noise: 0.0 }.needs_materialized_trace());
+    }
+
+    #[test]
+    #[should_panic(expected = "use build_with_trace")]
+    fn build_online_rejects_predictive() {
+        let dm = Arc::new(DistanceMatrix::uniform(4));
+        AlgorithmKind::PredictiveRbma { noise: 0.0 }.build_online(dm, 2, 5, 0);
     }
 }

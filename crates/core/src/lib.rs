@@ -15,10 +15,14 @@
 //!   of Bienkowski et al. \[11\]), [`algorithms::static_offline`] (SO-BMA),
 //!   [`algorithms::oblivious::Oblivious`], plus a RotorNet-style oblivious
 //!   rotor and a prediction-augmented R-BMA (§5 future work).
-//! * [`simulator`] — trace-driven execution with checkpointed routing-cost /
-//!   reconfiguration-cost / wall-clock series (the x/y data of Figs. 1–4).
-//! * [`sweep`] — deterministic parallel fan-out of (algorithm × b × seed)
-//!   runs across threads.
+//! * [`simulator`] — request-driven execution with checkpointed
+//!   routing-cost / reconfiguration-cost / wall-clock series (the x/y data
+//!   of Figs. 1–4). Consumes any [`simulator::RequestStream`]: an eager
+//!   slice or an O(1)-memory [`dcn_traces::RequestSource`] stream.
+//! * [`sweep`] — deterministic parallel fan-out of
+//!   (algorithm × b × trace-seed × algo-seed) runs across threads; each
+//!   job carries a [`dcn_traces::TraceSpec`] and synthesizes its own
+//!   stream in-place.
 //! * [`report`] — serializable run reports and cross-seed averaging.
 //!
 //! # Quickstart
@@ -27,15 +31,16 @@
 //! use dcn_core::algorithms::rbma::{Rbma, RemovalMode};
 //! use dcn_core::simulator::{run, SimConfig};
 //! use dcn_topology::{builders, DistanceMatrix};
-//! use dcn_traces::generators::facebook::{facebook_cluster_trace, FacebookCluster};
+//! use dcn_traces::generators::facebook::{facebook_cluster_source, FacebookCluster};
 //! use std::sync::Arc;
 //!
 //! let net = builders::fat_tree_with_racks(16);
 //! let dm = Arc::new(DistanceMatrix::between_racks(&net));
-//! let trace = facebook_cluster_trace(FacebookCluster::Database, 16, 20_000, 42);
+//! // A lazy request stream — nothing is materialized.
+//! let mut trace = facebook_cluster_source(FacebookCluster::Database, 16, 20_000, 42);
 //! let alpha = 10;
 //! let mut rbma = Rbma::new(dm.clone(), 4, alpha, RemovalMode::Lazy, 7);
-//! let report = run(&mut rbma, &dm, alpha, &trace.requests, &SimConfig::default());
+//! let report = run(&mut rbma, &dm, alpha, &mut trace, &SimConfig::default());
 //! assert!(report.total.routing_cost > 0);
 //! ```
 
@@ -48,4 +53,4 @@ pub mod sweep;
 
 pub use report::{AveragedSeries, Checkpoint, RunReport};
 pub use scheduler::{OnlineScheduler, ServeOutcome};
-pub use simulator::{run, SimConfig};
+pub use simulator::{run, RequestStream, SimConfig};

@@ -6,10 +6,18 @@
 //! reconfigurations cost α each. Wall-clock time covers only the serve
 //! loop — snapshotting is excluded, and runs are single-threaded, matching
 //! "each simulation is run sequentially" in §3.1.
+//!
+//! Requests arrive through the [`RequestStream`] abstraction: a slice /
+//! `Vec` / [`Trace`] replays eagerly, while a `&mut impl RequestSource`
+//! streams requests one at a time — the simulator itself holds O(1) state
+//! in the stream length, so workloads of tens of millions of requests run
+//! at constant memory.
 
 use crate::report::{Checkpoint, RunReport};
 use crate::scheduler::OnlineScheduler;
 use dcn_topology::{DistanceMatrix, Pair};
+use dcn_traces::source::{RequestSource, SourceIter};
+use dcn_traces::Trace;
 use dcn_util::Stopwatch;
 
 /// Simulation options.
@@ -28,31 +36,87 @@ pub struct SimConfig {
 }
 
 impl SimConfig {
-    /// Evenly spaced checkpoints: `count` points up to `total`.
+    /// Evenly spaced checkpoints: up to `count` points up to `total`.
+    ///
+    /// Degrades gracefully instead of panicking: `count` is clamped to
+    /// `1..=total` (a 3-request `--fast` smoke trace asked for 14 points
+    /// gets 3), and an empty trace gets an empty grid.
     pub fn evenly_spaced(total: usize, count: usize) -> Vec<usize> {
-        assert!(count >= 1 && total >= count);
+        if total == 0 {
+            return Vec::new();
+        }
+        let count = count.clamp(1, total);
         (1..=count).map(|i| total * i / count).collect()
     }
 }
 
+/// Anything the simulator can consume as a request sequence: an eager slice
+/// (`&[Pair]`, `&Vec<Pair>`, `&Trace`) or a lazy `&mut impl RequestSource`
+/// stream. The iterator is exact-size so the checkpoint grid can be laid
+/// out up front.
+pub trait RequestStream {
+    /// The concrete request iterator.
+    type Iter: ExactSizeIterator<Item = Pair>;
+
+    /// Converts into the request iterator.
+    fn into_request_iter(self) -> Self::Iter;
+}
+
+impl<'a> RequestStream for &'a [Pair] {
+    type Iter = std::iter::Copied<std::slice::Iter<'a, Pair>>;
+
+    fn into_request_iter(self) -> Self::Iter {
+        self.iter().copied()
+    }
+}
+
+impl<'a> RequestStream for &'a Vec<Pair> {
+    type Iter = std::iter::Copied<std::slice::Iter<'a, Pair>>;
+
+    fn into_request_iter(self) -> Self::Iter {
+        self.iter().copied()
+    }
+}
+
+impl<'a> RequestStream for &'a Trace {
+    type Iter = std::iter::Copied<std::slice::Iter<'a, Pair>>;
+
+    fn into_request_iter(self) -> Self::Iter {
+        self.requests.iter().copied()
+    }
+}
+
+impl<'a, S: RequestSource + ?Sized> RequestStream for &'a mut S {
+    type Iter = SourceIter<'a, S>;
+
+    fn into_request_iter(self) -> Self::Iter {
+        SourceIter::new(self)
+    }
+}
+
 /// Runs `scheduler` over `requests`, returning the checkpointed report.
-pub fn run<S: OnlineScheduler + ?Sized>(
+///
+/// A streaming source is consumed from its *current* position; call
+/// [`RequestSource::reset`] first to replay from the start.
+pub fn run<S: OnlineScheduler + ?Sized, R: RequestStream>(
     scheduler: &mut S,
     dm: &DistanceMatrix,
     alpha: u64,
-    requests: &[Pair],
+    requests: R,
     config: &SimConfig,
 ) -> RunReport {
+    let requests = requests.into_request_iter();
+    let total = requests.len();
     let mut cps: Vec<usize> = config
         .checkpoints
         .iter()
         .copied()
-        .filter(|&c| c > 0 && c <= requests.len())
+        .filter(|&c| c > 0 && c <= total)
         .collect();
     cps.sort_unstable();
     cps.dedup();
-    if cps.last() != Some(&requests.len()) && !requests.is_empty() {
-        cps.push(requests.len());
+    if cps.last() != Some(&total) && total > 0 {
+        cps.push(total);
     }
 
     let mut state = Checkpoint::default();
@@ -60,7 +124,7 @@ pub fn run<S: OnlineScheduler + ?Sized>(
     let mut next_cp = 0usize;
     let mut sw = Stopwatch::new();
 
-    for (i, &pair) in requests.iter().enumerate() {
+    for (i, pair) in requests.enumerate() {
         sw.start();
         let outcome = scheduler.serve(pair);
         sw.pause();
@@ -104,6 +168,7 @@ mod tests {
     use crate::algorithms::oblivious::Oblivious;
     use crate::algorithms::rbma::{Rbma, RemovalMode};
     use dcn_topology::builders;
+    use dcn_traces::uniform_source;
     use std::sync::Arc;
 
     fn setup(n: usize) -> (Arc<DistanceMatrix>, Vec<Pair>) {
@@ -198,8 +263,61 @@ mod tests {
     }
 
     #[test]
+    fn streamed_run_equals_materialized_run() {
+        let net = builders::leaf_spine(12, 2);
+        let dm = Arc::new(DistanceMatrix::between_racks(&net));
+        let mut source = uniform_source(12, 5000, 9);
+        let trace = source.materialize();
+        let config = SimConfig {
+            checkpoints: vec![1000, 2500],
+            ..Default::default()
+        };
+
+        let mut a = Rbma::new(dm.clone(), 3, 10, RemovalMode::Lazy, 4);
+        let eager = run(&mut a, &dm, 10, &trace.requests, &config);
+        let mut b = Rbma::new(dm.clone(), 3, 10, RemovalMode::Lazy, 4);
+        let streamed = run(&mut b, &dm, 10, &mut source, &config);
+
+        assert_eq!(eager.total.routing_cost, streamed.total.routing_cost);
+        assert_eq!(
+            eager.total.reconfigurations,
+            streamed.total.reconfigurations
+        );
+        assert_eq!(eager.checkpoints.len(), streamed.checkpoints.len());
+        for (x, y) in eager.checkpoints.iter().zip(&streamed.checkpoints) {
+            assert_eq!(x.requests, y.requests);
+            assert_eq!(x.routing_cost, y.routing_cost);
+        }
+    }
+
+    #[test]
+    fn streamed_run_consumes_from_current_position() {
+        let net = builders::leaf_spine(8, 2);
+        let dm = Arc::new(DistanceMatrix::between_racks(&net));
+        let mut source = uniform_source(8, 100, 2);
+        source.next_request();
+        let mut alg = Oblivious::new(8, 2);
+        let report = run(&mut alg, &dm, 10, &mut source, &SimConfig::default());
+        assert_eq!(report.total.requests, 99);
+        source.reset();
+        let mut alg2 = Oblivious::new(8, 2);
+        let full = run(&mut alg2, &dm, 10, &mut source, &SimConfig::default());
+        assert_eq!(full.total.requests, 100);
+    }
+
+    #[test]
     fn evenly_spaced_grid() {
         assert_eq!(SimConfig::evenly_spaced(100, 4), vec![25, 50, 75, 100]);
         assert_eq!(SimConfig::evenly_spaced(10, 1), vec![10]);
+    }
+
+    #[test]
+    fn evenly_spaced_clamps_gracefully() {
+        // count > total: one checkpoint per request instead of a panic.
+        assert_eq!(SimConfig::evenly_spaced(3, 14), vec![1, 2, 3]);
+        assert_eq!(SimConfig::evenly_spaced(1, 8), vec![1]);
+        // count = 0 still yields the trace end; empty traces yield nothing.
+        assert_eq!(SimConfig::evenly_spaced(5, 0), vec![5]);
+        assert_eq!(SimConfig::evenly_spaced(0, 4), Vec::<usize>::new());
     }
 }

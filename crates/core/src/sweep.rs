@@ -1,10 +1,19 @@
 //! Deterministic parallel fan-out of simulation runs.
 //!
-//! Cost figures need (algorithm × b × seed) grids of runs; each run is
-//! single-threaded (per the paper's methodology) but runs are independent,
-//! so the grid fans out over worker threads via a crossbeam channel. The
-//! output order is deterministic regardless of scheduling: results carry
-//! their job index and are re-sorted.
+//! Cost figures need (algorithm × b × trace-seed × algo-seed) grids of
+//! runs; each run is single-threaded (per the paper's methodology) but runs
+//! are independent, so the grid fans out over worker threads via a
+//! crossbeam channel. The output order is deterministic regardless of
+//! scheduling: results carry their job index and are re-sorted.
+//!
+//! Every [`Job`] carries a [`TraceSpec`] — a *description* of its workload
+//! (generator + parameters + trace seed) — and each worker synthesizes its
+//! own request stream in-place. Online-only job grids therefore never
+//! allocate a `Vec` of the full trace (peak resident trace memory is O(1)
+//! in the request count), there is no shared-trace `Arc` to contend on, and
+//! (trace-seed × algo-seed) grids are just more jobs. Only algorithms that
+//! declare [`AlgorithmKind::needs_materialized_trace`] (the prediction
+//! oracle) materialize their trace, privately and transiently.
 //!
 //! Execution-*time* figures must not share cores; use `threads = 1` (or
 //! [`run_jobs_sequential`]) for those, as the figure harness does.
@@ -13,11 +22,12 @@ use crate::algorithms::AlgorithmKind;
 use crate::report::RunReport;
 use crate::simulator::{run, SimConfig};
 use dcn_topology::DistanceMatrix;
-use dcn_traces::Trace;
+use dcn_traces::TraceSpec;
 use parking_lot::Mutex;
 use std::sync::Arc;
 
-/// One simulation job.
+/// One simulation job: an algorithm configuration plus the workload it runs
+/// on.
 #[derive(Clone, Debug)]
 pub struct Job {
     /// Algorithm to instantiate.
@@ -30,19 +40,15 @@ pub struct Job {
     pub seed: u64,
     /// Checkpoint grid (request counts).
     pub checkpoints: Vec<usize>,
+    /// Workload description; the worker synthesizes the stream in-place.
+    pub trace: TraceSpec,
 }
 
-/// Runs all jobs over the shared trace using `threads` workers; results are
-/// in job order.
-pub fn run_jobs(
-    dm: &Arc<DistanceMatrix>,
-    trace: &Trace,
-    jobs: &[Job],
-    threads: usize,
-) -> Vec<RunReport> {
+/// Runs all jobs using `threads` workers; results are in job order.
+pub fn run_jobs(dm: &Arc<DistanceMatrix>, jobs: &[Job], threads: usize) -> Vec<RunReport> {
     assert!(threads >= 1);
     if threads == 1 || jobs.len() <= 1 {
-        return run_jobs_sequential(dm, trace, jobs);
+        return run_jobs_sequential(dm, jobs);
     }
     let (tx, rx) = crossbeam::channel::unbounded::<(usize, Job)>();
     for (i, j) in jobs.iter().cloned().enumerate() {
@@ -56,10 +62,9 @@ pub fn run_jobs(
             let rx = rx.clone();
             let results = &results;
             let dm = Arc::clone(dm);
-            let trace = &trace;
             scope.spawn(move || {
                 while let Ok((i, job)) = rx.recv() {
-                    let report = execute(&dm, trace, &job);
+                    let report = execute(&dm, &job);
                     results.lock()[i] = Some(report);
                 }
             });
@@ -73,25 +78,39 @@ pub fn run_jobs(
 }
 
 /// Single-threaded variant (for wall-clock fidelity).
-pub fn run_jobs_sequential(
-    dm: &Arc<DistanceMatrix>,
-    trace: &Trace,
-    jobs: &[Job],
-) -> Vec<RunReport> {
-    jobs.iter().map(|j| execute(dm, trace, j)).collect()
+pub fn run_jobs_sequential(dm: &Arc<DistanceMatrix>, jobs: &[Job]) -> Vec<RunReport> {
+    jobs.iter().map(|j| execute(dm, j)).collect()
 }
 
-fn execute(dm: &Arc<DistanceMatrix>, trace: &Trace, job: &Job) -> RunReport {
-    let mut scheduler =
-        job.algorithm
-            .build(Arc::clone(dm), job.b, job.alpha, job.seed, &trace.requests);
-    let config = SimConfig {
+fn execute(dm: &Arc<DistanceMatrix>, job: &Job) -> RunReport {
+    let mut config = SimConfig {
         checkpoints: job.checkpoints.clone(),
         verify_every: 0,
         seed: job.seed,
-        trace_name: trace.name.clone(),
+        trace_name: String::new(),
     };
-    let mut report = run(scheduler.as_mut(), dm, job.alpha, &trace.requests, &config);
+    let mut report = if job.algorithm.needs_materialized_trace() {
+        // Offline knowledge required: materialize this job's trace privately
+        // (borrowed, not cloned, when the spec already wraps one).
+        let trace = job.trace.as_trace();
+        config.trace_name = trace.name.clone();
+        let mut scheduler = job.algorithm.build_with_trace(
+            Arc::clone(dm),
+            job.b,
+            job.alpha,
+            job.seed,
+            &trace.requests,
+        );
+        run(scheduler.as_mut(), dm, job.alpha, &trace.requests, &config)
+    } else {
+        // Online path: stream the workload, O(1) memory in its length.
+        let mut source = job.trace.source();
+        config.trace_name = source.name().to_string();
+        let mut scheduler = job
+            .algorithm
+            .build_online(Arc::clone(dm), job.b, job.alpha, job.seed);
+        run(scheduler.as_mut(), dm, job.alpha, source.as_mut(), &config)
+    };
     report.algorithm = job.algorithm.label();
     report
 }
@@ -102,11 +121,17 @@ mod tests {
     use dcn_topology::builders;
     use dcn_traces::uniform_trace;
 
-    fn setup() -> (Arc<DistanceMatrix>, Trace) {
+    fn setup() -> Arc<DistanceMatrix> {
         let net = builders::leaf_spine(10, 2);
-        let dm = Arc::new(DistanceMatrix::between_racks(&net));
-        let trace = uniform_trace(10, 3000, 5);
-        (dm, trace)
+        Arc::new(DistanceMatrix::between_racks(&net))
+    }
+
+    fn spec() -> TraceSpec {
+        TraceSpec::Uniform {
+            num_racks: 10,
+            len: 3000,
+            seed: 5,
+        }
     }
 
     fn jobs() -> Vec<Job> {
@@ -119,6 +144,7 @@ mod tests {
                     alpha: 5,
                     seed,
                     checkpoints: vec![1000, 2000, 3000],
+                    trace: spec(),
                 });
             }
         }
@@ -128,16 +154,17 @@ mod tests {
             alpha: 5,
             seed: 0,
             checkpoints: vec![1000, 2000, 3000],
+            trace: spec(),
         });
         jobs
     }
 
     #[test]
     fn parallel_equals_sequential() {
-        let (dm, trace) = setup();
+        let dm = setup();
         let js = jobs();
-        let seq = run_jobs_sequential(&dm, &trace, &js);
-        let par = run_jobs(&dm, &trace, &js, 4);
+        let seq = run_jobs_sequential(&dm, &js);
+        let par = run_jobs(&dm, &js, 4);
         assert_eq!(seq.len(), par.len());
         for (a, b) in seq.iter().zip(&par) {
             assert_eq!(a.algorithm, b.algorithm);
@@ -150,10 +177,92 @@ mod tests {
     }
 
     #[test]
+    fn trace_seed_grid_is_deterministic_and_distinct() {
+        // (trace-seed × algo-seed) grid: same algorithm, two trace seeds.
+        let dm = setup();
+        let js: Vec<Job> = (0..2u64)
+            .flat_map(|trace_seed| {
+                (0..2u64).map(move |seed| Job {
+                    algorithm: AlgorithmKind::Rbma { lazy: true },
+                    b: 3,
+                    alpha: 5,
+                    seed,
+                    checkpoints: vec![],
+                    trace: spec().with_seed(trace_seed),
+                })
+            })
+            .collect();
+        let seq = run_jobs_sequential(&dm, &js);
+        let par = run_jobs(&dm, &js, 3);
+        for (a, b) in seq.iter().zip(&par) {
+            assert_eq!(a.total.routing_cost, b.total.routing_cost);
+        }
+        // Different trace seeds must actually change the workload.
+        assert_ne!(seq[0].total.routing_cost, seq[2].total.routing_cost);
+    }
+
+    #[test]
+    fn streamed_jobs_match_materialized_jobs() {
+        // The streamed path must be cost-identical to replaying the
+        // materialized trace the spec describes.
+        let dm = setup();
+        let trace = spec().as_trace().into_owned();
+        let streamed = jobs();
+        let materialized: Vec<Job> = streamed
+            .iter()
+            .map(|j| Job {
+                trace: TraceSpec::materialized(trace.clone()),
+                ..j.clone()
+            })
+            .collect();
+        let a = run_jobs_sequential(&dm, &streamed);
+        let b = run_jobs_sequential(&dm, &materialized);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.total.routing_cost, y.total.routing_cost);
+            assert_eq!(x.total.reconfigurations, y.total.reconfigurations);
+            assert_eq!(x.trace, y.trace, "trace provenance must agree");
+        }
+    }
+
+    #[test]
+    fn predictive_jobs_materialize_transparently() {
+        let dm = setup();
+        let job = Job {
+            algorithm: AlgorithmKind::PredictiveRbma { noise: 0.0 },
+            b: 2,
+            alpha: 5,
+            seed: 1,
+            checkpoints: vec![],
+            trace: spec(),
+        };
+        let a = run_jobs_sequential(&dm, std::slice::from_ref(&job));
+        let b = run_jobs_sequential(&dm, std::slice::from_ref(&job));
+        assert_eq!(a[0].total.routing_cost, b[0].total.routing_cost);
+        assert_eq!(a[0].total.requests, 3000);
+    }
+
+    #[test]
+    fn materialized_spec_runs_csv_style_traces() {
+        let dm = setup();
+        let trace = uniform_trace(10, 500, 7);
+        let job = Job {
+            algorithm: AlgorithmKind::Bma,
+            b: 2,
+            alpha: 5,
+            seed: 0,
+            checkpoints: vec![],
+            trace: TraceSpec::materialized(trace.clone()),
+        };
+        let out = run_jobs(&dm, &[job], 2);
+        assert_eq!(out[0].trace, trace.name);
+        assert_eq!(out[0].total.requests, 500);
+    }
+
+    #[test]
     fn results_in_job_order() {
-        let (dm, trace) = setup();
+        let dm = setup();
         let js = jobs();
-        let out = run_jobs(&dm, &trace, &js, 3);
+        let out = run_jobs(&dm, &js, 3);
         for (job, report) in js.iter().zip(&out) {
             assert_eq!(report.b, job.b);
             assert_eq!(report.seed, job.seed);
@@ -163,17 +272,33 @@ mod tests {
 
     #[test]
     fn single_job_runs_inline() {
-        let (dm, trace) = setup();
+        let dm = setup();
         let js = vec![Job {
             algorithm: AlgorithmKind::Bma,
             b: 3,
             alpha: 4,
             seed: 0,
             checkpoints: vec![1500],
+            trace: spec(),
         }];
-        let out = run_jobs(&dm, &trace, &js, 8);
+        let out = run_jobs(&dm, &js, 8);
         assert_eq!(out.len(), 1);
         assert_eq!(out[0].algorithm, "BMA");
         assert_eq!(out[0].checkpoints.len(), 2, "1500 plus trace end");
+    }
+
+    #[test]
+    fn report_names_match_source_names() {
+        let dm = setup();
+        let js = vec![Job {
+            algorithm: AlgorithmKind::Rbma { lazy: true },
+            b: 2,
+            alpha: 5,
+            seed: 0,
+            checkpoints: vec![],
+            trace: spec(),
+        }];
+        let out = run_jobs_sequential(&dm, &js);
+        assert_eq!(out[0].trace, spec().name());
     }
 }

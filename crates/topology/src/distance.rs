@@ -19,6 +19,13 @@ pub struct DistanceMatrix {
     max: u16,
 }
 
+/// Below this rack count the parallel path falls back to one thread: a
+/// full BFS sweep at this scale costs less than spawning workers, so the
+/// parallel entry point must never lose to [`DistanceMatrix::between_racks`]
+/// on paper-sized instances (≤ 100 racks). Verified by the
+/// `topology/apsp_*` benches in `dcn-bench`'s `micro_substrates`.
+const PARALLEL_MIN_RACKS: usize = 128;
+
 impl DistanceMatrix {
     /// Computes rack-to-rack distances for `net` sequentially.
     ///
@@ -28,10 +35,20 @@ impl DistanceMatrix {
         Self::build(net, 1)
     }
 
-    /// Computes rack-to-rack distances using up to `threads` worker threads
-    /// (each BFS is independent; rows are partitioned across workers).
+    /// Computes rack-to-rack distances using up to `threads` worker threads.
+    /// Each worker runs the BFS for a contiguous chunk of source racks.
+    /// Falls back to the sequential path below [`PARALLEL_MIN_RACKS`]
+    /// sources — and always clamps to the machine's available parallelism —
+    /// so this is never slower than [`DistanceMatrix::between_racks`]
+    /// (thread spawns would be pure overhead in both cases).
     pub fn between_racks_parallel(net: &Network, threads: usize) -> Self {
-        Self::build(net, threads.max(1))
+        let cores = std::thread::available_parallelism().map_or(1, |p| p.get());
+        let threads = if net.racks.len() < PARALLEL_MIN_RACKS {
+            1
+        } else {
+            threads.clamp(1, cores)
+        };
+        Self::build(net, threads)
     }
 
     fn build(net: &Network, threads: usize) -> Self {
@@ -191,6 +208,16 @@ mod tests {
         assert_eq!(seq.n, par.n);
         assert_eq!(seq.d, par.d);
         assert_eq!(seq.max_dist(), par.max_dist());
+    }
+
+    #[test]
+    fn parallel_matches_sequential_above_threshold() {
+        // 256 racks is above PARALLEL_MIN_RACKS, so this exercises the real
+        // multi-threaded chunked path.
+        let net = builders::leaf_spine(2 * PARALLEL_MIN_RACKS, 4);
+        let seq = DistanceMatrix::between_racks(&net);
+        let par = DistanceMatrix::between_racks_parallel(&net, 4);
+        assert_eq!(seq.d, par.d);
     }
 
     #[test]

@@ -6,48 +6,99 @@
 //! `v0`. An algorithm that does not hold `{v0, v_i}` as a matching edge pays
 //! ≈ α·ℓ for the block; holding it costs 1 per request plus α per
 //! reconfiguration — exactly the paging trade-off scaled by α.
+//!
+//! Both nemeses stream lazily (state: the current block's pair), so the
+//! lower-bound experiments scale to arbitrarily many blocks at O(1) memory.
 
+use crate::source::{RequestSource, SeededSource, SourceKernel};
 use crate::trace::Trace;
 use dcn_topology::Pair;
 use dcn_util::rngx::derive_seed;
 use rand::rngs::SmallRng;
 use rand::{RngExt, SeedableRng};
 
+/// Kernel of [`star_uniform_source`]: redraws a uniform spoke at each block
+/// border, then repeats it for the rest of the block.
+pub struct StarUniformKernel {
+    spokes: usize,
+    alpha: usize,
+    current: Pair,
+}
+
+impl SourceKernel for StarUniformKernel {
+    fn emit(&mut self, t: usize, rng: &mut SmallRng) -> Pair {
+        if t % self.alpha == 0 {
+            let spoke = rng.random_range(1..=(self.spokes as u32));
+            self.current = Pair::new(0, spoke);
+        }
+        self.current
+    }
+}
+
 /// Oblivious nemesis: each block picks a spoke uniformly from `1..=spokes`
 /// (a universe of `spokes` items; choose `spokes = b + 1` to stress a cache
-/// of size `b`). Produces `num_blocks` blocks of `alpha` requests each, on
+/// of size `b`). Streams `num_blocks` blocks of `alpha` requests each, on
 /// the star network with racks `0..=spokes` (hub = rack 0).
-pub fn star_uniform_blocks(spokes: usize, alpha: usize, num_blocks: usize, seed: u64) -> Trace {
+pub fn star_uniform_source(
+    spokes: usize,
+    alpha: usize,
+    num_blocks: usize,
+    seed: u64,
+) -> SeededSource<StarUniformKernel> {
     assert!(spokes >= 2 && alpha >= 1);
-    let mut rng = SmallRng::seed_from_u64(derive_seed(seed, 0xAD));
-    let mut requests = Vec::with_capacity(alpha * num_blocks);
-    for _ in 0..num_blocks {
-        let spoke = rng.random_range(1..=(spokes as u32));
-        let pair = Pair::new(0, spoke);
-        requests.extend(std::iter::repeat_n(pair, alpha));
-    }
-    Trace::new(
+    let rng = SmallRng::seed_from_u64(derive_seed(seed, 0xAD));
+    SeededSource::new(
+        StarUniformKernel {
+            spokes,
+            alpha,
+            current: Pair::new(0, 1),
+        },
+        rng,
+        alpha * num_blocks,
         spokes + 1,
-        requests,
         format!("star-nemesis(spokes={spokes}, alpha={alpha})"),
     )
+}
+
+/// Materialized [`star_uniform_source`].
+pub fn star_uniform_blocks(spokes: usize, alpha: usize, num_blocks: usize, seed: u64) -> Trace {
+    star_uniform_source(spokes, alpha, num_blocks, seed).materialize()
+}
+
+/// Kernel of [`star_round_robin_source`] (fully deterministic).
+pub struct StarRoundRobinKernel {
+    spokes: usize,
+    alpha: usize,
+}
+
+impl SourceKernel for StarRoundRobinKernel {
+    fn emit(&mut self, t: usize, _rng: &mut SmallRng) -> Pair {
+        let blk = t / self.alpha;
+        Pair::new(0, (blk % self.spokes) as u32 + 1)
+    }
 }
 
 /// Round-robin nemesis: blocks cycle deterministically through all spokes —
 /// the classic worst case for LRU-like deterministic schemes when the cache
 /// holds `spokes - 1` items.
-pub fn star_round_robin_blocks(spokes: usize, alpha: usize, num_blocks: usize) -> Trace {
+pub fn star_round_robin_source(
+    spokes: usize,
+    alpha: usize,
+    num_blocks: usize,
+) -> SeededSource<StarRoundRobinKernel> {
     assert!(spokes >= 2 && alpha >= 1);
-    let mut requests = Vec::with_capacity(alpha * num_blocks);
-    for blk in 0..num_blocks {
-        let spoke = (blk % spokes) as u32 + 1;
-        requests.extend(std::iter::repeat_n(Pair::new(0, spoke), alpha));
-    }
-    Trace::new(
+    SeededSource::new(
+        StarRoundRobinKernel { spokes, alpha },
+        SmallRng::seed_from_u64(0),
+        alpha * num_blocks,
         spokes + 1,
-        requests,
         format!("star-rr(spokes={spokes}, alpha={alpha})"),
     )
+}
+
+/// Materialized [`star_round_robin_source`].
+pub fn star_round_robin_blocks(spokes: usize, alpha: usize, num_blocks: usize) -> Trace {
+    star_round_robin_source(spokes, alpha, num_blocks).materialize()
 }
 
 #[cfg(test)]

@@ -19,8 +19,14 @@
 //! Presets roughly order the clusters by temporal structure, matching the
 //! paper's qualitative description: Database (strongest locality, highest
 //! skew) > WebService > Hadoop (phase-driven, flatter base skew).
+//!
+//! The workload is a lazy [`RequestSource`] whose per-request state is the
+//! bounded working set plus the current phase pairs — O(1) in the stream
+//! length — so arbitrarily long Facebook-like streams fit in constant
+//! memory. The `*_trace` functions materialize it for eager callers.
 
 use crate::sampler::{zipf_weights, AliasTable};
+use crate::source::{RequestSource, SeededSource, SourceKernel};
 use crate::trace::Trace;
 use dcn_topology::Pair;
 use dcn_util::rngx::derive_seed;
@@ -39,7 +45,7 @@ pub enum FacebookCluster {
 }
 
 /// Tunable generator parameters (see [`FacebookParams::preset`]).
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct FacebookParams {
     /// Zipf exponent of source-rack popularity.
     pub src_skew: f64,
@@ -126,8 +132,64 @@ impl WorkingSet {
     }
 }
 
-/// Generates a Facebook-like trace over `num_racks` racks.
-pub fn facebook_trace(num_racks: usize, len: usize, params: FacebookParams, seed: u64) -> Trace {
+/// Kernel of [`facebook_source`]: the Zipf spatial base is frozen at setup,
+/// the working set and phase pairs evolve per request.
+pub struct FacebookKernel {
+    params: FacebookParams,
+    src_perm: Vec<u32>,
+    src_table: AliasTable,
+    dst_tables: Vec<(Vec<u32>, AliasTable)>,
+    working: WorkingSet,
+    phase_hot: Vec<Pair>,
+}
+
+impl FacebookKernel {
+    fn sample_fresh(&self, rng: &mut SmallRng) -> Pair {
+        let src = self.src_perm[self.src_table.sample(rng) as usize];
+        let (partners, table) = &self.dst_tables[src as usize];
+        let dst = partners[table.sample(rng) as usize];
+        Pair::new(src, dst)
+    }
+}
+
+impl SourceKernel for FacebookKernel {
+    fn emit(&mut self, t: usize, rng: &mut SmallRng) -> Pair {
+        // Hadoop-style shuffle phases: refresh the hot set at phase borders.
+        if self.params.phase_len > 0 && t % self.params.phase_len == 0 {
+            self.phase_hot.clear();
+            for _ in 0..self.params.phase_pairs {
+                let fresh = self.sample_fresh(rng);
+                self.phase_hot.push(fresh);
+            }
+        }
+        let pair =
+            if !self.phase_hot.is_empty() && rng.random_range(0.0..1.0f64) < self.params.p_phase {
+                self.phase_hot[rng.random_range(0..self.phase_hot.len())]
+            } else if rng.random_range(0.0..1.0f64) < self.params.p_burst {
+                match self.working.sample(rng) {
+                    Some(p) => p,
+                    None => self.sample_fresh(rng),
+                }
+            } else {
+                self.sample_fresh(rng)
+            };
+        self.working.push(pair);
+        pair
+    }
+
+    fn reset_state(&mut self) {
+        self.working.ring.clear();
+        self.phase_hot.clear();
+    }
+}
+
+/// A Facebook-like request stream over `num_racks` racks.
+pub fn facebook_source(
+    num_racks: usize,
+    len: usize,
+    params: FacebookParams,
+    seed: u64,
+) -> SeededSource<FacebookKernel> {
     assert!(num_racks >= 3, "need at least 3 racks");
     let mut rng = SmallRng::seed_from_u64(derive_seed(seed, 0xFB));
 
@@ -147,39 +209,32 @@ pub fn facebook_trace(num_racks: usize, len: usize, params: FacebookParams, seed
         })
         .collect();
 
-    let sample_fresh = |rng: &mut SmallRng| -> Pair {
-        let src = src_perm[src_table.sample(rng) as usize];
-        let (partners, table) = &dst_tables[src as usize];
-        let dst = partners[table.sample(rng) as usize];
-        Pair::new(src, dst)
+    let kernel = FacebookKernel {
+        params,
+        src_perm,
+        src_table,
+        dst_tables,
+        working: WorkingSet::new(params.working_set.max(1)),
+        phase_hot: Vec::new(),
     };
+    SeededSource::new(kernel, rng, len, num_racks, format!("facebook({params:?})"))
+}
 
-    let mut working = WorkingSet::new(params.working_set.max(1));
-    let mut phase_hot: Vec<Pair> = Vec::new();
-    let mut requests = Vec::with_capacity(len);
+/// Generates a Facebook-like trace over `num_racks` racks (materialized
+/// [`facebook_source`]).
+pub fn facebook_trace(num_racks: usize, len: usize, params: FacebookParams, seed: u64) -> Trace {
+    facebook_source(num_racks, len, params, seed).materialize()
+}
 
-    for t in 0..len {
-        // Hadoop-style shuffle phases: refresh the hot set at phase borders.
-        if params.phase_len > 0 && t % params.phase_len == 0 {
-            phase_hot.clear();
-            for _ in 0..params.phase_pairs {
-                phase_hot.push(sample_fresh(&mut rng));
-            }
-        }
-        let pair = if !phase_hot.is_empty() && rng.random_range(0.0..1.0f64) < params.p_phase {
-            phase_hot[rng.random_range(0..phase_hot.len())]
-        } else if rng.random_range(0.0..1.0f64) < params.p_burst {
-            working
-                .sample(&mut rng)
-                .unwrap_or_else(|| sample_fresh(&mut rng))
-        } else {
-            sample_fresh(&mut rng)
-        };
-        working.push(pair);
-        requests.push(pair);
-    }
-
-    Trace::new(num_racks, requests, format!("facebook({params:?})"))
+/// Convenience: preset stream for a named cluster.
+pub fn facebook_cluster_source(
+    cluster: FacebookCluster,
+    num_racks: usize,
+    len: usize,
+    seed: u64,
+) -> SeededSource<FacebookKernel> {
+    facebook_source(num_racks, len, FacebookParams::preset(cluster), seed)
+        .with_name(format!("facebook-{cluster:?}(n={num_racks})"))
 }
 
 /// Convenience: preset trace for a named cluster.
@@ -189,9 +244,7 @@ pub fn facebook_cluster_trace(
     len: usize,
     seed: u64,
 ) -> Trace {
-    let mut t = facebook_trace(num_racks, len, FacebookParams::preset(cluster), seed);
-    t.name = format!("facebook-{cluster:?}(n={num_racks})");
-    t
+    facebook_cluster_source(cluster, num_racks, len, seed).materialize()
 }
 
 fn shuffle(v: &mut [u32], rng: &mut SmallRng) {

@@ -11,6 +11,7 @@
 //! sampling, no temporal correlation.
 
 use crate::sampler::{zipf_weights, AliasTable};
+use crate::source::{RequestSource, SeededSource, SourceKernel};
 use crate::trace::Trace;
 use dcn_topology::Pair;
 use dcn_util::rngx::derive_seed;
@@ -18,7 +19,7 @@ use rand::rngs::SmallRng;
 use rand::{RngExt, SeedableRng};
 
 /// Parameters of the synthetic traffic matrix.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct MicrosoftParams {
     /// Zipf exponent of rack popularity (drives the spatial skew).
     pub rack_skew: f64,
@@ -65,15 +66,44 @@ pub fn microsoft_matrix(
     (pairs, weights)
 }
 
-/// Generates an i.i.d. trace of `len` requests over `num_racks` racks.
-pub fn microsoft_trace(num_racks: usize, len: usize, params: MicrosoftParams, seed: u64) -> Trace {
+/// Kernel of [`microsoft_source`]: i.i.d. alias-table sampling from the
+/// frozen traffic matrix.
+pub struct MicrosoftKernel {
+    pairs: Vec<Pair>,
+    table: AliasTable,
+}
+
+impl SourceKernel for MicrosoftKernel {
+    fn emit(&mut self, _t: usize, rng: &mut SmallRng) -> Pair {
+        self.pairs[self.table.sample(rng) as usize]
+    }
+}
+
+/// An i.i.d. stream of `len` requests over `num_racks` racks. Setup builds
+/// the O(num_racks²) matrix once; the stream is O(1) per request and O(1)
+/// memory in `len`.
+pub fn microsoft_source(
+    num_racks: usize,
+    len: usize,
+    params: MicrosoftParams,
+    seed: u64,
+) -> SeededSource<MicrosoftKernel> {
     let (pairs, weights) = microsoft_matrix(num_racks, params, seed);
     let table = AliasTable::new(&weights);
-    let mut rng = SmallRng::seed_from_u64(derive_seed(seed, 0x7154));
-    let requests = (0..len)
-        .map(|_| pairs[table.sample(&mut rng) as usize])
-        .collect();
-    Trace::new(num_racks, requests, format!("microsoft(n={num_racks})"))
+    let rng = SmallRng::seed_from_u64(derive_seed(seed, 0x7154));
+    SeededSource::new(
+        MicrosoftKernel { pairs, table },
+        rng,
+        len,
+        num_racks,
+        format!("microsoft(n={num_racks})"),
+    )
+}
+
+/// Generates an i.i.d. trace of `len` requests over `num_racks` racks
+/// (materialized [`microsoft_source`]).
+pub fn microsoft_trace(num_racks: usize, len: usize, params: MicrosoftParams, seed: u64) -> Trace {
+    microsoft_source(num_racks, len, params, seed).materialize()
 }
 
 #[cfg(test)]

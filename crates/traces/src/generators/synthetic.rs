@@ -1,38 +1,81 @@
 //! Reference synthetic workloads: uniform, fixed permutation, hotspot and
-//! pure-Zipf pair traces. These bracket the structured generators: uniform
+//! pure-Zipf pair streams. These bracket the structured generators: uniform
 //! has no structure at all (worst case for demand-aware networks),
 //! permutation is the best case (a perfect matching exists), hotspot and
 //! Zipf interpolate.
+//!
+//! Each workload is a lazy [`RequestSource`]; the `*_trace` functions are
+//! thin [`RequestSource::materialize`] adapters kept for eager callers.
 
 use crate::sampler::{zipf_weights, AliasTable};
+use crate::source::{RequestSource, SeededSource, SourceKernel};
 use crate::trace::Trace;
 use dcn_topology::Pair;
 use dcn_util::rngx::derive_seed;
 use rand::rngs::SmallRng;
 use rand::{RngExt, SeedableRng};
 
-/// Uniform i.i.d. requests over all distinct pairs.
-pub fn uniform_trace(num_racks: usize, len: usize, seed: u64) -> Trace {
+/// Draws a uniform distinct pair over `0..n` — two RNG draws, matching the
+/// historical eager generators draw-for-draw.
+#[inline]
+fn uniform_pair(rng: &mut SmallRng, n: usize) -> Pair {
+    let a = rng.random_range(0..n as u32);
+    let mut b = rng.random_range(0..n as u32 - 1);
+    if b >= a {
+        b += 1;
+    }
+    Pair::new(a, b)
+}
+
+/// Kernel of [`uniform_source`].
+pub struct UniformKernel {
+    num_racks: usize,
+}
+
+impl SourceKernel for UniformKernel {
+    fn emit(&mut self, _t: usize, rng: &mut SmallRng) -> Pair {
+        uniform_pair(rng, self.num_racks)
+    }
+}
+
+/// Uniform i.i.d. requests over all distinct pairs, as a stream.
+pub fn uniform_source(num_racks: usize, len: usize, seed: u64) -> SeededSource<UniformKernel> {
     assert!(num_racks >= 2);
-    let mut rng = SmallRng::seed_from_u64(derive_seed(seed, 0x01));
-    let requests = (0..len)
-        .map(|_| {
-            let a = rng.random_range(0..num_racks as u32);
-            let mut b = rng.random_range(0..num_racks as u32 - 1);
-            if b >= a {
-                b += 1;
-            }
-            Pair::new(a, b)
-        })
-        .collect();
-    Trace::new(num_racks, requests, format!("uniform(n={num_racks})"))
+    let rng = SmallRng::seed_from_u64(derive_seed(seed, 0x01));
+    SeededSource::new(
+        UniformKernel { num_racks },
+        rng,
+        len,
+        num_racks,
+        format!("uniform(n={num_racks})"),
+    )
+}
+
+/// Uniform i.i.d. requests over all distinct pairs, materialized.
+pub fn uniform_trace(num_racks: usize, len: usize, seed: u64) -> Trace {
+    uniform_source(num_racks, len, seed).materialize()
+}
+
+/// Kernel of [`permutation_source`]: cycles a fixed random matching.
+pub struct PermutationKernel {
+    pairs: Vec<Pair>,
+}
+
+impl SourceKernel for PermutationKernel {
+    fn emit(&mut self, t: usize, _rng: &mut SmallRng) -> Pair {
+        self.pairs[t % self.pairs.len()]
+    }
 }
 
 /// Requests cycle deterministically over a fixed random perfect-matching-like
 /// permutation: rack `i` talks only to `π(i)`. The ideal case for
 /// reconfigurable links — b=1 already serves everything after one
 /// reconfiguration per pair.
-pub fn permutation_trace(num_racks: usize, len: usize, seed: u64) -> Trace {
+pub fn permutation_source(
+    num_racks: usize,
+    len: usize,
+    seed: u64,
+) -> SeededSource<PermutationKernel> {
     assert!(
         num_racks >= 2 && num_racks.is_multiple_of(2),
         "permutation trace needs an even rack count"
@@ -47,44 +90,87 @@ pub fn permutation_trace(num_racks: usize, len: usize, seed: u64) -> Trace {
         .chunks_exact(2)
         .map(|c| Pair::new(c[0], c[1]))
         .collect();
-    let requests = (0..len).map(|t| pairs[t % pairs.len()]).collect();
-    Trace::new(num_racks, requests, format!("permutation(n={num_racks})"))
+    SeededSource::new(
+        PermutationKernel { pairs },
+        rng,
+        len,
+        num_racks,
+        format!("permutation(n={num_racks})"),
+    )
+}
+
+/// Materialized [`permutation_source`].
+pub fn permutation_trace(num_racks: usize, len: usize, seed: u64) -> Trace {
+    permutation_source(num_racks, len, seed).materialize()
+}
+
+/// Kernel of [`hotspot_source`].
+pub struct HotspotKernel {
+    num_racks: usize,
+    num_hot: usize,
+    p_hot: f64,
+}
+
+impl SourceKernel for HotspotKernel {
+    fn emit(&mut self, _t: usize, rng: &mut SmallRng) -> Pair {
+        if rng.random_range(0.0..1.0f64) < self.p_hot {
+            uniform_pair(rng, self.num_hot)
+        } else {
+            uniform_pair(rng, self.num_racks)
+        }
+    }
 }
 
 /// A few hot racks exchange most of the traffic; the rest is uniform noise.
-pub fn hotspot_trace(num_racks: usize, len: usize, num_hot: usize, p_hot: f64, seed: u64) -> Trace {
+pub fn hotspot_source(
+    num_racks: usize,
+    len: usize,
+    num_hot: usize,
+    p_hot: f64,
+    seed: u64,
+) -> SeededSource<HotspotKernel> {
     assert!(num_racks >= 4 && num_hot >= 2 && num_hot <= num_racks);
     assert!((0.0..=1.0).contains(&p_hot));
-    let mut rng = SmallRng::seed_from_u64(derive_seed(seed, 0x03));
-    let requests = (0..len)
-        .map(|_| {
-            if rng.random_range(0.0..1.0f64) < p_hot {
-                let a = rng.random_range(0..num_hot as u32);
-                let mut b = rng.random_range(0..num_hot as u32 - 1);
-                if b >= a {
-                    b += 1;
-                }
-                Pair::new(a, b)
-            } else {
-                let a = rng.random_range(0..num_racks as u32);
-                let mut b = rng.random_range(0..num_racks as u32 - 1);
-                if b >= a {
-                    b += 1;
-                }
-                Pair::new(a, b)
-            }
-        })
-        .collect();
-    Trace::new(
+    let rng = SmallRng::seed_from_u64(derive_seed(seed, 0x03));
+    SeededSource::new(
+        HotspotKernel {
+            num_racks,
+            num_hot,
+            p_hot,
+        },
+        rng,
+        len,
         num_racks,
-        requests,
         format!("hotspot({num_hot}/{num_racks})"),
     )
 }
 
+/// Materialized [`hotspot_source`].
+pub fn hotspot_trace(num_racks: usize, len: usize, num_hot: usize, p_hot: f64, seed: u64) -> Trace {
+    hotspot_source(num_racks, len, num_hot, p_hot, seed).materialize()
+}
+
+/// Kernel of [`zipf_pair_source`].
+pub struct ZipfKernel {
+    pairs: Vec<Pair>,
+    table: AliasTable,
+}
+
+impl SourceKernel for ZipfKernel {
+    fn emit(&mut self, _t: usize, rng: &mut SmallRng) -> Pair {
+        self.pairs[self.table.sample(rng) as usize]
+    }
+}
+
 /// I.i.d. requests where pair ranks follow a Zipf law with exponent `s` —
-/// the knob for the skew-sweep ablation.
-pub fn zipf_pair_trace(num_racks: usize, len: usize, s: f64, seed: u64) -> Trace {
+/// the knob for the skew-sweep ablation. Setup is O(num_racks²) (the pair
+/// alias table); the stream itself is O(1) per request.
+pub fn zipf_pair_source(
+    num_racks: usize,
+    len: usize,
+    s: f64,
+    seed: u64,
+) -> SeededSource<ZipfKernel> {
     assert!(num_racks >= 2);
     let mut rng = SmallRng::seed_from_u64(derive_seed(seed, 0x04));
     let mut pairs: Vec<Pair> = (0..num_racks as u32)
@@ -96,10 +182,18 @@ pub fn zipf_pair_trace(num_racks: usize, len: usize, s: f64, seed: u64) -> Trace
         pairs.swap(i, j);
     }
     let table = AliasTable::new(&zipf_weights(pairs.len(), s));
-    let requests = (0..len)
-        .map(|_| pairs[table.sample(&mut rng) as usize])
-        .collect();
-    Trace::new(num_racks, requests, format!("zipf(s={s})"))
+    SeededSource::new(
+        ZipfKernel { pairs, table },
+        rng,
+        len,
+        num_racks,
+        format!("zipf(s={s})"),
+    )
+}
+
+/// Materialized [`zipf_pair_source`].
+pub fn zipf_pair_trace(num_racks: usize, len: usize, s: f64, seed: u64) -> Trace {
+    zipf_pair_source(num_racks, len, s, seed).materialize()
 }
 
 #[cfg(test)]

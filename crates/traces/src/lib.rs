@@ -15,6 +15,14 @@
 //! * **temporal structure** (“burstiness”): requests to a pair arrive in
 //!   correlated bursts rather than i.i.d.
 //!
+//! Every workload is produced as a **streaming [`source::RequestSource`]**:
+//! a seeded, resettable, lazily-generated request stream with O(1) memory
+//! in the stream length, so production-scale sweeps (millions of requests)
+//! never materialize a trace. [`source::TraceSpec`] describes a workload by
+//! value (generator + parameters + trace seed) for sweep jobs; [`Trace`] is
+//! the eager adapter ([`source::RequestSource::materialize`]) for offline
+//! baselines, statistics, and CSV round-trips.
+//!
 //! [`generators::facebook`] produces bursty, skewed streams with per-cluster
 //! presets (Database / WebService / Hadoop); [`generators::microsoft`]
 //! samples i.i.d. from a skewed random traffic matrix — i.i.d. sampling from
@@ -30,16 +38,24 @@
 pub mod csvio;
 pub mod generators;
 pub mod sampler;
+pub mod source;
 pub mod stats;
 pub mod trace;
 
 pub use sampler::{zipf_weights, AliasTable};
+pub use source::{MaterializedSource, RequestSource, SourceIter, TraceSpec};
 pub use stats::TraceStats;
 pub use trace::Trace;
 
-pub use generators::adversarial::{star_round_robin_blocks, star_uniform_blocks};
-pub use generators::facebook::{
-    facebook_cluster_trace, facebook_trace, FacebookCluster, FacebookParams,
+pub use generators::adversarial::{
+    star_round_robin_blocks, star_round_robin_source, star_uniform_blocks, star_uniform_source,
 };
-pub use generators::microsoft::{microsoft_trace, MicrosoftParams};
-pub use generators::synthetic::{hotspot_trace, permutation_trace, uniform_trace, zipf_pair_trace};
+pub use generators::facebook::{
+    facebook_cluster_source, facebook_cluster_trace, facebook_source, facebook_trace,
+    FacebookCluster, FacebookParams,
+};
+pub use generators::microsoft::{microsoft_source, microsoft_trace, MicrosoftParams};
+pub use generators::synthetic::{
+    hotspot_source, hotspot_trace, permutation_source, permutation_trace, uniform_source,
+    uniform_trace, zipf_pair_source, zipf_pair_trace,
+};

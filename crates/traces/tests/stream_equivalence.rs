@@ -1,0 +1,224 @@
+//! Stream/materialized equivalence: for every generator the lazy
+//! [`RequestSource`] must yield exactly the sequence its `*_trace`
+//! counterpart materializes (element for element, for several seeds), and
+//! `reset()` must replay identically. This pins down the refactor's hard
+//! requirement that the seeded xoshiro256++ draws are byte-identical
+//! between the eager and the streaming path.
+
+use dcn_traces::source::{RequestSource, TraceSpec};
+use dcn_traces::{
+    facebook_cluster_source, facebook_cluster_trace, facebook_source, facebook_trace,
+    hotspot_source, hotspot_trace, microsoft_source, microsoft_trace, permutation_source,
+    permutation_trace, star_round_robin_blocks, star_round_robin_source, star_uniform_blocks,
+    star_uniform_source, uniform_source, uniform_trace, zipf_pair_source, zipf_pair_trace,
+    FacebookCluster, FacebookParams, MicrosoftParams, Trace,
+};
+use proptest::prelude::*;
+
+const SEEDS: [u64; 4] = [0, 1, 7, 0xDEAD_BEEF];
+
+/// Streams `source` and checks it equals `trace` element-for-element, with
+/// consistent bookkeeping (`len`, `remaining`, `name`, `num_racks`).
+fn assert_stream_equals_trace<S: RequestSource>(mut source: S, trace: &Trace) {
+    assert_eq!(source.len(), trace.len());
+    assert_eq!(source.num_racks(), trace.num_racks);
+    assert_eq!(source.name(), trace.name);
+    for (i, &expected) in trace.requests.iter().enumerate() {
+        assert_eq!(source.remaining(), trace.len() - i);
+        let got = source.next_request().expect("stream ends early");
+        assert_eq!(got, expected, "divergence at position {i}");
+    }
+    assert_eq!(source.remaining(), 0);
+    assert!(source.next_request().is_none(), "stream runs long");
+    // And materialize() reproduces the trace wholesale.
+    assert_eq!(&source.materialize(), trace);
+}
+
+#[test]
+fn uniform_stream_equals_trace() {
+    for seed in SEEDS {
+        assert_stream_equals_trace(
+            uniform_source(13, 2_000, seed),
+            &uniform_trace(13, 2_000, seed),
+        );
+    }
+}
+
+#[test]
+fn permutation_stream_equals_trace() {
+    for seed in SEEDS {
+        assert_stream_equals_trace(
+            permutation_source(12, 1_000, seed),
+            &permutation_trace(12, 1_000, seed),
+        );
+    }
+}
+
+#[test]
+fn hotspot_stream_equals_trace() {
+    for seed in SEEDS {
+        assert_stream_equals_trace(
+            hotspot_source(20, 2_000, 4, 0.8, seed),
+            &hotspot_trace(20, 2_000, 4, 0.8, seed),
+        );
+    }
+}
+
+#[test]
+fn zipf_stream_equals_trace() {
+    for seed in SEEDS {
+        assert_stream_equals_trace(
+            zipf_pair_source(15, 2_000, 1.2, seed),
+            &zipf_pair_trace(15, 2_000, 1.2, seed),
+        );
+    }
+}
+
+#[test]
+fn facebook_presets_stream_equals_trace() {
+    // Hadoop exercises the phase machinery (phase_len < trace length).
+    for cluster in [
+        FacebookCluster::Database,
+        FacebookCluster::WebService,
+        FacebookCluster::Hadoop,
+    ] {
+        for seed in SEEDS {
+            assert_stream_equals_trace(
+                facebook_cluster_source(cluster, 30, 25_000, seed),
+                &facebook_cluster_trace(cluster, 30, 25_000, seed),
+            );
+        }
+    }
+}
+
+#[test]
+fn facebook_custom_params_stream_equals_trace() {
+    let params = FacebookParams {
+        src_skew: 0.7,
+        dst_skew: 1.3,
+        p_burst: 0.5,
+        working_set: 64,
+        phase_len: 500,
+        phase_pairs: 10,
+        p_phase: 0.4,
+    };
+    for seed in SEEDS {
+        assert_stream_equals_trace(
+            facebook_source(25, 5_000, params, seed),
+            &facebook_trace(25, 5_000, params, seed),
+        );
+    }
+}
+
+#[test]
+fn microsoft_stream_equals_trace() {
+    for seed in SEEDS {
+        assert_stream_equals_trace(
+            microsoft_source(20, 5_000, MicrosoftParams::default(), seed),
+            &microsoft_trace(20, 5_000, MicrosoftParams::default(), seed),
+        );
+    }
+}
+
+#[test]
+fn star_nemeses_stream_equals_trace() {
+    for seed in SEEDS {
+        assert_stream_equals_trace(
+            star_uniform_source(6, 5, 400, seed),
+            &star_uniform_blocks(6, 5, 400, seed),
+        );
+    }
+    assert_stream_equals_trace(
+        star_round_robin_source(5, 3, 200),
+        &star_round_robin_blocks(5, 3, 200),
+    );
+}
+
+#[test]
+fn trace_spec_source_equals_trace_spec_as_trace() {
+    let specs = [
+        TraceSpec::Uniform {
+            num_racks: 11,
+            len: 700,
+            seed: 3,
+        },
+        TraceSpec::Permutation {
+            num_racks: 10,
+            len: 500,
+            seed: 4,
+        },
+        TraceSpec::Hotspot {
+            num_racks: 16,
+            len: 600,
+            num_hot: 4,
+            p_hot: 0.75,
+            seed: 5,
+        },
+        TraceSpec::Zipf {
+            num_racks: 9,
+            len: 800,
+            exponent: 1.4,
+            seed: 6,
+        },
+        TraceSpec::Facebook {
+            cluster: FacebookCluster::Hadoop,
+            num_racks: 12,
+            len: 900,
+            seed: 7,
+        },
+        TraceSpec::Microsoft {
+            num_racks: 8,
+            len: 400,
+            params: MicrosoftParams::default(),
+            seed: 8,
+        },
+        TraceSpec::StarUniform {
+            spokes: 5,
+            alpha: 4,
+            num_blocks: 50,
+            seed: 9,
+        },
+        TraceSpec::StarRoundRobin {
+            spokes: 4,
+            alpha: 2,
+            num_blocks: 30,
+        },
+    ];
+    for spec in specs {
+        let trace = spec.as_trace().into_owned();
+        let mut source = spec.source();
+        assert_eq!(source.len(), trace.len(), "{spec:?}");
+        let streamed: Vec<_> = std::iter::from_fn(|| source.next_request()).collect();
+        assert_eq!(streamed, trace.requests, "{spec:?}");
+    }
+}
+
+proptest! {
+    /// reset() replays the identical sequence, from any interrupt position,
+    /// for the stateful generators (working set, phases, blocks).
+    #[test]
+    fn reset_replays_identically(seed in any::<u64>(), cut in 0usize..600, len in 1usize..600) {
+        let sources: Vec<Box<dyn RequestSource>> = vec![
+            Box::new(uniform_source(8, len, seed)),
+            Box::new(zipf_pair_source(8, len, 1.1, seed)),
+            Box::new(facebook_cluster_source(FacebookCluster::Hadoop, 10, len, seed)),
+            Box::new(star_uniform_source(4, 3, len.div_ceil(3), seed)),
+        ];
+        for mut source in sources {
+            let full: Vec<_> = std::iter::from_fn(|| source.next_request()).collect();
+            prop_assert_eq!(full.len(), source.len());
+            // Replay after exhaustion.
+            source.reset();
+            let replay: Vec<_> = std::iter::from_fn(|| source.next_request()).collect();
+            prop_assert_eq!(&full, &replay);
+            // Replay after an arbitrary partial read.
+            source.reset();
+            for _ in 0..cut.min(source.len()) {
+                source.next_request();
+            }
+            source.reset();
+            let after_cut: Vec<_> = std::iter::from_fn(|| source.next_request()).collect();
+            prop_assert_eq!(&full, &after_cut);
+        }
+    }
+}

@@ -10,7 +10,7 @@ use rdcn::core::algorithms::static_offline::{so_bma_matching, static_routing_cos
 use rdcn::core::algorithms::AlgorithmKind;
 use rdcn::core::sweep::{run_jobs, Job};
 use rdcn::topology::{builders, DistanceMatrix};
-use rdcn::traces::{facebook_cluster_trace, FacebookCluster};
+use rdcn::traces::{FacebookCluster, TraceSpec};
 use std::sync::Arc;
 
 fn main() {
@@ -20,12 +20,19 @@ fn main() {
 
     let net = builders::fat_tree_with_racks(racks);
     let dm = Arc::new(DistanceMatrix::between_racks_parallel(&net, 4));
-    let trace = facebook_cluster_trace(FacebookCluster::Database, racks, requests, 11);
+    // The workload is a *description*: every online job below streams its
+    // own copy in-place (O(1) memory); only offline SO-BMA materializes it.
+    let spec = TraceSpec::Facebook {
+        cluster: FacebookCluster::Database,
+        num_racks: racks,
+        len: requests,
+        seed: 11,
+    };
     let alpha = 10u64;
     println!(
         "workload: {} ({} requests, {racks} racks, α={alpha})\n",
-        trace.name,
-        trace.len()
+        spec.name(),
+        spec.len()
     );
 
     let bs = [6usize, 12, 18];
@@ -42,6 +49,7 @@ fn main() {
                 alpha,
                 seed: 1,
                 checkpoints: vec![],
+                trace: spec.clone(),
             });
         }
     }
@@ -51,10 +59,11 @@ fn main() {
         alpha,
         seed: 1,
         checkpoints: vec![],
+        trace: spec.clone(),
     });
 
     let threads = std::thread::available_parallelism().map_or(4, |p| p.get());
-    let reports = run_jobs(&dm, &trace, &jobs, threads);
+    let reports = run_jobs(&dm, &jobs, threads);
 
     let oblivious_cost = reports.last().expect("oblivious job").total.routing_cost;
     println!(
@@ -74,6 +83,7 @@ fn main() {
     }
 
     // SO-BMA (offline static, whole trace) at each b.
+    let trace = spec.as_trace();
     for &b in &bs {
         let matching = so_bma_matching(&dm, &trace.requests, b);
         let cost = static_routing_cost(&dm, &trace.requests, &matching);

@@ -1,5 +1,5 @@
-//! Quickstart: build a fat-tree, generate a workload, run R-BMA, and read
-//! the cost report.
+//! Quickstart: build a fat-tree, generate a streaming workload, run R-BMA,
+//! and read the cost report.
 //!
 //! ```text
 //! cargo run --release --example quickstart
@@ -9,7 +9,7 @@ use rdcn::core::algorithms::oblivious::Oblivious;
 use rdcn::core::algorithms::rbma::{Rbma, RemovalMode};
 use rdcn::core::{run, SimConfig};
 use rdcn::topology::{builders, DistanceMatrix};
-use rdcn::traces::{facebook_cluster_trace, FacebookCluster};
+use rdcn::traces::{facebook_cluster_source, FacebookCluster, RequestSource};
 use std::sync::Arc;
 
 fn main() {
@@ -24,9 +24,10 @@ fn main() {
         dm.max_dist()
     );
 
-    // A bursty, skewed workload shaped like a Facebook database cluster.
-    let trace = facebook_cluster_trace(FacebookCluster::Database, 32, 100_000, 42);
-    println!("workload: {} requests from {}", trace.len(), trace.name);
+    // A bursty, skewed workload shaped like a Facebook database cluster —
+    // a lazy request stream, O(1) memory no matter how long it runs.
+    let mut trace = facebook_cluster_source(FacebookCluster::Database, 32, 100_000, 42);
+    println!("workload: {} requests from {}", trace.len(), trace.name());
 
     // b = 8 optical circuit switches, reconfiguration cost α = 10.
     let (b, alpha) = (8, 10);
@@ -36,10 +37,13 @@ fn main() {
     };
 
     let mut rbma = Rbma::new(dm.clone(), b, alpha, RemovalMode::Lazy, 7);
-    let report = run(&mut rbma, &dm, alpha, &trace.requests, &config);
+    let report = run(&mut rbma, &dm, alpha, &mut trace, &config);
 
+    // Reset rewinds the seeded stream: the baseline replays the identical
+    // request sequence.
+    trace.reset();
     let mut oblivious = Oblivious::new(dm.num_racks(), b);
-    let baseline = run(&mut oblivious, &dm, alpha, &trace.requests, &config);
+    let baseline = run(&mut oblivious, &dm, alpha, &mut trace, &config);
 
     println!("\n#requests | R-BMA routing | Oblivious routing");
     for (c, o) in report.checkpoints.iter().zip(&baseline.checkpoints) {

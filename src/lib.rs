@@ -22,22 +22,25 @@
 //! use rdcn::core::algorithms::rbma::{Rbma, RemovalMode};
 //! use rdcn::core::{run, SimConfig};
 //! use rdcn::topology::{builders, DistanceMatrix};
-//! use rdcn::traces::{facebook_cluster_trace, FacebookCluster};
+//! use rdcn::traces::{facebook_cluster_source, FacebookCluster, RequestSource};
 //! use std::sync::Arc;
 //!
 //! // 1. Fixed network: a fat-tree with 16 racks.
 //! let net = builders::fat_tree_with_racks(16);
 //! let dm = Arc::new(DistanceMatrix::between_racks(&net));
 //!
-//! // 2. Workload: a bursty, skewed Facebook-like trace.
-//! let trace = facebook_cluster_trace(FacebookCluster::Database, 16, 10_000, 1);
+//! // 2. Workload: a bursty, skewed Facebook-like request stream — lazy,
+//! //    seeded and resettable, O(1) memory regardless of length.
+//! let mut trace = facebook_cluster_source(FacebookCluster::Database, 16, 10_000, 1);
+//! assert_eq!(trace.len(), 10_000);
 //!
 //! // 3. Algorithm: R-BMA with b = 4 optical switches, α = 10.
 //! let alpha = 10;
 //! let mut rbma = Rbma::new(dm.clone(), 4, alpha, RemovalMode::Lazy, 7);
 //!
-//! // 4. Simulate and inspect costs.
-//! let report = run(&mut rbma, &dm, alpha, &trace.requests, &SimConfig::default());
+//! // 4. Simulate and inspect costs (`trace.materialize()` would recover an
+//! //    eager `Trace` for offline baselines).
+//! let report = run(&mut rbma, &dm, alpha, &mut trace, &SimConfig::default());
 //! println!("routing cost: {}", report.total.routing_cost);
 //! assert!(report.total.matched_fraction() > 0.0);
 //! ```

@@ -17,8 +17,8 @@ use rdcn::paging::adversary::{uniform_sequence, Chaser};
 use rdcn::paging::{run_policy, Belady, Lru, Marking};
 use rdcn::topology::{builders, DistanceMatrix, Pair};
 use rdcn::traces::{
-    facebook_cluster_trace, hotspot_trace, microsoft_trace, uniform_trace, zipf_pair_trace,
-    FacebookCluster, MicrosoftParams, TraceStats,
+    facebook_cluster_source, facebook_cluster_trace, hotspot_trace, microsoft_trace, uniform_trace,
+    zipf_pair_trace, FacebookCluster, MicrosoftParams, RequestSource, TraceSpec, TraceStats,
 };
 use std::sync::Arc;
 
@@ -27,7 +27,7 @@ use std::sync::Arc;
 fn quickstart_core_path() {
     let net = builders::fat_tree_with_racks(16);
     let dm = Arc::new(DistanceMatrix::between_racks(&net));
-    let trace = facebook_cluster_trace(FacebookCluster::Database, 16, 10_000, 42);
+    let mut trace = facebook_cluster_source(FacebookCluster::Database, 16, 10_000, 42);
     let (b, alpha) = (4, 10);
     let config = SimConfig {
         checkpoints: SimConfig::evenly_spaced(trace.len(), 4),
@@ -35,10 +35,11 @@ fn quickstart_core_path() {
     };
 
     let mut rbma = Rbma::new(dm.clone(), b, alpha, RemovalMode::Lazy, 7);
-    let report = run(&mut rbma, &dm, alpha, &trace.requests, &config);
+    let report = run(&mut rbma, &dm, alpha, &mut trace, &config);
 
-    let mut oblivious = AlgorithmKind::Oblivious.build(dm.clone(), b, alpha, 0, &trace.requests);
-    let baseline = run(oblivious.as_mut(), &dm, alpha, &trace.requests, &config);
+    trace.reset();
+    let mut oblivious = AlgorithmKind::Oblivious.build_online(dm.clone(), b, alpha, 0);
+    let baseline = run(oblivious.as_mut(), &dm, alpha, &mut trace, &config);
 
     assert_eq!(report.checkpoints.len(), 4);
     assert!(report.total.matched_fraction() > 0.0);
@@ -57,7 +58,12 @@ fn datacenter_comparison_core_path() {
     let racks = 20;
     let net = builders::fat_tree_with_racks(racks);
     let dm = Arc::new(DistanceMatrix::between_racks_parallel(&net, 2));
-    let trace = facebook_cluster_trace(FacebookCluster::Database, racks, 8_000, 11);
+    let spec = TraceSpec::Facebook {
+        cluster: FacebookCluster::Database,
+        num_racks: racks,
+        len: 8_000,
+        seed: 11,
+    };
     let alpha = 10u64;
 
     let mut jobs = Vec::new();
@@ -72,6 +78,7 @@ fn datacenter_comparison_core_path() {
             alpha,
             seed: 1,
             checkpoints: vec![],
+            trace: spec.clone(),
         });
     }
     jobs.push(Job {
@@ -80,12 +87,14 @@ fn datacenter_comparison_core_path() {
         alpha,
         seed: 1,
         checkpoints: vec![],
+        trace: spec.clone(),
     });
-    let reports = run_jobs(&dm, &trace, &jobs, 3);
+    let reports = run_jobs(&dm, &jobs, 3);
     assert_eq!(reports.len(), jobs.len());
     let oblivious_cost = reports.last().unwrap().total.routing_cost;
     assert!(oblivious_cost > 0);
 
+    let trace = spec.as_trace();
     let matching = so_bma_matching(&dm, &trace.requests, 4);
     let cost = static_routing_cost(&dm, &trace.requests, &matching);
     assert!(
@@ -117,7 +126,7 @@ fn adversarial_gap_core_path() {
     );
 
     // Layer 2 of the example (star-of-pairs nemesis table).
-    let table = dcn_bench::lower_bound_gap(4);
+    let table = dcn_bench::lower_bound_gap(0.25);
     assert!(!table.to_markdown().is_empty());
 }
 
@@ -130,7 +139,7 @@ fn link_load_core_path() {
     let dm = Arc::new(DistanceMatrix::between_racks(&net));
     let trace = facebook_cluster_trace(FacebookCluster::Database, racks, 6_000, 3);
 
-    let mut s = AlgorithmKind::Rbma { lazy: true }.build(dm.clone(), b, alpha, 1, &trace.requests);
+    let mut s = AlgorithmKind::Rbma { lazy: true }.build_online(dm.clone(), b, alpha, 1);
     run(
         s.as_mut(),
         &dm,

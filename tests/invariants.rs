@@ -6,7 +6,8 @@ use rdcn::core::sweep::{run_jobs_sequential, Job};
 use rdcn::core::{run, SimConfig};
 use rdcn::topology::{builders, DistanceMatrix};
 use rdcn::traces::{
-    facebook_cluster_trace, microsoft_trace, uniform_trace, FacebookCluster, MicrosoftParams, Trace,
+    facebook_cluster_trace, microsoft_trace, uniform_trace, FacebookCluster, MicrosoftParams,
+    Trace, TraceSpec,
 };
 use std::sync::Arc;
 
@@ -39,7 +40,7 @@ fn degree_bounds_hold_for_every_algorithm_and_workload() {
     for trace in workloads(n, 6000) {
         for algorithm in all_algorithms() {
             for b in [1usize, 2, 5] {
-                let mut s = algorithm.build(dm.clone(), b, 10, 7, &trace.requests);
+                let mut s = algorithm.build_with_trace(dm.clone(), b, 10, 7, &trace.requests);
                 let config = SimConfig {
                     verify_every: 500,
                     ..Default::default()
@@ -67,7 +68,12 @@ fn cost_accounting_is_internally_consistent() {
     let n = 20;
     let net = builders::leaf_spine(n, 4); // ℓ ≡ 2: easy arithmetic
     let dm = Arc::new(DistanceMatrix::between_racks(&net));
-    let trace = facebook_cluster_trace(FacebookCluster::Database, n, 8000, 9);
+    let spec = TraceSpec::Facebook {
+        cluster: FacebookCluster::Database,
+        num_racks: n,
+        len: 8000,
+        seed: 9,
+    };
     for algorithm in all_algorithms() {
         let job = Job {
             algorithm: algorithm.clone(),
@@ -75,9 +81,10 @@ fn cost_accounting_is_internally_consistent() {
             alpha: 8,
             seed: 5,
             checkpoints: vec![4000],
+            trace: spec.clone(),
         };
-        let a = run_jobs_sequential(&dm, &trace, std::slice::from_ref(&job));
-        let b = run_jobs_sequential(&dm, &trace, std::slice::from_ref(&job));
+        let a = run_jobs_sequential(&dm, std::slice::from_ref(&job));
+        let b = run_jobs_sequential(&dm, std::slice::from_ref(&job));
         assert_eq!(
             a[0].total.routing_cost,
             b[0].total.routing_cost,
@@ -103,7 +110,12 @@ fn demand_aware_algorithms_beat_oblivious_on_skewed_traffic() {
     let n = 50;
     let net = builders::fat_tree_with_racks(n);
     let dm = Arc::new(DistanceMatrix::between_racks(&net));
-    let trace = facebook_cluster_trace(FacebookCluster::Database, n, 40_000, 12);
+    let spec = TraceSpec::Facebook {
+        cluster: FacebookCluster::Database,
+        num_racks: n,
+        len: 40_000,
+        seed: 12,
+    };
     let jobs: Vec<Job> = [
         AlgorithmKind::Oblivious,
         AlgorithmKind::Rbma { lazy: true },
@@ -116,9 +128,10 @@ fn demand_aware_algorithms_beat_oblivious_on_skewed_traffic() {
         alpha: 10,
         seed: 3,
         checkpoints: vec![],
+        trace: spec.clone(),
     })
     .collect();
-    let reports = run_jobs_sequential(&dm, &trace, &jobs);
+    let reports = run_jobs_sequential(&dm, &jobs);
     let oblivious = reports[0].total.routing_cost;
     for r in &reports[1..] {
         assert!(
@@ -136,7 +149,12 @@ fn rbma_and_bma_have_comparable_routing_cost() {
     let n = 50;
     let net = builders::fat_tree_with_racks(n);
     let dm = Arc::new(DistanceMatrix::between_racks(&net));
-    let trace = facebook_cluster_trace(FacebookCluster::WebService, n, 40_000, 21);
+    let spec = TraceSpec::Facebook {
+        cluster: FacebookCluster::WebService,
+        num_racks: n,
+        len: 40_000,
+        seed: 21,
+    };
     let jobs: Vec<Job> = (0..3u64)
         .map(|seed| Job {
             algorithm: AlgorithmKind::Rbma { lazy: true },
@@ -144,6 +162,7 @@ fn rbma_and_bma_have_comparable_routing_cost() {
             alpha: 10,
             seed,
             checkpoints: vec![],
+            trace: spec.clone(),
         })
         .chain(std::iter::once(Job {
             algorithm: AlgorithmKind::Bma,
@@ -151,9 +170,10 @@ fn rbma_and_bma_have_comparable_routing_cost() {
             alpha: 10,
             seed: 0,
             checkpoints: vec![],
+            trace: spec.clone(),
         }))
         .collect();
-    let reports = run_jobs_sequential(&dm, &trace, &jobs);
+    let reports = run_jobs_sequential(&dm, &jobs);
     let rbma_avg: f64 = reports[..3]
         .iter()
         .map(|r| r.total.routing_cost as f64)
@@ -173,7 +193,12 @@ fn more_switches_monotonically_help() {
     let n = 40;
     let net = builders::fat_tree_with_racks(n);
     let dm = Arc::new(DistanceMatrix::between_racks(&net));
-    let trace = facebook_cluster_trace(FacebookCluster::Database, n, 30_000, 8);
+    let spec = TraceSpec::Facebook {
+        cluster: FacebookCluster::Database,
+        num_racks: n,
+        len: 30_000,
+        seed: 8,
+    };
     let mut last = u64::MAX;
     for b in [2usize, 6, 12, 18] {
         let job = Job {
@@ -182,8 +207,9 @@ fn more_switches_monotonically_help() {
             alpha: 10,
             seed: 2,
             checkpoints: vec![],
+            trace: spec.clone(),
         };
-        let r = run_jobs_sequential(&dm, &trace, &[job]);
+        let r = run_jobs_sequential(&dm, &[job]);
         let cost = r[0].total.routing_cost;
         assert!(
             cost <= last.saturating_add(last / 50),

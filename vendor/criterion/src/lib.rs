@@ -5,11 +5,33 @@
 //! It is a real (if spartan) harness, not a husk: `cargo bench` runs each
 //! registered function with warm-up, multiple timed samples, and prints
 //! median time per iteration plus throughput where declared. There are no
-//! statistical confidence intervals, plots, or saved baselines. Honour the
-//! group's `measurement_time`/`sample_size` hints so bench wall-clock stays
+//! statistical confidence intervals or plots. Honour the group's
+//! `measurement_time`/`sample_size` hints so bench wall-clock stays
 //! proportionate to what the authors asked for.
+//!
+//! # Saved baselines (regression gating)
+//!
+//! Like real criterion, medians can be persisted and compared, so perf
+//! claims are gated instead of eyeballed:
+//!
+//! ```text
+//! cargo bench -p dcn-bench --bench micro_substrates -- --save-baseline main
+//! # ...hack...
+//! cargo bench -p dcn-bench --bench micro_substrates -- --baseline main
+//! cargo bench -p dcn-bench --bench micro_substrates -- --baseline main --regression-fail 15
+//! ```
+//!
+//! `--save-baseline NAME` merge-writes each bench's median into
+//! `<dir>/NAME.json`; `--baseline NAME` prints the per-bench delta against
+//! that file; adding `--regression-fail PCT` exits non-zero when any bench
+//! regresses more than `PCT` percent (for CI/perf gates). `<dir>` is
+//! `$CRITERION_BASELINE_DIR`, defaulting to `target/criterion-baselines`
+//! relative to the bench's working directory. The JSON is a flat
+//! `{"bench name": median_ns}` map, written and parsed here without a JSON
+//! dependency.
 
 use std::hint::black_box as std_black_box;
+use std::path::PathBuf;
 use std::time::{Duration, Instant};
 
 /// Re-export of [`std::hint::black_box`] under criterion's historical name.
@@ -135,13 +157,19 @@ impl Default for Settings {
 
 /// The harness entry point; one per bench binary.
 #[derive(Default)]
-pub struct Criterion {}
+pub struct Criterion {
+    results: Vec<(String, f64)>,
+    baseline: Option<std::collections::BTreeMap<String, f64>>,
+    baseline_name: Option<String>,
+    save_baseline: Option<String>,
+    regression_fail_pct: Option<f64>,
+}
 
 impl Criterion {
     /// Opens a named group of related benchmarks.
     pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
         BenchmarkGroup {
-            _criterion: self,
+            criterion: self,
             name: name.into(),
             settings: Settings::default(),
         }
@@ -153,19 +181,184 @@ impl Criterion {
         F: FnMut(&mut Bencher),
     {
         let id = id.into();
-        run_one(&id.name, &Settings::default(), f);
+        self.record(&id.name.clone(), &Settings::default(), f);
         self
     }
 
-    /// CLI configuration hook; accepted and ignored.
-    pub fn configure_from_args(self) -> Self {
+    /// CLI configuration: `--save-baseline NAME`, `--baseline NAME`,
+    /// `--regression-fail PCT`. Everything else (including the `--bench`
+    /// flag cargo passes) is ignored, as before.
+    pub fn configure_from_args(mut self) -> Self {
+        let args: Vec<String> = std::env::args().collect();
+        // A recognized flag whose value is missing (end of args, or another
+        // flag where the value should be) is a hard error — a typo'd script
+        // must not silently skip saving or gating.
+        let value_of = |flag: &str| -> Option<String> {
+            let i = args.iter().position(|a| a == flag)?;
+            match args.get(i + 1) {
+                Some(v) if !v.starts_with("--") => Some(v.clone()),
+                _ => {
+                    eprintln!("criterion: {flag} requires a value");
+                    std::process::exit(2);
+                }
+            }
+        };
+        self.save_baseline = value_of("--save-baseline");
+        self.baseline_name = value_of("--baseline");
+        // A gate that silently skips itself is worse than no gate: malformed
+        // flags and missing baselines are hard errors, not warnings.
+        self.regression_fail_pct = value_of("--regression-fail").map(|v| match v.parse::<f64>() {
+            Ok(pct) if pct.is_finite() && pct >= 0.0 => pct,
+            _ => {
+                eprintln!(
+                    "criterion: --regression-fail expects a non-negative percentage, got {v:?}"
+                );
+                std::process::exit(2);
+            }
+        });
+        if self.regression_fail_pct.is_some() && self.baseline_name.is_none() {
+            eprintln!("criterion: --regression-fail requires --baseline NAME");
+            std::process::exit(2);
+        }
+        if let Some(name) = &self.baseline_name {
+            match read_baseline(&baseline_path(name)) {
+                Some(map) => self.baseline = Some(map),
+                None => {
+                    eprintln!(
+                        "criterion: baseline {:?} not found; run with --save-baseline {name} first",
+                        baseline_path(name)
+                    );
+                    std::process::exit(2);
+                }
+            }
+        }
         self
+    }
+
+    fn record<F: FnMut(&mut Bencher)>(&mut self, name: &str, settings: &Settings, f: F) {
+        let ns = run_one(name, settings, f, self.baseline.as_ref());
+        self.results.push((name.to_string(), ns));
+    }
+
+    /// Persists/compares the collected medians; called by
+    /// [`criterion_group!`] after all targets ran. Exits non-zero when a
+    /// `--regression-fail` threshold is exceeded.
+    ///
+    /// The gate runs *before* the save: a failing run must not overwrite
+    /// the baseline with its regressed numbers (which would make the next
+    /// run pass vacuously). This also makes single-invocation CI gating
+    /// safe: `--baseline X --regression-fail P --save-baseline X`.
+    pub fn final_summary(&mut self) {
+        if let (Some(threshold), Some(baseline)) = (self.regression_fail_pct, &self.baseline) {
+            let mut worst: Option<(&str, f64)> = None;
+            for (bench, ns) in &self.results {
+                if let Some(&base) = baseline.get(bench) {
+                    if base > 0.0 && ns.is_finite() {
+                        let delta = (ns / base - 1.0) * 100.0;
+                        if worst.is_none_or(|(_, w)| delta > w) {
+                            worst = Some((bench, delta));
+                        }
+                    }
+                }
+            }
+            match worst {
+                Some((bench, delta)) if delta > threshold => {
+                    eprintln!(
+                        "criterion: regression gate failed: {bench} is {delta:+.1}% vs baseline \
+                         (threshold {threshold}%)"
+                    );
+                    std::process::exit(1);
+                }
+                Some((bench, delta)) => println!(
+                    "criterion: regression gate passed (worst {bench}: {delta:+.1}%, \
+                     threshold {threshold}%)"
+                ),
+                // Zero overlap means the baseline was saved from different
+                // (e.g. since-renamed) benches and the gate would be
+                // vacuous. When this run also saves, warn and fall through
+                // so the baseline re-seeds itself — exiting here would leave
+                // CI permanently gating against a stale cache (a failed job
+                // does not update it). Without a save there is no recovery
+                // path in this run, so refuse.
+                None => {
+                    eprintln!(
+                        "criterion: regression gate matched no benches against the baseline \
+                         (benches renamed?)"
+                    );
+                    if self.save_baseline.is_none() {
+                        eprintln!("criterion: re-save the baseline from this bench target");
+                        std::process::exit(1);
+                    }
+                    eprintln!("criterion: re-seeding the baseline from this run");
+                }
+            }
+        }
+        if let Some(name) = &self.save_baseline {
+            let path = baseline_path(name);
+            let mut map = read_baseline(&path).unwrap_or_default();
+            for (bench, ns) in &self.results {
+                map.insert(bench.clone(), *ns);
+            }
+            write_baseline(&path, &map);
+            println!("criterion: saved baseline {name:?} ({})", path.display());
+        }
+    }
+}
+
+/// Where baseline JSON lives: `$CRITERION_BASELINE_DIR` or
+/// `target/criterion-baselines` under the current working directory.
+fn baseline_path(name: &str) -> PathBuf {
+    let dir = std::env::var_os("CRITERION_BASELINE_DIR")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("target").join("criterion-baselines"));
+    dir.join(format!("{name}.json"))
+}
+
+fn read_baseline(path: &PathBuf) -> Option<std::collections::BTreeMap<String, f64>> {
+    let text = std::fs::read_to_string(path).ok()?;
+    Some(parse_baseline(&text))
+}
+
+/// Parses the flat `{"name": ns, ...}` map this crate writes. Bench names
+/// never contain quotes, so line-wise splitting is exact for our own output.
+fn parse_baseline(text: &str) -> std::collections::BTreeMap<String, f64> {
+    let mut map = std::collections::BTreeMap::new();
+    for line in text.lines() {
+        let line = line.trim().trim_end_matches(',');
+        let Some(rest) = line.strip_prefix('"') else {
+            continue;
+        };
+        let Some((name, value)) = rest.split_once("\":") else {
+            continue;
+        };
+        if let Ok(ns) = value.trim().parse::<f64>() {
+            map.insert(name.to_string(), ns);
+        }
+    }
+    map
+}
+
+fn write_baseline(path: &PathBuf, map: &std::collections::BTreeMap<String, f64>) {
+    if let Some(parent) = path.parent() {
+        let _ = std::fs::create_dir_all(parent);
+    }
+    let mut out = String::from("{\n");
+    for (i, (name, ns)) in map.iter().enumerate() {
+        out.push_str(&format!("\"{name}\": {ns}"));
+        out.push_str(if i + 1 < map.len() { ",\n" } else { "\n" });
+    }
+    out.push('}');
+    if let Err(e) = std::fs::write(path, out) {
+        eprintln!(
+            "criterion: could not write baseline {}: {e}",
+            path.display()
+        );
     }
 }
 
 /// A group of benchmarks sharing measurement settings.
 pub struct BenchmarkGroup<'a> {
-    _criterion: &'a mut Criterion,
+    criterion: &'a mut Criterion,
     name: String,
     settings: Settings,
 }
@@ -202,7 +395,8 @@ impl BenchmarkGroup<'_> {
     {
         let id = id.into();
         let full = format!("{}/{}", self.name, id.name);
-        run_one(&full, &self.settings, f);
+        let settings = self.settings.clone();
+        self.criterion.record(&full, &settings, f);
         self
     }
 
@@ -223,7 +417,12 @@ impl BenchmarkGroup<'_> {
     pub fn finish(self) {}
 }
 
-fn run_one<F: FnMut(&mut Bencher)>(name: &str, settings: &Settings, mut f: F) {
+fn run_one<F: FnMut(&mut Bencher)>(
+    name: &str,
+    settings: &Settings,
+    mut f: F,
+    baseline: Option<&std::collections::BTreeMap<String, f64>>,
+) -> f64 {
     let mut bencher = Bencher {
         samples: Vec::new(),
         iters_per_sample: 1,
@@ -242,7 +441,17 @@ fn run_one<F: FnMut(&mut Bencher)>(name: &str, settings: &Settings, mut f: F) {
             line.push_str(&format!("   {} {unit}", format_rate(rate)));
         }
     }
+    if let Some(base) = baseline.and_then(|b| b.get(name)) {
+        if *base > 0.0 && ns.is_finite() {
+            line.push_str(&format!(
+                "   [baseline {} {:+.1}%]",
+                format_time(*base).trim_start(),
+                (ns / base - 1.0) * 100.0
+            ));
+        }
+    }
     println!("{line}");
+    ns
 }
 
 fn format_time(ns: f64) -> String {
@@ -279,6 +488,7 @@ macro_rules! criterion_group {
         pub fn $group() {
             let mut criterion = $crate::Criterion::default().configure_from_args();
             $($target(&mut criterion);)+
+            criterion.final_summary();
         }
     };
 }
@@ -318,6 +528,57 @@ mod tests {
         assert_eq!(b.samples.len(), 5);
         assert!(b.median_ns().is_finite());
         assert!(count > 5);
+    }
+
+    #[test]
+    fn baseline_json_round_trips() {
+        let mut map = std::collections::BTreeMap::new();
+        map.insert("group/alpha".to_string(), 123.5);
+        map.insert("group/beta sampler".to_string(), 0.75);
+        map.insert("solo".to_string(), 9e6);
+        let dir =
+            std::env::temp_dir().join(format!("criterion-baseline-test-{}", std::process::id()));
+        let path = dir.join("main.json");
+        write_baseline(&path, &map);
+        let back = read_baseline(&path).expect("baseline readable");
+        assert_eq!(back, map);
+        // Merge semantics: writing an updated map overwrites entries.
+        let mut updated = back.clone();
+        updated.insert("group/alpha".to_string(), 100.0);
+        write_baseline(&path, &updated);
+        assert_eq!(
+            read_baseline(&path).unwrap()["group/alpha"],
+            100.0,
+            "updated entry persists"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn parse_baseline_skips_garbage_lines() {
+        let text = "{\n\"a\": 1.5,\n\"b\": nonsense,\nnot json\n\"c\": 2\n}";
+        let map = parse_baseline(text);
+        assert_eq!(map.len(), 2);
+        assert_eq!(map["a"], 1.5);
+        assert_eq!(map["c"], 2.0);
+    }
+
+    #[test]
+    fn results_are_recorded_per_criterion() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("rec");
+        group
+            .sample_size(2)
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(2));
+        group.bench_function("one", |b| b.iter(|| black_box(1 + 1)));
+        group.finish();
+        c.bench_function("two", |b| b.iter(|| black_box(2 + 2)));
+        let names: Vec<&str> = c.results.iter().map(|(n, _)| n.as_str()).collect();
+        assert_eq!(names, vec!["rec/one", "two"]);
+        assert!(c.results.iter().all(|(_, ns)| ns.is_finite()));
+        // No save/compare flags set: final_summary is a no-op.
+        c.final_summary();
     }
 
     #[test]
