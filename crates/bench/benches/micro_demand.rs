@@ -1,0 +1,88 @@
+//! Demand-layer micro-benchmarks: matrix construction, blending, streamed
+//! sampling throughput, and demand-aware matching builds — the constants
+//! behind the `demand` repro target (gated in CI like `micro_substrates`).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use dcn_demand::{AwareStrategy, DemandAware, DemandMatrix, MicrosoftParams};
+use dcn_topology::{builders, DistanceMatrix};
+use dcn_traces::{matrix_source, RequestSource};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn matrix_construction(c: &mut Criterion) {
+    let mut group = c.benchmark_group("demand_matrix");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_secs(1));
+    for racks in [50usize, 100] {
+        group.bench_with_input(
+            BenchmarkId::new("microsoft_build", racks),
+            &racks,
+            |b, &n| b.iter(|| black_box(DemandMatrix::microsoft(n, MicrosoftParams::default(), 7))),
+        );
+        group.bench_with_input(BenchmarkId::new("zipf_build", racks), &racks, |b, &n| {
+            b.iter(|| black_box(DemandMatrix::zipf_pairs(n, 1.2, 7)))
+        });
+    }
+    let a = DemandMatrix::microsoft(100, MicrosoftParams::default(), 1).normalized();
+    let bm = DemandMatrix::microsoft(100, MicrosoftParams::default(), 2).normalized();
+    group.bench_function("blend_100racks", |b| {
+        b.iter(|| black_box(DemandMatrix::blend(&a, &bm, 0.5)))
+    });
+    group.bench_function("from_trace_100racks", |b| {
+        let trace = dcn_traces::matrix_trace(&a, 50_000, 3);
+        b.iter(|| black_box(DemandMatrix::from_trace(100, &trace.requests)))
+    });
+    group.finish();
+}
+
+fn matrix_sampling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("demand_sampling");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_secs(1))
+        .throughput(Throughput::Elements(10_000));
+    let matrix = DemandMatrix::microsoft(100, MicrosoftParams::default(), 5);
+    group.bench_function("matrix_source_10k", |b| {
+        let mut source = matrix_source(&matrix, 10_000, 9);
+        b.iter(|| {
+            source.reset();
+            let mut acc = 0u64;
+            while let Some(p) = source.next_request() {
+                acc += p.lo() as u64;
+            }
+            black_box(acc)
+        })
+    });
+    group.finish();
+}
+
+fn aware_builds(c: &mut Criterion) {
+    let mut group = c.benchmark_group("demand_aware_build");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_secs(2));
+    let net = builders::fat_tree_with_racks(50);
+    let dm = DistanceMatrix::between_racks(&net);
+    let base = DemandMatrix::microsoft(50, MicrosoftParams::default(), 1).normalized();
+    let other = DemandMatrix::microsoft(50, MicrosoftParams::default(), 2).normalized();
+    group.bench_function("greedy_b6", |b| {
+        let builder = DemandAware::new(base.clone());
+        b.iter(|| black_box(builder.build(&dm, 6)))
+    });
+    group.bench_function("repeated_mwm_b6", |b| {
+        let builder = DemandAware::new(base.clone()).with_strategy(AwareStrategy::RepeatedMwm);
+        b.iter(|| black_box(builder.build(&dm, 6)))
+    });
+    group.bench_function("hedged2_b6", |b| {
+        let builder = DemandAware::hedged(vec![base.clone(), other.clone()]);
+        b.iter(|| black_box(builder.build(&dm, 6)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, matrix_construction, matrix_sampling, aware_builds);
+criterion_main!(benches);

@@ -11,10 +11,11 @@ use dcn_topology::{builders, DistanceMatrix, Pair};
 use dcn_util::rngx::derive_seed;
 use rand::rngs::SmallRng;
 use rand::{RngExt, SeedableRng};
+use serde::Serialize;
 use std::sync::Arc;
 
 /// A generic result table (rows × named columns).
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, Serialize)]
 pub struct SimpleTable {
     /// Table caption.
     pub title: String,
@@ -25,6 +26,12 @@ pub struct SimpleTable {
 }
 
 impl SimpleTable {
+    /// Compact JSON rendering (for machine-readable bench summaries, e.g.
+    /// the CI smoke run's `BENCH_demand.json`).
+    pub fn to_json(&self) -> String {
+        dcn_util::json::to_json_string(self).expect("table serialization cannot fail")
+    }
+
     /// Markdown rendering.
     pub fn to_markdown(&self) -> String {
         use std::fmt::Write;

@@ -1,7 +1,7 @@
 //! Regenerates the paper's evaluation figures and the DESIGN.md ablations.
 //!
 //! ```text
-//! repro_figures [--fast] [--scale F] [--out DIR] <target>...
+//! repro_figures [--fast] [--scale F] [--out DIR] [--json DIR] <target>...
 //!
 //! targets:
 //!   fig1 fig2 fig3 fig4      the paper's Figures 1-4 (panels a, b, c)
@@ -12,6 +12,7 @@
 //!   ablation-removal         Abl. E: lazy vs strict removals
 //!   lower-bound              Abl. D: deterministic vs randomized gap
 //!   scaling                  streamed 10^5 -> 10^7 request sweep (O(1) memory)
+//!   demand                   demand mis-estimation sweep (static forecast vs drift)
 //!   ablations                all ablations
 //!   all                      everything
 //!
@@ -19,11 +20,14 @@
 //! --scale F   multiply request counts by F (e.g. 10 for a 10x longer run;
 //!             composes with --fast). Workloads stream, so memory stays flat.
 //! --out DIR   also write each panel as CSV into DIR
+//! --json DIR  also write each table target as BENCH_<target>.json into DIR
+//!             (machine-readable summaries, e.g. CI's BENCH_demand.json)
 //! ```
 
 use dcn_bench::{
-    ablation_alpha, ablation_augmentation, ablation_removal, ablation_skew, lower_bound_gap,
-    run_panel, scaling_sweep, series_to_csv, series_to_markdown, FigureSpec, Panel, SimpleTable,
+    ablation_alpha, ablation_augmentation, ablation_removal, ablation_skew, demand_sweep,
+    lower_bound_gap, run_panel, scaling_sweep, series_to_csv, series_to_markdown, FigureSpec,
+    Panel, SimpleTable,
 };
 use std::path::PathBuf;
 
@@ -43,6 +47,7 @@ fn main() {
         }
     };
     let out_dir: Option<PathBuf> = value_of("--out").map(PathBuf::from);
+    let json_dir: Option<PathBuf> = value_of("--json").map(PathBuf::from);
     let scale_factor: f64 = match value_of("--scale") {
         Some(v) => match v.parse::<f64>() {
             // `!(x > 0.0)` also rejects NaN, which `x <= 0.0` would let
@@ -62,7 +67,7 @@ fn main() {
             skip_next = false;
             continue;
         }
-        if a == "--out" || a == "--scale" {
+        if a == "--out" || a == "--scale" || a == "--json" {
             skip_next = true;
             continue;
         }
@@ -73,7 +78,7 @@ fn main() {
     if targets.is_empty() {
         targets.push("all".into());
     }
-    if let Some(dir) = &out_dir {
+    for dir in [&out_dir, &json_dir].into_iter().flatten() {
         std::fs::create_dir_all(dir).expect("create output directory");
     }
 
@@ -93,6 +98,7 @@ fn main() {
                 "ablation-removal",
                 "lower-bound",
                 "scaling",
+                "demand",
             ]
             .into_iter()
             .map(String::from)
@@ -126,13 +132,22 @@ fn main() {
                 let spec = spec.scaled_by(scale_factor);
                 run_figure(&spec, out_dir.as_deref());
             }
-            "ablation-alpha" => print_table(ablation_alpha(ablation_scale), out_dir.as_deref()),
-            "ablation-augmentation" => {
-                print_table(ablation_augmentation(ablation_scale), out_dir.as_deref())
+            id @ ("ablation-alpha"
+            | "ablation-augmentation"
+            | "ablation-skew"
+            | "ablation-removal"
+            | "lower-bound"
+            | "demand") => {
+                let table = match id {
+                    "ablation-alpha" => ablation_alpha(ablation_scale),
+                    "ablation-augmentation" => ablation_augmentation(ablation_scale),
+                    "ablation-skew" => ablation_skew(ablation_scale),
+                    "ablation-removal" => ablation_removal(ablation_scale),
+                    "lower-bound" => lower_bound_gap(ablation_scale),
+                    _ => demand_sweep(ablation_scale),
+                };
+                print_table(id, table, out_dir.as_deref(), json_dir.as_deref());
             }
-            "ablation-skew" => print_table(ablation_skew(ablation_scale), out_dir.as_deref()),
-            "ablation-removal" => print_table(ablation_removal(ablation_scale), out_dir.as_deref()),
-            "lower-bound" => print_table(lower_bound_gap(ablation_scale), out_dir.as_deref()),
             "scaling" => {
                 let base: &[usize] = if fast {
                     &[10_000, 100_000, 1_000_000]
@@ -143,7 +158,12 @@ fn main() {
                     .iter()
                     .map(|&l| ((l as f64 * scale_factor).round() as usize).max(1))
                     .collect();
-                print_table(scaling_sweep(&lens), out_dir.as_deref());
+                print_table(
+                    "scaling",
+                    scaling_sweep(&lens),
+                    out_dir.as_deref(),
+                    json_dir.as_deref(),
+                );
             }
             other => {
                 eprintln!("unknown target: {other}");
@@ -183,8 +203,18 @@ fn run_figure(spec: &FigureSpec, out_dir: Option<&std::path::Path>) {
     }
 }
 
-fn print_table(table: SimpleTable, out_dir: Option<&std::path::Path>) {
+fn print_table(
+    target: &str,
+    table: SimpleTable,
+    out_dir: Option<&std::path::Path>,
+    json_dir: Option<&std::path::Path>,
+) {
     println!("\n{}", table.to_markdown());
+    if let Some(dir) = json_dir {
+        let path = dir.join(format!("BENCH_{target}.json"));
+        std::fs::write(&path, table.to_json()).expect("write JSON summary");
+        println!("(wrote {})\n", path.display());
+    }
     if let Some(dir) = out_dir {
         let slug: String = table
             .title

@@ -23,11 +23,13 @@
 //! materializes (one repetition at a time).
 
 pub mod ablations;
+pub mod demand;
 
 pub use ablations::{
     ablation_alpha, ablation_augmentation, ablation_removal, ablation_skew, lower_bound_gap,
     SimpleTable,
 };
+pub use demand::demand_sweep;
 
 use dcn_core::algorithms::static_offline::so_bma_series;
 use dcn_core::algorithms::AlgorithmKind;

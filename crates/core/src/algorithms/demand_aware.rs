@@ -1,0 +1,116 @@
+//! **DemandAware** — the COUDER-style demand-aware *static* baseline: a
+//! b-matching provisioned from one or more forecast
+//! [`DemandMatrix`](dcn_demand::DemandMatrix)es (arXiv:2010.00090), held
+//! fixed while the trace replays.
+//!
+//! The contrast with the neighbouring baselines locates it precisely:
+//! unlike SO-BMA it sees a *forecast matrix*, not the realized trace (so it
+//! can be mis-estimated — the axis the `demand` repro target sweeps);
+//! unlike R-BMA/BMA it never adapts; unlike Rotor it is demand-*aware*;
+//! unlike Oblivious it serves its provisioned pairs at cost 1. Accounting
+//! matches SO-BMA: the matching is provisioned before the trace starts, so
+//! no reconfiguration cost accrues — it is a topology-design baseline, not
+//! an online algorithm.
+
+use crate::scheduler::{OnlineScheduler, ServeOutcome};
+use dcn_demand::DemandAware;
+use dcn_matching::BMatching;
+use dcn_topology::{DistanceMatrix, Pair};
+
+/// Scheduler serving requests against a fixed, pre-provisioned b-matching.
+#[derive(Clone, Debug)]
+pub struct StaticDemandAware {
+    name: &'static str,
+    matching: BMatching,
+}
+
+impl StaticDemandAware {
+    /// Provisions the matching from a [`DemandAware`] builder (point
+    /// forecast or hedged matrix set) for degree bound `b`.
+    pub fn new(dm: &DistanceMatrix, b: usize, builder: &DemandAware) -> Self {
+        assert_eq!(
+            dm.num_racks(),
+            builder.num_racks(),
+            "distance matrix and demand forecast must agree on the rack count"
+        );
+        let name = if builder.is_hedged() {
+            "DemandAware(hedged)"
+        } else {
+            "DemandAware"
+        };
+        Self::from_edges(dm.num_racks(), b, &builder.build(dm, b), name)
+    }
+
+    /// Installs an explicit edge list (must satisfy the degree bound).
+    pub fn from_edges(n: usize, b: usize, edges: &[Pair], name: &'static str) -> Self {
+        let mut matching = BMatching::new(n, b);
+        for &e in edges {
+            matching.insert(e);
+        }
+        Self { name, matching }
+    }
+}
+
+impl OnlineScheduler for StaticDemandAware {
+    fn name(&self) -> &str {
+        self.name
+    }
+
+    fn cap(&self) -> usize {
+        self.matching.cap()
+    }
+
+    fn serve(&mut self, pair: Pair) -> ServeOutcome {
+        ServeOutcome {
+            was_matched: self.matching.contains(pair),
+            added: 0,
+            removed: 0,
+        }
+    }
+
+    fn matching(&self) -> &BMatching {
+        &self.matching
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dcn_demand::DemandMatrix;
+    use dcn_topology::builders;
+
+    fn uniform_far(n: usize) -> DistanceMatrix {
+        DistanceMatrix::between_racks(&builders::leaf_spine(n, 2))
+    }
+
+    #[test]
+    fn serves_provisioned_pairs_at_cost_one() {
+        let dm = uniform_far(6);
+        let mut demand = DemandMatrix::new(6, "t");
+        demand.set(Pair::new(0, 1), 10.0);
+        demand.set(Pair::new(2, 3), 5.0);
+        let mut s = StaticDemandAware::new(&dm, 1, &DemandAware::new(demand));
+        assert!(s.serve(Pair::new(0, 1)).was_matched);
+        assert!(s.serve(Pair::new(2, 3)).was_matched);
+        let out = s.serve(Pair::new(0, 4));
+        assert!(!out.was_matched);
+        assert_eq!(
+            out.added + out.removed,
+            0,
+            "static baseline never reconfigures"
+        );
+        s.matching().assert_valid();
+    }
+
+    #[test]
+    fn hedged_label() {
+        let dm = uniform_far(8);
+        let set = vec![
+            DemandMatrix::zipf_pairs(8, 1.2, 1),
+            DemandMatrix::zipf_pairs(8, 1.2, 2),
+        ];
+        let s = StaticDemandAware::new(&dm, 2, &DemandAware::hedged(set));
+        assert_eq!(s.name(), "DemandAware(hedged)");
+        assert_eq!(s.cap(), 2);
+    }
+}

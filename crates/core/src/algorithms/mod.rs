@@ -2,6 +2,7 @@
 //! the extensions discussed in §5.
 
 pub mod bma;
+pub mod demand_aware;
 pub mod oblivious;
 pub mod periodic;
 pub mod predictive;
@@ -10,6 +11,7 @@ pub mod rotor;
 pub mod static_offline;
 
 use crate::scheduler::OnlineScheduler;
+use dcn_demand::{DemandAware, DemandMatrix};
 use dcn_topology::DistanceMatrix;
 use std::sync::Arc;
 
@@ -43,9 +45,32 @@ pub enum AlgorithmKind {
         /// Requests between rebuilds.
         period: u64,
     },
+    /// COUDER-style demand-aware *static* baseline (arXiv:2010.00090): a
+    /// b-matching provisioned from forecast demand matrices before the
+    /// trace starts, never reconfigured
+    /// ([`demand_aware::StaticDemandAware`]).
+    DemandAware {
+        /// The forecast: one matrix (point forecast) or several (hedged
+        /// max-min over the set). Shared so job grids clone cheaply.
+        forecast: Arc<DemandAware>,
+    },
 }
 
 impl AlgorithmKind {
+    /// Demand-aware static baseline from a single forecast matrix.
+    pub fn demand_aware(matrix: DemandMatrix) -> Self {
+        AlgorithmKind::DemandAware {
+            forecast: Arc::new(DemandAware::new(matrix)),
+        }
+    }
+
+    /// Demand-aware static baseline hedged over a forecast matrix set.
+    pub fn demand_aware_hedged(matrices: Vec<DemandMatrix>) -> Self {
+        AlgorithmKind::DemandAware {
+            forecast: Arc::new(DemandAware::hedged(matrices)),
+        }
+    }
+
     /// Display name matching the paper's figure legends.
     pub fn label(&self) -> String {
         match self {
@@ -56,6 +81,10 @@ impl AlgorithmKind {
             AlgorithmKind::Rotor { .. } => "Rotor".into(),
             AlgorithmKind::PredictiveRbma { noise } => format!("P-BMA(noise={noise})"),
             AlgorithmKind::Periodic { period } => format!("Periodic({period})"),
+            AlgorithmKind::DemandAware { forecast } if forecast.is_hedged() => {
+                "DemandAware(hedged)".into()
+            }
+            AlgorithmKind::DemandAware { .. } => "DemandAware".into(),
         }
     }
 
@@ -100,6 +129,9 @@ impl AlgorithmKind {
             AlgorithmKind::Periodic { period } => {
                 Box::new(periodic::PeriodicRebuild::new(dm, b, period))
             }
+            AlgorithmKind::DemandAware { ref forecast } => {
+                Box::new(demand_aware::StaticDemandAware::new(&dm, b, forecast))
+            }
         }
     }
 
@@ -137,6 +169,11 @@ mod tests {
             AlgorithmKind::Bma,
             AlgorithmKind::Rotor { period: 10 },
             AlgorithmKind::Periodic { period: 10 },
+            AlgorithmKind::demand_aware(DemandMatrix::zipf_pairs(6, 1.2, 1)),
+            AlgorithmKind::demand_aware_hedged(vec![
+                DemandMatrix::zipf_pairs(6, 1.2, 1),
+                DemandMatrix::uniform(6),
+            ]),
         ] {
             assert!(!kind.needs_materialized_trace(), "{}", kind.label());
             let dm = Arc::new(DistanceMatrix::uniform(6));
@@ -144,6 +181,17 @@ mod tests {
             assert_eq!(s.cap(), 2);
         }
         assert!(AlgorithmKind::PredictiveRbma { noise: 0.0 }.needs_materialized_trace());
+    }
+
+    #[test]
+    fn demand_aware_labels_distinguish_hedging() {
+        let point = AlgorithmKind::demand_aware(DemandMatrix::uniform(4));
+        assert_eq!(point.label(), "DemandAware");
+        let hedged = AlgorithmKind::demand_aware_hedged(vec![
+            DemandMatrix::uniform(4),
+            DemandMatrix::zipf_pairs(4, 1.0, 0),
+        ]);
+        assert_eq!(hedged.label(), "DemandAware(hedged)");
     }
 
     #[test]

@@ -259,6 +259,63 @@ mod tests {
     }
 
     #[test]
+    fn demand_specs_and_demand_aware_flow_through_unchanged() {
+        // The demand layer rides the existing pipeline: a TraceSpec::Matrix
+        // workload and the DemandAware static baseline need no sweep-side
+        // special casing, parallel equals sequential, and the baseline beats
+        // oblivious on its own forecast matrix.
+        let dm = setup();
+        let matrix = dcn_demand::DemandMatrix::zipf_pairs(10, 1.4, 3);
+        let spec = TraceSpec::matrix(matrix.clone(), 4000, 11);
+        let seq_spec = TraceSpec::sequence(
+            dcn_demand::MatrixSequence::zipf_switching(10, 2, 1000, 1.2, 5),
+            13,
+        );
+        let jobs = vec![
+            Job {
+                algorithm: AlgorithmKind::demand_aware(matrix),
+                b: 3,
+                alpha: 5,
+                seed: 0,
+                checkpoints: vec![2000],
+                trace: spec.clone(),
+            },
+            Job {
+                algorithm: AlgorithmKind::Oblivious,
+                b: 3,
+                alpha: 5,
+                seed: 0,
+                checkpoints: vec![2000],
+                trace: spec.clone(),
+            },
+            Job {
+                algorithm: AlgorithmKind::Rbma { lazy: true },
+                b: 3,
+                alpha: 5,
+                seed: 1,
+                checkpoints: vec![],
+                trace: seq_spec.clone(),
+            },
+        ];
+        let seq = run_jobs_sequential(&dm, &jobs);
+        let par = run_jobs(&dm, &jobs, 3);
+        for (a, b) in seq.iter().zip(&par) {
+            assert_eq!(a.total.routing_cost, b.total.routing_cost);
+        }
+        assert_eq!(seq[0].algorithm, "DemandAware");
+        assert_eq!(seq[0].trace, spec.name());
+        assert_eq!(seq[0].total.reconfigurations, 0, "static baseline");
+        assert!(
+            seq[0].total.routing_cost < seq[1].total.routing_cost,
+            "demand-aware must beat oblivious on its own matrix: {} vs {}",
+            seq[0].total.routing_cost,
+            seq[1].total.routing_cost
+        );
+        assert_eq!(seq[2].trace, seq_spec.name());
+        assert_eq!(seq[2].total.requests, 2000);
+    }
+
+    #[test]
     fn results_in_job_order() {
         let dm = setup();
         let js = jobs();

@@ -1,0 +1,268 @@
+//! [`MatrixSequence`] — temporal evolution of demand matrices.
+//!
+//! A frozen matrix sampled i.i.d. (the paper's Microsoft setting) has *no*
+//! temporal structure by design; real rack-to-rack demand drifts. COUDER
+//! (arXiv:2010.00090) engineers topologies against *sets* of matrices
+//! precisely because the served matrix moves away from the one a static
+//! design was built on. A `MatrixSequence` models that movement as a
+//! piecewise-constant schedule of phases: abrupt switches
+//! ([`MatrixSequence::switching`]), smooth drift quantized into interpolated
+//! segments ([`MatrixSequence::drifting`]), or per-phase-seeded fresh
+//! matrices ([`MatrixSequence::zipf_switching`]). The streaming layer
+//! (`dcn_traces`' `SequenceKernel`) samples phase `p`'s matrix while the
+//! stream position is inside phase `p`.
+
+use crate::matrix::DemandMatrix;
+
+/// One phase of a [`MatrixSequence`]: a matrix served for `len` requests.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Phase {
+    /// Demand matrix active during this phase.
+    pub matrix: DemandMatrix,
+    /// Number of requests drawn from it.
+    pub len: usize,
+}
+
+/// A piecewise-constant schedule of demand matrices.
+#[derive(Clone, Debug, PartialEq)]
+pub struct MatrixSequence {
+    phases: Vec<Phase>,
+    name: String,
+}
+
+impl MatrixSequence {
+    /// Wraps explicit phases (non-empty, same rack count, positive lengths).
+    pub fn new(phases: Vec<Phase>, name: impl Into<String>) -> Self {
+        assert!(
+            !phases.is_empty(),
+            "matrix sequence needs at least one phase"
+        );
+        let n = phases[0].matrix.num_racks();
+        for phase in &phases {
+            assert_eq!(
+                phase.matrix.num_racks(),
+                n,
+                "phases must share the rack count"
+            );
+            assert!(phase.len > 0, "phase length must be positive");
+        }
+        Self {
+            phases,
+            name: name.into(),
+        }
+    }
+
+    /// Abrupt phase switches: each matrix is served for `phase_len`
+    /// requests in order.
+    pub fn switching(matrices: Vec<DemandMatrix>, phase_len: usize) -> Self {
+        let k = matrices.len();
+        let phases = matrices
+            .into_iter()
+            .map(|matrix| Phase {
+                matrix,
+                len: phase_len,
+            })
+            .collect();
+        Self::new(phases, format!("switching({k} phases)"))
+    }
+
+    /// Smooth drift from `from` to `to` over `len` requests, quantized into
+    /// `segments ≥ 2` equal-length interpolation steps: segment `s` serves
+    /// `blend(from, to, s/(segments-1))`, so the first segment is exactly
+    /// `from` and the last exactly `to`.
+    pub fn drifting(from: &DemandMatrix, to: &DemandMatrix, len: usize, segments: usize) -> Self {
+        assert!(segments >= 2, "drift needs at least two segments");
+        assert!(
+            len >= segments,
+            "drift needs at least one request per segment"
+        );
+        let base = len / segments;
+        let phases = (0..segments)
+            .map(|s| {
+                let lambda = s as f64 / (segments - 1) as f64;
+                Phase {
+                    matrix: DemandMatrix::blend(from, to, lambda),
+                    // Remainder requests land in the last segment.
+                    len: if s + 1 == segments {
+                        len - base * (segments - 1)
+                    } else {
+                        base
+                    },
+                }
+            })
+            .collect();
+        Self::new(
+            phases,
+            format!("drift({} -> {}, {segments} steps)", from.name(), to.name()),
+        )
+    }
+
+    /// Per-phase-seeded fresh matrices: `num_phases` Zipf-pair matrices,
+    /// each built with an independent sub-seed of `seed`, served for
+    /// `phase_len` requests each — the "same family, new hot pairs every
+    /// phase" workload.
+    pub fn zipf_switching(
+        num_racks: usize,
+        num_phases: usize,
+        phase_len: usize,
+        s: f64,
+        seed: u64,
+    ) -> Self {
+        assert!(num_phases >= 1);
+        let matrices = (0..num_phases)
+            .map(|p| {
+                DemandMatrix::zipf_pairs(num_racks, s, dcn_util::rngx::derive_seed(seed, p as u64))
+            })
+            .collect();
+        let mut seq = Self::switching(matrices, phase_len);
+        seq.name = format!("zipf-switching({num_phases}x{phase_len}, s={s})");
+        seq
+    }
+
+    /// The phases in schedule order.
+    pub fn phases(&self) -> &[Phase] {
+        &self.phases
+    }
+
+    /// Number of racks (shared by all phases).
+    pub fn num_racks(&self) -> usize {
+        self.phases[0].matrix.num_racks()
+    }
+
+    /// Total number of requests across all phases.
+    pub fn total_len(&self) -> usize {
+        self.phases.iter().map(|p| p.len).sum()
+    }
+
+    /// Human-readable provenance.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Cumulative phase end positions (`ends[p]` = first stream position
+    /// *after* phase `p`).
+    pub fn phase_ends(&self) -> Vec<usize> {
+        let mut acc = 0;
+        self.phases
+            .iter()
+            .map(|p| {
+                acc += p.len;
+                acc
+            })
+            .collect()
+    }
+
+    /// The matrix active at stream position `t < total_len()`.
+    pub fn matrix_at(&self, t: usize) -> &DemandMatrix {
+        let mut acc = 0;
+        for phase in &self.phases {
+            acc += phase.len;
+            if t < acc {
+                return &phase.matrix;
+            }
+        }
+        panic!("position {t} beyond sequence length {}", self.total_len());
+    }
+
+    /// Average of the phase matrices weighted by phase length — the single
+    /// matrix a demand-aware design would be built from if it had to commit
+    /// to one (cf. hedging over the phase set instead).
+    pub fn length_weighted_average(&self) -> DemandMatrix {
+        let n = self.num_racks();
+        let total = self.total_len() as f64;
+        let mut avg = DemandMatrix::new(n, format!("avg({})", self.name));
+        for phase in &self.phases {
+            let share = phase.len as f64 / total;
+            for (pair, w) in phase.matrix.entries() {
+                avg.add(pair, w * share);
+            }
+        }
+        avg
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dcn_topology::Pair;
+
+    #[test]
+    fn switching_layout() {
+        let seq = MatrixSequence::switching(
+            vec![
+                DemandMatrix::uniform(6),
+                DemandMatrix::zipf_pairs(6, 1.2, 1),
+            ],
+            100,
+        );
+        assert_eq!(seq.total_len(), 200);
+        assert_eq!(seq.num_racks(), 6);
+        assert_eq!(seq.phase_ends(), vec![100, 200]);
+        assert_eq!(seq.matrix_at(0).name(), "uniform(n=6)");
+        assert_eq!(seq.matrix_at(99).name(), "uniform(n=6)");
+        assert_ne!(seq.matrix_at(100).name(), "uniform(n=6)");
+    }
+
+    #[test]
+    fn drifting_endpoints_are_exact() {
+        let from = DemandMatrix::uniform(8).normalized();
+        let to = DemandMatrix::zipf_pairs(8, 1.4, 2).normalized();
+        let seq = MatrixSequence::drifting(&from, &to, 1003, 4);
+        assert_eq!(seq.phases().len(), 4);
+        assert_eq!(seq.total_len(), 1003);
+        // Remainder goes to the last segment.
+        assert_eq!(seq.phases()[3].len, 1003 - 3 * 250);
+        assert_eq!(seq.phases()[0].matrix.weights(), from.weights());
+        assert_eq!(seq.phases()[3].matrix.weights(), to.weights());
+        // Skew is monotone along the drift.
+        let ginis: Vec<f64> = seq.phases().iter().map(|p| p.matrix.gini()).collect();
+        assert!(ginis.windows(2).all(|w| w[0] <= w[1] + 1e-12), "{ginis:?}");
+    }
+
+    #[test]
+    fn zipf_switching_uses_per_phase_seeds() {
+        let seq = MatrixSequence::zipf_switching(10, 3, 50, 1.2, 9);
+        assert_eq!(seq.phases().len(), 3);
+        assert_ne!(
+            seq.phases()[0].matrix.weights(),
+            seq.phases()[1].matrix.weights(),
+            "per-phase seeds must produce distinct matrices"
+        );
+        // Deterministic in the base seed.
+        let again = MatrixSequence::zipf_switching(10, 3, 50, 1.2, 9);
+        assert_eq!(seq, again);
+    }
+
+    #[test]
+    fn length_weighted_average_hand_computed() {
+        let mut a = DemandMatrix::new(3, "a");
+        a.set(Pair::new(0, 1), 1.0);
+        let mut b = DemandMatrix::new(3, "b");
+        b.set(Pair::new(1, 2), 1.0);
+        let seq = MatrixSequence::new(
+            vec![Phase { matrix: a, len: 75 }, Phase { matrix: b, len: 25 }],
+            "t",
+        );
+        let avg = seq.length_weighted_average();
+        assert!((avg.get(Pair::new(0, 1)) - 0.75).abs() < 1e-12);
+        assert!((avg.get(Pair::new(1, 2)) - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "share the rack count")]
+    fn rejects_mixed_rack_counts() {
+        MatrixSequence::new(
+            vec![
+                Phase {
+                    matrix: DemandMatrix::uniform(4),
+                    len: 10,
+                },
+                Phase {
+                    matrix: DemandMatrix::uniform(5),
+                    len: 10,
+                },
+            ],
+            "bad",
+        );
+    }
+}

@@ -29,7 +29,7 @@ use crate::sampler::{zipf_weights, AliasTable};
 use crate::source::{RequestSource, SeededSource, SourceKernel};
 use crate::trace::Trace;
 use dcn_topology::Pair;
-use dcn_util::rngx::derive_seed;
+use dcn_util::rngx::{derive_seed, shuffle};
 use rand::rngs::SmallRng;
 use rand::{RngExt, SeedableRng};
 
@@ -245,13 +245,6 @@ pub fn facebook_cluster_trace(
     seed: u64,
 ) -> Trace {
     facebook_cluster_source(cluster, num_racks, len, seed).materialize()
-}
-
-fn shuffle(v: &mut [u32], rng: &mut SmallRng) {
-    for i in (1..v.len()).rev() {
-        let j = rng.random_range(0..=i);
-        v.swap(i, j);
-    }
 }
 
 #[cfg(test)]

@@ -9,74 +9,41 @@
 //! with a synthetic matrix of the same character: heavy-tailed pair weights
 //! (product of Zipf rack popularities with log-normal-style noise), i.i.d.
 //! sampling, no temporal correlation.
+//!
+//! The matrix construction itself lives in `dcn-demand`
+//! ([`dcn_demand::microsoft_pair_weights`] /
+//! [`dcn_demand::DemandMatrix::microsoft`]); this module is the thin trace
+//! preset over it. The kernel is the generic [`MatrixKernel`], fed the
+//! historical `(pairs, weights)` construction order so seeded streams are
+//! byte-identical to what this generator produced before the demand layer
+//! existed (pinned by `tests/stream_equivalence.rs`).
 
-use crate::sampler::{zipf_weights, AliasTable};
-use crate::source::{RequestSource, SeededSource, SourceKernel};
+use crate::generators::demand::MatrixKernel;
+use crate::source::{RequestSource, SeededSource};
 use crate::trace::Trace;
 use dcn_topology::Pair;
 use dcn_util::rngx::derive_seed;
 use rand::rngs::SmallRng;
-use rand::{RngExt, SeedableRng};
+use rand::SeedableRng;
 
-/// Parameters of the synthetic traffic matrix.
-#[derive(Clone, Copy, Debug, PartialEq)]
-pub struct MicrosoftParams {
-    /// Zipf exponent of rack popularity (drives the spatial skew).
-    pub rack_skew: f64,
-    /// Standard deviation of multiplicative log-noise on each pair weight.
-    pub noise_sigma: f64,
-}
+pub use dcn_demand::{microsoft_pair_weights, MicrosoftParams};
 
-impl Default for MicrosoftParams {
-    fn default() -> Self {
-        Self {
-            rack_skew: 1.1,
-            noise_sigma: 1.0,
-        }
-    }
-}
+/// Kernel of [`microsoft_source`]: i.i.d. alias-table sampling from the
+/// frozen traffic matrix (the generic matrix kernel over the historical
+/// weight ordering).
+pub type MicrosoftKernel = MatrixKernel;
 
 /// Builds the synthetic rack-to-rack weight matrix (upper triangle, indexed
-/// by pair) and returns `(pairs, weights)`.
+/// by pair) and returns `(pairs, weights)` — kept as an adapter over
+/// [`dcn_demand::microsoft_pair_weights`] for callers of the historical
+/// API; [`dcn_demand::DemandMatrix::microsoft`] is the dense-matrix view of
+/// the same construction.
 pub fn microsoft_matrix(
     num_racks: usize,
     params: MicrosoftParams,
     seed: u64,
 ) -> (Vec<Pair>, Vec<f64>) {
-    assert!(num_racks >= 2);
-    let mut rng = SmallRng::seed_from_u64(derive_seed(seed, 0x7153));
-    let mut perm: Vec<u32> = (0..num_racks as u32).collect();
-    for i in (1..perm.len()).rev() {
-        let j = rng.random_range(0..=i);
-        perm.swap(i, j);
-    }
-    let pop = zipf_weights(num_racks, params.rack_skew);
-    let mut pairs = Vec::with_capacity(num_racks * (num_racks - 1) / 2);
-    let mut weights = Vec::with_capacity(pairs.capacity());
-    for i in 0..num_racks {
-        for j in (i + 1)..num_racks {
-            // Box-Muller-free log-noise: sum of uniforms approximates a
-            // normal well enough for a heavy-ish tail here.
-            let g: f64 = (0..4).map(|_| rng.random_range(-1.0..1.0f64)).sum::<f64>() * 0.5;
-            let noise = (params.noise_sigma * g).exp();
-            pairs.push(Pair::new(perm[i], perm[j]));
-            weights.push(pop[i] * pop[j] * noise);
-        }
-    }
-    (pairs, weights)
-}
-
-/// Kernel of [`microsoft_source`]: i.i.d. alias-table sampling from the
-/// frozen traffic matrix.
-pub struct MicrosoftKernel {
-    pairs: Vec<Pair>,
-    table: AliasTable,
-}
-
-impl SourceKernel for MicrosoftKernel {
-    fn emit(&mut self, _t: usize, rng: &mut SmallRng) -> Pair {
-        self.pairs[self.table.sample(rng) as usize]
-    }
+    microsoft_pair_weights(num_racks, params, seed)
 }
 
 /// An i.i.d. stream of `len` requests over `num_racks` racks. Setup builds
@@ -88,11 +55,11 @@ pub fn microsoft_source(
     params: MicrosoftParams,
     seed: u64,
 ) -> SeededSource<MicrosoftKernel> {
-    let (pairs, weights) = microsoft_matrix(num_racks, params, seed);
-    let table = AliasTable::new(&weights);
+    let (pairs, weights) = microsoft_pair_weights(num_racks, params, seed);
+    let kernel = MatrixKernel::from_weighted_pairs(pairs, &weights);
     let rng = SmallRng::seed_from_u64(derive_seed(seed, 0x7154));
     SeededSource::new(
-        MicrosoftKernel { pairs, table },
+        kernel,
         rng,
         len,
         num_racks,
@@ -170,5 +137,17 @@ mod tests {
         assert_eq!(pairs.len(), 45);
         assert_eq!(weights.len(), 45);
         assert!(weights.iter().all(|&w| w > 0.0));
+    }
+
+    #[test]
+    fn dense_matrix_view_agrees_with_sampling_arrays() {
+        // The DemandMatrix built for demand-aware baselines and the arrays
+        // the sampler consumes describe the same distribution.
+        let params = MicrosoftParams::default();
+        let (pairs, weights) = microsoft_matrix(12, params, 6);
+        let dense = dcn_demand::DemandMatrix::microsoft(12, params, 6);
+        for (&pair, &w) in pairs.iter().zip(&weights) {
+            assert_eq!(dense.get(pair), w);
+        }
     }
 }

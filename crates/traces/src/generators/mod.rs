@@ -1,7 +1,9 @@
 //! Workload generators: Facebook-like clusters, Microsoft-like traffic
-//! matrices, synthetic references and adversarial sequences.
+//! matrices, generic demand-matrix kernels, synthetic references and
+//! adversarial sequences.
 
 pub mod adversarial;
+pub mod demand;
 pub mod facebook;
 pub mod microsoft;
 pub mod synthetic;

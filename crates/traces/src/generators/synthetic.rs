@@ -11,7 +11,7 @@ use crate::sampler::{zipf_weights, AliasTable};
 use crate::source::{RequestSource, SeededSource, SourceKernel};
 use crate::trace::Trace;
 use dcn_topology::Pair;
-use dcn_util::rngx::derive_seed;
+use dcn_util::rngx::{derive_seed, shuffle};
 use rand::rngs::SmallRng;
 use rand::{RngExt, SeedableRng};
 
@@ -82,10 +82,7 @@ pub fn permutation_source(
     );
     let mut rng = SmallRng::seed_from_u64(derive_seed(seed, 0x02));
     let mut racks: Vec<u32> = (0..num_racks as u32).collect();
-    for i in (1..racks.len()).rev() {
-        let j = rng.random_range(0..=i);
-        racks.swap(i, j);
-    }
+    shuffle(&mut racks, &mut rng);
     let pairs: Vec<Pair> = racks
         .chunks_exact(2)
         .map(|c| Pair::new(c[0], c[1]))
@@ -177,17 +174,14 @@ pub fn zipf_pair_source(
         .flat_map(|a| ((a + 1)..num_racks as u32).map(move |b| Pair::new(a, b)))
         .collect();
     // Random rank assignment.
-    for i in (1..pairs.len()).rev() {
-        let j = rng.random_range(0..=i);
-        pairs.swap(i, j);
-    }
+    shuffle(&mut pairs, &mut rng);
     let table = AliasTable::new(&zipf_weights(pairs.len(), s));
     SeededSource::new(
         ZipfKernel { pairs, table },
         rng,
         len,
         num_racks,
-        format!("zipf(s={s})"),
+        format!("zipf(s={s}, n={num_racks})"),
     )
 }
 

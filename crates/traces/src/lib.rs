@@ -27,10 +27,13 @@
 //! presets (Database / WebService / Hadoop); [`generators::microsoft`]
 //! samples i.i.d. from a skewed random traffic matrix — i.i.d. sampling from
 //! a matrix is exactly how the paper generates its Microsoft workload, so
-//! that experiment transfers unchanged. [`generators::synthetic`] provides
-//! uniform / permutation / hotspot / Zipf reference workloads,
-//! [`generators::adversarial`] the star-graph block sequences of the lower
-//! bound (§2.4). [`stats`] quantifies skew (Gini, top-k coverage) and
+//! that experiment transfers unchanged. [`generators::demand`] generalizes
+//! the latter to *any* [`dcn_demand::DemandMatrix`] (i.i.d. sampling) and to
+//! [`dcn_demand::MatrixSequence`] phase schedules (switches and drift — the
+//! temporal-evolution axis frozen matrices cannot express).
+//! [`generators::synthetic`] provides uniform / permutation / hotspot /
+//! Zipf reference workloads, [`generators::adversarial`] the star-graph
+//! block sequences of the lower bound (§2.4). [`stats`] quantifies skew (Gini, top-k coverage) and
 //! temporal locality (reuse distances), so tests can *verify* the synthetic
 //! workloads have the paper-claimed structure. [`csvio`] round-trips traces
 //! so users can feed their own real traces to the simulator.
@@ -50,6 +53,9 @@ pub use trace::Trace;
 pub use generators::adversarial::{
     star_round_robin_blocks, star_round_robin_source, star_uniform_blocks, star_uniform_source,
 };
+pub use generators::demand::{
+    matrix_source, matrix_trace, sequence_source, sequence_trace, MatrixKernel, SequenceKernel,
+};
 pub use generators::facebook::{
     facebook_cluster_source, facebook_cluster_trace, facebook_source, facebook_trace,
     FacebookCluster, FacebookParams,
@@ -59,3 +65,7 @@ pub use generators::synthetic::{
     hotspot_source, hotspot_trace, permutation_source, permutation_trace, uniform_source,
     uniform_trace, zipf_pair_source, zipf_pair_trace,
 };
+
+// The demand-matrix types TraceSpec carries, re-exported so trace users
+// don't need a direct dcn-demand dependency for the common path.
+pub use dcn_demand::{DemandMatrix, MatrixSequence};

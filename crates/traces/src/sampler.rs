@@ -85,14 +85,9 @@ impl AliasTable {
     }
 }
 
-/// Zipf weights `w_i = 1/(i+1)^s` for ranks `0..n`.
-///
-/// `s = 0` is uniform; real rack popularity distributions are commonly
-/// fitted with `s ∈ [0.8, 1.6]`.
-pub fn zipf_weights(n: usize, s: f64) -> Vec<f64> {
-    assert!(n > 0 && s >= 0.0);
-    (0..n).map(|i| 1.0 / ((i + 1) as f64).powf(s)).collect()
-}
+// The single definition lives in dcn-util, shared with dcn-demand's matrix
+// constructors; re-exported here to keep the historical path.
+pub use dcn_util::zipf_weights;
 
 #[cfg(test)]
 mod tests {

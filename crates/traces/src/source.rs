@@ -24,12 +24,14 @@
 //! pre-built trace.
 
 use crate::generators::adversarial::{star_round_robin_source, star_uniform_source};
+use crate::generators::demand::{matrix_source, sequence_source};
 use crate::generators::facebook::{facebook_cluster_source, FacebookCluster};
 use crate::generators::microsoft::{microsoft_source, MicrosoftParams};
 use crate::generators::synthetic::{
     hotspot_source, permutation_source, uniform_source, zipf_pair_source,
 };
 use crate::trace::Trace;
+use dcn_demand::{DemandMatrix, MatrixSequence};
 use dcn_topology::Pair;
 use rand::rngs::SmallRng;
 use std::borrow::Cow;
@@ -341,6 +343,25 @@ pub enum TraceSpec {
         /// Number of blocks.
         num_blocks: usize,
     },
+    /// I.i.d. sampling from an explicit demand matrix
+    /// ([`crate::generators::demand::matrix_source`]).
+    Matrix {
+        /// The demand matrix (shared, so cloning specs is cheap).
+        matrix: Arc<DemandMatrix>,
+        /// Stream length.
+        len: usize,
+        /// Trace seed.
+        seed: u64,
+    },
+    /// Phase-scheduled sampling from a matrix sequence
+    /// ([`crate::generators::demand::sequence_source`]); the stream length
+    /// is the sequence's total length.
+    Sequence {
+        /// The matrix sequence (shared, so cloning specs is cheap).
+        sequence: Arc<MatrixSequence>,
+        /// Trace seed.
+        seed: u64,
+    },
     /// An already-materialized trace (CSV imports, hand-built tests).
     Materialized(Arc<Trace>),
 }
@@ -349,6 +370,23 @@ impl TraceSpec {
     /// Wraps an eager trace.
     pub fn materialized(trace: Trace) -> Self {
         TraceSpec::Materialized(Arc::new(trace))
+    }
+
+    /// Wraps a demand matrix for i.i.d. sampling.
+    pub fn matrix(matrix: DemandMatrix, len: usize, seed: u64) -> Self {
+        TraceSpec::Matrix {
+            matrix: Arc::new(matrix),
+            len,
+            seed,
+        }
+    }
+
+    /// Wraps a matrix sequence.
+    pub fn sequence(sequence: MatrixSequence, seed: u64) -> Self {
+        TraceSpec::Sequence {
+            sequence: Arc::new(sequence),
+            seed,
+        }
     }
 
     /// Instantiates the stream described by this spec.
@@ -400,6 +438,12 @@ impl TraceSpec {
                 alpha,
                 num_blocks,
             } => Box::new(star_round_robin_source(spokes, alpha, num_blocks)),
+            TraceSpec::Matrix {
+                ref matrix,
+                len,
+                seed,
+            } => Box::new(matrix_source(matrix, len, seed)),
+            TraceSpec::Sequence { ref sequence, seed } => Box::new(sequence_source(sequence, seed)),
             TraceSpec::Materialized(ref t) => Box::new(MaterializedSource::new(Arc::clone(t))),
         }
     }
@@ -412,13 +456,15 @@ impl TraceSpec {
             | TraceSpec::Hotspot { len, .. }
             | TraceSpec::Zipf { len, .. }
             | TraceSpec::Facebook { len, .. }
-            | TraceSpec::Microsoft { len, .. } => len,
+            | TraceSpec::Microsoft { len, .. }
+            | TraceSpec::Matrix { len, .. } => len,
             TraceSpec::StarUniform {
                 alpha, num_blocks, ..
             }
             | TraceSpec::StarRoundRobin {
                 alpha, num_blocks, ..
             } => alpha * num_blocks,
+            TraceSpec::Sequence { ref sequence, .. } => sequence.total_len(),
             TraceSpec::Materialized(ref t) => t.requests.len(),
         }
     }
@@ -439,7 +485,11 @@ impl TraceSpec {
             TraceSpec::Hotspot {
                 num_racks, num_hot, ..
             } => format!("hotspot({num_hot}/{num_racks})"),
-            TraceSpec::Zipf { exponent, .. } => format!("zipf(s={exponent})"),
+            TraceSpec::Zipf {
+                exponent,
+                num_racks,
+                ..
+            } => format!("zipf(s={exponent}, n={num_racks})"),
             TraceSpec::Facebook {
                 cluster, num_racks, ..
             } => format!("facebook-{cluster:?}(n={num_racks})"),
@@ -450,6 +500,14 @@ impl TraceSpec {
             TraceSpec::StarRoundRobin { spokes, alpha, .. } => {
                 format!("star-rr(spokes={spokes}, alpha={alpha})")
             }
+            TraceSpec::Matrix { ref matrix, .. } => {
+                format!("demand({}, n={})", matrix.name(), matrix.num_racks())
+            }
+            TraceSpec::Sequence { ref sequence, .. } => format!(
+                "demand-seq({}, n={})",
+                sequence.name(),
+                sequence.num_racks()
+            ),
             TraceSpec::Materialized(ref t) => t.name.clone(),
         }
     }
@@ -466,6 +524,8 @@ impl TraceSpec {
             TraceSpec::StarUniform { spokes, .. } | TraceSpec::StarRoundRobin { spokes, .. } => {
                 spokes + 1
             }
+            TraceSpec::Matrix { ref matrix, .. } => matrix.num_racks(),
+            TraceSpec::Sequence { ref sequence, .. } => sequence.num_racks(),
             TraceSpec::Materialized(ref t) => t.num_racks,
         }
     }
@@ -482,7 +542,9 @@ impl TraceSpec {
             | TraceSpec::Zipf { ref mut seed, .. }
             | TraceSpec::Facebook { ref mut seed, .. }
             | TraceSpec::Microsoft { ref mut seed, .. }
-            | TraceSpec::StarUniform { ref mut seed, .. } => *seed = new_seed,
+            | TraceSpec::StarUniform { ref mut seed, .. }
+            | TraceSpec::Matrix { ref mut seed, .. }
+            | TraceSpec::Sequence { ref mut seed, .. } => *seed = new_seed,
             TraceSpec::StarRoundRobin { .. } | TraceSpec::Materialized(_) => {}
         }
         spec
@@ -590,6 +652,11 @@ mod tests {
                 alpha: 2,
                 num_blocks: 6,
             },
+            TraceSpec::matrix(dcn_demand::DemandMatrix::zipf_pairs(8, 1.2, 3), 45, 7),
+            TraceSpec::sequence(
+                dcn_demand::MatrixSequence::zipf_switching(6, 2, 20, 1.1, 4),
+                8,
+            ),
             TraceSpec::materialized(uniform_trace(5, 17, 0)),
         ];
         for spec in specs {

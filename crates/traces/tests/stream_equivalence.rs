@@ -8,10 +8,11 @@
 use dcn_traces::source::{RequestSource, TraceSpec};
 use dcn_traces::{
     facebook_cluster_source, facebook_cluster_trace, facebook_source, facebook_trace,
-    hotspot_source, hotspot_trace, microsoft_source, microsoft_trace, permutation_source,
-    permutation_trace, star_round_robin_blocks, star_round_robin_source, star_uniform_blocks,
-    star_uniform_source, uniform_source, uniform_trace, zipf_pair_source, zipf_pair_trace,
-    FacebookCluster, FacebookParams, MicrosoftParams, Trace,
+    hotspot_source, hotspot_trace, matrix_source, matrix_trace, microsoft_source, microsoft_trace,
+    permutation_source, permutation_trace, sequence_source, sequence_trace,
+    star_round_robin_blocks, star_round_robin_source, star_uniform_blocks, star_uniform_source,
+    uniform_source, uniform_trace, zipf_pair_source, zipf_pair_trace, DemandMatrix,
+    FacebookCluster, FacebookParams, MatrixSequence, MicrosoftParams, Trace,
 };
 use proptest::prelude::*;
 
@@ -121,6 +122,45 @@ fn microsoft_stream_equals_trace() {
 }
 
 #[test]
+fn matrix_stream_equals_trace() {
+    let matrices = [
+        DemandMatrix::uniform(14),
+        DemandMatrix::zipf_pairs(14, 1.3, 2),
+        DemandMatrix::hotspot(14, 4, 0.8),
+        DemandMatrix::microsoft(14, MicrosoftParams::default(), 2),
+    ];
+    for matrix in &matrices {
+        for seed in SEEDS {
+            assert_stream_equals_trace(
+                matrix_source(matrix, 2_000, seed),
+                &matrix_trace(matrix, 2_000, seed),
+            );
+        }
+    }
+}
+
+#[test]
+fn sequence_stream_equals_trace() {
+    let sequences = [
+        MatrixSequence::zipf_switching(12, 3, 700, 1.2, 1),
+        MatrixSequence::drifting(
+            &DemandMatrix::uniform(12).normalized(),
+            &DemandMatrix::zipf_pairs(12, 1.5, 3).normalized(),
+            2_100,
+            4,
+        ),
+    ];
+    for sequence in &sequences {
+        for seed in SEEDS {
+            assert_stream_equals_trace(
+                sequence_source(sequence, seed),
+                &sequence_trace(sequence, seed),
+            );
+        }
+    }
+}
+
+#[test]
 fn star_nemeses_stream_equals_trace() {
     for seed in SEEDS {
         assert_stream_equals_trace(
@@ -183,6 +223,8 @@ fn trace_spec_source_equals_trace_spec_as_trace() {
             alpha: 2,
             num_blocks: 30,
         },
+        TraceSpec::matrix(DemandMatrix::zipf_pairs(10, 1.2, 10), 600, 10),
+        TraceSpec::sequence(MatrixSequence::zipf_switching(9, 2, 300, 1.1, 11), 11),
     ];
     for spec in specs {
         let trace = spec.as_trace().into_owned();
@@ -203,6 +245,13 @@ proptest! {
             Box::new(zipf_pair_source(8, len, 1.1, seed)),
             Box::new(facebook_cluster_source(FacebookCluster::Hadoop, 10, len, seed)),
             Box::new(star_uniform_source(4, 3, len.div_ceil(3), seed)),
+            Box::new(matrix_source(&DemandMatrix::zipf_pairs(8, 1.2, seed), len, seed)),
+            Box::new(sequence_source(
+                // Phase length scales with len so cuts land in different
+                // phases (the stateful part of SequenceKernel).
+                &MatrixSequence::zipf_switching(8, 3, len.div_ceil(3).max(1), 1.1, seed),
+                seed,
+            )),
         ];
         for mut source in sources {
             let full: Vec<_> = std::iter::from_fn(|| source.next_request()).collect();

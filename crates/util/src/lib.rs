@@ -21,7 +21,9 @@
 //! * [`timer`] — a [`timer::Stopwatch`] for the execution-time
 //!   panels of the evaluation.
 //! * [`rngx`] — SplitMix64 seed derivation so that every run in a sweep gets
-//!   an independent but reproducible RNG stream.
+//!   an independent but reproducible RNG stream, plus the shared seeded
+//!   Fisher–Yates [`rngx::shuffle`] whose draw order the byte-identical
+//!   stream guarantees rest on.
 
 pub mod csv;
 pub mod fxhash;
@@ -34,5 +36,7 @@ pub mod timer;
 pub use csv::CsvWriter;
 pub use fxhash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
 pub use indexed_set::IndexedSet;
-pub use stats::{gini, linear_regression, percentile, summarize, OnlineStats, Summary};
+pub use stats::{
+    gini, linear_regression, percentile, summarize, zipf_weights, OnlineStats, Summary,
+};
 pub use timer::Stopwatch;

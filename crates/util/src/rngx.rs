@@ -15,6 +15,21 @@ pub fn splitmix64(state: &mut u64) -> u64 {
     z ^ (z >> 31)
 }
 
+/// Seeded Fisher–Yates shuffle: `len - 1` draws of `random_range(0..=i)`
+/// for `i = len-1, …, 1`, swapping as it goes.
+///
+/// Every seeded generator in the workspace permutes with exactly this draw
+/// order, and seeded streams are pinned byte-identical across refactors —
+/// so there is one definition, here, instead of per-crate copies that
+/// could silently diverge.
+pub fn shuffle<T>(v: &mut [T], rng: &mut rand::rngs::SmallRng) {
+    use rand::RngExt;
+    for i in (1..v.len()).rev() {
+        let j = rng.random_range(0..=i);
+        v.swap(i, j);
+    }
+}
+
 /// Derives an independent sub-seed from a base seed and a stream index.
 ///
 /// Distinct `(base, stream)` pairs give (with overwhelming probability)

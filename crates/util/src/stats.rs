@@ -1,5 +1,16 @@
 //! Streaming and batch statistics used by trace analysis and experiments.
 
+/// Zipf weights `w_i = 1/(i+1)^s` for ranks `0..n`.
+///
+/// `s = 0` is uniform; real rack popularity distributions are commonly
+/// fitted with `s ∈ [0.8, 1.6]`. Shared by the trace generators and the
+/// demand-matrix constructors (one definition, so the two layers cannot
+/// drift apart).
+pub fn zipf_weights(n: usize, s: f64) -> Vec<f64> {
+    assert!(n > 0 && s >= 0.0);
+    (0..n).map(|i| 1.0 / ((i + 1) as f64).powf(s)).collect()
+}
+
 /// Streaming mean/variance accumulator (Welford's algorithm).
 #[derive(Clone, Copy, Debug, Default)]
 pub struct OnlineStats {

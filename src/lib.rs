@@ -12,6 +12,8 @@
 //! * [`paging`] — (b,a)-paging algorithms incl. randomized marking.
 //! * [`matching`] — b-matching structures, blossom max-weight matching,
 //!   edge coloring.
+//! * [`demand`] — traffic matrices, temporal matrix sequences, and
+//!   demand-aware static baselines (COUDER-style).
 //! * [`traces`] — synthetic datacenter workloads + trace statistics.
 //! * [`core`] — R-BMA, BMA, SO-BMA, the cost model and the simulator.
 //! * [`util`] — hashing, sampling sets, statistics, CSV/JSON.
@@ -46,6 +48,7 @@
 //! ```
 
 pub use dcn_core as core;
+pub use dcn_demand as demand;
 pub use dcn_matching as matching;
 pub use dcn_paging as paging;
 pub use dcn_topology as topology;

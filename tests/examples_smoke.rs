@@ -1,4 +1,4 @@
-//! Smoke tests mirroring the core path of each of the six `examples/`
+//! Smoke tests mirroring the core path of each of the seven `examples/`
 //! binaries, at reduced scale, through the `rdcn::` facade — so a facade
 //! re-export drifting away from the crates (or an example's pipeline
 //! breaking) fails `cargo test` instead of surfacing only when someone runs
@@ -192,6 +192,93 @@ fn switch_scheduling_core_path() {
             );
         }
     }
+}
+
+/// `examples/demand_drift.rs`: demand-aware static design vs drifting
+/// traffic — beats Oblivious on its own matrix, loses ground to R-BMA as
+/// drift grows.
+#[test]
+fn demand_drift_core_path() {
+    use rdcn::demand::{DemandAware, DemandMatrix, MatrixSequence, MicrosoftParams};
+
+    let racks = 20;
+    let requests = 12_000;
+    let (b, alpha) = (6usize, 10u64);
+    let net = builders::fat_tree_with_racks(racks);
+    let dm = Arc::new(DistanceMatrix::between_racks(&net));
+    let base = DemandMatrix::microsoft(racks, MicrosoftParams::default(), 1).normalized();
+    let drifted = DemandMatrix::microsoft(racks, MicrosoftParams::default(), 2).normalized();
+
+    // λ = 0 (traffic from the forecast) and λ = 1 (fully drifted).
+    let mut savings = Vec::new(); // (da_saving, rbma_saving) per λ
+    for (li, lambda) in [0.0, 1.0].into_iter().enumerate() {
+        let served = DemandMatrix::blend(&base, &drifted, lambda);
+        let jobs: Vec<Job> = [
+            AlgorithmKind::demand_aware(base.clone()),
+            AlgorithmKind::Rbma { lazy: true },
+            AlgorithmKind::Oblivious,
+        ]
+        .into_iter()
+        .map(|algorithm| Job {
+            algorithm,
+            b,
+            alpha,
+            seed: 7,
+            checkpoints: vec![],
+            trace: TraceSpec::matrix(served.clone(), requests, 40 + li as u64),
+        })
+        .collect();
+        let r = run_jobs(&dm, &jobs, 3);
+        assert_eq!(r[0].algorithm, "DemandAware");
+        assert_eq!(
+            r[0].total.reconfigurations, 0,
+            "static design never reconfigures"
+        );
+        let oblivious = r[2].total.routing_cost as f64;
+        savings.push((
+            1.0 - r[0].total.routing_cost as f64 / oblivious,
+            1.0 - r[1].total.routing_cost as f64 / oblivious,
+        ));
+    }
+    assert!(
+        savings[0].0 > 0.2,
+        "on its own matrix the static design must clearly beat Oblivious \
+         (saving {:.3})",
+        savings[0].0
+    );
+    assert!(
+        savings[0].0 > savings[1].0 + 0.05,
+        "drift must erode the static design's saving: {savings:?}"
+    );
+    let gap_at = |i: usize| savings[i].1 - savings[i].0;
+    assert!(
+        gap_at(1) > gap_at(0) + 0.05,
+        "the static design must lose ground to R-BMA as drift grows: {savings:?}"
+    );
+
+    // The drifting-sequence stream of part 2, plus hedged-build determinism.
+    let seq = MatrixSequence::drifting(&base, &drifted, 4_000, 4);
+    let spec = TraceSpec::sequence(seq, 9);
+    let job = Job {
+        algorithm: AlgorithmKind::demand_aware_hedged(vec![base.clone(), drifted.clone()]),
+        b,
+        alpha,
+        seed: 0,
+        checkpoints: vec![2_000],
+        trace: spec.clone(),
+    };
+    let r = run_jobs(&dm, std::slice::from_ref(&job), 2);
+    assert_eq!(r[0].algorithm, "DemandAware(hedged)");
+    assert_eq!(r[0].trace, spec.name());
+    assert_eq!(r[0].total.requests, 4_000);
+    let hedged = DemandAware::hedged(vec![base.clone(), drifted.clone()]);
+    assert_eq!(
+        hedged.build(&dm, b),
+        hedged.build(&dm, b),
+        "hedged build is deterministic"
+    );
+    // The JSON path the example prints.
+    assert!(base.to_json().contains("\"num_racks\":20"));
 }
 
 /// `examples/trace_analysis.rs`: structure statistics for every generator.
