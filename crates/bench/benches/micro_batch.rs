@@ -1,0 +1,183 @@
+//! Batched vs unbatched hot path: the serve loop (system level via
+//! `simulator::run` at different `SimConfig::batch_size`, and scheduler
+//! level via direct `serve`/`serve_batch` calls) and trace generation
+//! (`RequestSource::fill` vs `next_request`), across batch sizes.
+//!
+//! The headline number backing the batching refactor: R-BMA at degree
+//! b = 12 on the Zipf workload, batched run vs the `batch_size = 1`
+//! baseline (which is exactly the historical per-request loop: one virtual
+//! serve call, one accounting fold and one stopwatch start/pause per
+//! request). CI gates this bench against the shared criterion baseline.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use dcn_core::algorithms::AlgorithmKind;
+use dcn_core::scheduler::BatchOutcome;
+use dcn_core::{run, SimConfig};
+use dcn_topology::{builders, DistanceMatrix, Pair};
+use dcn_traces::{zipf_pair_source, RequestSource};
+use std::hint::black_box;
+use std::sync::Arc;
+use std::time::Duration;
+
+const RACKS: usize = 100;
+const DEGREE: usize = 12;
+const ALPHA: u64 = 10;
+const LEN: usize = 30_000;
+const EXPONENT: f64 = 1.2;
+const BATCH_SIZES: [usize; 4] = [12, 64, 256, 1024];
+
+fn distances() -> Arc<DistanceMatrix> {
+    Arc::new(DistanceMatrix::between_racks(
+        &builders::fat_tree_with_racks(RACKS),
+    ))
+}
+
+fn zipf_requests() -> Vec<Pair> {
+    zipf_pair_source(RACKS, LEN, EXPONENT, 5)
+        .materialize()
+        .requests
+}
+
+/// Full `simulator::run` throughput across batch sizes (`1` = the
+/// unbatched baseline). This is the number the `scaling` target reports.
+fn serve_run_batch_sizes(c: &mut Criterion) {
+    let dm = distances();
+    let mut group = c.benchmark_group("batch_run_rbma_b12_zipf");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2))
+        .throughput(Throughput::Elements(LEN as u64));
+    let algorithm = AlgorithmKind::Rbma { lazy: true };
+    for batch in std::iter::once(1usize).chain(BATCH_SIZES) {
+        group.bench_with_input(BenchmarkId::new("run", batch), &batch, |bench, &batch| {
+            let config = SimConfig::default().with_batch_size(batch);
+            let mut source = zipf_pair_source(RACKS, LEN, EXPONENT, 5);
+            bench.iter(|| {
+                source.reset();
+                let mut s = algorithm.build_online(dm.clone(), DEGREE, ALPHA, 5);
+                black_box(run(s.as_mut(), &dm, ALPHA, &mut source, &config))
+            });
+        });
+    }
+    group.finish();
+}
+
+/// Scheduler-level inner loop: per-request `serve` + accounting fold
+/// (through the trait object, as the unbatched simulator dispatched) vs one
+/// `serve_batch` call per chunk.
+fn serve_inner_batched_vs_unbatched(c: &mut Criterion) {
+    let dm = distances();
+    let requests = zipf_requests();
+    for algorithm in [AlgorithmKind::Rbma { lazy: true }, AlgorithmKind::Bma] {
+        let mut group = c.benchmark_group(format!("batch_serve_{}_b12_zipf", algorithm.label()));
+        group
+            .sample_size(10)
+            .warm_up_time(Duration::from_millis(300))
+            .measurement_time(Duration::from_secs(2))
+            .throughput(Throughput::Elements(requests.len() as u64));
+        group.bench_function("unbatched", |bench| {
+            bench.iter(|| {
+                let mut s = algorithm.build_online(dm.clone(), DEGREE, ALPHA, 5);
+                let mut acc = BatchOutcome::default();
+                for &r in &requests {
+                    let o = s.serve(r);
+                    acc.record(r, o, &dm);
+                }
+                black_box(acc)
+            });
+        });
+        for batch in BATCH_SIZES {
+            group.bench_with_input(
+                BenchmarkId::new("batched", batch),
+                &batch,
+                |bench, &batch| {
+                    bench.iter(|| {
+                        let mut s = algorithm.build_online(dm.clone(), DEGREE, ALPHA, 5);
+                        let mut acc = BatchOutcome::default();
+                        for chunk in requests.chunks(batch) {
+                            s.serve_batch(chunk, &dm, &mut acc);
+                        }
+                        black_box(acc)
+                    });
+                },
+            );
+        }
+        group.finish();
+    }
+}
+
+/// Trace generation as the pipeline consumes it — through the
+/// `Box<dyn RequestSource>` a `TraceSpec` yields: one virtual `fill` per
+/// batch (alias-table sampling with hoisted table/pair borrows) vs one
+/// virtual `next_request` per request. A statically-dispatched
+/// `next_request` loop is included as the dispatch-free floor.
+fn fill_batched_vs_unbatched(c: &mut Criterion) {
+    let spec = dcn_traces::TraceSpec::Zipf {
+        num_racks: RACKS,
+        len: LEN,
+        exponent: EXPONENT,
+        seed: 5,
+    };
+    let mut group = c.benchmark_group("batch_fill_zipf");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(1))
+        .throughput(Throughput::Elements(LEN as u64));
+    group.bench_function("next_request_static", |bench| {
+        let mut source = zipf_pair_source(RACKS, LEN, EXPONENT, 5);
+        bench.iter(|| {
+            source.reset();
+            let mut acc = 0u64;
+            while let Some(p) = source.next_request() {
+                acc += p.lo() as u64;
+            }
+            black_box(acc)
+        });
+    });
+    group.bench_function("next_request_dyn", |bench| {
+        let mut source = spec.source();
+        bench.iter(|| {
+            source.reset();
+            let mut acc = 0u64;
+            while let Some(p) = source.next_request() {
+                acc += p.lo() as u64;
+            }
+            black_box(acc)
+        });
+    });
+    for batch in BATCH_SIZES {
+        group.bench_with_input(
+            BenchmarkId::new("fill_dyn", batch),
+            &batch,
+            |bench, &batch| {
+                let mut source = spec.source();
+                let mut buf = vec![Pair::new(0, 1); batch];
+                bench.iter(|| {
+                    source.reset();
+                    let mut acc = 0u64;
+                    loop {
+                        let n = source.fill(&mut buf);
+                        for p in &buf[..n] {
+                            acc += p.lo() as u64;
+                        }
+                        if n < buf.len() {
+                            break;
+                        }
+                    }
+                    black_box(acc)
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    serve_run_batch_sizes,
+    serve_inner_batched_vs_unbatched,
+    fill_batched_vs_unbatched
+);
+criterion_main!(benches);

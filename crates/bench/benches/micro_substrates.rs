@@ -117,10 +117,47 @@ fn topology_distances(c: &mut Criterion) {
     group.finish();
 }
 
+/// The rack-distance lookup on the batched serve path: one multiply-add +
+/// u16 load per request-shaped `Pair`. Guards the `#[inline]`/layout audit
+/// of `DistanceMatrix::ell` and the `Pair` accessors — a regression here
+/// taxes every unmatched request of every scheduler.
+fn ell_lookup(c: &mut Criterion) {
+    let mut group = c.benchmark_group("topology");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_secs(1));
+    let net = builders::fat_tree_with_racks(100);
+    let dm = DistanceMatrix::between_racks(&net);
+    let mut rng = SmallRng::seed_from_u64(7);
+    let pairs: Vec<dcn_topology::Pair> = (0..10_000)
+        .map(|_| {
+            let a = rng.random_range(0..100u32);
+            let mut b = rng.random_range(0..99u32);
+            if b >= a {
+                b += 1;
+            }
+            dcn_topology::Pair::new(a, b)
+        })
+        .collect();
+    group.throughput(Throughput::Elements(pairs.len() as u64));
+    group.bench_function("ell_lookup", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for &p in &pairs {
+                acc += dm.ell(p) as u64;
+            }
+            black_box(acc)
+        })
+    });
+    group.finish();
+}
+
 criterion_group!(
     benches,
     paging_policies,
     indexed_set_and_alias,
-    topology_distances
+    topology_distances,
+    ell_lookup
 );
 criterion_main!(benches);

@@ -362,7 +362,13 @@ fn best_of_series(spec: &FigureSpec, threads: usize) -> Vec<AveragedSeries> {
 /// The `scaling` target: online algorithms over streamed workloads of
 /// growing length (default 10⁵ → 10⁷ requests) at constant trace memory —
 /// the beyond-paper scenario the streaming pipeline exists for. Returns one
-/// row per length with total costs and serve-loop throughput.
+/// row per length with total costs and serve-loop throughput, in **both**
+/// serve modes: batched (the production default,
+/// [`dcn_core::simulator::DEFAULT_BATCH_SIZE`]) and unbatched
+/// (`batch_size = 1`, the historical per-request loop) — the ratio column
+/// is the measured win of the batched pipeline. Costs are asserted
+/// identical across modes on every row (the batching equivalence contract,
+/// live in production output, not only in tests).
 ///
 /// Runs strictly sequentially: the table reports wall-clock throughput, and
 /// timing runs must not share cores (same rule as the execution-time
@@ -374,11 +380,25 @@ pub fn scaling_sweep(lens: &[usize]) -> SimpleTable {
     let exponent = 1.2;
     let net = builders::fat_tree_with_racks(racks);
     let dm = Arc::new(DistanceMatrix::between_racks(&net));
-    let algorithms = [
-        AlgorithmKind::Rbma { lazy: true },
-        AlgorithmKind::Bma,
-        AlgorithmKind::Oblivious,
-    ];
+    let run_streamed = |spec: &TraceSpec, algorithm: &AlgorithmKind, batch_size: usize| {
+        let mut source = spec.source();
+        let config = dcn_core::SimConfig {
+            seed: 7,
+            trace_name: spec.name(),
+            ..Default::default()
+        }
+        .with_batch_size(batch_size);
+        let mut scheduler = algorithm.build_online(Arc::clone(&dm), b, alpha, 7);
+        dcn_core::run(scheduler.as_mut(), &dm, alpha, source.as_mut(), &config)
+    };
+    let throughput = |r: &dcn_core::RunReport| {
+        if r.total.elapsed_secs > 0.0 {
+            r.total.requests as f64 / r.total.elapsed_secs / 1e6
+        } else {
+            f64::NAN
+        }
+    };
+    let batched = dcn_core::simulator::DEFAULT_BATCH_SIZE;
     let mut rows = Vec::new();
     for (i, &len) in lens.iter().enumerate() {
         let spec = TraceSpec::Zipf {
@@ -387,40 +407,49 @@ pub fn scaling_sweep(lens: &[usize]) -> SimpleTable {
             exponent,
             seed: derive_seed(0x5CA1E, i as u64),
         };
-        let jobs: Vec<Job> = algorithms
-            .iter()
-            .map(|algorithm| Job {
-                algorithm: algorithm.clone(),
-                b,
-                alpha,
-                seed: 7,
-                checkpoints: vec![],
-                trace: spec.clone(),
-            })
-            .collect();
-        let reports = run_jobs_sequential(&dm, &jobs);
-        let throughput = |r: &dcn_core::RunReport| {
-            if r.total.elapsed_secs > 0.0 {
-                r.total.requests as f64 / r.total.elapsed_secs / 1e6
+        let rbma = run_streamed(&spec, &AlgorithmKind::Rbma { lazy: true }, batched);
+        let bma = run_streamed(&spec, &AlgorithmKind::Bma, batched);
+        let oblivious = run_streamed(&spec, &AlgorithmKind::Oblivious, batched);
+        let rbma_unbatched = run_streamed(&spec, &AlgorithmKind::Rbma { lazy: true }, 1);
+        // Every published algorithm is cross-checked against its unbatched
+        // run, so a regression in any hand-fused serve_batch override can't
+        // ship wrong numbers (the throughput columns reuse the R-BMA pair).
+        for (batched_report, algorithm) in [
+            (&rbma, AlgorithmKind::Rbma { lazy: true }),
+            (&bma, AlgorithmKind::Bma),
+            (&oblivious, AlgorithmKind::Oblivious),
+        ] {
+            let unbatched = if matches!(algorithm, AlgorithmKind::Rbma { .. }) {
+                rbma_unbatched.clone()
             } else {
-                f64::NAN
-            }
-        };
+                run_streamed(&spec, &algorithm, 1)
+            };
+            assert_eq!(
+                batched_report.total.total_cost(),
+                unbatched.total.total_cost(),
+                "{}: batched and unbatched serve modes must cost identically",
+                algorithm.label()
+            );
+        }
+        let fast = throughput(&rbma);
+        let slow = throughput(&rbma_unbatched);
         rows.push((
             format!("{len} requests"),
             vec![
-                reports[0].total.total_cost() as f64,
-                reports[1].total.total_cost() as f64,
-                reports[2].total.routing_cost as f64,
-                throughput(&reports[0]),
-                throughput(&reports[1]),
+                rbma.total.total_cost() as f64,
+                bma.total.total_cost() as f64,
+                oblivious.total.routing_cost as f64,
+                fast,
+                throughput(&bma),
+                slow,
+                fast / slow,
             ],
         ));
     }
     SimpleTable {
         title: format!(
             "Scaling: streamed Zipf(s={exponent}) workloads, {racks} racks, b={b}, α={alpha} \
-             (O(1) trace memory)"
+             (O(1) trace memory; serve batch={batched} vs 1)"
         ),
         columns: vec![
             "R-BMA total".into(),
@@ -428,6 +457,8 @@ pub fn scaling_sweep(lens: &[usize]) -> SimpleTable {
             "Oblivious routing".into(),
             "R-BMA Mreq/s".into(),
             "BMA Mreq/s".into(),
+            "R-BMA Mreq/s (batch=1)".into(),
+            "batch speedup".into(),
         ],
         rows,
     }
@@ -598,11 +629,15 @@ mod tests {
     fn scaling_sweep_runs_streamed() {
         let t = scaling_sweep(&[2_000, 4_000]);
         assert_eq!(t.rows.len(), 2);
-        assert_eq!(t.columns.len(), 5);
+        assert_eq!(t.columns.len(), 7);
         for (label, v) in &t.rows {
             // Online totals are bounded by the oblivious upper envelope plus
             // reconfiguration spend; all must be positive.
             assert!(v[0] > 0.0 && v[1] > 0.0 && v[2] > 0.0, "{label}: {v:?}");
+            // Batched and unbatched throughputs and their ratio are real
+            // measurements (cost equality is asserted inside the sweep).
+            assert!(v[3] > 0.0 && v[5] > 0.0, "{label}: {v:?}");
+            assert!(v[6].is_finite() && v[6] > 0.0, "{label}: {v:?}");
         }
         // Twice the requests ⇒ roughly twice the oblivious routing cost.
         let ratio = t.rows[1].1[2] / t.rows[0].1[2];

@@ -2,9 +2,9 @@
 //! request rides the fixed network at cost `ℓ_e` — the violet reference
 //! line in Figs. 1a–4a.
 
-use crate::scheduler::{OnlineScheduler, ServeOutcome};
+use crate::scheduler::{BatchOutcome, OnlineScheduler, ServeOutcome};
 use dcn_matching::BMatching;
-use dcn_topology::Pair;
+use dcn_topology::{DistanceMatrix, Pair};
 
 /// Scheduler that never configures a matching edge.
 #[derive(Clone, Debug)]
@@ -36,6 +36,17 @@ impl OnlineScheduler for Oblivious {
             added: 0,
             removed: 0,
         }
+    }
+
+    /// Batched serve: with no matching state at all, a batch is a pure
+    /// distance-lookup sum — the floor any batched scheduler loop is
+    /// measured against.
+    fn serve_batch(&mut self, batch: &[Pair], dm: &DistanceMatrix, acc: &mut BatchOutcome) {
+        let mut routing = 0u64;
+        for &pair in batch {
+            routing += dm.ell(pair) as u64;
+        }
+        acc.routing_cost += routing;
     }
 
     fn matching(&self) -> &BMatching {

@@ -85,9 +85,8 @@ pub fn run_jobs_sequential(dm: &Arc<DistanceMatrix>, jobs: &[Job]) -> Vec<RunRep
 fn execute(dm: &Arc<DistanceMatrix>, job: &Job) -> RunReport {
     let mut config = SimConfig {
         checkpoints: job.checkpoints.clone(),
-        verify_every: 0,
         seed: job.seed,
-        trace_name: String::new(),
+        ..SimConfig::default()
     };
     let mut report = if job.algorithm.needs_materialized_trace() {
         // Offline knowledge required: materialize this job's trace privately

@@ -1,13 +1,30 @@
 //! The dynamic b-matching `M` that online algorithms reconfigure.
 //!
 //! Invariant (§1.1): every node has at most `b` incident matching edges.
-//! The structure tracks per-node incident sets so membership, insertion,
-//! removal and degree queries are all O(1), and exposes enough surface for
-//! both R-BMA's lazy-removal mode (callers pick which incident edge to
-//! prune) and BMA's counter-driven evictions.
+//! The structure is a **flat, index-addressed layout**: one degree counter
+//! per node plus a fixed-stride adjacency array (node `v`'s incident edges
+//! live in the contiguous block `v·b .. v·b + degree[v]`). Membership is a
+//! linear scan of one node's block — at most `b` packed-`u64` compares over
+//! a single cache line or two for paper-scale `b`, with no hashing and no
+//! pointer chasing — and insert/remove are O(b) writes into the same block,
+//! so the batched serve loops stay branch-light and allocation-free.
+//!
+//! Removal uses swap-remove within a node's block, so the per-node incident
+//! *order evolution* (append on insert, swap-with-last on remove) is
+//! exactly what the previous `IndexedSet`-backed layout produced — callers
+//! that scan `incident_edges` for a victim (R-BMA's lazy prune) pick the
+//! same victims as before the flattening.
+//!
+//! The surface covers both R-BMA's lazy-removal mode (callers pick which
+//! incident edge to prune) and BMA's counter-driven evictions.
 
 use dcn_topology::{NodeId, Pair};
-use dcn_util::{FxHashSet, IndexedSet};
+
+/// Filler for adjacency slots beyond a node's degree; never read.
+#[inline]
+fn slot_filler() -> Pair {
+    Pair::new(0, 1)
+}
 
 /// A degree-capped dynamic edge set over racks `0..n`.
 ///
@@ -25,8 +42,12 @@ use dcn_util::{FxHashSet, IndexedSet};
 #[derive(Clone, Debug)]
 pub struct BMatching {
     cap: usize,
-    edges: FxHashSet<Pair>,
-    incident: Vec<IndexedSet<Pair>>,
+    len: usize,
+    /// Incident-edge count per node (index-addressed by rack id).
+    degree: Vec<u32>,
+    /// Fixed-stride adjacency: node `v`'s incident edges occupy
+    /// `incident[v * cap .. v * cap + degree[v]]`.
+    incident: Vec<Pair>,
 }
 
 impl BMatching {
@@ -35,8 +56,9 @@ impl BMatching {
         assert!(b >= 1, "degree cap must be positive");
         Self {
             cap: b,
-            edges: FxHashSet::default(),
-            incident: (0..n).map(|_| IndexedSet::new()).collect(),
+            len: 0,
+            degree: vec![0; n],
+            incident: vec![slot_filler(); n * b],
         }
     }
 
@@ -47,29 +69,37 @@ impl BMatching {
 
     /// Number of racks.
     pub fn num_racks(&self) -> usize {
-        self.incident.len()
+        self.degree.len()
     }
 
     /// Number of matching edges.
     pub fn len(&self) -> usize {
-        self.edges.len()
+        self.len
     }
 
     /// Whether the matching is empty.
     pub fn is_empty(&self) -> bool {
-        self.edges.is_empty()
+        self.len == 0
     }
 
-    /// Whether `pair` is a matching edge.
+    /// Node `v`'s adjacency block (valid prefix only).
+    #[inline]
+    fn block(&self, v: NodeId) -> &[Pair] {
+        let v = v as usize;
+        &self.incident[v * self.cap..v * self.cap + self.degree[v] as usize]
+    }
+
+    /// Whether `pair` is a matching edge: one bounded scan of the `lo`
+    /// endpoint's block (≤ `b` packed-`u64` compares, no hashing).
     #[inline]
     pub fn contains(&self, pair: Pair) -> bool {
-        self.edges.contains(&pair)
+        self.block(pair.lo()).contains(&pair)
     }
 
     /// Current number of matching edges incident to `v`.
     #[inline]
     pub fn degree(&self, v: NodeId) -> usize {
-        self.incident[v as usize].len()
+        self.degree[v as usize] as usize
     }
 
     /// Whether `pair` could be inserted without violating the degree cap.
@@ -79,14 +109,22 @@ impl BMatching {
             && self.degree(pair.hi()) < self.cap
     }
 
+    /// Appends `pair` to `v`'s block (caller checked cap and absence).
+    #[inline]
+    fn push_incident(&mut self, v: NodeId, pair: Pair) {
+        let v = v as usize;
+        self.incident[v * self.cap + self.degree[v] as usize] = pair;
+        self.degree[v] += 1;
+    }
+
     /// Inserts `pair` if absent and within the cap; returns whether inserted.
     pub fn try_insert(&mut self, pair: Pair) -> bool {
         if !self.can_insert(pair) {
             return false;
         }
-        self.edges.insert(pair);
-        self.incident[pair.lo() as usize].insert(pair);
-        self.incident[pair.hi() as usize].insert(pair);
+        self.push_incident(pair.lo(), pair);
+        self.push_incident(pair.hi(), pair);
+        self.len += 1;
         true
     }
 
@@ -99,48 +137,72 @@ impl BMatching {
         );
     }
 
+    /// Swap-removes `pair` from `v`'s block; returns whether it was there.
+    #[inline]
+    fn remove_incident(&mut self, v: NodeId, pair: Pair) -> bool {
+        let v = v as usize;
+        let d = self.degree[v] as usize;
+        let block = &mut self.incident[v * self.cap..v * self.cap + d];
+        match block.iter().position(|&e| e == pair) {
+            None => false,
+            Some(slot) => {
+                block[slot] = block[d - 1];
+                self.degree[v] -= 1;
+                true
+            }
+        }
+    }
+
     /// Removes `pair`; returns whether it was present.
     pub fn remove(&mut self, pair: Pair) -> bool {
-        if !self.edges.remove(&pair) {
+        if !self.remove_incident(pair.lo(), pair) {
             return false;
         }
-        self.incident[pair.lo() as usize].remove(&pair);
-        self.incident[pair.hi() as usize].remove(&pair);
+        let also = self.remove_incident(pair.hi(), pair);
+        debug_assert!(also, "adjacency blocks out of sync at {pair}");
+        self.len -= 1;
         true
     }
 
     /// The matching edges incident to `v` (unspecified order).
     pub fn incident_edges(&self, v: NodeId) -> &[Pair] {
-        self.incident[v as usize].as_slice()
+        self.block(v)
     }
 
-    /// Iterates over all matching edges (unspecified order).
+    /// Iterates over all matching edges (unspecified order). Each edge sits
+    /// in two blocks; it is yielded from its `lo` endpoint's block only.
     pub fn edges(&self) -> impl Iterator<Item = Pair> + '_ {
-        self.edges.iter().copied()
+        (0..self.degree.len() as NodeId)
+            .flat_map(move |v| self.block(v).iter().copied().filter(move |p| p.lo() == v))
     }
 
     /// Removes all edges.
     pub fn clear(&mut self) {
-        self.edges.clear();
-        self.incident.iter_mut().for_each(IndexedSet::clear);
+        self.degree.fill(0);
+        self.len = 0;
     }
 
-    /// Exhaustive invariant check (O(n + m)); used by tests and debug builds.
+    /// Exhaustive invariant check (O(n·b)); used by tests and debug builds.
     pub fn assert_valid(&self) {
-        let mut recount = vec![0usize; self.incident.len()];
-        for &e in &self.edges {
-            recount[e.lo() as usize] += 1;
-            recount[e.hi() as usize] += 1;
-            assert!(self.incident[e.lo() as usize].contains(&e));
-            assert!(self.incident[e.hi() as usize].contains(&e));
-        }
-        for (v, set) in self.incident.iter().enumerate() {
-            assert_eq!(set.len(), recount[v], "incident set out of sync at {v}");
-            assert!(set.len() <= self.cap, "degree cap violated at {v}");
-            for e in set.iter() {
-                assert!(self.edges.contains(e), "stale incident edge at {v}");
+        let mut counted = 0usize;
+        for v in 0..self.degree.len() as NodeId {
+            let block = self.block(v);
+            assert!(block.len() <= self.cap, "degree cap violated at {v}");
+            for (i, &e) in block.iter().enumerate() {
+                assert!(e.contains(v), "foreign edge {e} in block of {v}");
+                assert!(
+                    !block[..i].contains(&e),
+                    "duplicate incident edge {e} at {v}"
+                );
+                let other = e.other(v);
+                assert!(
+                    self.block(other).contains(&e),
+                    "edge {e} missing from partner block at {other}"
+                );
+                counted += 1;
             }
         }
+        assert_eq!(counted, 2 * self.len, "edge count out of sync");
     }
 }
 
@@ -237,6 +299,49 @@ mod tests {
         assert!(m.is_empty());
         assert_eq!(m.degree(0), 0);
         assert!(m.try_insert(p(0, 2)));
+    }
+
+    #[test]
+    fn incident_order_is_append_and_swap_remove() {
+        // R-BMA's lazy prune scans incident_edges in order and removes the
+        // first marked hit, so the block's order evolution (append on
+        // insert, swap-with-last on remove) is load-bearing: pin it.
+        let mut m = BMatching::new(6, 4);
+        for v in [1u32, 2, 3, 4] {
+            m.insert(p(0, v));
+        }
+        assert_eq!(m.incident_edges(0), &[p(0, 1), p(0, 2), p(0, 3), p(0, 4)]);
+        m.remove(p(0, 2)); // swap-remove: last edge fills the hole
+        assert_eq!(m.incident_edges(0), &[p(0, 1), p(0, 4), p(0, 3)]);
+        m.insert(p(0, 5)); // append at the tail
+        assert_eq!(m.incident_edges(0), &[p(0, 1), p(0, 4), p(0, 3), p(0, 5)]);
+        m.assert_valid();
+    }
+
+    #[test]
+    fn edges_iterates_each_edge_once_after_churn() {
+        let mut m = BMatching::new(8, 3);
+        for i in 0..200u32 {
+            let a = i % 8;
+            let b = (a + 1 + i % 7) % 8;
+            if a == b {
+                continue;
+            }
+            let pair = p(a, b);
+            if m.contains(pair) {
+                m.remove(pair);
+            } else {
+                let _ = m.try_insert(pair);
+            }
+        }
+        let listed: Vec<Pair> = m.edges().collect();
+        assert_eq!(listed.len(), m.len());
+        let distinct: std::collections::HashSet<Pair> = listed.iter().copied().collect();
+        assert_eq!(distinct.len(), listed.len(), "edges() must not duplicate");
+        for e in &distinct {
+            assert!(m.contains(*e));
+        }
+        m.assert_valid();
     }
 
     #[test]

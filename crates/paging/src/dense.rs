@@ -1,0 +1,312 @@
+//! **DenseMarking** — the flat-layout randomized marking cache behind
+//! R-BMA's batched serve loop.
+//!
+//! [`Marking`](crate::Marking) keeps its marked/unmarked sets in generic
+//! hash-indexed [`IndexedSet`](dcn_util::IndexedSet)s because standalone
+//! paging experiments use arbitrary `u64` page ids. In the R-BMA reduction,
+//! however, page ids are *partner rack ids* — a dense universe `0..n` known
+//! at construction — so the hash index can be replaced by flat
+//! index-addressed arrays: a `slot` table (page → dense-vector position), a
+//! cached-page **bitset** and a mark **bitset**. Every access is then a
+//! couple of bit probes plus at most one swap-remove in a dense vector: no
+//! hashing, no pointer chasing, and — via [`DenseMarking::access_dense`] —
+//! no per-fault `Vec` allocation (marking evicts at most one page).
+//!
+//! Behavioral contract: **draw-for-draw identical to
+//! [`Marking`](crate::Marking)** under the same seed. The dense vectors
+//! evolve exactly like `IndexedSet`'s storage (append on insert,
+//! swap-remove on removal; the phase reset moves the marked vector
+//! wholesale, preserving order), and the victim draw consumes one
+//! `random_range(0..len)` from the same position of the same seeded
+//! stream — so swapping `Marking` for `DenseMarking` inside R-BMA changes
+//! no simulated cost. `tests` pins this equivalence access by access.
+
+use crate::policy::{Access, PageId, PagingPolicy};
+use rand::rngs::SmallRng;
+use rand::{RngExt, SeedableRng};
+
+/// Result of one access on the allocation-free path: marking evicts at most
+/// one page per fault, so no `Vec` is needed.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DenseAccess {
+    /// The page was cached (and is now marked).
+    Hit,
+    /// The page was fetched; `evicted` is the victim, if the cache was full.
+    Fault {
+        /// Page evicted to make room (`None` while the cache fills up).
+        evicted: Option<PageId>,
+    },
+}
+
+impl DenseAccess {
+    /// Whether this access was a fault.
+    #[inline]
+    pub fn is_fault(self) -> bool {
+        matches!(self, DenseAccess::Fault { .. })
+    }
+}
+
+#[inline]
+fn bit(bits: &[u64], i: usize) -> bool {
+    bits[i >> 6] >> (i & 63) & 1 != 0
+}
+
+#[inline]
+fn set_bit(bits: &mut [u64], i: usize) {
+    bits[i >> 6] |= 1 << (i & 63);
+}
+
+#[inline]
+fn clear_bit(bits: &mut [u64], i: usize) {
+    bits[i >> 6] &= !(1 << (i & 63));
+}
+
+/// Randomized marking over a dense page universe `0..num_pages`, flat
+/// layout, allocation-free accesses.
+#[derive(Clone, Debug)]
+pub struct DenseMarking {
+    capacity: usize,
+    num_pages: usize,
+    /// Dense list of marked pages (insertion order, swap-removed).
+    marked_items: Vec<PageId>,
+    /// Dense list of unmarked pages (insertion order, swap-removed); the
+    /// eviction victim is drawn uniformly from this vector.
+    unmarked_items: Vec<PageId>,
+    /// Page → position in whichever dense list holds it.
+    slot: Vec<u32>,
+    /// Bitset: page currently cached.
+    cached: Vec<u64>,
+    /// Bitset: page currently marked (implies cached).
+    marked: Vec<u64>,
+    rng: SmallRng,
+    phases: u64,
+}
+
+impl DenseMarking {
+    /// Empty cache of `capacity` over pages `0..num_pages`, seeded RNG.
+    pub fn new(capacity: usize, num_pages: usize, seed: u64) -> Self {
+        assert!(capacity >= 1, "capacity must be positive");
+        let words = num_pages.div_ceil(64).max(1);
+        Self {
+            capacity,
+            num_pages,
+            marked_items: Vec::with_capacity(capacity),
+            unmarked_items: Vec::with_capacity(capacity),
+            slot: vec![0; num_pages],
+            cached: vec![0; words],
+            marked: vec![0; words],
+            rng: SmallRng::seed_from_u64(seed),
+            phases: 0,
+        }
+    }
+
+    /// Size of the page universe.
+    pub fn num_pages(&self) -> usize {
+        self.num_pages
+    }
+
+    /// Number of completed phase transitions (diagnostics).
+    pub fn phase_transitions(&self) -> u64 {
+        self.phases
+    }
+
+    /// Whether `page` is currently marked.
+    #[inline]
+    pub fn is_marked(&self, page: PageId) -> bool {
+        bit(&self.marked, page as usize)
+    }
+
+    /// Swap-removes the page at `idx` of `items`, fixing the moved slot.
+    #[inline]
+    fn swap_remove(items: &mut Vec<PageId>, slot: &mut [u32], idx: usize) -> PageId {
+        let victim = items.swap_remove(idx);
+        if idx < items.len() {
+            slot[items[idx] as usize] = idx as u32;
+        }
+        victim
+    }
+
+    /// Processes one access without allocating; see [`DenseAccess`].
+    #[inline]
+    pub fn access_dense(&mut self, page: PageId) -> DenseAccess {
+        let i = page as usize;
+        debug_assert!(i < self.num_pages, "page {page} outside dense universe");
+        if bit(&self.cached, i) {
+            if !bit(&self.marked, i) {
+                // Unmarked hit: move to the marked list.
+                let idx = self.slot[i] as usize;
+                Self::swap_remove(&mut self.unmarked_items, &mut self.slot, idx);
+                set_bit(&mut self.marked, i);
+                self.slot[i] = self.marked_items.len() as u32;
+                self.marked_items.push(page);
+            }
+            return DenseAccess::Hit;
+        }
+        // Fault.
+        let mut evicted = None;
+        if self.marked_items.len() + self.unmarked_items.len() == self.capacity {
+            if self.unmarked_items.is_empty() {
+                // New phase: all marks drop; the marked list becomes the
+                // unmarked list wholesale (order — and therefore the future
+                // victim draws — exactly as Marking's drain-and-reinsert).
+                self.phases += 1;
+                std::mem::swap(&mut self.marked_items, &mut self.unmarked_items);
+                for &p in &self.unmarked_items {
+                    clear_bit(&mut self.marked, p as usize);
+                }
+            }
+            let idx = self.rng.random_range(0..self.unmarked_items.len());
+            let victim = Self::swap_remove(&mut self.unmarked_items, &mut self.slot, idx);
+            clear_bit(&mut self.cached, victim as usize);
+            evicted = Some(victim);
+        }
+        set_bit(&mut self.cached, i);
+        set_bit(&mut self.marked, i);
+        self.slot[i] = self.marked_items.len() as u32;
+        self.marked_items.push(page);
+        DenseAccess::Fault { evicted }
+    }
+}
+
+impl PagingPolicy for DenseMarking {
+    fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    fn len(&self) -> usize {
+        self.marked_items.len() + self.unmarked_items.len()
+    }
+
+    fn contains(&self, page: PageId) -> bool {
+        (page as usize) < self.num_pages && bit(&self.cached, page as usize)
+    }
+
+    fn access(&mut self, page: PageId) -> Access {
+        match self.access_dense(page) {
+            DenseAccess::Hit => Access::Hit,
+            DenseAccess::Fault { evicted } => Access::Fault {
+                evicted: evicted.into_iter().collect(),
+            },
+        }
+    }
+
+    fn reset(&mut self) {
+        self.marked_items.clear();
+        self.unmarked_items.clear();
+        self.cached.fill(0);
+        self.marked.fill(0);
+        self.phases = 0;
+    }
+
+    fn cached_pages(&self) -> Vec<PageId> {
+        self.marked_items
+            .iter()
+            .chain(self.unmarked_items.iter())
+            .copied()
+            .collect()
+    }
+
+    fn invalidate(&mut self, page: PageId) -> bool {
+        let i = page as usize;
+        if i >= self.num_pages || !bit(&self.cached, i) {
+            return false;
+        }
+        let idx = self.slot[i] as usize;
+        if bit(&self.marked, i) {
+            Self::swap_remove(&mut self.marked_items, &mut self.slot, idx);
+            clear_bit(&mut self.marked, i);
+        } else {
+            Self::swap_remove(&mut self.unmarked_items, &mut self.slot, idx);
+        }
+        clear_bit(&mut self.cached, i);
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Marking;
+
+    /// The hard contract: DenseMarking replays Marking access for access —
+    /// same hits, same faults, same victims, same phase count — because
+    /// both consume the same seeded draws over identically-ordered dense
+    /// storage. This is what lets R-BMA swap layouts without changing any
+    /// simulated cost.
+    #[test]
+    fn replays_marking_access_for_access() {
+        for seed in [0u64, 1, 9, 0xFEED] {
+            for (capacity, universe) in [(2usize, 5usize), (4, 16), (8, 64), (3, 100)] {
+                let mut reference = Marking::new(capacity, seed);
+                let mut dense = DenseMarking::new(capacity, universe, seed);
+                let mut walk = SmallRng::seed_from_u64(seed ^ 0xA5A5);
+                for step in 0..5_000u32 {
+                    let page = walk.random_range(0..universe as u64);
+                    let expected = reference.access(page);
+                    let got = dense.access(page);
+                    assert_eq!(got, expected, "divergence at step {step} (seed {seed})");
+                    assert_eq!(dense.len(), reference.len());
+                    assert_eq!(dense.is_marked(page), reference.is_marked(page));
+                }
+                assert_eq!(dense.phase_transitions(), reference.phase_transitions());
+                let mut a = dense.cached_pages();
+                let mut b = reference.cached_pages();
+                a.sort_unstable();
+                b.sort_unstable();
+                assert_eq!(a, b);
+            }
+        }
+    }
+
+    #[test]
+    fn invalidate_matches_marking() {
+        for seed in [3u64, 7] {
+            let universe = 32usize;
+            let mut reference = Marking::new(4, seed);
+            let mut dense = DenseMarking::new(4, universe, seed);
+            let mut walk = SmallRng::seed_from_u64(seed);
+            for _ in 0..2_000u32 {
+                let page = walk.random_range(0..universe as u64);
+                if walk.random_range(0..5u32) == 0 {
+                    assert_eq!(dense.invalidate(page), reference.invalidate(page));
+                } else {
+                    assert_eq!(dense.access(page), reference.access(page));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn dense_access_is_alloc_free_shape() {
+        // Fill, then fault with eviction: the dense path reports at most
+        // one victim inline.
+        let mut m = DenseMarking::new(2, 8, 1);
+        assert_eq!(m.access_dense(0), DenseAccess::Fault { evicted: None });
+        assert_eq!(m.access_dense(1), DenseAccess::Fault { evicted: None });
+        assert_eq!(m.access_dense(0), DenseAccess::Hit);
+        match m.access_dense(2) {
+            DenseAccess::Fault { evicted: Some(v) } => assert!(v < 2),
+            other => panic!("expected eviction, got {other:?}"),
+        }
+        assert_eq!(m.len(), 2);
+    }
+
+    #[test]
+    fn reset_clears_everything() {
+        let mut m = DenseMarking::new(2, 8, 0);
+        m.access(0);
+        m.access(1);
+        m.access(2);
+        m.reset();
+        assert_eq!(m.len(), 0);
+        assert_eq!(m.phase_transitions(), 0);
+        assert!(!m.contains(2));
+        assert!(!m.is_marked(2));
+    }
+
+    #[test]
+    fn contains_is_bounds_safe() {
+        let m = DenseMarking::new(2, 4, 0);
+        assert!(!m.contains(9_999), "out-of-universe pages are just absent");
+    }
+}

@@ -18,6 +18,12 @@
 //! * [`Marking`] — randomized marking (Fiat et al. \[28\]); also the
 //!   (b,a)-variant of Young \[75\] (the algorithm is identical, only the
 //!   analysis compares against a smaller offline cache).
+//! * [`DenseMarking`] — the same algorithm over a dense page universe
+//!   known at construction (R-BMA's per-rack caches hold partner rack
+//!   ids): flat index-addressed slot tables plus cached/marked bitsets,
+//!   and an allocation-free access path. Draw-for-draw identical to
+//!   [`Marking`] under the same seed (tested), so the two are
+//!   interchangeable without changing simulated costs.
 //! * [`Lru`], [`Fifo`], [`Fwf`], [`RandomEvict`], [`Lfu`], [`Clock`] —
 //!   deterministic and randomized baselines.
 //! * [`Belady`] — the offline optimum (farthest-in-future), used as the
@@ -34,6 +40,7 @@ pub mod adversary;
 pub mod belady;
 pub mod clock;
 pub mod competitive;
+pub mod dense;
 pub mod fifo;
 pub mod fwf;
 pub mod lfu;
@@ -48,6 +55,7 @@ pub mod slru;
 pub use belady::Belady;
 pub use clock::Clock;
 pub use competitive::{empirical_ratio, marking_ratio, young_bound};
+pub use dense::{DenseAccess, DenseMarking};
 pub use fifo::Fifo;
 pub use fwf::Fwf;
 pub use lfu::Lfu;

@@ -115,12 +115,19 @@ impl DistanceMatrix {
     }
 
     /// Hop distance between racks `i` and `j`.
+    ///
+    /// Hot-path contract (audited for the batched serve loops): the matrix
+    /// is a dense row-major `Vec<u16>`, so a lookup is one multiply-add and
+    /// one 2-byte load — a full 100-rack matrix is 20 KB and stays in L1/L2
+    /// for the whole run. Guarded by the `topology/ell_lookup` bench point
+    /// in `micro_substrates`.
     #[inline]
     pub fn dist(&self, i: NodeId, j: NodeId) -> u16 {
         self.d[i as usize * self.n + j as usize]
     }
 
-    /// Distance `ℓ_e` of a pair.
+    /// Distance `ℓ_e` of a pair (one [`dist`](Self::dist) lookup; the
+    /// endpoint extraction is two shift/masks on the packed pair).
     #[inline]
     pub fn ell(&self, pair: Pair) -> u16 {
         self.dist(pair.lo(), pair.hi())

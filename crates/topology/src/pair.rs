@@ -7,7 +7,14 @@
 use crate::graph::NodeId;
 
 /// An unordered pair of distinct rack indices, stored with `lo() < hi()`.
+///
+/// Layout contract (audited for the batched serve path): `repr(transparent)`
+/// over the packed `u64`, so a `[Pair]` batch buffer is a flat `u64` array —
+/// equality is one integer compare, membership scans of adjacency blocks
+/// are branch-light sequential loads, and the accessors below compile to a
+/// shift/mask each (all `#[inline]`, no bounds checks).
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[repr(transparent)]
 pub struct Pair(u64);
 
 impl Pair {

@@ -51,6 +51,13 @@ impl SourceKernel for MatrixKernel {
     fn emit(&mut self, _t: usize, rng: &mut SmallRng) -> Pair {
         self.pairs[self.table.sample(rng) as usize]
     }
+
+    fn emit_batch(&mut self, _t0: usize, out: &mut [Pair], rng: &mut SmallRng) {
+        let (pairs, table) = (self.pairs.as_slice(), &self.table);
+        for slot in out.iter_mut() {
+            *slot = pairs[table.sample(rng) as usize];
+        }
+    }
 }
 
 /// An i.i.d. stream of `len` requests sampled from `matrix`.
@@ -104,6 +111,25 @@ impl SourceKernel for SequenceKernel {
             self.current += 1;
         }
         self.pairs[self.tables[self.current].sample(rng) as usize]
+    }
+
+    fn emit_batch(&mut self, t0: usize, out: &mut [Pair], rng: &mut SmallRng) {
+        // One inner loop per phase segment: the phase lookup happens once
+        // per boundary crossed instead of once per request.
+        let mut t = t0;
+        let mut written = 0;
+        while written < out.len() {
+            while t >= self.ends[self.current] {
+                self.current += 1;
+            }
+            let take = (out.len() - written).min(self.ends[self.current] - t);
+            let (pairs, table) = (self.pairs.as_slice(), &self.tables[self.current]);
+            for slot in &mut out[written..written + take] {
+                *slot = pairs[table.sample(rng) as usize];
+            }
+            written += take;
+            t += take;
+        }
     }
 
     fn reset_state(&mut self) {

@@ -36,6 +36,13 @@ impl SourceKernel for UniformKernel {
     fn emit(&mut self, _t: usize, rng: &mut SmallRng) -> Pair {
         uniform_pair(rng, self.num_racks)
     }
+
+    fn emit_batch(&mut self, _t0: usize, out: &mut [Pair], rng: &mut SmallRng) {
+        let n = self.num_racks;
+        for slot in out.iter_mut() {
+            *slot = uniform_pair(rng, n);
+        }
+    }
 }
 
 /// Uniform i.i.d. requests over all distinct pairs, as a stream.
@@ -156,6 +163,13 @@ pub struct ZipfKernel {
 impl SourceKernel for ZipfKernel {
     fn emit(&mut self, _t: usize, rng: &mut SmallRng) -> Pair {
         self.pairs[self.table.sample(rng) as usize]
+    }
+
+    fn emit_batch(&mut self, _t0: usize, out: &mut [Pair], rng: &mut SmallRng) {
+        let (pairs, table) = (self.pairs.as_slice(), &self.table);
+        for slot in out.iter_mut() {
+            *slot = pairs[table.sample(rng) as usize];
+        }
     }
 }
 

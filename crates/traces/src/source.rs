@@ -65,6 +65,31 @@ pub trait RequestSource {
     /// Emits the next request, or `None` once `len()` requests were emitted.
     fn next_request(&mut self) -> Option<Pair>;
 
+    /// Fills `buf` from the stream's current position and returns the number
+    /// of requests written (short only at the end of the stream).
+    ///
+    /// This is the batch entry point of the serve pipeline: semantically it
+    /// is exactly `buf.len()` calls to [`next_request`](Self::next_request)
+    /// (the same seeded draws in the same order — pinned by a proptest in
+    /// `tests/stream_equivalence.rs` over arbitrary batch-size schedules),
+    /// but implementations amortize per-request overhead across the batch:
+    /// [`SeededSource`] dispatches once into
+    /// [`SourceKernel::emit_batch`], and [`MaterializedSource`] degenerates
+    /// to a `memcpy`.
+    fn fill(&mut self, buf: &mut [Pair]) -> usize {
+        let mut written = 0;
+        while written < buf.len() {
+            match self.next_request() {
+                Some(p) => {
+                    buf[written] = p;
+                    written += 1;
+                }
+                None => break,
+            }
+        }
+        written
+    }
+
     /// Rewinds to the start; the subsequent replay is identical to the
     /// first.
     fn reset(&mut self);
@@ -86,12 +111,21 @@ pub trait RequestSource {
 
 /// Borrowing iterator over a source's remaining requests (exact-size, so the
 /// simulator can lay out its checkpoint grid up front).
-pub struct SourceIter<'a, S: ?Sized>(&'a mut S);
+///
+/// The length is captured **once** at construction and counted down locally,
+/// so `len()`/`size_hint()` never re-consult
+/// [`RequestSource::remaining`] — callers that lay out grids from the
+/// iterator length and then drain it see one consistent total.
+pub struct SourceIter<'a, S: ?Sized> {
+    source: &'a mut S,
+    remaining: usize,
+}
 
 impl<'a, S: RequestSource + ?Sized> SourceIter<'a, S> {
     /// Iterates `source` from its current position to the end.
     pub fn new(source: &'a mut S) -> Self {
-        Self(source)
+        let remaining = source.remaining();
+        Self { source, remaining }
     }
 }
 
@@ -99,12 +133,15 @@ impl<S: RequestSource + ?Sized> Iterator for SourceIter<'_, S> {
     type Item = Pair;
 
     fn next(&mut self) -> Option<Pair> {
-        self.0.next_request()
+        let p = self.source.next_request();
+        if p.is_some() {
+            self.remaining = self.remaining.saturating_sub(1);
+        }
+        p
     }
 
     fn size_hint(&self) -> (usize, Option<usize>) {
-        let r = self.0.remaining();
-        (r, Some(r))
+        (self.remaining, Some(self.remaining))
     }
 }
 
@@ -120,6 +157,18 @@ impl<S: RequestSource + ?Sized> ExactSizeIterator for SourceIter<'_, S> {}
 pub trait SourceKernel {
     /// Produces the request at position `t`.
     fn emit(&mut self, t: usize, rng: &mut SmallRng) -> Pair;
+
+    /// Produces the requests at positions `t0..t0 + out.len()` into `out`.
+    ///
+    /// Must be draw-for-draw identical to calling [`emit`](Self::emit) once
+    /// per position; the default does exactly that. Hot kernels override it
+    /// to hoist per-request setup (alias-table/pair-slice borrows, phase
+    /// lookups) out of the inner loop.
+    fn emit_batch(&mut self, t0: usize, out: &mut [Pair], rng: &mut SmallRng) {
+        for (i, slot) in out.iter_mut().enumerate() {
+            *slot = self.emit(t0 + i, rng);
+        }
+    }
 
     /// Clears mutable cross-request state for a replay.
     fn reset_state(&mut self) {}
@@ -188,6 +237,18 @@ impl<K: SourceKernel> RequestSource for SeededSource<K> {
         Some(pair)
     }
 
+    fn fill(&mut self, buf: &mut [Pair]) -> usize {
+        let n = buf.len().min(self.len - self.pos);
+        self.kernel
+            .emit_batch(self.pos, &mut buf[..n], &mut self.rng);
+        debug_assert!(
+            buf[..n].iter().all(|p| (p.hi() as usize) < self.num_racks),
+            "endpoint in range"
+        );
+        self.pos += n;
+        n
+    }
+
     fn reset(&mut self) {
         self.rng = self.start_rng.clone();
         self.kernel.reset_state();
@@ -239,6 +300,13 @@ impl RequestSource for MaterializedSource {
         let p = self.trace.requests.get(self.pos).copied();
         self.pos += (p.is_some()) as usize;
         p
+    }
+
+    fn fill(&mut self, buf: &mut [Pair]) -> usize {
+        let n = buf.len().min(self.trace.requests.len() - self.pos);
+        buf[..n].copy_from_slice(&self.trace.requests[self.pos..self.pos + n]);
+        self.pos += n;
+        n
     }
 
     fn reset(&mut self) {
@@ -591,6 +659,60 @@ mod tests {
         let it = SourceIter::new(&mut s);
         assert_eq!(it.len(), 39);
         assert_eq!(it.count(), 39);
+    }
+
+    #[test]
+    fn source_iter_len_counts_down_without_reconsulting_source() {
+        let mut s = uniform_source(6, 10, 1);
+        let mut it = SourceIter::new(&mut s);
+        assert_eq!(it.len(), 10);
+        it.next();
+        it.next();
+        assert_eq!(it.len(), 8, "length is tracked locally");
+        assert_eq!(it.size_hint(), (8, Some(8)));
+    }
+
+    #[test]
+    fn fill_replays_next_request_sequence() {
+        let mut s = uniform_source(9, 100, 3);
+        let expected: Vec<Pair> = std::iter::from_fn(|| s.next_request()).collect();
+        s.reset();
+        let mut buf = [Pair::new(0, 1); 7];
+        let mut batched = Vec::new();
+        loop {
+            let n = s.fill(&mut buf);
+            batched.extend_from_slice(&buf[..n]);
+            if n < buf.len() {
+                break;
+            }
+        }
+        assert_eq!(batched, expected, "fill must equal per-request streaming");
+        assert_eq!(s.remaining(), 0);
+        assert_eq!(s.fill(&mut buf), 0, "exhausted source fills nothing");
+    }
+
+    #[test]
+    fn fill_is_short_only_at_stream_end() {
+        let mut s = uniform_source(5, 10, 2);
+        let mut buf = [Pair::new(0, 1); 64];
+        assert_eq!(s.fill(&mut buf[..4]), 4);
+        assert_eq!(s.remaining(), 6);
+        assert_eq!(s.fill(&mut buf), 6, "tail fill is truncated to remaining");
+        assert_eq!(s.remaining(), 0);
+    }
+
+    #[test]
+    fn materialized_fill_copies_and_tracks_position() {
+        let trace = uniform_trace(8, 20, 4);
+        let mut src = MaterializedSource::from(trace.clone());
+        let mut buf = [Pair::new(0, 1); 12];
+        let n = src.fill(&mut buf);
+        assert_eq!(n, 12);
+        assert_eq!(&buf[..n], &trace.requests[..12]);
+        let n = src.fill(&mut buf);
+        assert_eq!(n, 8);
+        assert_eq!(&buf[..n], &trace.requests[12..]);
+        assert!(src.next_request().is_none());
     }
 
     #[test]

@@ -5,6 +5,7 @@
 //! requirement that the seeded xoshiro256++ draws are byte-identical
 //! between the eager and the streaming path.
 
+use dcn_topology::Pair;
 use dcn_traces::source::{RequestSource, TraceSpec};
 use dcn_traces::{
     facebook_cluster_source, facebook_cluster_trace, facebook_source, facebook_trace,
@@ -235,7 +236,100 @@ fn trace_spec_source_equals_trace_spec_as_trace() {
     }
 }
 
+/// One boxed source per kernel family (synthetic, alias-table, working-set,
+/// block, matrix, sequence), so batch-path tests sweep every `emit_batch`
+/// override plus the default loop.
+fn all_kernel_sources(len: usize, seed: u64) -> Vec<Box<dyn RequestSource>> {
+    vec![
+        Box::new(uniform_source(8, len, seed)),
+        Box::new(permutation_source(8, len, seed)),
+        Box::new(hotspot_source(8, len, 3, 0.7, seed)),
+        Box::new(zipf_pair_source(8, len, 1.1, seed)),
+        Box::new(facebook_cluster_source(
+            FacebookCluster::Hadoop,
+            10,
+            len,
+            seed,
+        )),
+        Box::new(microsoft_source(8, len, MicrosoftParams::default(), seed)),
+        Box::new(star_uniform_source(4, 3, len.div_ceil(3), seed)),
+        Box::new(star_round_robin_source(4, 3, len.div_ceil(3))),
+        Box::new(matrix_source(
+            &DemandMatrix::zipf_pairs(8, 1.2, seed),
+            len,
+            seed,
+        )),
+        Box::new(sequence_source(
+            &MatrixSequence::zipf_switching(8, 3, len.div_ceil(3).max(1), 1.1, seed),
+            seed,
+        )),
+    ]
+}
+
+/// Drains `source` via `fill`, chunk sizes cycling through `schedule`.
+fn drain_with_schedule(source: &mut dyn RequestSource, schedule: &[usize]) -> Vec<Pair> {
+    let max = schedule.iter().copied().max().unwrap_or(1).max(1);
+    let mut buf = vec![Pair::new(0, 1); max];
+    let mut out = Vec::with_capacity(source.len());
+    let mut k = 0;
+    while source.remaining() > 0 {
+        let want = schedule[k % schedule.len()].max(1);
+        k += 1;
+        let n = source.fill(&mut buf[..want]);
+        out.extend_from_slice(&buf[..n]);
+        if n == 0 {
+            break;
+        }
+    }
+    out
+}
+
 proptest! {
+    /// `fill` with an arbitrary batch-size schedule replays the exact
+    /// `next_request` sequence for every kernel — the draw-for-draw batch
+    /// contract the simulator's chunked loop relies on — and the replay
+    /// still holds after a mid-stream `reset()`.
+    #[test]
+    fn fill_schedules_replay_next_request(
+        seed in any::<u64>(),
+        len in 1usize..500,
+        schedule in proptest::collection::vec(1usize..97, 1..8),
+        cut in 0usize..500,
+    ) {
+        for mut source in all_kernel_sources(len, seed) {
+            let expected: Vec<Pair> = std::iter::from_fn(|| source.next_request()).collect();
+            // Batched drain from a fresh start.
+            source.reset();
+            let batched = drain_with_schedule(source.as_mut(), &schedule);
+            prop_assert_eq!(&batched, &expected, "schedule {:?}", &schedule);
+            // Interrupt a batched replay with reset(): the next batched
+            // drain must still reproduce the full sequence.
+            source.reset();
+            let mut buf = vec![Pair::new(0, 1); 97];
+            let mut taken = 0;
+            while taken < cut.min(source.len()) {
+                let want = (cut - taken).min(buf.len()).max(1);
+                let n = source.fill(&mut buf[..want]);
+                taken += n;
+                if n == 0 { break; }
+            }
+            source.reset();
+            let after_reset = drain_with_schedule(source.as_mut(), &schedule);
+            prop_assert_eq!(&after_reset, &expected, "reset mid-batch");
+            // And mixing APIs mid-stream stays on the same sequence.
+            source.reset();
+            let mut mixed = Vec::with_capacity(source.len());
+            while source.remaining() > 0 {
+                let n = source.fill(&mut buf[..schedule[mixed.len() % schedule.len()]]);
+                mixed.extend_from_slice(&buf[..n]);
+                if let Some(p) = source.next_request() {
+                    mixed.push(p);
+                }
+            }
+            prop_assert_eq!(&mixed, &expected, "fill/next_request interleave");
+        }
+    }
+
     /// reset() replays the identical sequence, from any interrupt position,
     /// for the stateful generators (working set, phases, blocks).
     #[test]
