@@ -13,6 +13,7 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Through
 use dcn_core::algorithms::AlgorithmKind;
 use dcn_core::scheduler::BatchOutcome;
 use dcn_core::{run, SimConfig};
+use dcn_matching::{BTreeRecencyMatching, LruBMatching, RecencyMatching};
 use dcn_topology::{builders, DistanceMatrix, Pair};
 use dcn_traces::{zipf_pair_source, RequestSource};
 use std::hint::black_box;
@@ -174,10 +175,66 @@ fn fill_batched_vs_unbatched(c: &mut Criterion) {
     group.finish();
 }
 
+/// The isolated BMA hit-path upkeep: touching matched edges in the recency
+/// index, flat intrusive LRU vs the historical BTreeMap reference, with
+/// everything else (counters, routing lookups, dispatch) stripped away.
+/// This is the `bma/recency_upkeep` point that makes the flattening win
+/// visible in the benchmark artifact, not only in the end-to-end number.
+fn bma_recency_upkeep(c: &mut Criterion) {
+    // Populate both indexes identically: a b-regular-ish edge set at
+    // paper-scale b, then replay a skewed hit sequence over those edges.
+    fn populate<M: RecencyMatching>() -> (M, Vec<Pair>) {
+        let mut m = M::new(RACKS, DEGREE);
+        let mut edges = Vec::new();
+        for v in 0..RACKS as u32 {
+            for k in 1..=(DEGREE as u32 / 2) {
+                let pair = Pair::new(v, (v + k) % RACKS as u32);
+                if m.matching().can_insert(pair) {
+                    m.insert_mru(pair);
+                    edges.push(pair);
+                }
+            }
+        }
+        // Zipf-flavored hit schedule over the matched edges (hot head).
+        let hits: Vec<Pair> = (0..LEN)
+            .map(|i| edges[(i * i + i / 3) % edges.len().min(64)])
+            .collect();
+        (m, hits)
+    }
+    let mut group = c.benchmark_group("bma");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2))
+        .throughput(Throughput::Elements(LEN as u64));
+    group.bench_function("recency_upkeep/flat_lru", |bench| {
+        let (mut m, hits) = populate::<LruBMatching>();
+        bench.iter(|| {
+            let mut matched = 0u64;
+            for &pair in &hits {
+                matched += m.touch_hit(pair) as u64;
+            }
+            black_box(matched)
+        });
+    });
+    group.bench_function("recency_upkeep/btree", |bench| {
+        let (mut m, hits) = populate::<BTreeRecencyMatching>();
+        bench.iter(|| {
+            let mut matched = 0u64;
+            for &pair in &hits {
+                matched += m.touch_hit(pair) as u64;
+            }
+            black_box(matched)
+        });
+    });
+    group.finish();
+}
+
 criterion_group!(
     benches,
     serve_run_batch_sizes,
     serve_inner_batched_vs_unbatched,
-    fill_batched_vs_unbatched
+    fill_batched_vs_unbatched,
+    bma_recency_upkeep
 );
 criterion_main!(benches);

@@ -5,7 +5,7 @@ use crate::{FigureSpec, Workload};
 use dcn_core::algorithms::rbma::{Rbma, RemovalMode};
 use dcn_core::algorithms::static_offline::{so_bma_matching, static_routing_cost};
 use dcn_core::algorithms::AlgorithmKind;
-use dcn_core::sweep::{run_jobs, Job};
+use dcn_core::sweep::{run_jobs, steal_map, Job, ShardSpec};
 use dcn_core::OnlineScheduler;
 use dcn_topology::{builders, DistanceMatrix, Pair};
 use dcn_util::rngx::derive_seed;
@@ -76,7 +76,13 @@ fn base_spec(scale: f64) -> FigureSpec {
     .scaled_by(scale)
 }
 
-fn total_costs(spec: &FigureSpec, algorithm: AlgorithmKind, b: usize, alpha: u64) -> (f64, f64) {
+fn total_costs(
+    spec: &FigureSpec,
+    algorithm: AlgorithmKind,
+    b: usize,
+    alpha: u64,
+    threads: usize,
+) -> (f64, f64) {
     // Returns (mean routing cost, mean reconfig cost) across repetitions.
     // Each job streams its own trace; nothing is materialized.
     let dm = spec.distances();
@@ -90,7 +96,7 @@ fn total_costs(spec: &FigureSpec, algorithm: AlgorithmKind, b: usize, alpha: u64
             trace: spec.trace_spec(rep),
         })
         .collect();
-    let reports = run_jobs(&dm, &jobs, 1);
+    let reports = run_jobs(&dm, &jobs, threads);
     let n = spec.repetitions as f64;
     (
         reports
@@ -107,13 +113,19 @@ fn total_costs(spec: &FigureSpec, algorithm: AlgorithmKind, b: usize, alpha: u64
 }
 
 /// Abl. A — reconfiguration-cost sweep: how α moves the rent-or-buy point.
-pub fn ablation_alpha(scale: f64) -> SimpleTable {
+/// `threads` feeds the work-stealing executor (`0` = auto); `shard`
+/// selects which α rows (by original index) this invocation computes.
+pub fn ablation_alpha(scale: f64, threads: usize, shard: ShardSpec) -> SimpleTable {
     let spec = base_spec(scale);
     let b = 12;
     let mut rows = Vec::new();
-    for alpha in [1u64, 2, 5, 10, 20, 50, 100] {
-        let (r_rbma, c_rbma) = total_costs(&spec, AlgorithmKind::Rbma { lazy: true }, b, alpha);
-        let (r_bma, c_bma) = total_costs(&spec, AlgorithmKind::Bma, b, alpha);
+    for (i, alpha) in [1u64, 2, 5, 10, 20, 50, 100].into_iter().enumerate() {
+        if !shard.owns(i) {
+            continue;
+        }
+        let (r_rbma, c_rbma) =
+            total_costs(&spec, AlgorithmKind::Rbma { lazy: true }, b, alpha, threads);
+        let (r_bma, c_bma) = total_costs(&spec, AlgorithmKind::Bma, b, alpha, threads);
         rows.push((
             format!("α={alpha}"),
             vec![r_rbma, c_rbma, r_rbma + c_rbma, r_bma, c_bma, r_bma + c_bma],
@@ -138,16 +150,31 @@ pub fn ablation_alpha(scale: f64) -> SimpleTable {
 
 /// Abl. B — resource augmentation: online R-BMA with degree b versus the
 /// *offline static* optimum restricted to degree a ≤ b (the (b,a) setting
-/// of the analysis).
-pub fn ablation_augmentation(scale: f64) -> SimpleTable {
+/// of the analysis). `threads`/`shard` follow the table-target convention.
+pub fn ablation_augmentation(scale: f64, threads: usize, shard: ShardSpec) -> SimpleTable {
     let spec = base_spec(scale);
     let b = 12;
     let dm = spec.distances();
-    let (rbma_routing, rbma_reconfig) =
-        total_costs(&spec, AlgorithmKind::Rbma { lazy: true }, b, spec.alpha);
-    let rbma_total = rbma_routing + rbma_reconfig;
+    let a_values = [2usize, 4, 6, 8, 10, 12];
+    // The R-BMA baseline is shared by every row: skip it entirely when this
+    // shard owns no rows (an empty slice must cost nothing).
+    let rbma_total = if (0..a_values.len()).any(|i| shard.owns(i)) {
+        let (routing, reconfig) = total_costs(
+            &spec,
+            AlgorithmKind::Rbma { lazy: true },
+            b,
+            spec.alpha,
+            threads,
+        );
+        routing + reconfig
+    } else {
+        0.0
+    };
     let mut rows = Vec::new();
-    for a in [2usize, 4, 6, 8, 10, 12] {
+    for (i, a) in a_values.into_iter().enumerate() {
+        if !shard.owns(i) {
+            continue;
+        }
         let mut so = 0.0;
         for rep in 0..spec.repetitions {
             let trace = spec.trace(rep);
@@ -171,17 +198,27 @@ pub fn ablation_augmentation(scale: f64) -> SimpleTable {
 }
 
 /// Abl. C — spatial-skew sweep: routing-cost reduction vs the oblivious
-/// baseline as a function of the Zipf exponent.
-pub fn ablation_skew(scale: f64) -> SimpleTable {
+/// baseline as a function of the Zipf exponent. `threads`/`shard` follow
+/// the table-target convention.
+pub fn ablation_skew(scale: f64, threads: usize, shard: ShardSpec) -> SimpleTable {
     let mut rows = Vec::new();
-    for s in [0.6, 0.9, 1.2, 1.5, 1.8] {
+    for (i, s) in [0.6, 0.9, 1.2, 1.5, 1.8].into_iter().enumerate() {
+        if !shard.owns(i) {
+            continue;
+        }
         let spec = FigureSpec {
             workload: Workload::Zipf(s),
             ..base_spec(scale)
         };
         let b = 12;
-        let (rbma, _) = total_costs(&spec, AlgorithmKind::Rbma { lazy: true }, b, spec.alpha);
-        let (obl, _) = total_costs(&spec, AlgorithmKind::Oblivious, b, spec.alpha);
+        let (rbma, _) = total_costs(
+            &spec,
+            AlgorithmKind::Rbma { lazy: true },
+            b,
+            spec.alpha,
+            threads,
+        );
+        let (obl, _) = total_costs(&spec, AlgorithmKind::Oblivious, b, spec.alpha, threads);
         rows.push((format!("s={s}"), vec![obl, rbma, 1.0 - rbma / obl]));
     }
     SimpleTable {
@@ -193,14 +230,28 @@ pub fn ablation_skew(scale: f64) -> SimpleTable {
 }
 
 /// Abl. E — lazy vs strict removals (footnote 2 of the paper).
-pub fn ablation_removal(scale: f64) -> SimpleTable {
+/// `threads`/`shard` follow the table-target convention.
+pub fn ablation_removal(scale: f64, threads: usize, shard: ShardSpec) -> SimpleTable {
     let spec = base_spec(scale);
     let mut rows = Vec::new();
-    for b in [6usize, 12, 18] {
-        let (r_lazy, c_lazy) =
-            total_costs(&spec, AlgorithmKind::Rbma { lazy: true }, b, spec.alpha);
-        let (r_strict, c_strict) =
-            total_costs(&spec, AlgorithmKind::Rbma { lazy: false }, b, spec.alpha);
+    for (i, b) in [6usize, 12, 18].into_iter().enumerate() {
+        if !shard.owns(i) {
+            continue;
+        }
+        let (r_lazy, c_lazy) = total_costs(
+            &spec,
+            AlgorithmKind::Rbma { lazy: true },
+            b,
+            spec.alpha,
+            threads,
+        );
+        let (r_strict, c_strict) = total_costs(
+            &spec,
+            AlgorithmKind::Rbma { lazy: false },
+            b,
+            spec.alpha,
+            threads,
+        );
         rows.push((
             format!("b={b}"),
             vec![r_lazy, r_strict, r_strict - r_lazy, c_lazy, c_strict],
@@ -228,12 +279,20 @@ pub fn ablation_removal(scale: f64) -> SimpleTable {
 /// total cost above the all-matched ideal (`1` per request); the
 /// deterministic excess grows ≈ linearly in b while the randomized one
 /// grows ≈ logarithmically, so the ratio grows ≈ b/log b.
-pub fn lower_bound_gap(scale: f64) -> SimpleTable {
+pub fn lower_bound_gap(scale: f64, threads: usize, shard: ShardSpec) -> SimpleTable {
     assert!(scale > 0.0);
     let alpha = 10u64;
     let num_blocks = ((2000.0 * scale).round() as usize).max(200);
-    let mut rows = Vec::new();
-    for b in [2usize, 4, 8, 16] {
+    // Each row drives adversarial serve loops sequentially (the chaser is
+    // adaptive), but the rows are independent — fan the owned rows out over
+    // `threads` workers (`0` = auto) like every other grid.
+    let owned: Vec<usize> = [2usize, 4, 8, 16]
+        .into_iter()
+        .enumerate()
+        .filter(|(i, _)| shard.owns(*i))
+        .map(|(_, b)| b)
+        .collect();
+    let compute_row = |b: usize| -> (String, Vec<f64>) {
         let spokes = b + 1;
         let n = spokes + 1;
         let net = builders::leaf_spine(n, 2);
@@ -262,11 +321,12 @@ pub fn lower_bound_gap(scale: f64) -> SimpleTable {
         }
         excess_rbma /= seeds as f64;
 
-        rows.push((
+        (
             format!("b={b}"),
             vec![excess_bma, excess_rbma, excess_bma / excess_rbma.max(1.0)],
-        ));
-    }
+        )
+    };
+    let rows = steal_map(owned.len(), threads, |k| compute_row(owned[k]));
     SimpleTable {
         title: format!(
             "Ablation D: deterministic vs randomized excess cost on the star nemesis \
@@ -319,7 +379,7 @@ mod tests {
 
     #[test]
     fn alpha_table_shape() {
-        let t = ablation_alpha(0.02);
+        let t = ablation_alpha(0.02, 1, ShardSpec::full());
         assert_eq!(t.rows.len(), 7);
         assert_eq!(t.columns.len(), 6);
         // Reconfig cost at α=1 must be positive for both algorithms.
@@ -330,7 +390,7 @@ mod tests {
 
     #[test]
     fn augmentation_ratio_decreases_with_a() {
-        let t = ablation_augmentation(0.02);
+        let t = ablation_augmentation(0.02, 1, ShardSpec::full());
         // SO-BMA with larger a can only do better (rows report its cost in
         // column 0): monotone non-increasing.
         let costs: Vec<f64> = t.rows.iter().map(|(_, v)| v[0]).collect();
@@ -339,7 +399,7 @@ mod tests {
 
     #[test]
     fn skew_reduction_increases_with_s() {
-        let t = ablation_skew(0.02);
+        let t = ablation_skew(0.02, 2, ShardSpec::full());
         let first = t.rows.first().expect("rows").1[2];
         let last = t.rows.last().expect("rows").1[2];
         assert!(
@@ -350,7 +410,7 @@ mod tests {
 
     #[test]
     fn removal_mode_lazy_not_worse_routing() {
-        let t = ablation_removal(0.02);
+        let t = ablation_removal(0.02, 1, ShardSpec::full());
         for (label, v) in &t.rows {
             // Keeping edges longer can only reduce routing cost: strict ≥ lazy
             // (allow 2% noise).
@@ -365,7 +425,7 @@ mod tests {
 
     #[test]
     fn lower_bound_gap_grows_with_b() {
-        let t = lower_bound_gap(0.1);
+        let t = lower_bound_gap(0.1, 2, ShardSpec::full());
         let ratios: Vec<f64> = t.rows.iter().map(|(_, v)| v[2]).collect();
         assert!(
             ratios.last().expect("rows") > ratios.first().expect("rows"),

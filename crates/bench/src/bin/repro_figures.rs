@@ -1,7 +1,8 @@
 //! Regenerates the paper's evaluation figures and the DESIGN.md ablations.
 //!
 //! ```text
-//! repro_figures [--fast] [--scale F] [--out DIR] [--json DIR] <target>...
+//! repro_figures [--fast] [--scale F] [--threads N] [--shard I/M]
+//!               [--out DIR] [--json DIR] [--merge-json DIR] <target>...
 //!
 //! targets:
 //!   fig1 fig2 fig3 fig4      the paper's Figures 1-4 (panels a, b, c)
@@ -13,23 +14,47 @@
 //!   lower-bound              Abl. D: deterministic vs randomized gap
 //!   scaling                  streamed 10^5 -> 10^7 request sweep (O(1) memory)
 //!   demand                   demand mis-estimation sweep (static forecast vs drift)
+//!   sweep                    work-stealing executor scaling on a skewed job mix
 //!   ablations                all ablations
 //!   all                      everything
 //!
-//! --fast      scale workloads down ~20x (quick smoke run)
-//! --scale F   multiply request counts by F (e.g. 10 for a 10x longer run;
-//!             composes with --fast). Workloads stream, so memory stays flat.
-//! --out DIR   also write each panel as CSV into DIR
-//! --json DIR  also write each table target as BENCH_<target>.json into DIR
-//!             (machine-readable summaries, e.g. CI's BENCH_demand.json)
+//! --fast        scale workloads down ~20x (quick smoke run)
+//! --scale F     multiply request counts by F (e.g. 10 for a 10x longer run;
+//!               composes with --fast). Workloads stream, so memory stays flat.
+//! --threads N   work-stealing worker count for job grids (0 = auto, one per
+//!               core — the default). Timing-sensitive serve loops (panel b,
+//!               scaling/sweep rows) stay sequential regardless.
+//! --shard I/M   compute only this shard's slice of a table target's rows
+//!               (round-robin by row index; seeds unchanged). With --json,
+//!               writes BENCH_<target>.shard-I-of-M.json for --merge-json.
+//!               Table targets only — figure targets have no mergeable
+//!               artifact.
+//! --out DIR     also write each panel as CSV into DIR
+//! --json DIR    also write each table target as BENCH_<target>.json into DIR
+//!               (machine-readable summaries, e.g. CI's BENCH_demand.json)
+//! --merge-json DIR  run nothing; instead union DIR's shard files for each
+//!               named table target into BENCH_<target>.json (byte-identical
+//!               to an unsharded run for deterministic tables)
 //! ```
 
 use dcn_bench::{
     ablation_alpha, ablation_augmentation, ablation_removal, ablation_skew, demand_sweep,
-    lower_bound_gap, run_panel, scaling_sweep, series_to_csv, series_to_markdown, FigureSpec,
-    Panel, SimpleTable,
+    lower_bound_gap, run_panel, scaling_sweep, series_to_csv, series_to_markdown, shard,
+    sweep_scaling, FigureSpec, Panel, SimpleTable,
 };
+use dcn_core::sweep::ShardSpec;
 use std::path::PathBuf;
+
+const TABLE_TARGETS: [&str; 8] = [
+    "ablation-alpha",
+    "ablation-augmentation",
+    "ablation-skew",
+    "ablation-removal",
+    "lower-bound",
+    "demand",
+    "scaling",
+    "sweep",
+];
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -48,6 +73,7 @@ fn main() {
     };
     let out_dir: Option<PathBuf> = value_of("--out").map(PathBuf::from);
     let json_dir: Option<PathBuf> = value_of("--json").map(PathBuf::from);
+    let merge_dir: Option<PathBuf> = value_of("--merge-json").map(PathBuf::from);
     let scale_factor: f64 = match value_of("--scale") {
         Some(v) => match v.parse::<f64>() {
             // `!(x > 0.0)` also rejects NaN, which `x <= 0.0` would let
@@ -60,6 +86,27 @@ fn main() {
         },
         None => 1.0,
     };
+    // 0 = auto (the default): one work-stealing worker per available core.
+    let threads: usize = match value_of("--threads") {
+        Some(v) => match v.parse::<usize>() {
+            Ok(n) => n,
+            Err(_) => {
+                eprintln!("--threads expects a non-negative integer (0 = auto), got {v:?}");
+                std::process::exit(2);
+            }
+        },
+        None => 0,
+    };
+    let shard_spec: ShardSpec = match value_of("--shard") {
+        Some(v) => match ShardSpec::parse(&v) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("--shard: {e}");
+                std::process::exit(2);
+            }
+        },
+        None => ShardSpec::full(),
+    };
     let mut targets: Vec<String> = Vec::new();
     let mut skip_next = false;
     for a in &args {
@@ -67,7 +114,16 @@ fn main() {
             skip_next = false;
             continue;
         }
-        if a == "--out" || a == "--scale" || a == "--json" {
+        if [
+            "--out",
+            "--scale",
+            "--json",
+            "--threads",
+            "--shard",
+            "--merge-json",
+        ]
+        .contains(&a.as_str())
+        {
             skip_next = true;
             continue;
         }
@@ -99,6 +155,7 @@ fn main() {
                 "lower-bound",
                 "scaling",
                 "demand",
+                "sweep",
             ]
             .into_iter()
             .map(String::from)
@@ -124,29 +181,88 @@ fn main() {
     let mut queue: Vec<String> = targets.iter().flat_map(|t| expand(t)).collect();
     queue.dedup();
 
+    // Merge mode: reassemble shard artifacts, run nothing. Aggregate
+    // targets (`all`, `ablations`) narrow to their table members — only an
+    // *explicitly named* figure target is an error, since figures have no
+    // mergeable BENCH json.
+    if let Some(dir) = merge_dir {
+        let mut merge_queue: Vec<String> = Vec::new();
+        for t in &targets {
+            let expanded = expand(t);
+            let is_aggregate = expanded.len() > 1;
+            for target in expanded {
+                if TABLE_TARGETS.contains(&target.as_str()) {
+                    merge_queue.push(target);
+                } else if !is_aggregate {
+                    eprintln!(
+                        "--merge-json: {target} is not a table target (no BENCH json to merge)"
+                    );
+                    std::process::exit(2);
+                }
+            }
+        }
+        merge_queue.dedup();
+        if merge_queue.is_empty() {
+            eprintln!("--merge-json: no table targets among {targets:?}");
+            std::process::exit(2);
+        }
+        for target in &merge_queue {
+            match shard::merge_target_dir(&dir, target) {
+                Ok((table, parts)) => {
+                    let path = dir.join(shard::merged_file_name(target));
+                    std::fs::write(&path, table.to_json()).expect("write merged JSON");
+                    println!("merged {} shard file(s) -> {}", parts.len(), path.display());
+                    println!("\n{}", table.to_markdown());
+                }
+                Err(e) => {
+                    eprintln!("--merge-json {target}: {e}");
+                    std::process::exit(2);
+                }
+            }
+        }
+        return;
+    }
+
     for target in queue {
         match target.as_str() {
             id @ ("fig1" | "fig2" | "fig3" | "fig4") => {
+                if !shard_spec.is_full() {
+                    eprintln!(
+                        "--shard applies to table targets {TABLE_TARGETS:?}; {id} produces \
+                         per-panel CSV/markdown with no mergeable BENCH json"
+                    );
+                    std::process::exit(2);
+                }
                 let spec = FigureSpec::by_id(id).expect("known figure id");
                 let spec = if fast { spec.scaled(divisor) } else { spec };
                 let spec = spec.scaled_by(scale_factor);
-                run_figure(&spec, out_dir.as_deref());
+                run_figure(&spec, threads, out_dir.as_deref());
             }
             id @ ("ablation-alpha"
             | "ablation-augmentation"
             | "ablation-skew"
             | "ablation-removal"
             | "lower-bound"
-            | "demand") => {
+            | "demand"
+            | "sweep") => {
                 let table = match id {
-                    "ablation-alpha" => ablation_alpha(ablation_scale),
-                    "ablation-augmentation" => ablation_augmentation(ablation_scale),
-                    "ablation-skew" => ablation_skew(ablation_scale),
-                    "ablation-removal" => ablation_removal(ablation_scale),
-                    "lower-bound" => lower_bound_gap(ablation_scale),
-                    _ => demand_sweep(ablation_scale),
+                    "ablation-alpha" => ablation_alpha(ablation_scale, threads, shard_spec),
+                    "ablation-augmentation" => {
+                        ablation_augmentation(ablation_scale, threads, shard_spec)
+                    }
+                    "ablation-skew" => ablation_skew(ablation_scale, threads, shard_spec),
+                    "ablation-removal" => ablation_removal(ablation_scale, threads, shard_spec),
+                    "lower-bound" => lower_bound_gap(ablation_scale, threads, shard_spec),
+                    "sweep" => sweep_scaling(ablation_scale, shard_spec),
+                    _ => demand_sweep(ablation_scale, threads, shard_spec),
                 };
-                print_table(id, table, out_dir.as_deref(), json_dir.as_deref());
+                print_table(
+                    id,
+                    table,
+                    shard_spec,
+                    out_dir.as_deref(),
+                    json_dir.as_deref(),
+                );
             }
             "scaling" => {
                 let base: &[usize] = if fast {
@@ -160,7 +276,8 @@ fn main() {
                     .collect();
                 print_table(
                     "scaling",
-                    scaling_sweep(&lens),
+                    scaling_sweep(&lens, threads, shard_spec),
+                    shard_spec,
                     out_dir.as_deref(),
                     json_dir.as_deref(),
                 );
@@ -173,8 +290,8 @@ fn main() {
     }
 }
 
-fn run_figure(spec: &FigureSpec, out_dir: Option<&std::path::Path>) {
-    let threads = std::thread::available_parallelism().map_or(4, |p| p.get());
+fn run_figure(spec: &FigureSpec, threads: usize, out_dir: Option<&std::path::Path>) {
+    let threads = dcn_core::sweep::resolve_threads(threads);
     println!(
         "\n## {} — {} ({} requests, α={})\n",
         spec.id, spec.title, spec.total_requests, spec.alpha
@@ -206,12 +323,20 @@ fn run_figure(spec: &FigureSpec, out_dir: Option<&std::path::Path>) {
 fn print_table(
     target: &str,
     table: SimpleTable,
+    shard_spec: ShardSpec,
     out_dir: Option<&std::path::Path>,
     json_dir: Option<&std::path::Path>,
 ) {
     println!("\n{}", table.to_markdown());
     if let Some(dir) = json_dir {
-        let path = dir.join(format!("BENCH_{target}.json"));
+        // A sharded run writes its slice under the shard name, ready for
+        // --merge-json; an unsharded run writes the final artifact.
+        let name = if shard_spec.is_full() {
+            shard::merged_file_name(target)
+        } else {
+            shard::shard_file_name(target, shard_spec)
+        };
+        let path = dir.join(name);
         std::fs::write(&path, table.to_json()).expect("write JSON summary");
         println!("(wrote {})\n", path.display());
     }

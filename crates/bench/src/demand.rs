@@ -22,7 +22,7 @@
 
 use crate::SimpleTable;
 use dcn_core::algorithms::AlgorithmKind;
-use dcn_core::sweep::{run_jobs, Job};
+use dcn_core::sweep::{resolve_threads, run_jobs, Job, ShardSpec};
 use dcn_demand::{DemandMatrix, MicrosoftParams};
 use dcn_topology::{builders, DistanceMatrix};
 use dcn_traces::TraceSpec;
@@ -30,8 +30,12 @@ use dcn_util::rngx::derive_seed;
 use std::sync::Arc;
 
 /// Runs the mis-estimation sweep at `scale` times the nominal 400k-request
-/// workload; returns one row per drift level λ.
-pub fn demand_sweep(scale: f64) -> SimpleTable {
+/// workload; returns one row per drift level λ. `threads` is the
+/// work-stealing worker count (`0` = auto); `shard` selects which λ rows
+/// (by original index, so all seeds are unchanged) this invocation
+/// computes — the sweep is fully deterministic, so shard artifacts merge
+/// byte-identically into the unsharded table.
+pub fn demand_sweep(scale: f64, threads: usize, shard: ShardSpec) -> SimpleTable {
     assert!(scale > 0.0, "scale factor must be positive");
     let racks = 50;
     let b = 6;
@@ -39,7 +43,10 @@ pub fn demand_sweep(scale: f64) -> SimpleTable {
     let reps = 2u64;
     let len = ((400_000.0 * scale).round() as usize).max(2_000);
     let net = builders::fat_tree_with_racks(racks);
-    let dm = Arc::new(DistanceMatrix::between_racks_parallel(&net, 4));
+    let dm = Arc::new(DistanceMatrix::between_racks_parallel(
+        &net,
+        resolve_threads(threads),
+    ));
 
     // The forecast the static design is built on, and the independent
     // matrix the served traffic drifts toward (normalized so blends are
@@ -55,9 +62,17 @@ pub fn demand_sweep(scale: f64) -> SimpleTable {
     ];
 
     let lambdas = [0.0, 0.25, 0.5, 0.75, 1.0];
-    // One flat job grid: (λ × algorithm × repetition), fanned out together.
+    // One flat job grid over the *owned* λ rows: (λ × algorithm ×
+    // repetition), fanned out together. Seeds use the original λ index, so
+    // a sharded run computes exactly the rows the unsharded run would.
+    let owned: Vec<(usize, f64)> = lambdas
+        .iter()
+        .copied()
+        .enumerate()
+        .filter(|(li, _)| shard.owns(*li))
+        .collect();
     let mut jobs = Vec::new();
-    for (li, &lambda) in lambdas.iter().enumerate() {
+    for &(li, lambda) in &owned {
         let served = DemandMatrix::blend(&base, &drifted, lambda);
         for algorithm in &algorithms {
             for rep in 0..reps {
@@ -76,14 +91,13 @@ pub fn demand_sweep(scale: f64) -> SimpleTable {
             }
         }
     }
-    let threads = std::thread::available_parallelism().map_or(4, |p| p.get());
     let reports = run_jobs(&dm, &jobs, threads);
 
     let mut rows = Vec::new();
-    for (li, &lambda) in lambdas.iter().enumerate() {
+    for (oi, &(_, lambda)) in owned.iter().enumerate() {
         // Mean total routing / total cost per algorithm across repetitions.
         let mean = |ai: usize, f: &dyn Fn(&dcn_core::RunReport) -> f64| -> f64 {
-            let start = (li * algorithms.len() + ai) * reps as usize;
+            let start = (oi * algorithms.len() + ai) * reps as usize;
             let slice = &reports[start..start + reps as usize];
             slice.iter().map(f).sum::<f64>() / reps as f64
         };
@@ -129,7 +143,7 @@ mod tests {
 
     #[test]
     fn table_shape_and_positive_costs() {
-        let t = demand_sweep(0.01);
+        let t = demand_sweep(0.01, 0, ShardSpec::full());
         assert_eq!(t.rows.len(), 5);
         assert_eq!(t.columns.len(), 7);
         for (label, v) in &t.rows {
@@ -140,7 +154,7 @@ mod tests {
 
     #[test]
     fn baseline_beats_oblivious_on_its_own_matrix_then_decays() {
-        let t = demand_sweep(0.01);
+        let t = demand_sweep(0.01, 0, ShardSpec::full());
         let da_saving: Vec<f64> = t.rows.iter().map(|(_, v)| v[5]).collect();
         assert!(
             da_saving[0] > 0.15,
@@ -154,7 +168,7 @@ mod tests {
 
     #[test]
     fn rbma_degrades_less_than_the_static_baseline() {
-        let t = demand_sweep(0.01);
+        let t = demand_sweep(0.01, 0, ShardSpec::full());
         let gap = |row: &(String, Vec<f64>)| row.1[6] - row.1[5];
         let gap_first = gap(&t.rows[0]);
         let gap_last = gap(t.rows.last().expect("rows"));
@@ -167,7 +181,7 @@ mod tests {
 
     #[test]
     fn hedging_protects_the_drifted_end() {
-        let t = demand_sweep(0.01);
+        let t = demand_sweep(0.01, 0, ShardSpec::full());
         let last = &t.rows.last().expect("rows").1;
         let (hedged, point) = (last[1], last[0]);
         assert!(

@@ -15,6 +15,7 @@
 //! | Fig. 4a/4b/4c (Microsoft)         | `repro_figures fig4` |
 //! | Ablations A–E                     | `repro_figures ablation-*` / `lower-bound` |
 //! | beyond-paper scaling (10⁵ → 10⁷)  | `repro_figures scaling` |
+//! | executor scaling (skewed grids)   | `repro_figures sweep` |
 //! | per-request latency vs b          | `cargo bench -p dcn-bench` |
 //!
 //! Workloads are described by [`dcn_traces::TraceSpec`] and streamed
@@ -24,17 +25,19 @@
 
 pub mod ablations;
 pub mod demand;
+pub mod shard;
 
 pub use ablations::{
     ablation_alpha, ablation_augmentation, ablation_removal, ablation_skew, lower_bound_gap,
     SimpleTable,
 };
 pub use demand::demand_sweep;
+pub use shard::{merge_tables, merged_file_name, shard_file_name};
 
 use dcn_core::algorithms::static_offline::so_bma_series;
 use dcn_core::algorithms::AlgorithmKind;
 use dcn_core::report::AveragedSeries;
-use dcn_core::sweep::{run_jobs, run_jobs_sequential, Job};
+use dcn_core::sweep::{resolve_threads, run_jobs, run_jobs_sequential, Job, ShardSpec};
 use dcn_core::RunReport;
 use dcn_topology::{builders, DistanceMatrix};
 use dcn_traces::{FacebookCluster, MicrosoftParams, Trace, TraceSpec};
@@ -370,16 +373,31 @@ fn best_of_series(spec: &FigureSpec, threads: usize) -> Vec<AveragedSeries> {
 /// identical across modes on every row (the batching equivalence contract,
 /// live in production output, not only in tests).
 ///
-/// Runs strictly sequentially: the table reports wall-clock throughput, and
-/// timing runs must not share cores (same rule as the execution-time
-/// panels).
-pub fn scaling_sweep(lens: &[usize]) -> SimpleTable {
+/// Two further live contracts per row:
+///
+/// * **BMA recency oracle.** The flat-intrusive-LRU BMA is replayed against
+///   [`dcn_core::algorithms::bma::BmaBTree`] (the historical `BTreeMap`
+///   recency) and the full seeded `RunReport`s — total cost,
+///   reconfiguration count, every checkpoint — are asserted identical; the
+///   reference's throughput and the flat/btree speedup are reported as
+///   columns, so the flattening win ships in the artifact.
+/// * Batched ≡ unbatched costs, as before.
+///
+/// Simulation runs stay strictly sequential (the table reports wall-clock
+/// throughput, and timing runs must not share cores — same rule as the
+/// execution-time panels); `threads` only accelerates the one non-timed
+/// setup step (the APSP distance build). `shard` selects which rows (by
+/// original index, so seeds are unchanged) this invocation computes.
+pub fn scaling_sweep(lens: &[usize], threads: usize, shard: ShardSpec) -> SimpleTable {
     let racks = 100;
     let b = 12;
     let alpha = 10u64;
     let exponent = 1.2;
     let net = builders::fat_tree_with_racks(racks);
-    let dm = Arc::new(DistanceMatrix::between_racks(&net));
+    let dm = Arc::new(DistanceMatrix::between_racks_parallel(
+        &net,
+        resolve_threads(threads),
+    ));
     let run_streamed = |spec: &TraceSpec, algorithm: &AlgorithmKind, batch_size: usize| {
         let mut source = spec.source();
         let config = dcn_core::SimConfig {
@@ -398,9 +416,25 @@ pub fn scaling_sweep(lens: &[usize]) -> SimpleTable {
             f64::NAN
         }
     };
+    // The BTreeMap-recency reference BMA, run through the identical config:
+    // the live equivalence oracle plus the before/after throughput point.
+    let run_reference_bma = |spec: &TraceSpec, batch_size: usize| {
+        let mut source = spec.source();
+        let config = dcn_core::SimConfig {
+            seed: 7,
+            trace_name: spec.name(),
+            ..Default::default()
+        }
+        .with_batch_size(batch_size);
+        let mut scheduler = dcn_core::algorithms::bma::BmaBTree::new(Arc::clone(&dm), b, alpha);
+        dcn_core::run(&mut scheduler, &dm, alpha, source.as_mut(), &config)
+    };
     let batched = dcn_core::simulator::DEFAULT_BATCH_SIZE;
     let mut rows = Vec::new();
     for (i, &len) in lens.iter().enumerate() {
+        if !shard.owns(i) {
+            continue;
+        }
         let spec = TraceSpec::Zipf {
             num_racks: racks,
             len,
@@ -411,6 +445,10 @@ pub fn scaling_sweep(lens: &[usize]) -> SimpleTable {
         let bma = run_streamed(&spec, &AlgorithmKind::Bma, batched);
         let oblivious = run_streamed(&spec, &AlgorithmKind::Oblivious, batched);
         let rbma_unbatched = run_streamed(&spec, &AlgorithmKind::Rbma { lazy: true }, 1);
+        // Flat-LRU BMA vs the BTreeMap reference: every seeded report field
+        // must match, live in the production target, not only in tests.
+        let bma_btree = run_reference_bma(&spec, batched);
+        assert_reports_equal(&bma, &bma_btree, "BMA flat-LRU vs BTreeMap recency");
         // Every published algorithm is cross-checked against its unbatched
         // run, so a regression in any hand-fused serve_batch override can't
         // ship wrong numbers (the throughput columns reuse the R-BMA pair).
@@ -433,6 +471,8 @@ pub fn scaling_sweep(lens: &[usize]) -> SimpleTable {
         }
         let fast = throughput(&rbma);
         let slow = throughput(&rbma_unbatched);
+        let bma_fast = throughput(&bma);
+        let bma_btree_tp = throughput(&bma_btree);
         rows.push((
             format!("{len} requests"),
             vec![
@@ -440,7 +480,9 @@ pub fn scaling_sweep(lens: &[usize]) -> SimpleTable {
                 bma.total.total_cost() as f64,
                 oblivious.total.routing_cost as f64,
                 fast,
-                throughput(&bma),
+                bma_fast,
+                bma_btree_tp,
+                bma_fast / bma_btree_tp,
                 slow,
                 fast / slow,
             ],
@@ -457,8 +499,137 @@ pub fn scaling_sweep(lens: &[usize]) -> SimpleTable {
             "Oblivious routing".into(),
             "R-BMA Mreq/s".into(),
             "BMA Mreq/s".into(),
+            "BMA Mreq/s (btree recency)".into(),
+            "BMA recency speedup".into(),
             "R-BMA Mreq/s (batch=1)".into(),
             "batch speedup".into(),
+        ],
+        rows,
+    }
+}
+
+/// Asserts two reports are identical in every deterministic field (all
+/// costs, counts, and checkpoints; wall-clock excluded).
+fn assert_reports_equal(a: &RunReport, b: &RunReport, ctx: &str) {
+    assert_eq!(a.total.requests, b.total.requests, "{ctx}");
+    assert_eq!(a.total.routing_cost, b.total.routing_cost, "{ctx}");
+    assert_eq!(a.total.reconfig_cost, b.total.reconfig_cost, "{ctx}");
+    assert_eq!(a.total.reconfigurations, b.total.reconfigurations, "{ctx}");
+    assert_eq!(a.total.matched_requests, b.total.matched_requests, "{ctx}");
+    assert_eq!(a.checkpoints.len(), b.checkpoints.len(), "{ctx}");
+    for (x, y) in a.checkpoints.iter().zip(&b.checkpoints) {
+        assert_eq!(x.requests, y.requests, "{ctx}");
+        assert_eq!(x.routing_cost, y.routing_cost, "{ctx}");
+        assert_eq!(x.reconfig_cost, y.reconfig_cost, "{ctx}");
+        assert_eq!(x.reconfigurations, y.reconfigurations, "{ctx}");
+        assert_eq!(x.matched_requests, y.matched_requests, "{ctx}");
+    }
+}
+
+/// The `sweep` target: wall-clock scaling of the work-stealing
+/// [`run_jobs`] executor on a deliberately **skewed** job mix (two
+/// heavyweight runs next to a tail of small ones — the shape that strands
+/// cores behind a static split). One row per worker count: seconds,
+/// aggregate serve throughput, speedup vs one worker, the ideal speedup on
+/// this host (`min(workers, cores)`), and efficiency = speedup/ideal.
+/// Every parallel run's reports are asserted identical to the sequential
+/// ones (the executor's determinism contract, live in the artifact).
+///
+/// Worker counts, not hosts, are the axis — multi-host splits are the
+/// `--shard` flag's job (`shard` here selects table rows, by original
+/// index, like every other table target).
+pub fn sweep_scaling(scale: f64, shard: ShardSpec) -> SimpleTable {
+    assert!(scale > 0.0, "scale factor must be positive");
+    let racks = 100;
+    let b = 12;
+    let alpha = 10u64;
+    let big = ((1_000_000.0 * scale).round() as usize).max(2_000);
+    let small = (big / 8).max(250);
+    let net = builders::fat_tree_with_racks(racks);
+    let dm = Arc::new(DistanceMatrix::between_racks(&net));
+    // Two big jobs up front, then a tail of small ones in mixed algorithm
+    // order: a static split of this grid idles half its workers.
+    let mut jobs = Vec::new();
+    for (j, &len) in [
+        big, big, small, small, small, small, small, small, small, small,
+    ]
+    .iter()
+    .enumerate()
+    {
+        let algorithm = if j % 2 == 0 {
+            AlgorithmKind::Rbma { lazy: true }
+        } else {
+            AlgorithmKind::Bma
+        };
+        jobs.push(Job {
+            algorithm,
+            b,
+            alpha,
+            seed: derive_seed(0x57EA, j as u64),
+            checkpoints: vec![],
+            trace: TraceSpec::Zipf {
+                num_racks: racks,
+                len,
+                exponent: 1.2,
+                seed: derive_seed(0x57EB, j as u64),
+            },
+        });
+    }
+    let total_requests: usize = jobs.iter().map(|j| j.trace.len()).sum();
+    let cores = std::thread::available_parallelism().map_or(1, |p| p.get());
+
+    let worker_counts = [1usize, 2, 4, 8];
+    let any_owned = (0..worker_counts.len()).any(|i| shard.owns(i));
+    // The sequential run doubles as the speedup baseline and the
+    // determinism reference.
+    let (reference, seq_secs) = if any_owned {
+        let start = std::time::Instant::now();
+        let reports = run_jobs_sequential(&dm, &jobs);
+        (Some(reports), start.elapsed().as_secs_f64())
+    } else {
+        (None, 0.0)
+    };
+    let mut rows = Vec::new();
+    for (i, &workers) in worker_counts.iter().enumerate() {
+        if !shard.owns(i) {
+            continue;
+        }
+        let reference = reference.as_ref().expect("computed when any row is owned");
+        let start = std::time::Instant::now();
+        let reports = run_jobs(&dm, &jobs, workers);
+        let secs = start.elapsed().as_secs_f64();
+        for (k, (got, want)) in reports.iter().zip(reference).enumerate() {
+            assert_reports_equal(
+                got,
+                want,
+                &format!("work-stealing vs sequential, job {k} ({workers} workers)"),
+            );
+        }
+        let speedup = seq_secs / secs;
+        let ideal = workers.min(cores) as f64;
+        rows.push((
+            format!("{workers} workers"),
+            vec![
+                secs,
+                total_requests as f64 / secs / 1e6,
+                speedup,
+                ideal,
+                speedup / ideal,
+            ],
+        ));
+    }
+    SimpleTable {
+        title: format!(
+            "Sweep executor scaling: work-stealing run_jobs over a skewed job mix \
+             ({} jobs, 2×{big} + 8×{small} requests, Zipf s=1.2, {racks} racks, b={b})",
+            jobs.len()
+        ),
+        columns: vec![
+            "seconds".into(),
+            "Mreq/s aggregate".into(),
+            "speedup vs 1 worker".into(),
+            "ideal (min(workers, cores))".into(),
+            "efficiency".into(),
         ],
         rows,
     }
@@ -627,20 +798,59 @@ mod tests {
 
     #[test]
     fn scaling_sweep_runs_streamed() {
-        let t = scaling_sweep(&[2_000, 4_000]);
+        let t = scaling_sweep(&[2_000, 4_000], 1, ShardSpec::full());
         assert_eq!(t.rows.len(), 2);
-        assert_eq!(t.columns.len(), 7);
+        assert_eq!(t.columns.len(), 9);
         for (label, v) in &t.rows {
             // Online totals are bounded by the oblivious upper envelope plus
             // reconfiguration spend; all must be positive.
             assert!(v[0] > 0.0 && v[1] > 0.0 && v[2] > 0.0, "{label}: {v:?}");
-            // Batched and unbatched throughputs and their ratio are real
-            // measurements (cost equality is asserted inside the sweep).
-            assert!(v[3] > 0.0 && v[5] > 0.0, "{label}: {v:?}");
+            // Batched/unbatched and flat/btree throughputs and their ratios
+            // are real measurements (report equality is asserted inside the
+            // sweep, including the BMA-vs-BTreeMap oracle replay).
+            assert!(v[3] > 0.0 && v[5] > 0.0 && v[7] > 0.0, "{label}: {v:?}");
             assert!(v[6].is_finite() && v[6] > 0.0, "{label}: {v:?}");
+            assert!(v[8].is_finite() && v[8] > 0.0, "{label}: {v:?}");
         }
         // Twice the requests ⇒ roughly twice the oblivious routing cost.
         let ratio = t.rows[1].1[2] / t.rows[0].1[2];
         assert!((1.5..=2.5).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn scaling_sweep_shards_partition_the_rows() {
+        // Sharded invocations compute exactly their owned rows with the
+        // original per-row seeds: the union of the cost columns equals the
+        // unsharded run's (timing columns are wall-clock and excluded).
+        let lens = [1_500usize, 2_500, 3_500];
+        let full = scaling_sweep(&lens, 1, ShardSpec::full());
+        let a = scaling_sweep(&lens, 1, ShardSpec::new(0, 2));
+        let b = scaling_sweep(&lens, 1, ShardSpec::new(1, 2));
+        assert_eq!(a.rows.len(), 2);
+        assert_eq!(b.rows.len(), 1);
+        assert_eq!(a.title, full.title, "titles must merge byte-identically");
+        let merged = [&a.rows[0], &b.rows[0], &a.rows[1]];
+        for (got, want) in merged.iter().zip(&full.rows) {
+            assert_eq!(got.0, want.0);
+            for c in 0..3 {
+                assert_eq!(got.1[c], want.1[c], "cost column {c} of row {}", got.0);
+            }
+        }
+    }
+
+    #[test]
+    fn sweep_scaling_reports_executor_rows() {
+        let t = sweep_scaling(0.004, ShardSpec::full());
+        assert_eq!(t.rows.len(), 4);
+        assert_eq!(t.columns.len(), 5);
+        for (label, v) in &t.rows {
+            assert!(v[0] > 0.0, "{label}: elapsed must be positive");
+            assert!(v[1] > 0.0, "{label}: throughput must be positive");
+            assert!(v[2] > 0.0 && v[3] >= 1.0, "{label}: {v:?}");
+        }
+        // Row sharding composes like every other table target.
+        let first = sweep_scaling(0.004, ShardSpec::new(0, 4));
+        assert_eq!(first.rows.len(), 1);
+        assert_eq!(first.rows[0].0, "1 workers");
     }
 }

@@ -1,0 +1,456 @@
+//! Multi-host sharding of the table targets: shard artifacts and their
+//! byte-exact reassembly.
+//!
+//! `repro_figures --shard i/m --json DIR <target>` computes only the table
+//! rows shard `i` owns (round-robin by original row index, seeds
+//! unchanged — see [`dcn_core::sweep::ShardSpec`]) and writes them as
+//! `BENCH_<target>.shard-i-of-m.json`. `repro_figures --merge-json DIR
+//! <target>` gathers all `m` shard files, re-interleaves the rows (row `p`
+//! of the full table is row `p / m` of shard `p % m`), and writes the
+//! merged `BENCH_<target>.json`.
+//!
+//! The merge contract is **byte identity**: for deterministic tables (all
+//! cost columns; the CI smoke diffs the `demand` target), the merged file
+//! equals the file an unsharded run writes, byte for byte. That holds
+//! because (a) sharded runs derive every row's seeds from its original
+//! index, (b) titles/columns are identical across shards, and (c) the
+//! [`parse_table`] → [`SimpleTable::to_json`] round trip is exact — JSON
+//! floats are emitted via Rust's shortest-round-trip `Display` and parsed
+//! back with `str::parse`, which recovers the identical `f64`.
+
+use crate::SimpleTable;
+use dcn_core::sweep::ShardSpec;
+use std::path::{Path, PathBuf};
+
+/// File name of one shard's artifact for `target`.
+pub fn shard_file_name(target: &str, shard: ShardSpec) -> String {
+    format!(
+        "BENCH_{target}.shard-{}-of-{}.json",
+        shard.index(),
+        shard.count()
+    )
+}
+
+/// File name of the merged (= unsharded) artifact for `target`.
+pub fn merged_file_name(target: &str) -> String {
+    format!("BENCH_{target}.json")
+}
+
+/// Merges shard tables (each tagged with its [`ShardSpec`]) back into the
+/// full table: validates one table per shard index with a consistent shard
+/// count and identical title/columns, then re-interleaves rows
+/// round-robin. Fails on any gap — a missing shard, or shard sizes that
+/// cannot come from one grid.
+pub fn merge_tables(parts: Vec<(ShardSpec, SimpleTable)>) -> Result<SimpleTable, String> {
+    let count = parts
+        .first()
+        .map(|(s, _)| s.count())
+        .ok_or("no shard tables to merge")?;
+    let mut by_index: Vec<Option<SimpleTable>> = (0..count).map(|_| None).collect();
+    for (shard, table) in parts {
+        if shard.count() != count {
+            return Err(format!(
+                "inconsistent shard counts: {} vs {count}",
+                shard.count()
+            ));
+        }
+        if by_index[shard.index()].is_some() {
+            return Err(format!("duplicate shard {shard}"));
+        }
+        by_index[shard.index()] = Some(table);
+    }
+    let tables: Vec<SimpleTable> = by_index
+        .into_iter()
+        .enumerate()
+        .map(|(i, t)| t.ok_or(format!("missing shard {i}-of-{count}")))
+        .collect::<Result<_, _>>()?;
+
+    let reference = &tables[0];
+    for t in &tables[1..] {
+        if t.title != reference.title {
+            return Err(format!(
+                "shard titles disagree: {:?} vs {:?}",
+                t.title, reference.title
+            ));
+        }
+        if t.columns != reference.columns {
+            return Err("shard column sets disagree".into());
+        }
+    }
+
+    let total: usize = tables.iter().map(|t| t.rows.len()).sum();
+    let mut rows = Vec::with_capacity(total);
+    let mut cursors = vec![0usize; count];
+    for p in 0..total {
+        let shard_of_row = p % count;
+        let row = tables[shard_of_row]
+            .rows
+            .get(cursors[shard_of_row])
+            .ok_or(format!(
+                "shard {shard_of_row}-of-{count} is short: no row for grid position {p} \
+                 (shard sizes do not interleave into one grid)"
+            ))?;
+        cursors[shard_of_row] += 1;
+        rows.push(row.clone());
+    }
+    // Every shard's rows must be consumed exactly.
+    for (i, (cursor, t)) in cursors.iter().zip(&tables).enumerate() {
+        if *cursor != t.rows.len() {
+            return Err(format!(
+                "shard {i}-of-{count} has {} surplus row(s)",
+                t.rows.len() - cursor
+            ));
+        }
+    }
+    Ok(SimpleTable {
+        title: reference.title.clone(),
+        columns: reference.columns.clone(),
+        rows,
+    })
+}
+
+/// Scans `dir` for `target`'s shard files, parses and merges them, and
+/// returns the merged table together with the paths it consumed.
+pub fn merge_target_dir(dir: &Path, target: &str) -> Result<(SimpleTable, Vec<PathBuf>), String> {
+    let prefix = format!("BENCH_{target}.shard-");
+    let mut parts = Vec::new();
+    let mut paths = Vec::new();
+    let entries =
+        std::fs::read_dir(dir).map_err(|e| format!("cannot read {}: {e}", dir.display()))?;
+    for entry in entries {
+        let entry = entry.map_err(|e| e.to_string())?;
+        let name = entry.file_name();
+        let Some(name) = name.to_str() else { continue };
+        let Some(spec) = name
+            .strip_prefix(&prefix)
+            .and_then(|rest| rest.strip_suffix(".json"))
+        else {
+            continue;
+        };
+        // File-name form is "i-of-m".
+        let Some((i, m)) = spec.split_once("-of-") else {
+            return Err(format!("malformed shard file name {name:?}"));
+        };
+        let shard = ShardSpec::parse(&format!("{i}/{m}"))
+            .map_err(|e| format!("shard file {name:?}: {e}"))?;
+        let text = std::fs::read_to_string(entry.path()).map_err(|e| format!("{name}: {e}"))?;
+        let table = parse_table(&text).map_err(|e| format!("{name}: {e}"))?;
+        parts.push((shard, table));
+        paths.push(entry.path());
+    }
+    if parts.is_empty() {
+        return Err(format!(
+            "no {prefix}*.json shard files in {}",
+            dir.display()
+        ));
+    }
+    paths.sort();
+    merge_tables(parts).map(|t| (t, paths))
+}
+
+/// Parses the JSON that [`SimpleTable::to_json`] emits:
+/// `{"title": str, "columns": [str], "rows": [[str, [num]]]}`.
+///
+/// This is the one place the workspace parses JSON back (merging shard
+/// artifacts); the grammar is the emitter's, handled exactly — strings
+/// with the emitter's escape set, floats via `str::parse` (lossless
+/// against shortest-round-trip output), no trailing garbage.
+pub fn parse_table(text: &str) -> Result<SimpleTable, String> {
+    let mut p = Parser {
+        bytes: text.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    p.expect(b'{')?;
+    let mut title = None;
+    let mut columns = None;
+    let mut rows = None;
+    loop {
+        p.skip_ws();
+        let key = p.parse_string()?;
+        p.skip_ws();
+        p.expect(b':')?;
+        p.skip_ws();
+        match key.as_str() {
+            "title" => title = Some(p.parse_string()?),
+            "columns" => columns = Some(p.parse_array(|p| p.parse_string())?),
+            "rows" => {
+                rows = Some(p.parse_array(|p| {
+                    // One row: ["label", [v, v, ...]]
+                    p.expect(b'[')?;
+                    p.skip_ws();
+                    let label = p.parse_string()?;
+                    p.skip_ws();
+                    p.expect(b',')?;
+                    p.skip_ws();
+                    let values = p.parse_array(|p| p.parse_number())?;
+                    p.skip_ws();
+                    p.expect(b']')?;
+                    Ok((label, values))
+                })?)
+            }
+            other => return Err(format!("unexpected key {other:?} in table JSON")),
+        }
+        p.skip_ws();
+        match p.next()? {
+            b',' => continue,
+            b'}' => break,
+            c => return Err(format!("expected ',' or '}}', got {:?}", c as char)),
+        }
+    }
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err("trailing data after table JSON".into());
+    }
+    Ok(SimpleTable {
+        title: title.ok_or("table JSON missing \"title\"")?,
+        columns: columns.ok_or("table JSON missing \"columns\"")?,
+        rows: rows.ok_or("table JSON missing \"rows\"")?,
+    })
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|b| b.is_ascii_whitespace())
+        {
+            self.pos += 1;
+        }
+    }
+
+    fn next(&mut self) -> Result<u8, String> {
+        let b = *self.bytes.get(self.pos).ok_or("unexpected end of JSON")?;
+        self.pos += 1;
+        Ok(b)
+    }
+
+    fn expect(&mut self, want: u8) -> Result<(), String> {
+        let got = self.next()?;
+        if got != want {
+            return Err(format!(
+                "expected {:?} at byte {}, got {:?}",
+                want as char,
+                self.pos - 1,
+                got as char
+            ));
+        }
+        Ok(())
+    }
+
+    fn parse_string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            // Consume raw UTF-8 up to the next quote/escape in one slice.
+            let start = self.pos;
+            while !matches!(self.bytes.get(self.pos), None | Some(b'"') | Some(b'\\')) {
+                self.pos += 1;
+            }
+            out.push_str(
+                std::str::from_utf8(&self.bytes[start..self.pos])
+                    .map_err(|_| "invalid UTF-8 in JSON string")?,
+            );
+            match self.next()? {
+                b'"' => return Ok(out),
+                b'\\' => match self.next()? {
+                    b'"' => out.push('"'),
+                    b'\\' => out.push('\\'),
+                    b'/' => out.push('/'),
+                    b'n' => out.push('\n'),
+                    b'r' => out.push('\r'),
+                    b't' => out.push('\t'),
+                    b'u' => {
+                        let mut code = 0u32;
+                        for _ in 0..4 {
+                            let d = (self.next()? as char)
+                                .to_digit(16)
+                                .ok_or("invalid \\u escape")?;
+                            code = code * 16 + d;
+                        }
+                        out.push(char::from_u32(code).ok_or("invalid \\u code point")?);
+                    }
+                    e => return Err(format!("unsupported escape \\{}", e as char)),
+                },
+                _ => unreachable!("scan stopped on quote or backslash"),
+            }
+        }
+    }
+
+    fn parse_number(&mut self) -> Result<f64, String> {
+        let start = self.pos;
+        // "null" is how the emitter writes non-finite values.
+        if self.bytes[self.pos..].starts_with(b"null") {
+            self.pos += 4;
+            return Ok(f64::NAN);
+        }
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|b| b.is_ascii_digit() || matches!(b, b'-' | b'+' | b'.' | b'e' | b'E'))
+        {
+            self.pos += 1;
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ascii digits");
+        text.parse::<f64>()
+            .map_err(|_| format!("invalid number {text:?} at byte {start}"))
+    }
+
+    fn parse_array<T>(
+        &mut self,
+        mut element: impl FnMut(&mut Self) -> Result<T, String>,
+    ) -> Result<Vec<T>, String> {
+        self.expect(b'[')?;
+        let mut out = Vec::new();
+        self.skip_ws();
+        if self.bytes.get(self.pos) == Some(&b']') {
+            self.pos += 1;
+            return Ok(out);
+        }
+        loop {
+            self.skip_ws();
+            out.push(element(self)?);
+            self.skip_ws();
+            match self.next()? {
+                b',' => continue,
+                b']' => return Ok(out),
+                c => return Err(format!("expected ',' or ']', got {:?}", c as char)),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_table() -> SimpleTable {
+        SimpleTable {
+            title: "Scaling: α=10, λ = drift \"quoted\" \\ slash\nnewline".into(),
+            columns: vec!["R-BMA Mreq/s".into(), "ratio".into()],
+            rows: vec![
+                ("λ=0".into(), vec![22.75321, 1.0]),
+                ("row2".into(), vec![-0.5, 1e-9]),
+                ("row3".into(), vec![123456789.0, 0.3333333333333333]),
+            ],
+        }
+    }
+
+    #[test]
+    fn parse_round_trips_to_json_byte_identically() {
+        let table = sample_table();
+        let json = table.to_json();
+        let back = parse_table(&json).expect("parse emitted JSON");
+        assert_eq!(back.to_json(), json, "round trip must be byte-identical");
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        for bad in [
+            "",
+            "{",
+            "{\"title\": 3}",
+            "{\"title\": \"t\"} extra",
+            "{\"bogus\": \"x\"}",
+        ] {
+            assert!(parse_table(bad).is_err(), "{bad:?} should not parse");
+        }
+    }
+
+    #[test]
+    fn merge_reassembles_round_robin_rows() {
+        let full = sample_table();
+        // Shard by row index round-robin, as the table targets do.
+        let split = |i: usize, m: usize| SimpleTable {
+            title: full.title.clone(),
+            columns: full.columns.clone(),
+            rows: full
+                .rows
+                .iter()
+                .enumerate()
+                .filter(|(r, _)| ShardSpec::new(i, m).owns(*r))
+                .map(|(_, row)| row.clone())
+                .collect(),
+        };
+        for m in 1..=3usize {
+            let parts: Vec<_> = (0..m)
+                .map(|i| (ShardSpec::new(i, m), split(i, m)))
+                .collect();
+            let merged = merge_tables(parts).expect("merge");
+            assert_eq!(merged.to_json(), full.to_json(), "m={m}");
+        }
+    }
+
+    #[test]
+    fn merge_rejects_inconsistent_parts() {
+        let t = sample_table();
+        // Missing shard 1.
+        let only0 = vec![(ShardSpec::new(0, 2), t.clone())];
+        assert!(merge_tables(only0).is_err());
+        // Title mismatch.
+        let mut other = t.clone();
+        other.title = "different".into();
+        let parts = vec![
+            (ShardSpec::new(0, 2), t.clone()),
+            (ShardSpec::new(1, 2), other),
+        ];
+        assert!(merge_tables(parts).is_err());
+        // Duplicate shard index.
+        let parts = vec![
+            (ShardSpec::new(0, 2), t.clone()),
+            (ShardSpec::new(0, 2), t.clone()),
+        ];
+        assert!(merge_tables(parts).is_err());
+        assert!(merge_tables(Vec::new()).is_err());
+    }
+
+    #[test]
+    fn sharded_demand_sweep_merges_byte_identically() {
+        // The real contract behind the CI smoke step: run the (fully
+        // deterministic) demand target unsharded and as two shards; the
+        // merged JSON must equal the unsharded JSON byte for byte.
+        let full = crate::demand_sweep(0.005, 1, ShardSpec::full());
+        let parts: Vec<_> = (0..2)
+            .map(|i| {
+                let shard = ShardSpec::new(i, 2);
+                (shard, crate::demand_sweep(0.005, 1, shard))
+            })
+            .collect();
+        let merged = merge_tables(parts).expect("merge");
+        assert_eq!(merged.to_json(), full.to_json());
+    }
+
+    #[test]
+    fn merge_target_dir_reads_shard_files() {
+        let dir = std::env::temp_dir().join(format!("rdcn-shard-merge-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("tmp dir");
+        let full = sample_table();
+        for i in 0..2usize {
+            let shard = ShardSpec::new(i, 2);
+            let part = SimpleTable {
+                title: full.title.clone(),
+                columns: full.columns.clone(),
+                rows: full
+                    .rows
+                    .iter()
+                    .enumerate()
+                    .filter(|(r, _)| shard.owns(*r))
+                    .map(|(_, row)| row.clone())
+                    .collect(),
+            };
+            std::fs::write(dir.join(shard_file_name("demo", shard)), part.to_json())
+                .expect("write shard");
+        }
+        let (merged, paths) = merge_target_dir(&dir, "demo").expect("merge dir");
+        assert_eq!(paths.len(), 2);
+        assert_eq!(merged.to_json(), full.to_json());
+        assert!(merge_target_dir(&dir, "absent").is_err());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

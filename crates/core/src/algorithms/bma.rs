@@ -16,36 +16,48 @@
 //!
 //! Implementation note (execution-time fidelity, Figs. 1b–4b): evicting the
 //! least-recently-used *incident* edge deterministically requires a
-//! per-node recency index. We maintain one ordered index per rack, so every
-//! request to a matched pair updates the indexes at both endpoints
-//! (O(log b) each), while R-BMA's ordinary-request path is a single counter
-//! bump. This per-hit upkeep — inherent to deterministic recency-based
-//! eviction — is what makes BMA slower per request and more sensitive to
-//! `b` than R-BMA, the effect §3.2 reports.
+//! per-node recency index, so every request to a matched pair updates the
+//! indexes at both endpoints, while R-BMA's ordinary-request path is a
+//! single counter bump. This per-hit upkeep — inherent to deterministic
+//! recency-based eviction — is what makes BMA slower per request and more
+//! sensitive to `b` than R-BMA, the effect §3.2 reports. The upkeep itself
+//! is now O(1): the recency index is a flat intrusive LRU threaded through
+//! the matching's fixed-stride adjacency
+//! ([`dcn_matching::recency::LruBMatching`] — a hit is two list splices,
+//! eviction a head read), replacing the per-rack `BTreeMap` whose O(log b)
+//! rebalancing used to dominate BMA's hit path. The algorithm is generic
+//! over the index ([`BmaWith`]); [`BmaBTree`] instantiates it over the
+//! historical B-tree structure as the equivalence oracle — same victims,
+//! same reports, pinned by tests and asserted live by the `scaling` target.
 
 use crate::scheduler::{BatchOutcome, OnlineScheduler, ServeOutcome};
-use dcn_matching::BMatching;
+use dcn_matching::{BMatching, BTreeRecencyMatching, LruBMatching, RecencyMatching};
 use dcn_topology::{DistanceMatrix, NodeId, Pair};
 use dcn_util::FxHashMap;
-use std::collections::BTreeMap;
 use std::sync::Arc;
 
-/// Deterministic rent-or-buy online b-matching.
-pub struct Bma {
+/// Deterministic rent-or-buy online b-matching over a pluggable recency
+/// index. Use [`Bma`] (flat intrusive LRU) in production; [`BmaBTree`] is
+/// the reference oracle.
+pub struct BmaWith<M: RecencyMatching> {
     dm: Arc<DistanceMatrix>,
     alpha: u64,
     /// Accumulated fixed-network cost per unmatched pair.
     counters: FxHashMap<Pair, u64>,
-    /// Last-use stamp of each matching edge.
-    stamp_of: FxHashMap<Pair, u64>,
-    /// Per-rack recency index over incident matching edges: the first entry
-    /// is the LRU eviction victim at that rack.
-    recency: Vec<BTreeMap<u64, Pair>>,
-    clock: u64,
-    matching: BMatching,
+    /// Matching + per-endpoint recency (LRU victim selection).
+    index: M,
 }
 
-impl Bma {
+/// BMA over the flat intrusive LRU — the production instantiation.
+pub type Bma = BmaWith<LruBMatching>;
+
+/// BMA over the historical per-rack `BTreeMap` recency — the reference
+/// oracle the flat instantiation is required to match decision for
+/// decision (same victims, byte-identical seeded `RunReport`s). Reports
+/// under the same `"BMA"` name so reports compare equal field by field.
+pub type BmaBTree = BmaWith<BTreeRecencyMatching>;
+
+impl<M: RecencyMatching> BmaWith<M> {
     /// Creates BMA with degree cap `b` and reconfiguration cost `alpha`.
     pub fn new(dm: Arc<DistanceMatrix>, b: usize, alpha: u64) -> Self {
         assert!(alpha >= 1, "alpha must be at least 1");
@@ -54,22 +66,8 @@ impl Bma {
             dm,
             alpha,
             counters: FxHashMap::default(),
-            stamp_of: FxHashMap::default(),
-            recency: vec![BTreeMap::new(); n],
-            clock: 0,
-            matching: BMatching::new(n, b),
+            index: M::new(n, b),
         }
-    }
-
-    /// Refreshes the recency of matched edge `pair` at both endpoints.
-    fn touch(&mut self, pair: Pair) {
-        self.clock += 1;
-        if let Some(old) = self.stamp_of.insert(pair, self.clock) {
-            self.recency[pair.lo() as usize].remove(&old);
-            self.recency[pair.hi() as usize].remove(&old);
-        }
-        self.recency[pair.lo() as usize].insert(self.clock, pair);
-        self.recency[pair.hi() as usize].insert(self.clock, pair);
     }
 
     /// The rent-or-buy miss path: pay `ℓ_e`, accumulate, buy at α.
@@ -86,43 +84,41 @@ impl Bma {
         // Buy the edge; make room deterministically.
         let mut removed = 0;
         for node in [pair.lo(), pair.hi()] {
-            if self.matching.degree(node) >= self.matching.cap() {
+            if self.index.matching().degree(node) >= self.index.matching().cap() {
                 self.evict_lru_at(node);
                 removed += 1;
             }
         }
-        self.matching.insert(pair);
-        self.touch(pair);
+        self.index.insert_mru(pair);
         (1, removed)
     }
 
     /// Evicts the least-recently-used matching edge at `node`.
     fn evict_lru_at(&mut self, node: NodeId) -> Pair {
-        let (&stamp, &victim) = self.recency[node as usize]
-            .iter()
-            .next()
+        let victim = self
+            .index
+            .lru_edge(node)
             .expect("eviction requested at a node with no matching edges");
-        self.recency[victim.lo() as usize].remove(&stamp);
-        self.recency[victim.hi() as usize].remove(&stamp);
-        self.stamp_of.remove(&victim);
-        self.matching.remove(victim);
+        self.index.remove(victim);
         self.counters.remove(&victim);
         victim
     }
 }
 
-impl OnlineScheduler for Bma {
+impl<M: RecencyMatching> OnlineScheduler for BmaWith<M> {
     fn name(&self) -> &str {
         "BMA"
     }
 
     fn cap(&self) -> usize {
-        self.matching.cap()
+        self.index.matching().cap()
     }
 
     fn serve(&mut self, pair: Pair) -> ServeOutcome {
-        if self.matching.contains(pair) {
-            self.touch(pair);
+        // The membership check and the recency refresh are one fused
+        // operation (on the flat index, the membership scan already locates
+        // the intrusive list node).
+        if self.index.touch_hit(pair) {
             return ServeOutcome {
                 was_matched: true,
                 added: 0,
@@ -140,17 +136,16 @@ impl OnlineScheduler for Bma {
     }
 
     /// Batched serve with fused accounting: hits stay on the recency-upkeep
-    /// path that makes BMA's per-request cost inherently heavier than
-    /// R-BMA's — batching shrinks the dispatch/accounting overhead around
-    /// it, not the upkeep itself. Routing is charged from the simulator's
-    /// `dm`, renting from the scheduler's own (the same matrix in every
-    /// sweep, so the second read hits the just-warmed line).
+    /// path — now two O(1) splices instead of four B-tree operations —
+    /// while batching shrinks the dispatch/accounting overhead around it.
+    /// Routing is charged from the simulator's `dm`, renting from the
+    /// scheduler's own (the same matrix in every sweep, so the second read
+    /// hits the just-warmed line).
     fn serve_batch(&mut self, batch: &[Pair], dm: &DistanceMatrix, acc: &mut BatchOutcome) {
         let mut matched = 0u64;
         let mut routing = 0u64;
         for &pair in batch {
-            if self.matching.contains(pair) {
-                self.touch(pair);
+            if self.index.touch_hit(pair) {
                 matched += 1;
                 routing += 1;
             } else {
@@ -166,7 +161,7 @@ impl OnlineScheduler for Bma {
     }
 
     fn matching(&self) -> &BMatching {
-        &self.matching
+        self.index.matching()
     }
 }
 
@@ -241,6 +236,7 @@ mod tests {
             bma.serve(Pair::new(a, c));
         }
         bma.matching().assert_valid();
+        bma.index.assert_valid();
     }
 
     #[test]
@@ -259,6 +255,77 @@ mod tests {
         assert_eq!(bma.serve(p01).added, 1);
     }
 
+    /// Drives both instantiations in lock step and requires identical
+    /// outcomes, matchings, and recency orders at every step — the
+    /// decision-for-decision equivalence the flattening must preserve.
+    fn assert_lockstep_equivalent(requests: &[Pair], n: usize, b: usize, alpha: u64) {
+        let dm = uniform(n);
+        let mut flat = Bma::new(dm.clone(), b, alpha);
+        let mut tree = BmaBTree::new(dm, b, alpha);
+        for (i, &r) in requests.iter().enumerate() {
+            let a = flat.serve(r);
+            let c = tree.serve(r);
+            assert_eq!(a, c, "outcome diverged at request {i} ({r})");
+            for v in 0..n as NodeId {
+                assert_eq!(
+                    flat.index.recency_order(v),
+                    tree.index.recency_order(v),
+                    "recency order diverged at request {i}, rack {v}"
+                );
+            }
+        }
+        assert_eq!(flat.matching().len(), tree.matching().len());
+        flat.index.assert_valid();
+    }
+
+    #[test]
+    fn flat_and_btree_instantiations_are_decision_identical() {
+        let n = 12u32;
+        let requests: Vec<Pair> = (0..6000u32)
+            .filter_map(|i| {
+                let a = i % n;
+                let c = (a + 1 + i.wrapping_mul(40503) % (n - 1)) % n;
+                (a != c).then(|| Pair::new(a, c))
+            })
+            .collect();
+        assert_lockstep_equivalent(&requests, n as usize, 2, 3);
+        assert_lockstep_equivalent(&requests, n as usize, 4, 1);
+    }
+
+    #[test]
+    fn flat_and_btree_reports_are_identical_across_batch_sizes() {
+        // End-to-end: the full simulator pipeline must produce the same
+        // report from both instantiations, batched and unbatched.
+        use crate::simulator::{run, SimConfig};
+        use dcn_traces::RequestSource;
+        let net = dcn_topology::builders::fat_tree_with_racks(20);
+        let dm = Arc::new(DistanceMatrix::between_racks(&net));
+        let mut source = dcn_traces::zipf_pair_source(20, 8_000, 1.2, 3);
+        let trace = source.materialize();
+        let base = SimConfig {
+            checkpoints: vec![1_000, 4_321, 8_000],
+            ..Default::default()
+        };
+        for batch_size in [1usize, 7, 1024] {
+            let config = base.clone().with_batch_size(batch_size);
+            let mut flat = Bma::new(dm.clone(), 4, 10);
+            let a = run(&mut flat, &dm, 10, &trace.requests, &config);
+            let mut tree = BmaBTree::new(dm.clone(), 4, 10);
+            let b = run(&mut tree, &dm, 10, &trace.requests, &config);
+            assert_eq!(a.algorithm, b.algorithm);
+            assert_eq!(a.total.routing_cost, b.total.routing_cost);
+            assert_eq!(a.total.reconfigurations, b.total.reconfigurations);
+            assert_eq!(a.total.matched_requests, b.total.matched_requests);
+            assert_eq!(a.checkpoints.len(), b.checkpoints.len());
+            for (x, y) in a.checkpoints.iter().zip(&b.checkpoints) {
+                assert_eq!(x.requests, y.requests);
+                assert_eq!(x.routing_cost, y.routing_cost);
+                assert_eq!(x.reconfig_cost, y.reconfig_cost);
+                assert_eq!(x.matched_requests, y.matched_requests);
+            }
+        }
+    }
+
     #[test]
     fn recency_indexes_stay_consistent() {
         let n = 12;
@@ -271,16 +338,16 @@ mod tests {
             }
             bma.serve(Pair::new(a, c));
         }
-        // Every matched edge appears in both endpoints' recency trees with
-        // the stamp recorded in stamp_of, and nothing else does.
-        let mut tree_edges = 0;
-        for v in 0..n {
-            for (stamp, pair) in &bma.recency[v] {
-                assert_eq!(bma.stamp_of.get(pair), Some(stamp), "stale stamp at {v}");
-                assert!(bma.matching().contains(*pair));
-                tree_edges += 1;
+        // Every matched edge appears in both endpoints' recency lists, and
+        // the intrusive slab is internally consistent.
+        bma.index.assert_valid();
+        let mut listed = 0;
+        for v in 0..n as NodeId {
+            for pair in bma.index.recency_order(v) {
+                assert!(bma.matching().contains(pair));
+                listed += 1;
             }
         }
-        assert_eq!(tree_edges, 2 * bma.matching().len());
+        assert_eq!(listed, 2 * bma.matching().len());
     }
 }

@@ -7,6 +7,12 @@
 //! style of systems like Proteus/OSA (§4 of the paper classifies these
 //! against fine-granular per-request schedulers); comparing it against
 //! R-BMA quantifies what per-request adaptivity buys.
+//!
+//! Substrate note: the flat intrusive recency slab that now backs BMA
+//! ([`dcn_matching::recency::LruBMatching`]) was evaluated here and not
+//! adopted — this scheduler keeps a demand *count* window (`window`) and
+//! never asks which edge is least recently used, so an LRU overlay would
+//! be dead weight on its hot path.
 
 use crate::scheduler::{OnlineScheduler, ServeOutcome};
 use dcn_matching::{greedy_b_matching, BMatching, WeightedEdge};

@@ -9,6 +9,12 @@
 //! (evict the pair predicted to be requested farthest in the future —
 //! Belady's rule applied to predictions). The oracle is built from the
 //! trace and can be blurred with multiplicative noise to study robustness.
+//!
+//! Substrate note: the flat intrusive recency slab that now backs BMA
+//! ([`dcn_matching::recency::LruBMatching`]) was evaluated here and not
+//! adopted — evictions follow predicted *next use* over the unmarked set,
+//! not recency order, so the caches keep their marked/unmarked
+//! `IndexedSet`s and the oracle scan.
 
 use crate::scheduler::{OnlineScheduler, ServeOutcome};
 use dcn_matching::BMatching;

@@ -54,3 +54,4 @@ pub mod sweep;
 pub use report::{AveragedSeries, Checkpoint, RunReport};
 pub use scheduler::{OnlineScheduler, ServeOutcome};
 pub use simulator::{run, RequestStream, SimConfig};
+pub use sweep::ShardSpec;

@@ -1,10 +1,28 @@
-//! Deterministic parallel fan-out of simulation runs.
+//! Deterministic parallel fan-out of simulation runs — a **work-stealing
+//! executor** over the job grid, plus deterministic **sharding** for
+//! multi-host splits.
 //!
 //! Cost figures need (algorithm × b × trace-seed × algo-seed) grids of
 //! runs; each run is single-threaded (per the paper's methodology) but runs
-//! are independent, so the grid fans out over worker threads via a
-//! crossbeam channel. The output order is deterministic regardless of
-//! scheduling: results carry their job index and are re-sorted.
+//! are independent. Workers claim jobs dynamically from a shared atomic
+//! cursor — the next idle worker takes the next undone job — so skewed job
+//! costs (a 10⁷-request run next to 10⁵-request runs, exactly the shape of
+//! the scaling/robustness grids) never leave cores idle behind a static
+//! split. Each worker writes its result into that job's preallocated slot,
+//! so the output order is job order and byte-identical to
+//! [`run_jobs_sequential`] no matter how the OS schedules the workers
+//! (every job's RNG streams are pure functions of its own seeds).
+//!
+//! `threads = 0` means **auto** (one worker per available core); any other
+//! value is taken literally. This is the convention every `repro_figures
+//! --threads N` target surfaces.
+//!
+//! A [`ShardSpec`] deterministically partitions any grid for multi-host
+//! runs: shard `i/m` owns exactly the jobs (or table rows) whose index is
+//! `≡ i (mod m)` — round-robin, so skewed grids split evenly — and the
+//! union of all `m` slices is the unsharded grid, in job order
+//! ([`run_jobs_sharded`] returns original indices alongside reports, and
+//! `repro_figures --merge-json` reassembles shard artifacts byte-for-byte).
 //!
 //! Every [`Job`] carries a [`TraceSpec`] — a *description* of its workload
 //! (generator + parameters + trace seed) — and each worker synthesizes its
@@ -24,6 +42,7 @@ use crate::simulator::{run, SimConfig};
 use dcn_topology::DistanceMatrix;
 use dcn_traces::TraceSpec;
 use parking_lot::Mutex;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
 /// One simulation job: an algorithm configuration plus the workload it runs
@@ -44,37 +63,173 @@ pub struct Job {
     pub trace: TraceSpec,
 }
 
-/// Runs all jobs using `threads` workers; results are in job order.
-pub fn run_jobs(dm: &Arc<DistanceMatrix>, jobs: &[Job], threads: usize) -> Vec<RunReport> {
-    assert!(threads >= 1);
-    if threads == 1 || jobs.len() <= 1 {
-        return run_jobs_sequential(dm, jobs);
-    }
-    let (tx, rx) = crossbeam::channel::unbounded::<(usize, Job)>();
-    for (i, j) in jobs.iter().cloned().enumerate() {
-        tx.send((i, j)).expect("queue send");
-    }
-    drop(tx);
+/// A deterministic `index`-of-`count` partition of a job grid (or any other
+/// indexed work list): shard `i/m` owns the indices `≡ i (mod m)`.
+/// Round-robin assignment keeps skewed grids (where cost grows with index,
+/// as in the scaling sweeps) balanced across hosts, and the union of all
+/// `m` shards is exactly the full grid, each index owned once.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ShardSpec {
+    index: usize,
+    count: usize,
+}
 
-    let results: Mutex<Vec<Option<RunReport>>> = Mutex::new(vec![None; jobs.len()]);
+impl Default for ShardSpec {
+    fn default() -> Self {
+        Self::full()
+    }
+}
+
+impl ShardSpec {
+    /// The trivial partition: one shard owning everything.
+    pub fn full() -> Self {
+        Self { index: 0, count: 1 }
+    }
+
+    /// Shard `index` of `count`; panics unless `index < count`.
+    pub fn new(index: usize, count: usize) -> Self {
+        assert!(
+            index < count,
+            "shard index {index} out of range for {count} shard(s)"
+        );
+        Self { index, count }
+    }
+
+    /// Parses the CLI form `"i/m"` (e.g. `"0/2"`, `"1/2"`).
+    pub fn parse(s: &str) -> Result<Self, String> {
+        let (i, m) = s
+            .split_once('/')
+            .ok_or_else(|| format!("shard spec {s:?} is not of the form i/m"))?;
+        let index: usize = i
+            .trim()
+            .parse()
+            .map_err(|_| format!("shard index {i:?} is not a number"))?;
+        let count: usize = m
+            .trim()
+            .parse()
+            .map_err(|_| format!("shard count {m:?} is not a number"))?;
+        if count == 0 {
+            return Err("shard count must be at least 1".into());
+        }
+        if index >= count {
+            return Err(format!(
+                "shard index {index} out of range for {count} shard(s)"
+            ));
+        }
+        Ok(Self { index, count })
+    }
+
+    /// This shard's position.
+    pub fn index(&self) -> usize {
+        self.index
+    }
+
+    /// Total number of shards.
+    pub fn count(&self) -> usize {
+        self.count
+    }
+
+    /// Whether this is the trivial single-shard partition.
+    pub fn is_full(&self) -> bool {
+        self.count == 1
+    }
+
+    /// Whether this shard owns work item `i`.
+    #[inline]
+    pub fn owns(&self, i: usize) -> bool {
+        i % self.count == self.index
+    }
+
+    /// The indices this shard owns out of `0..n`, ascending.
+    pub fn owned_indices(&self, n: usize) -> impl Iterator<Item = usize> + '_ {
+        (self.index..n).step_by(self.count)
+    }
+}
+
+impl std::fmt::Display for ShardSpec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}/{}", self.index, self.count)
+    }
+}
+
+/// Resolves the `threads` knob: `0` = auto (one worker per available
+/// core), anything else is taken literally.
+pub fn resolve_threads(threads: usize) -> usize {
+    if threads == 0 {
+        std::thread::available_parallelism().map_or(1, |p| p.get())
+    } else {
+        threads
+    }
+}
+
+/// Runs all jobs using `threads` workers (`0` = auto); results are in job
+/// order, identical to [`run_jobs_sequential`].
+pub fn run_jobs(dm: &Arc<DistanceMatrix>, jobs: &[Job], threads: usize) -> Vec<RunReport> {
+    let indices: Vec<usize> = (0..jobs.len()).collect();
+    execute_indices(dm, jobs, &indices, threads)
+}
+
+/// Runs the subset of `jobs` owned by `shard` using `threads` workers
+/// (`0` = auto). Returns `(original job index, report)` pairs in job order,
+/// so the union of all shards' outputs — interleaved by index — is exactly
+/// the unsharded [`run_jobs`] result.
+pub fn run_jobs_sharded(
+    dm: &Arc<DistanceMatrix>,
+    jobs: &[Job],
+    threads: usize,
+    shard: ShardSpec,
+) -> Vec<(usize, RunReport)> {
+    let indices: Vec<usize> = shard.owned_indices(jobs.len()).collect();
+    let reports = execute_indices(dm, jobs, &indices, threads);
+    indices.into_iter().zip(reports).collect()
+}
+
+/// The work-stealing primitive under [`run_jobs`] (and any other
+/// independent-row fan-out, e.g. the lower-bound ablation's per-`b` rows):
+/// computes `f(k)` for every `k in 0..n` using up to `threads` workers
+/// (`0` = auto) that claim indices from a shared atomic cursor — the next
+/// idle worker takes the next undone index, so skewed per-index costs
+/// cannot strand work behind a static split — and writes each result into
+/// its preallocated slot. `result[k] == f(k)`, in index order, for every
+/// thread count.
+pub fn steal_map<T: Send>(n: usize, threads: usize, f: impl Fn(usize) -> T + Sync) -> Vec<T> {
+    let threads = resolve_threads(threads).min(n);
+    if threads <= 1 {
+        return (0..n).map(f).collect();
+    }
+    let cursor = AtomicUsize::new(0);
+    // One slot per index: workers lock only their own claimed slot, so
+    // there is no contention and no post-hoc sort.
+    let slots: Vec<Mutex<Option<T>>> = (0..n).map(|_| Mutex::new(None)).collect();
     std::thread::scope(|scope| {
-        for _ in 0..threads.min(jobs.len()) {
-            let rx = rx.clone();
-            let results = &results;
-            let dm = Arc::clone(dm);
-            scope.spawn(move || {
-                while let Ok((i, job)) = rx.recv() {
-                    let report = execute(&dm, &job);
-                    results.lock()[i] = Some(report);
+        for _ in 0..threads {
+            let cursor = &cursor;
+            let slots = &slots;
+            let f = &f;
+            scope.spawn(move || loop {
+                let k = cursor.fetch_add(1, Ordering::Relaxed);
+                if k >= n {
+                    break;
                 }
+                *slots[k].lock() = Some(f(k));
             });
         }
     });
-    results
-        .into_inner()
+    slots
         .into_iter()
-        .map(|r| r.expect("all jobs completed"))
+        .map(|s| s.into_inner().expect("all claimed indices completed"))
         .collect()
+}
+
+/// Job-grid adapter over [`steal_map`]: `result[k]` is the report of
+/// `jobs[indices[k]]`.
+fn execute_indices(
+    dm: &Arc<DistanceMatrix>,
+    jobs: &[Job],
+    indices: &[usize],
+    threads: usize,
+) -> Vec<RunReport> {
+    steal_map(indices.len(), threads, |k| execute(dm, &jobs[indices[k]]))
 }
 
 /// Single-threaded variant (for wall-clock fidelity).
@@ -312,6 +467,125 @@ mod tests {
         );
         assert_eq!(seq[2].trace, seq_spec.name());
         assert_eq!(seq[2].total.requests, 2000);
+    }
+
+    #[test]
+    fn work_stealing_matches_sequential_for_every_thread_count() {
+        // The executor contract: for every worker count 1–8 (more workers
+        // than jobs included), the report vector is identical to the
+        // sequential run — same order, same costs, same checkpoints.
+        let dm = setup();
+        let js = jobs();
+        let seq = run_jobs_sequential(&dm, &js);
+        for threads in 1..=8usize {
+            let par = run_jobs(&dm, &js, threads);
+            assert_eq!(seq.len(), par.len(), "threads={threads}");
+            for (i, (a, b)) in seq.iter().zip(&par).enumerate() {
+                assert_eq!(a.algorithm, b.algorithm, "threads={threads} job={i}");
+                assert_eq!(a.b, b.b, "threads={threads} job={i}");
+                assert_eq!(a.seed, b.seed, "threads={threads} job={i}");
+                assert_eq!(
+                    a.total.routing_cost, b.total.routing_cost,
+                    "threads={threads} job={i}"
+                );
+                assert_eq!(
+                    a.total.reconfigurations, b.total.reconfigurations,
+                    "threads={threads} job={i}"
+                );
+                assert_eq!(
+                    a.checkpoints.len(),
+                    b.checkpoints.len(),
+                    "threads={threads} job={i}"
+                );
+                for (x, y) in a.checkpoints.iter().zip(&b.checkpoints) {
+                    assert_eq!(x.requests, y.requests, "threads={threads} job={i}");
+                    assert_eq!(x.routing_cost, y.routing_cost, "threads={threads} job={i}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn steal_map_is_index_ordered_for_every_thread_count() {
+        // The shared primitive behind run_jobs and the row fan-outs:
+        // result[k] == f(k) regardless of worker count, including more
+        // workers than indices and the empty case.
+        for threads in 0..=6usize {
+            let out = steal_map(9, threads, |k| k * k);
+            assert_eq!(
+                out,
+                (0..9).map(|k| k * k).collect::<Vec<_>>(),
+                "t={threads}"
+            );
+        }
+        assert_eq!(steal_map(0, 4, |k| k), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn zero_threads_means_auto() {
+        // The 0 = auto convention must run (not panic) and stay
+        // deterministic.
+        let dm = setup();
+        let js = jobs();
+        let auto = run_jobs(&dm, &js, 0);
+        let seq = run_jobs_sequential(&dm, &js);
+        for (a, b) in auto.iter().zip(&seq) {
+            assert_eq!(a.total.routing_cost, b.total.routing_cost);
+        }
+        assert!(resolve_threads(0) >= 1);
+        assert_eq!(resolve_threads(3), 3);
+    }
+
+    #[test]
+    fn shard_union_is_the_unsharded_grid_in_job_order() {
+        let dm = setup();
+        let js = jobs();
+        let full = run_jobs(&dm, &js, 2);
+        for m in 1..=4usize {
+            let mut merged: Vec<Option<RunReport>> = vec![None; js.len()];
+            for i in 0..m {
+                let shard = ShardSpec::new(i, m);
+                for (idx, report) in run_jobs_sharded(&dm, &js, 2, shard) {
+                    assert!(shard.owns(idx), "shard {shard} yielded foreign job {idx}");
+                    assert!(merged[idx].is_none(), "job {idx} produced twice");
+                    merged[idx] = Some(report);
+                }
+            }
+            for (idx, (got, want)) in merged.iter().zip(&full).enumerate() {
+                let got = got.as_ref().unwrap_or_else(|| panic!("job {idx} missing"));
+                assert_eq!(got.algorithm, want.algorithm, "m={m} job={idx}");
+                assert_eq!(
+                    got.total.routing_cost, want.total.routing_cost,
+                    "m={m} job={idx}"
+                );
+                assert_eq!(
+                    got.total.reconfigurations, want.total.reconfigurations,
+                    "m={m} job={idx}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn shard_spec_parses_and_partitions() {
+        let s = ShardSpec::parse("1/3").expect("valid spec");
+        assert_eq!((s.index(), s.count()), (1, 3));
+        assert_eq!(s.to_string(), "1/3");
+        assert!(!s.is_full());
+        assert!(ShardSpec::full().is_full());
+        assert_eq!(s.owned_indices(8).collect::<Vec<_>>(), vec![1, 4, 7]);
+        // Every index is owned by exactly one shard.
+        for n in [0usize, 1, 7, 20] {
+            for m in 1..=5usize {
+                for i in 0..n {
+                    let owners = (0..m).filter(|&k| ShardSpec::new(k, m).owns(i)).count();
+                    assert_eq!(owners, 1, "index {i} of {n} under {m} shards");
+                }
+            }
+        }
+        for bad in ["", "2", "a/b", "3/3", "1/0", "0/"] {
+            assert!(ShardSpec::parse(bad).is_err(), "{bad:?} should not parse");
+        }
     }
 
     #[test]

@@ -1,0 +1,554 @@
+//! Per-endpoint **recency indexes** over a [`BMatching`] — the substrate of
+//! deterministic LRU eviction (BMA's rent-or-buy baseline evicts the
+//! least-recently-used incident edge at a full endpoint).
+//!
+//! Two implementations with one contract ([`RecencyMatching`]):
+//!
+//! * [`LruBMatching`] — the production structure: a **flat intrusive LRU**.
+//!   A slab of list nodes with `prev`/`next` slot indices is threaded
+//!   per-endpoint through the *same fixed-stride adjacency layout*
+//!   [`BMatching`] already owns (edge at position `i` of rack `v`'s block
+//!   occupies slot `v·b + i`), so finding an edge's list node is the same
+//!   bounded block scan that membership already pays — no hashing, no
+//!   allocation, no tree. A hit is two O(1) list splices; the eviction
+//!   victim is a head read.
+//! * [`BTreeRecencyMatching`] — the historical structure (one
+//!   `BTreeMap<stamp, Pair>` per rack plus a `stamp → pair` map), kept as
+//!   the **reference oracle**: the equivalence proptests replay both side
+//!   by side and require identical victims, and `micro_batch`'s
+//!   `bma/recency_upkeep` point measures the flattening win against it.
+//!
+//! Victim equivalence argument: the B-tree orders a rack's incident edges
+//! by their last-touch stamp, drawn from a strictly increasing global
+//! clock; the intrusive list orders them by last-touch *sequence* (touch
+//! moves a node to the MRU tail, insertion enters at the MRU tail). Both
+//! orders are the order of last touches, so the minimum-stamp edge and the
+//! LRU head coincide — decision for decision. The list needs no stamps at
+//! all, which also removes the B-tree's (theoretical) clock-wraparound
+//! hazard: [`BTreeRecency`] aborts if its `u64` stamp clock would overflow,
+//! while [`LruBMatching`] has no clock to overflow.
+//!
+//! Adoption survey (rest of the workspace): `periodic.rs` keeps a demand
+//! *count* window (no recency ordering) and `predictive.rs` evicts by
+//! predicted next use over unmarked entries (oracle order, not recency), so
+//! neither gains from this slab; R-BMA's marking caches sample uniformly
+//! ([`dcn_util::IndexedSet`] / `DenseMarking`), which is already O(1). BMA
+//! is the only recency consumer, and it rides [`LruBMatching`].
+
+use crate::BMatching;
+use dcn_topology::{NodeId, Pair};
+use dcn_util::FxHashMap;
+use std::collections::BTreeMap;
+
+/// Sentinel for "no slot" in the intrusive lists.
+const NIL: u32 = u32::MAX;
+
+/// A degree-capped matching with per-endpoint LRU recency over its incident
+/// edges. The one contract BMA needs: membership-with-touch, MRU insertion,
+/// removal, and the per-endpoint LRU victim.
+pub trait RecencyMatching {
+    /// Empty structure over `n` racks with degree cap `b`.
+    fn new(n: usize, b: usize) -> Self;
+
+    /// The underlying matching.
+    fn matching(&self) -> &BMatching;
+
+    /// If `pair` is a matching edge, refresh its recency at both endpoints
+    /// and return `true`; otherwise return `false` and change nothing.
+    fn touch_hit(&mut self, pair: Pair) -> bool;
+
+    /// Inserts `pair` as the most-recently-used edge at both endpoints.
+    /// Panics if present or over the cap (callers make room first).
+    fn insert_mru(&mut self, pair: Pair);
+
+    /// Removes `pair` and its recency state; returns whether it was present.
+    fn remove(&mut self, pair: Pair) -> bool;
+
+    /// The least-recently-used matching edge incident to `v`, if any — the
+    /// deterministic eviction victim.
+    fn lru_edge(&self, v: NodeId) -> Option<Pair>;
+
+    /// `v`'s incident edges in recency order (LRU first). O(degree); for
+    /// tests and diagnostics, not the hot path.
+    fn recency_order(&self, v: NodeId) -> Vec<Pair>;
+}
+
+/// Flat intrusive LRU over [`BMatching`]'s fixed-stride adjacency.
+///
+/// Layout: edge at position `i` of rack `v`'s adjacency block owns list
+/// slot `v·b + i` in the `prev`/`next` slabs; `head[v]`/`tail[v]` bound
+/// rack `v`'s list (head = LRU victim, tail = MRU). [`BMatching`]'s
+/// swap-remove (last block entry fills the hole) is mirrored by relabeling
+/// the moved edge's list node, so slots always track block positions.
+///
+/// ```
+/// use dcn_matching::recency::{LruBMatching, RecencyMatching};
+/// use dcn_topology::Pair;
+///
+/// let mut m = LruBMatching::new(4, 2);
+/// m.insert_mru(Pair::new(0, 1));
+/// m.insert_mru(Pair::new(0, 2));
+/// assert!(m.touch_hit(Pair::new(0, 1))); // {0,1} becomes MRU at rack 0
+/// assert_eq!(m.lru_edge(0), Some(Pair::new(0, 2)));
+/// assert!(!m.touch_hit(Pair::new(0, 3)), "not a matching edge");
+/// ```
+#[derive(Clone, Debug)]
+pub struct LruBMatching {
+    matching: BMatching,
+    /// Intrusive list slabs, indexed by adjacency slot `v·cap + position`.
+    prev: Vec<u32>,
+    next: Vec<u32>,
+    /// Oldest (LRU) slot per rack; `NIL` when the rack has no edges.
+    head: Vec<u32>,
+    /// Newest (MRU) slot per rack.
+    tail: Vec<u32>,
+}
+
+impl LruBMatching {
+    #[inline]
+    fn slot(&self, v: NodeId, pos: usize) -> u32 {
+        (v as usize * self.matching.cap() + pos) as u32
+    }
+
+    /// Unlinks `slot` from rack `v`'s list (must be linked).
+    #[inline]
+    fn unlink(&mut self, v: NodeId, slot: u32) {
+        let (p, n) = (self.prev[slot as usize], self.next[slot as usize]);
+        if p == NIL {
+            self.head[v as usize] = n;
+        } else {
+            self.next[p as usize] = n;
+        }
+        if n == NIL {
+            self.tail[v as usize] = p;
+        } else {
+            self.prev[n as usize] = p;
+        }
+    }
+
+    /// Links `slot` at rack `v`'s MRU end.
+    #[inline]
+    fn push_mru(&mut self, v: NodeId, slot: u32) {
+        let t = self.tail[v as usize];
+        self.prev[slot as usize] = t;
+        self.next[slot as usize] = NIL;
+        if t == NIL {
+            self.head[v as usize] = slot;
+        } else {
+            self.next[t as usize] = slot;
+        }
+        self.tail[v as usize] = slot;
+    }
+
+    /// Moves the list node at `from` to `to` (the swap-remove mirror):
+    /// neighbors and head/tail that pointed at `from` now point at `to`.
+    #[inline]
+    fn relabel(&mut self, v: NodeId, from: u32, to: u32) {
+        let (p, n) = (self.prev[from as usize], self.next[from as usize]);
+        self.prev[to as usize] = p;
+        self.next[to as usize] = n;
+        if p == NIL {
+            self.head[v as usize] = to;
+        } else {
+            self.next[p as usize] = to;
+        }
+        if n == NIL {
+            self.tail[v as usize] = to;
+        } else {
+            self.prev[n as usize] = to;
+        }
+    }
+
+    /// Exhaustive consistency check (tests/debug): list membership equals
+    /// block membership, orders are walkable from both ends, and the
+    /// underlying matching invariant holds.
+    pub fn assert_valid(&self) {
+        self.matching.assert_valid();
+        for v in 0..self.matching.num_racks() as NodeId {
+            let d = self.matching.degree(v);
+            let base = v as usize * self.matching.cap();
+            let mut seen = vec![false; d];
+            let mut slot = self.head[v as usize];
+            let mut prev = NIL;
+            let mut walked = 0usize;
+            while slot != NIL {
+                let pos = slot as usize - base;
+                assert!(pos < d, "slot {slot} outside the valid prefix at {v}");
+                assert!(!seen[pos], "slot {slot} linked twice at {v}");
+                seen[pos] = true;
+                assert_eq!(self.prev[slot as usize], prev, "broken prev at {v}");
+                prev = slot;
+                slot = self.next[slot as usize];
+                walked += 1;
+                assert!(walked <= d, "cycle in recency list at {v}");
+            }
+            assert_eq!(walked, d, "list length != degree at {v}");
+            assert_eq!(self.tail[v as usize], prev, "tail out of sync at {v}");
+        }
+    }
+}
+
+impl RecencyMatching for LruBMatching {
+    fn new(n: usize, b: usize) -> Self {
+        // Slot ids (and the NIL sentinel) live in u32: guard the capacity
+        // the same way the BTree reference guards its stamp clock, instead
+        // of silently aliasing list nodes past 2^32 slots.
+        assert!(
+            (n as u128) * (b as u128) < NIL as u128,
+            "n*b = {n}*{b} exceeds the u32 slot space of the intrusive LRU"
+        );
+        Self {
+            matching: BMatching::new(n, b),
+            prev: vec![NIL; n * b],
+            next: vec![NIL; n * b],
+            head: vec![NIL; n],
+            tail: vec![NIL; n],
+        }
+    }
+
+    #[inline]
+    fn matching(&self) -> &BMatching {
+        &self.matching
+    }
+
+    #[inline]
+    fn touch_hit(&mut self, pair: Pair) -> bool {
+        let (u, w) = pair.endpoints();
+        // The membership scan *is* the list-node lookup: position in the
+        // block addresses the intrusive slot directly.
+        let Some(pu) = self.matching.position(u, pair) else {
+            return false;
+        };
+        let pw = self
+            .matching
+            .position(w, pair)
+            .expect("adjacency blocks out of sync");
+        for (v, pos) in [(u, pu), (w, pw)] {
+            let slot = self.slot(v, pos);
+            if self.tail[v as usize] != slot {
+                self.unlink(v, slot);
+                self.push_mru(v, slot);
+            }
+        }
+        true
+    }
+
+    fn insert_mru(&mut self, pair: Pair) {
+        let (u, w) = pair.endpoints();
+        // BMatching appends at the degree index; record both before insert.
+        let (pu, pw) = (self.matching.degree(u), self.matching.degree(w));
+        self.matching.insert(pair);
+        let (su, sw) = (self.slot(u, pu), self.slot(w, pw));
+        self.push_mru(u, su);
+        self.push_mru(w, sw);
+    }
+
+    fn remove(&mut self, pair: Pair) -> bool {
+        let (u, w) = pair.endpoints();
+        let Some(pu) = self.matching.position(u, pair) else {
+            return false;
+        };
+        let pw = self
+            .matching
+            .position(w, pair)
+            .expect("adjacency blocks out of sync");
+        for (v, pos) in [(u, pu), (w, pw)] {
+            let last = self.matching.degree(v) - 1;
+            self.unlink(v, self.slot(v, pos));
+            if pos != last {
+                // Mirror the swap-remove: the block's last edge moves into
+                // the hole, so its list node moves to the hole's slot.
+                self.relabel(v, self.slot(v, last), self.slot(v, pos));
+            }
+        }
+        let removed = self.matching.remove(pair);
+        debug_assert!(removed, "position() found the pair, remove() must too");
+        true
+    }
+
+    #[inline]
+    fn lru_edge(&self, v: NodeId) -> Option<Pair> {
+        let slot = self.head[v as usize];
+        (slot != NIL).then(|| {
+            let pos = slot as usize - v as usize * self.matching.cap();
+            self.matching.incident_edges(v)[pos]
+        })
+    }
+
+    fn recency_order(&self, v: NodeId) -> Vec<Pair> {
+        let base = v as usize * self.matching.cap();
+        let mut out = Vec::with_capacity(self.matching.degree(v));
+        let mut slot = self.head[v as usize];
+        while slot != NIL {
+            out.push(self.matching.incident_edges(v)[slot as usize - base]);
+            slot = self.next[slot as usize];
+        }
+        out
+    }
+}
+
+/// The historical recency index: one stamp-ordered `BTreeMap` per rack.
+///
+/// Kept as the reference oracle for [`LruBMatching`] (equivalence proptests
+/// and the `bma/recency_upkeep` before/after bench point) — see the module
+/// docs for the victim-equivalence argument.
+#[derive(Clone, Debug, Default)]
+pub struct BTreeRecency {
+    /// Last-use stamp of each matching edge (`FxHashMap`, exactly as the
+    /// pre-flattening BMA kept it — the oracle must not be handicapped,
+    /// or the published flat-vs-btree speedups would overstate the win).
+    stamp_of: FxHashMap<Pair, u64>,
+    /// Per-rack recency index; the first entry is the LRU victim.
+    recency: Vec<BTreeMap<u64, Pair>>,
+    clock: u64,
+}
+
+impl BTreeRecency {
+    /// Empty index over `n` racks.
+    pub fn new(n: usize) -> Self {
+        Self::with_start_clock(n, 0)
+    }
+
+    /// Empty index whose stamp clock starts at `clock` — lets tests probe
+    /// behaviour at very large stamps, where the stamp-based design would
+    /// wrap (and corrupt its ordering) while the intrusive list, having no
+    /// stamps, cannot.
+    pub fn with_start_clock(n: usize, clock: u64) -> Self {
+        Self {
+            stamp_of: FxHashMap::default(),
+            recency: vec![BTreeMap::new(); n],
+            clock,
+        }
+    }
+
+    /// Refreshes the recency of `pair` at both endpoints (the caller
+    /// guarantees `pair` is, or is becoming, a matching edge).
+    pub fn touch(&mut self, pair: Pair) {
+        self.clock = self
+            .clock
+            .checked_add(1)
+            .expect("BTreeRecency stamp clock overflow: stamps would wrap and reorder");
+        if let Some(old) = self.stamp_of.insert(pair, self.clock) {
+            self.recency[pair.lo() as usize].remove(&old);
+            self.recency[pair.hi() as usize].remove(&old);
+        }
+        self.recency[pair.lo() as usize].insert(self.clock, pair);
+        self.recency[pair.hi() as usize].insert(self.clock, pair);
+    }
+
+    /// Drops `pair`'s recency state; returns whether it was tracked.
+    pub fn remove(&mut self, pair: Pair) -> bool {
+        match self.stamp_of.remove(&pair) {
+            None => false,
+            Some(stamp) => {
+                self.recency[pair.lo() as usize].remove(&stamp);
+                self.recency[pair.hi() as usize].remove(&stamp);
+                true
+            }
+        }
+    }
+
+    /// The minimum-stamp (least recently used) edge at `v`.
+    pub fn lru_edge(&self, v: NodeId) -> Option<Pair> {
+        self.recency[v as usize].values().next().copied()
+    }
+
+    /// `v`'s tracked edges in stamp order (LRU first).
+    pub fn order(&self, v: NodeId) -> Vec<Pair> {
+        self.recency[v as usize].values().copied().collect()
+    }
+}
+
+/// [`BTreeRecency`] paired with the matching it indexes — the reference
+/// implementation of [`RecencyMatching`], structured exactly like the
+/// pre-flattening BMA fields.
+#[derive(Clone, Debug)]
+pub struct BTreeRecencyMatching {
+    matching: BMatching,
+    recency: BTreeRecency,
+}
+
+impl BTreeRecencyMatching {
+    /// Reference structure whose stamp clock starts at `clock` (see
+    /// [`BTreeRecency::with_start_clock`]).
+    pub fn with_start_clock(n: usize, b: usize, clock: u64) -> Self {
+        Self {
+            matching: BMatching::new(n, b),
+            recency: BTreeRecency::with_start_clock(n, clock),
+        }
+    }
+}
+
+impl RecencyMatching for BTreeRecencyMatching {
+    fn new(n: usize, b: usize) -> Self {
+        Self::with_start_clock(n, b, 0)
+    }
+
+    fn matching(&self) -> &BMatching {
+        &self.matching
+    }
+
+    fn touch_hit(&mut self, pair: Pair) -> bool {
+        if !self.matching.contains(pair) {
+            return false;
+        }
+        self.recency.touch(pair);
+        true
+    }
+
+    fn insert_mru(&mut self, pair: Pair) {
+        self.matching.insert(pair);
+        self.recency.touch(pair);
+    }
+
+    fn remove(&mut self, pair: Pair) -> bool {
+        if !self.matching.remove(pair) {
+            return false;
+        }
+        let tracked = self.recency.remove(pair);
+        debug_assert!(tracked, "matched edge missing from recency index");
+        true
+    }
+
+    fn lru_edge(&self, v: NodeId) -> Option<Pair> {
+        self.recency.lru_edge(v)
+    }
+
+    fn recency_order(&self, v: NodeId) -> Vec<Pair> {
+        self.recency.order(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(a: u32, b: u32) -> Pair {
+        Pair::new(a, b)
+    }
+
+    #[test]
+    fn lru_victim_is_oldest_touch() {
+        let mut m = LruBMatching::new(6, 3);
+        m.insert_mru(p(0, 1));
+        m.insert_mru(p(0, 2));
+        m.insert_mru(p(0, 3));
+        assert_eq!(m.lru_edge(0), Some(p(0, 1)));
+        assert!(m.touch_hit(p(0, 1)));
+        assert_eq!(m.lru_edge(0), Some(p(0, 2)));
+        assert_eq!(m.recency_order(0), vec![p(0, 2), p(0, 3), p(0, 1)]);
+        m.assert_valid();
+    }
+
+    #[test]
+    fn touch_misses_leave_state_unchanged() {
+        let mut m = LruBMatching::new(4, 2);
+        m.insert_mru(p(0, 1));
+        let before = m.recency_order(0);
+        assert!(!m.touch_hit(p(0, 2)));
+        assert_eq!(m.recency_order(0), before);
+        assert!(!m.remove(p(0, 2)));
+        m.assert_valid();
+    }
+
+    #[test]
+    fn remove_mirrors_swap_remove_relabeling() {
+        // Removing a middle edge makes BMatching move its last block entry
+        // into the hole; the list node must follow, preserving order.
+        let mut m = LruBMatching::new(6, 4);
+        for v in [1u32, 2, 3, 4] {
+            m.insert_mru(p(0, v));
+        }
+        assert!(m.remove(p(0, 2)));
+        // Recency order drops {0,2} but otherwise keeps touch order.
+        assert_eq!(m.recency_order(0), vec![p(0, 1), p(0, 3), p(0, 4)]);
+        assert_eq!(m.lru_edge(0), Some(p(0, 1)));
+        m.assert_valid();
+        // The other endpoints' single-entry lists survive too.
+        assert_eq!(m.recency_order(3), vec![p(0, 3)]);
+    }
+
+    #[test]
+    fn empty_rack_has_no_victim() {
+        let m = LruBMatching::new(3, 2);
+        assert_eq!(m.lru_edge(1), None);
+        assert!(m.recency_order(1).is_empty());
+    }
+
+    #[test]
+    fn btree_reference_matches_flat_on_a_scripted_sequence() {
+        let mut flat = LruBMatching::new(8, 2);
+        let mut tree = BTreeRecencyMatching::new(8, 2);
+        let script = [p(0, 1), p(0, 2), p(1, 2), p(3, 4), p(0, 1), p(1, 2)];
+        for e in script {
+            if !flat.touch_hit(e) {
+                assert!(!tree.touch_hit(e));
+                if flat.matching().can_insert(e) {
+                    flat.insert_mru(e);
+                    tree.insert_mru(e);
+                }
+            } else {
+                assert!(tree.touch_hit(e));
+            }
+            for v in 0..8 {
+                assert_eq!(flat.recency_order(v), tree.recency_order(v));
+                assert_eq!(flat.lru_edge(v), tree.lru_edge(v));
+            }
+        }
+        flat.assert_valid();
+    }
+
+    #[test]
+    fn large_start_clock_does_not_perturb_the_reference() {
+        // Stamps near the top of the u64 range order exactly like small
+        // ones (no wrap occurs); the flat structure has no stamps at all.
+        let mut tree = BTreeRecencyMatching::with_start_clock(4, 2, u64::MAX - 16);
+        let mut flat = LruBMatching::new(4, 2);
+        for e in [p(0, 1), p(0, 2), p(0, 1), p(2, 3)] {
+            if !tree.touch_hit(e) {
+                tree.insert_mru(e);
+                flat.insert_mru(e);
+            } else {
+                assert!(flat.touch_hit(e));
+            }
+        }
+        for v in 0..4 {
+            assert_eq!(tree.recency_order(v), flat.recency_order(v));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "stamp clock overflow")]
+    fn btree_clock_overflow_is_detected_not_silent() {
+        let mut tree = BTreeRecencyMatching::with_start_clock(4, 2, u64::MAX - 1);
+        tree.insert_mru(p(0, 1)); // stamp u64::MAX
+        tree.touch_hit(p(0, 1)); // would wrap to 0 and reorder: abort
+    }
+
+    #[test]
+    fn churn_keeps_lists_and_blocks_in_sync() {
+        let n = 10u32;
+        let mut m = LruBMatching::new(n as usize, 3);
+        for i in 0..4000u32 {
+            let a = i % n;
+            let b = (a + 1 + i.wrapping_mul(2654435761) % (n - 1)) % n;
+            if a == b {
+                continue;
+            }
+            let e = p(a, b);
+            if m.touch_hit(e) {
+                if i % 7 == 0 {
+                    m.remove(e);
+                }
+            } else if m.matching().can_insert(e) {
+                m.insert_mru(e);
+            } else if let Some(victim) = m.lru_edge(e.lo()) {
+                m.remove(victim);
+            }
+            if i % 97 == 0 {
+                m.assert_valid();
+            }
+        }
+        m.assert_valid();
+    }
+}

@@ -6,8 +6,12 @@
 //! types exercise: primitives, strings, options, sequences, maps, structs,
 //! and unit/newtype enum variants.
 //!
-//! Note: this is intentionally an emitter only; the workspace never parses
-//! JSON back.
+//! Note: this is intentionally an emitter only. The one consumer-side
+//! counterpart lives in `dcn-bench`'s shard module (`parse_table`), which
+//! reassembles sharded benchmark artifacts **byte-for-byte** and therefore
+//! depends on this emitter's exact escape set and float formatting
+//! (shortest-round-trip `Display`) — keep the two in sync if either
+//! changes.
 
 use serde::ser::{self, Serialize};
 use std::fmt::{self, Display, Write as FmtWrite};

@@ -49,7 +49,7 @@ fn main() {
     );
 
     println!("=== Layer 2: full schedulers on the star-of-pairs nemesis ===\n");
-    let table = dcn_bench::lower_bound_gap(1.0);
+    let table = dcn_bench::lower_bound_gap(1.0, 0, rdcn::core::sweep::ShardSpec::full());
     println!("{}", table.to_markdown());
     println!(
         "BMA is driven by an adaptive chaser (it always requests a pair missing\n\

@@ -126,7 +126,7 @@ fn adversarial_gap_core_path() {
     );
 
     // Layer 2 of the example (star-of-pairs nemesis table).
-    let table = dcn_bench::lower_bound_gap(0.25);
+    let table = dcn_bench::lower_bound_gap(0.25, 0, rdcn::core::sweep::ShardSpec::full());
     assert!(!table.to_markdown().is_empty());
 }
 

@@ -11,7 +11,7 @@
 //!
 //! # Saved baselines (regression gating)
 //!
-//! Like real criterion, medians can be persisted and compared, so perf
+//! Like real criterion, results can be persisted and compared, so perf
 //! claims are gated instead of eyeballed:
 //!
 //! ```text
@@ -21,14 +21,24 @@
 //! cargo bench -p dcn-bench --bench micro_substrates -- --baseline main --regression-fail 15
 //! ```
 //!
-//! `--save-baseline NAME` merge-writes each bench's median into
-//! `<dir>/NAME.json`; `--baseline NAME` prints the per-bench delta against
-//! that file; adding `--regression-fail PCT` exits non-zero when any bench
-//! regresses more than `PCT` percent (for CI/perf gates). `<dir>` is
-//! `$CRITERION_BASELINE_DIR`, defaulting to `target/criterion-baselines`
-//! relative to the bench's working directory. The JSON is a flat
-//! `{"bench name": median_ns}` map, written and parsed here without a JSON
-//! dependency.
+//! `--save-baseline NAME` merge-writes each bench's **median and
+//! min-of-samples** into `<dir>/NAME.json`; `--baseline NAME` prints the
+//! per-bench delta against that file; adding `--regression-fail PCT` exits
+//! non-zero when any bench regresses more than `PCT` percent (for CI/perf
+//! gates). `<dir>` is `$CRITERION_BASELINE_DIR`, defaulting to
+//! `target/criterion-baselines` relative to the bench's working directory.
+//!
+//! **Noise handling:** the gate compares *min vs min* whenever the
+//! baseline carries a min (falling back to median vs median against older
+//! baselines). The minimum of N samples is the run's least-perturbed
+//! observation — scheduler preemptions and cache pollution only ever add
+//! time — so min-gating keeps the generous CI threshold meaningful on
+//! noisy shared runners, and is the number to tighten on quiet machines.
+//! The median is still recorded and printed for context.
+//!
+//! The JSON is a flat map without a JSON dependency: `"bench name"` maps
+//! to the median (the historical format, so old baselines stay readable)
+//! and `"bench name::min"` to the min.
 
 use std::hint::black_box as std_black_box;
 use std::path::PathBuf;
@@ -122,18 +132,73 @@ impl Bencher<'_> {
         }
     }
 
-    fn median_ns(&self) -> f64 {
-        if self.samples.is_empty() {
-            return f64::NAN;
-        }
-        let mut per_iter: Vec<f64> = self
-            .samples
+    fn per_iter_ns(&self) -> Vec<f64> {
+        self.samples
             .iter()
             .map(|d| d.as_nanos() as f64 / self.iters_per_sample.max(1) as f64)
-            .collect();
+            .collect()
+    }
+
+    fn median_ns(&self) -> f64 {
+        let mut per_iter = self.per_iter_ns();
+        if per_iter.is_empty() {
+            return f64::NAN;
+        }
         per_iter.sort_by(|a, b| a.total_cmp(b));
         per_iter[per_iter.len() / 2]
     }
+
+    /// The fastest sample: the least-perturbed observation of the run
+    /// (noise from preemption/cache pollution is strictly additive), which
+    /// is what the regression gate compares.
+    fn min_ns(&self) -> f64 {
+        self.per_iter_ns().into_iter().fold(
+            f64::NAN,
+            |acc, x| if x < acc || acc.is_nan() { x } else { acc },
+        )
+    }
+}
+
+/// One bench's recorded statistics.
+#[derive(Clone, Copy, Debug)]
+struct Sample {
+    median: f64,
+    min: f64,
+}
+
+/// Baseline-JSON key carrying a bench's min (the bare name carries the
+/// median, which is also the historical single-value format).
+fn min_key(bench: &str) -> String {
+    format!("{bench}::min")
+}
+
+/// The gate's comparison choice for one bench — the single definition used
+/// by both the inline per-bench delta and the final regression gate:
+/// min vs min when the baseline recorded a min, otherwise median vs median
+/// (pre-min baselines). Returns `(kind, baseline value, current value)`.
+fn gate_comparison(
+    baseline: &std::collections::BTreeMap<String, f64>,
+    bench: &str,
+    sample: Sample,
+) -> Option<(&'static str, f64, f64)> {
+    match baseline.get(&min_key(bench)) {
+        Some(&base_min) => Some(("min", base_min, sample.min)),
+        None => baseline
+            .get(bench)
+            .map(|&base| ("median", base, sample.median)),
+    }
+}
+
+/// Merge-writes `results` (median + min per bench) into the baseline file
+/// at `path` — the single save path, called by
+/// [`Criterion::final_summary`].
+fn save_results(results: &[(String, Sample)], path: &PathBuf) {
+    let mut map = read_baseline(path).unwrap_or_default();
+    for (bench, sample) in results {
+        map.insert(bench.clone(), sample.median);
+        map.insert(min_key(bench), sample.min);
+    }
+    write_baseline(path, &map);
 }
 
 #[derive(Clone, Debug)]
@@ -158,7 +223,7 @@ impl Default for Settings {
 /// The harness entry point; one per bench binary.
 #[derive(Default)]
 pub struct Criterion {
-    results: Vec<(String, f64)>,
+    results: Vec<(String, Sample)>,
     baseline: Option<std::collections::BTreeMap<String, f64>>,
     baseline_name: Option<String>,
     save_baseline: Option<String>,
@@ -236,13 +301,17 @@ impl Criterion {
     }
 
     fn record<F: FnMut(&mut Bencher)>(&mut self, name: &str, settings: &Settings, f: F) {
-        let ns = run_one(name, settings, f, self.baseline.as_ref());
-        self.results.push((name.to_string(), ns));
+        let sample = run_one(name, settings, f, self.baseline.as_ref());
+        self.results.push((name.to_string(), sample));
     }
 
-    /// Persists/compares the collected medians; called by
+    /// Persists/compares the collected statistics; called by
     /// [`criterion_group!`] after all targets ran. Exits non-zero when a
     /// `--regression-fail` threshold is exceeded.
+    ///
+    /// The gate compares **min vs min** when the baseline recorded one
+    /// (see the module docs: the minimum is the noise-robust statistic),
+    /// falling back to median vs median against pre-min baselines.
     ///
     /// The gate runs *before* the save: a failing run must not overwrite
     /// the baseline with its regressed numbers (which would make the next
@@ -251,8 +320,8 @@ impl Criterion {
     pub fn final_summary(&mut self) {
         if let (Some(threshold), Some(baseline)) = (self.regression_fail_pct, &self.baseline) {
             let mut worst: Option<(&str, f64)> = None;
-            for (bench, ns) in &self.results {
-                if let Some(&base) = baseline.get(bench) {
+            for (bench, sample) in &self.results {
+                if let Some((_, base, ns)) = gate_comparison(baseline, bench, *sample) {
                     if base > 0.0 && ns.is_finite() {
                         let delta = (ns / base - 1.0) * 100.0;
                         if worst.is_none_or(|(_, w)| delta > w) {
@@ -295,11 +364,7 @@ impl Criterion {
         }
         if let Some(name) = &self.save_baseline {
             let path = baseline_path(name);
-            let mut map = read_baseline(&path).unwrap_or_default();
-            for (bench, ns) in &self.results {
-                map.insert(bench.clone(), *ns);
-            }
-            write_baseline(&path, &map);
+            save_results(&self.results, &path);
             println!("criterion: saved baseline {name:?} ({})", path.display());
         }
     }
@@ -422,7 +487,7 @@ fn run_one<F: FnMut(&mut Bencher)>(
     settings: &Settings,
     mut f: F,
     baseline: Option<&std::collections::BTreeMap<String, f64>>,
-) -> f64 {
+) -> Sample {
     let mut bencher = Bencher {
         samples: Vec::new(),
         iters_per_sample: 1,
@@ -430,6 +495,7 @@ fn run_one<F: FnMut(&mut Bencher)>(
     };
     f(&mut bencher);
     let ns = bencher.median_ns();
+    let min = bencher.min_ns();
     let mut line = format!("bench: {name:<50} {}", format_time(ns));
     if let Some(tp) = settings.throughput {
         let (count, unit) = match tp {
@@ -441,17 +507,22 @@ fn run_one<F: FnMut(&mut Bencher)>(
             line.push_str(&format!("   {} {unit}", format_rate(rate)));
         }
     }
-    if let Some(base) = baseline.and_then(|b| b.get(name)) {
-        if *base > 0.0 && ns.is_finite() {
+    if min.is_finite() {
+        line.push_str(&format!("   min {}", format_time(min).trim_start()));
+    }
+    // The inline delta is exactly what the gate will compare.
+    let sample = Sample { median: ns, min };
+    if let Some((kind, base, cur)) = baseline.and_then(|b| gate_comparison(b, name, sample)) {
+        if base > 0.0 && cur.is_finite() {
             line.push_str(&format!(
-                "   [baseline {} {:+.1}%]",
-                format_time(*base).trim_start(),
-                (ns / base - 1.0) * 100.0
+                "   [baseline {kind} {} {:+.1}%]",
+                format_time(base).trim_start(),
+                (cur / base - 1.0) * 100.0
             ));
         }
     }
     println!("{line}");
-    ns
+    sample
 }
 
 fn format_time(ns: f64) -> String {
@@ -576,9 +647,92 @@ mod tests {
         c.bench_function("two", |b| b.iter(|| black_box(2 + 2)));
         let names: Vec<&str> = c.results.iter().map(|(n, _)| n.as_str()).collect();
         assert_eq!(names, vec!["rec/one", "two"]);
-        assert!(c.results.iter().all(|(_, ns)| ns.is_finite()));
+        assert!(c
+            .results
+            .iter()
+            .all(|(_, s)| s.median.is_finite() && s.min.is_finite() && s.min <= s.median));
         // No save/compare flags set: final_summary is a no-op.
         c.final_summary();
+    }
+
+    #[test]
+    fn saved_baselines_carry_median_and_min() {
+        // Drives the real save path (the function final_summary calls)
+        // against an explicit file — no process-global env mutation.
+        let dir = std::env::temp_dir().join(format!(
+            "criterion-minmax-test-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let path = dir.join("minmax.json");
+        let results = vec![
+            (
+                "g/point".to_string(),
+                Sample {
+                    median: 120.0,
+                    min: 100.0,
+                },
+            ),
+            (
+                "solo".to_string(),
+                Sample {
+                    median: 3.5,
+                    min: 3.25,
+                },
+            ),
+        ];
+        save_results(&results, &path);
+        let map = read_baseline(&path).expect("baseline written");
+        assert_eq!(map["g/point"], 120.0);
+        assert_eq!(map["g/point::min"], 100.0);
+        assert_eq!(map["solo"], 3.5);
+        assert_eq!(map["solo::min"], 3.25);
+        // Merge semantics: a second save updates, never truncates.
+        save_results(
+            &[(
+                "g/point".to_string(),
+                Sample {
+                    median: 110.0,
+                    min: 95.0,
+                },
+            )],
+            &path,
+        );
+        let map = read_baseline(&path).expect("baseline re-read");
+        assert_eq!(map["g/point::min"], 95.0);
+        assert_eq!(map["solo::min"], 3.25, "other benches survive the merge");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn gate_prefers_min_and_falls_back_to_median() {
+        // Exercises the actual comparison function the gate and the inline
+        // delta both call.
+        let mut baseline = std::collections::BTreeMap::new();
+        baseline.insert("x".to_string(), 100.0);
+        baseline.insert(min_key("x"), 90.0);
+        let sample = Sample {
+            median: 500.0, // noisy median, 5x the baseline median
+            min: 91.0,     // min within ~1% of the baseline min
+        };
+        // Baseline with a min entry: min vs min, so a fast min passes even
+        // when the median regresses.
+        let (kind, base, cur) = gate_comparison(&baseline, "x", sample).expect("overlap");
+        assert_eq!(kind, "min");
+        assert!(
+            (cur / base - 1.0) * 100.0 < 2.0,
+            "min-gating must ignore the noisy median"
+        );
+        // Pre-min baseline (median only): fall back to median vs median.
+        baseline.remove(&min_key("x"));
+        let (kind, base, cur) = gate_comparison(&baseline, "x", sample).expect("overlap");
+        assert_eq!(kind, "median");
+        assert!(
+            (cur / base - 1.0) * 100.0 > 300.0,
+            "median fallback compares medians"
+        );
+        // No overlap at all: nothing to gate.
+        assert!(gate_comparison(&baseline, "absent", sample).is_none());
     }
 
     #[test]
