@@ -1,0 +1,42 @@
+//! # dcn-adversary
+//!
+//! **Coverage-guided adversarial trace search** against the online
+//! (b,α)-matching algorithms, in the spirit of fuzzcheck/AFL but with a
+//! *typed* input space: the unit of mutation is a
+//! [`dcn_traces::Genome`] — a sequence of structured workload segments
+//! (uniform noise, movable hotspots, permutation splices, §2.4
+//! star-nemesis blocks, Zipf-skew ramps) that lowers deterministically to
+//! a request stream.
+//!
+//! The fitness of a genome for algorithm `A` is the **competitive-style
+//! ratio** `total_cost(A) / routing_cost(SO-BMA)` on the lowered trace
+//! ([`dcn_core::ratio`]): SO-BMA is clairvoyant and static, so a high
+//! ratio certifies the trace exploits `A`'s online-ness rather than being
+//! uniformly expensive. The paper's §2.4 lower bound provides the
+//! hand-written reference adversary (star blocks); the search's job is to
+//! rediscover it from generic segments — and beat it.
+//!
+//! * [`mod@mutate`] — structure-aware mutators: reseed, parameter
+//!   perturbation, segment splice/swap, duplication, deletion, random
+//!   insertion, all bounded so genomes stay valid and comparable.
+//! * [`pool`] — the input pool: top-K genomes by fitness with
+//!   deduplication and rank-biased parent selection.
+//! * [`mod@search`] — the seeded, budgeted driver: sequential mutant
+//!   generation and pool updates around a work-stealing parallel
+//!   evaluation fan-out, so results are identical for any `--threads`.
+//! * [`corpus`] — (de)serialization of search discoveries as regression
+//!   corpus entries; `crates/adversary/corpus/*.json` replays under
+//!   `tests/corpus_replay.rs` with exact expected costs.
+//!
+//! Every discovered adversarial input is replayable from its JSON genome
+//! alone; failure messages in this crate always embed that JSON.
+
+pub mod corpus;
+pub mod mutate;
+pub mod pool;
+pub mod search;
+
+pub use corpus::{parse_kind, CorpusEntry};
+pub use mutate::{mutate, random_genome, MutationConfig};
+pub use pool::{Pool, PoolEntry};
+pub use search::{evaluate, search, star_nemesis_genome, SearchConfig, SearchOutcome};

@@ -1,0 +1,300 @@
+//! Structure-aware genome mutators.
+//!
+//! Every mutator takes the parent by reference and a seeded RNG, and
+//! returns a *valid* child ([`dcn_traces::Genome::validate`] holds by
+//! construction) whose rack count equals the parent's and whose total
+//! length stays inside the configured band — fitness ratios across the
+//! pool stay comparable, and no mutation chain can grow traces without
+//! bound. Segments own their seeds ([`dcn_traces::Segment::reseed`]), so
+//! a mutation of one segment leaves every other segment's request stream
+//! byte-identical: the locality that makes pool-based search productive.
+
+use dcn_traces::{Genome, Segment};
+use rand::rngs::SmallRng;
+use rand::RngExt;
+
+/// Bounds every mutation respects.
+#[derive(Clone, Debug)]
+pub struct MutationConfig {
+    /// Rack count all genomes share (mutations never change it).
+    pub num_racks: usize,
+    /// Maximum number of segments.
+    pub max_segments: usize,
+    /// Total-length ceiling.
+    pub max_total_len: usize,
+    /// Total-length floor.
+    pub min_total_len: usize,
+}
+
+impl MutationConfig {
+    /// Bounds centered on `target_len`: genomes stay within
+    /// `[target_len / 4, 2 * target_len]` requests and at most 12
+    /// segments.
+    pub fn for_search(num_racks: usize, target_len: usize) -> Self {
+        assert!(num_racks >= 4 && num_racks % 2 == 0);
+        assert!(target_len >= 4);
+        MutationConfig {
+            num_racks,
+            max_segments: 12,
+            max_total_len: target_len.saturating_mul(2),
+            min_total_len: (target_len / 4).max(1),
+        }
+    }
+}
+
+/// Multiplicative length jitter: one of ×½, ×¾, ×4⁄3, ×2.
+fn jitter_len(len: usize, rng: &mut SmallRng) -> usize {
+    match rng.random_range(0..4u32) {
+        0 => (len / 2).max(1),
+        1 => (len * 3 / 4).max(1),
+        2 => (len * 4 / 3).max(len + 1),
+        _ => len.saturating_mul(2),
+    }
+}
+
+/// Clamps a proposed length for one segment so the genome total stays in
+/// `[min_total_len, max_total_len]`, given the length `rest` of all other
+/// segments.
+fn clamp_len(proposed: usize, rest: usize, cfg: &MutationConfig) -> usize {
+    let hi = cfg.max_total_len.saturating_sub(rest).max(1);
+    let lo = cfg.min_total_len.saturating_sub(rest).max(1);
+    proposed.clamp(lo.min(hi), hi)
+}
+
+/// Draws one random segment of roughly `len` requests.
+pub fn random_segment(cfg: &MutationConfig, len: usize, rng: &mut SmallRng) -> Segment {
+    let n = cfg.num_racks;
+    let len = len.max(1);
+    let seed: u64 = rng.random_range(0..u64::MAX);
+    match rng.random_range(0..5u32) {
+        0 => Segment::Uniform { len, seed },
+        1 => Segment::Hotspot {
+            len,
+            num_hot: rng.random_range(2..=n),
+            p_hot: rng.random_range(0.5..1.0),
+            offset: rng.random_range(0..n),
+            seed,
+        },
+        2 => Segment::Permutation { len, seed },
+        3 => {
+            let block_len = rng.random_range(1..=(len.max(2) / 2).max(1));
+            Segment::StarBlocks {
+                spokes: rng.random_range(2..n),
+                block_len,
+                blocks: (len / block_len).max(1),
+                seed,
+            }
+        }
+        _ => Segment::ZipfRamp {
+            len,
+            s_start: rng.random_range(0.0..3.0),
+            s_end: rng.random_range(0.0..3.0),
+            seed,
+        },
+    }
+}
+
+/// Draws a fresh random genome of 1–4 segments totalling roughly
+/// `target_len` requests.
+pub fn random_genome(cfg: &MutationConfig, target_len: usize, rng: &mut SmallRng) -> Genome {
+    let parts = rng.random_range(1..=4usize);
+    let per = (target_len / parts).max(1);
+    let segments = (0..parts).map(|_| random_segment(cfg, per, rng)).collect();
+    Genome::new(cfg.num_racks, segments)
+}
+
+/// Perturbs one parameter of `seg` in place; `rest` is the total length
+/// of the genome's other segments (for the length band).
+fn perturb(seg: &mut Segment, rest: usize, cfg: &MutationConfig, rng: &mut SmallRng) {
+    let n = cfg.num_racks;
+    match seg {
+        Segment::Uniform { len, .. } | Segment::Permutation { len, .. } => {
+            *len = clamp_len(jitter_len(*len, rng), rest, cfg);
+        }
+        Segment::Hotspot {
+            len,
+            num_hot,
+            p_hot,
+            offset,
+            ..
+        } => match rng.random_range(0..4u32) {
+            0 => *len = clamp_len(jitter_len(*len, rng), rest, cfg),
+            1 => *num_hot = rng.random_range(2..=n),
+            2 => *p_hot = (*p_hot + rng.random_range(-0.2..0.2f64)).clamp(0.0, 1.0),
+            // The classic adversarial move: relocate the hot set.
+            _ => *offset = rng.random_range(0..n),
+        },
+        Segment::StarBlocks {
+            spokes,
+            block_len,
+            blocks,
+            ..
+        } => match rng.random_range(0..3u32) {
+            0 => *spokes = rng.random_range(2..n),
+            1 => {
+                let total = clamp_len(*block_len * *blocks, rest, cfg);
+                *block_len = jitter_len(*block_len, rng).min(total);
+                *blocks = (total / *block_len).max(1);
+            }
+            _ => {
+                let proposed = jitter_len(*blocks, rng);
+                let hi = (cfg.max_total_len.saturating_sub(rest) / *block_len).max(1);
+                *blocks = proposed.min(hi);
+            }
+        },
+        Segment::ZipfRamp {
+            len,
+            s_start,
+            s_end,
+            ..
+        } => match rng.random_range(0..3u32) {
+            0 => *len = clamp_len(jitter_len(*len, rng), rest, cfg),
+            1 => *s_start = (*s_start + rng.random_range(-0.5..0.5f64)).clamp(0.0, 4.0),
+            _ => *s_end = (*s_end + rng.random_range(-0.5..0.5f64)).clamp(0.0, 4.0),
+        },
+    }
+}
+
+/// Applies one randomly chosen structure-aware mutation and returns the
+/// child. Mutations that would violate the segment-count or length bounds
+/// fall back to a reseed, so this always succeeds and always returns a
+/// valid genome.
+pub fn mutate(parent: &Genome, cfg: &MutationConfig, rng: &mut SmallRng) -> Genome {
+    debug_assert_eq!(parent.num_racks, cfg.num_racks);
+    let mut child = parent.clone();
+    let idx = rng.random_range(0..child.segments.len());
+    let op = rng.random_range(0..6u32);
+    match op {
+        // Reseed: same structure, fresh randomness for one segment.
+        0 => child.segments[idx].reseed(rng.random_range(0..u64::MAX)),
+        // Parameter perturbation.
+        1 => {
+            let rest = child.len() - child.segments[idx].len();
+            perturb(&mut child.segments[idx], rest, cfg, rng);
+        }
+        // Splice: swap two segment positions (reorders phase structure).
+        2 => {
+            let jdx = rng.random_range(0..child.segments.len());
+            child.segments.swap(idx, jdx);
+        }
+        // Duplicate a segment (re-seeded so the copy is a fresh stream).
+        3 => {
+            let fits = child.segments.len() < cfg.max_segments
+                && child.len() + child.segments[idx].len() <= cfg.max_total_len;
+            if fits {
+                let mut dup = child.segments[idx].clone();
+                dup.reseed(rng.random_range(0..u64::MAX));
+                child.segments.insert(idx, dup);
+            } else {
+                child.segments[idx].reseed(rng.random_range(0..u64::MAX));
+            }
+        }
+        // Delete a segment.
+        4 => {
+            let fits = child.segments.len() > 1
+                && child.len() - child.segments[idx].len() >= cfg.min_total_len;
+            if fits {
+                child.segments.remove(idx);
+            } else {
+                child.segments[idx].reseed(rng.random_range(0..u64::MAX));
+            }
+        }
+        // Insert a fresh random segment.
+        _ => {
+            let slack = cfg.max_total_len.saturating_sub(child.len());
+            if child.segments.len() < cfg.max_segments && slack > 0 {
+                let avg = (child.len() / child.segments.len()).max(1);
+                let seg = random_segment(cfg, avg.min(slack), rng);
+                if child.len() + seg.len() <= cfg.max_total_len {
+                    child.segments.insert(idx, seg);
+                } else {
+                    child.segments[idx].reseed(rng.random_range(0..u64::MAX));
+                }
+            } else {
+                child.segments[idx].reseed(rng.random_range(0..u64::MAX));
+            }
+        }
+    }
+    debug_assert!(child.validate().is_ok(), "mutation produced invalid genome");
+    child
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn cfg() -> MutationConfig {
+        MutationConfig::for_search(8, 400)
+    }
+
+    fn parent(cfg: &MutationConfig) -> Genome {
+        let mut rng = SmallRng::seed_from_u64(1);
+        random_genome(cfg, 400, &mut rng)
+    }
+
+    #[test]
+    fn mutation_chains_stay_valid_and_bounded() {
+        let cfg = cfg();
+        let mut rng = SmallRng::seed_from_u64(2);
+        let mut g = parent(&cfg);
+        for _ in 0..500 {
+            g = mutate(&g, &cfg, &mut rng);
+            assert!(g.validate().is_ok());
+            assert_eq!(g.num_racks, cfg.num_racks);
+            assert!(!g.segments.is_empty() && g.segments.len() <= cfg.max_segments);
+            assert!(
+                g.len() <= cfg.max_total_len,
+                "len {} over ceiling {}",
+                g.len(),
+                cfg.max_total_len
+            );
+        }
+    }
+
+    #[test]
+    fn mutation_is_deterministic_in_the_rng() {
+        let cfg = cfg();
+        let g = parent(&cfg);
+        let a: Vec<Genome> = {
+            let mut rng = SmallRng::seed_from_u64(9);
+            (0..50).map(|_| mutate(&g, &cfg, &mut rng)).collect()
+        };
+        let b: Vec<Genome> = {
+            let mut rng = SmallRng::seed_from_u64(9);
+            (0..50).map(|_| mutate(&g, &cfg, &mut rng)).collect()
+        };
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn mutations_reach_every_operator() {
+        // Over enough draws the child population must show structural
+        // variety: different segment counts and changed parameters.
+        let cfg = cfg();
+        let g = parent(&cfg);
+        let mut rng = SmallRng::seed_from_u64(5);
+        let children: Vec<Genome> = (0..300).map(|_| mutate(&g, &cfg, &mut rng)).collect();
+        assert!(children.iter().any(|c| c.segments.len() > g.segments.len()));
+        assert!(children.iter().any(|c| c.segments.len() < g.segments.len()));
+        assert!(children.iter().any(|c| *c != g));
+        let distinct: std::collections::HashSet<String> =
+            children.iter().map(|c| c.to_json()).collect();
+        assert!(
+            distinct.len() > 100,
+            "only {} distinct children",
+            distinct.len()
+        );
+    }
+
+    #[test]
+    fn random_genome_hits_target_band() {
+        let cfg = cfg();
+        let mut rng = SmallRng::seed_from_u64(3);
+        for _ in 0..50 {
+            let g = random_genome(&cfg, 400, &mut rng);
+            assert!(g.validate().is_ok());
+            assert!(g.len() >= 1 && g.len() <= cfg.max_total_len);
+        }
+    }
+}

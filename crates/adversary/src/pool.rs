@@ -1,0 +1,154 @@
+//! The input pool: the best genomes found so far, keyed by fitness.
+//!
+//! fuzzcheck-style replacement: the pool holds at most `capacity` entries
+//! sorted by fitness (descending), an offered genome enters only if it
+//! beats the current tail (or the pool has room) and is not already
+//! present, and insertion evicts the weakest entry. Parent selection is
+//! **rank-biased** — squaring a uniform draw concentrates picks on the
+//! fittest entries while keeping every entry reachable, the usual
+//! exploitation/exploration compromise.
+
+use dcn_traces::Genome;
+use rand::rngs::SmallRng;
+use rand::RngExt;
+
+/// One pool resident.
+#[derive(Clone, Debug)]
+pub struct PoolEntry {
+    /// The genome.
+    pub genome: Genome,
+    /// Its cost ratio vs the static offline baseline.
+    pub fitness: f64,
+}
+
+/// Top-K genomes by fitness with deduplication.
+#[derive(Clone, Debug)]
+pub struct Pool {
+    capacity: usize,
+    // Sorted by fitness, descending. Ties keep insertion order (stable),
+    // so pool evolution is deterministic.
+    entries: Vec<PoolEntry>,
+}
+
+impl Pool {
+    /// An empty pool holding at most `capacity` entries.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity >= 1, "pool capacity must be >= 1");
+        Pool {
+            capacity,
+            entries: Vec::with_capacity(capacity),
+        }
+    }
+
+    /// Offers a genome; returns whether it entered the pool.
+    ///
+    /// Non-finite fitness never enters; an exact duplicate genome never
+    /// enters (its fitness is identical by determinism, so it adds no
+    /// information).
+    pub fn offer(&mut self, genome: Genome, fitness: f64) -> bool {
+        if !fitness.is_finite() {
+            return false;
+        }
+        if self.entries.iter().any(|e| e.genome == genome) {
+            return false;
+        }
+        // First index whose fitness is strictly below the offer — equal
+        // fitness keeps earlier arrivals ahead.
+        let pos = self.entries.partition_point(|e| e.fitness >= fitness);
+        if pos >= self.capacity {
+            return false;
+        }
+        self.entries.insert(pos, PoolEntry { genome, fitness });
+        self.entries.truncate(self.capacity);
+        true
+    }
+
+    /// The fittest entry.
+    pub fn best(&self) -> Option<&PoolEntry> {
+        self.entries.first()
+    }
+
+    /// Rank-biased random parent (panics on an empty pool).
+    pub fn select(&self, rng: &mut SmallRng) -> &PoolEntry {
+        assert!(!self.entries.is_empty(), "cannot select from empty pool");
+        let r: f64 = rng.random_range(0.0..1.0);
+        let idx = ((r * r) * self.entries.len() as f64) as usize;
+        &self.entries[idx.min(self.entries.len() - 1)]
+    }
+
+    /// All entries, fittest first.
+    pub fn entries(&self) -> &[PoolEntry] {
+        &self.entries
+    }
+
+    /// Number of residents.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the pool is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dcn_traces::Segment;
+    use rand::SeedableRng;
+
+    fn genome(seed: u64) -> Genome {
+        Genome::new(4, vec![Segment::Uniform { len: 10, seed }])
+    }
+
+    #[test]
+    fn keeps_top_k_sorted_descending() {
+        let mut pool = Pool::new(3);
+        for (i, f) in [1.0, 3.0, 2.0, 0.5, 4.0].iter().enumerate() {
+            pool.offer(genome(i as u64), *f);
+        }
+        let fits: Vec<f64> = pool.entries().iter().map(|e| e.fitness).collect();
+        assert_eq!(fits, vec![4.0, 3.0, 2.0]);
+        assert_eq!(pool.best().unwrap().fitness, 4.0);
+    }
+
+    #[test]
+    fn rejects_duplicates_and_non_finite() {
+        let mut pool = Pool::new(4);
+        assert!(pool.offer(genome(1), 2.0));
+        assert!(!pool.offer(genome(1), 2.0), "duplicate genome re-entered");
+        assert!(!pool.offer(genome(2), f64::NAN));
+        assert!(!pool.offer(genome(3), f64::INFINITY));
+        assert_eq!(pool.len(), 1);
+    }
+
+    #[test]
+    fn full_pool_rejects_weaker_offers() {
+        let mut pool = Pool::new(2);
+        pool.offer(genome(1), 3.0);
+        pool.offer(genome(2), 2.0);
+        assert!(!pool.offer(genome(3), 1.0));
+        assert!(pool.offer(genome(4), 2.5));
+        let fits: Vec<f64> = pool.entries().iter().map(|e| e.fitness).collect();
+        assert_eq!(fits, vec![3.0, 2.5]);
+    }
+
+    #[test]
+    fn selection_is_biased_toward_the_best() {
+        let mut pool = Pool::new(10);
+        for i in 0..10 {
+            pool.offer(genome(i), 10.0 - i as f64);
+        }
+        let mut rng = SmallRng::seed_from_u64(7);
+        let mut top_half = 0;
+        for _ in 0..1000 {
+            if pool.select(&mut rng).fitness >= 6.0 {
+                top_half += 1;
+            }
+        }
+        // Rank-biased squaring should pick the top half far more than
+        // uniformly (expected ~70%).
+        assert!(top_half > 600, "only {top_half}/1000 picks in top half");
+    }
+}

@@ -1,0 +1,301 @@
+//! The seeded, budgeted search driver.
+//!
+//! One search round: select parents and generate a batch of mutants
+//! **sequentially** from the search RNG, evaluate the batch in parallel
+//! through the work-stealing executor ([`dcn_core::sweep::steal_map`],
+//! which returns results in submission order), then fold the fitnesses
+//! into the pool **sequentially**. Randomness never crosses a thread
+//! boundary, so the outcome is bit-identical for any `--threads` value —
+//! the same discipline the sweep fan-out uses.
+//!
+//! The pool is seeded with the hand-written reference adversaries
+//! (star-nemesis blocks per §2.4, uniform, hotspot, permutation, Zipf
+//! ramp) plus a few random genomes; the star nemesis fitness is reported
+//! as `star_baseline`, the bar the search is meant to beat.
+
+use crate::mutate::{mutate, random_genome, MutationConfig};
+use crate::pool::{Pool, PoolEntry};
+use dcn_core::algorithms::AlgorithmKind;
+use dcn_core::ratio::{cost_ratio_vs_static, RatioOutcome};
+use dcn_core::simulator::SimConfig;
+use dcn_core::sweep::steal_map;
+use dcn_topology::{builders, DistanceMatrix};
+use dcn_traces::{Genome, Segment};
+use dcn_util::rngx::derive_seed;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use std::sync::Arc;
+
+/// Everything one search run depends on. Two equal configs (and equal
+/// algorithm) produce identical outcomes regardless of `threads`.
+#[derive(Clone, Debug)]
+pub struct SearchConfig {
+    /// Rack count of the leaf-spine evaluation topology (even, ≥ 4).
+    pub num_racks: usize,
+    /// Matching degree b.
+    pub b: usize,
+    /// Reconfiguration cost α.
+    pub alpha: u64,
+    /// Seed for the algorithm under attack (R-BMA's coins etc.).
+    pub algo_seed: u64,
+    /// Seed for the search's own randomness (mutations, selection).
+    pub search_seed: u64,
+    /// Genomes aim for roughly this many requests.
+    pub target_len: usize,
+    /// Total fitness evaluations (including pool seeding).
+    pub budget: usize,
+    /// Mutants evaluated per parallel round.
+    pub batch: usize,
+    /// Pool capacity.
+    pub pool_capacity: usize,
+    /// Worker threads for evaluation (`0` = auto).
+    pub threads: usize,
+}
+
+impl SearchConfig {
+    /// A small default search: 8 racks, b=2, α=10, ~800-request genomes,
+    /// 200 evaluations in rounds of 16, pool of 24.
+    pub fn quick(search_seed: u64) -> Self {
+        SearchConfig {
+            num_racks: 8,
+            b: 2,
+            alpha: 10,
+            algo_seed: 1,
+            search_seed,
+            target_len: 800,
+            budget: 200,
+            batch: 16,
+            pool_capacity: 24,
+            threads: 0,
+        }
+    }
+}
+
+/// What a search run found.
+#[derive(Clone, Debug)]
+pub struct SearchOutcome {
+    /// The fittest genome and its ratio.
+    pub best: PoolEntry,
+    /// Fitness of the hand-written §2.4 star nemesis at the same scale —
+    /// the bar the search tries to beat.
+    pub star_baseline: f64,
+    /// Fitness evaluations actually spent.
+    pub evaluations: usize,
+    /// The final pool (fittest first), for corpus harvesting.
+    pub pool: Pool,
+}
+
+/// The evaluation topology every search and corpus replay uses: a
+/// leaf-spine with `num_racks` racks and two spines (uniform inter-rack
+/// path length ℓ ≡ 2, matching the lower-bound construction).
+pub fn search_topology(num_racks: usize) -> Arc<DistanceMatrix> {
+    Arc::new(DistanceMatrix::between_racks(&builders::leaf_spine(
+        num_racks, 2,
+    )))
+}
+
+/// One fitness evaluation: lowers `genome` to a trace and returns the
+/// online algorithm's cost ratio vs SO-BMA on it.
+pub fn evaluate(
+    kind: &AlgorithmKind,
+    dm: &Arc<DistanceMatrix>,
+    b: usize,
+    alpha: u64,
+    algo_seed: u64,
+    genome: &Genome,
+) -> RatioOutcome {
+    let trace = genome.as_trace();
+    let config = SimConfig {
+        seed: algo_seed,
+        trace_name: genome.name(),
+        ..SimConfig::default()
+    };
+    cost_ratio_vs_static(kind, dm, b, alpha, algo_seed, &trace, &config)
+}
+
+/// The hand-written §2.4 reference adversary at this config's scale:
+/// star blocks with `b + 1` spokes (one more hot pair than the matching
+/// can hold) and α-length blocks.
+pub fn star_nemesis_genome(cfg: &SearchConfig) -> Genome {
+    let spokes = (cfg.b + 1).min(cfg.num_racks - 1).max(2);
+    let block_len = (cfg.alpha as usize).max(1);
+    Genome::new(
+        cfg.num_racks,
+        vec![Segment::StarBlocks {
+            spokes,
+            block_len,
+            blocks: (cfg.target_len / block_len).max(1),
+            seed: derive_seed(cfg.search_seed, 0x5AB1),
+        }],
+    )
+}
+
+/// The deterministic seed population: the reference adversaries plus a
+/// few random genomes. Index 0 is always the star nemesis.
+fn seed_genomes(cfg: &SearchConfig, mcfg: &MutationConfig, rng: &mut SmallRng) -> Vec<Genome> {
+    let n = cfg.num_racks;
+    let len = cfg.target_len;
+    let seed = derive_seed(cfg.search_seed, 0x5EED);
+    let mut seeds = vec![
+        star_nemesis_genome(cfg),
+        Genome::new(n, vec![Segment::Uniform { len, seed }]),
+        Genome::new(
+            n,
+            vec![Segment::Hotspot {
+                len,
+                num_hot: 4.min(n),
+                p_hot: 0.9,
+                offset: 0,
+                seed,
+            }],
+        ),
+        Genome::new(n, vec![Segment::Permutation { len, seed }]),
+        Genome::new(
+            n,
+            vec![Segment::ZipfRamp {
+                len,
+                s_start: 0.5,
+                s_end: 2.5,
+                seed,
+            }],
+        ),
+    ];
+    for _ in 0..3 {
+        seeds.push(random_genome(mcfg, len, rng));
+    }
+    seeds
+}
+
+/// Runs the budgeted adversarial search for one algorithm.
+///
+/// Deterministic in `(kind, cfg)` for any thread count. Panics only on a
+/// non-finite fitness — and then the message carries the offending
+/// genome's JSON so the failure replays from the report alone.
+pub fn search(kind: &AlgorithmKind, cfg: &SearchConfig) -> SearchOutcome {
+    assert!(cfg.budget >= 1 && cfg.batch >= 1);
+    let dm = search_topology(cfg.num_racks);
+    let mcfg = MutationConfig::for_search(cfg.num_racks, cfg.target_len);
+    let mut rng = SmallRng::seed_from_u64(derive_seed(cfg.search_seed, 0xAD5E));
+    let mut pool = Pool::new(cfg.pool_capacity);
+    let mut evaluations = 0usize;
+
+    let run_batch = |genomes: &[Genome]| -> Vec<f64> {
+        steal_map(genomes.len(), cfg.threads, |i| {
+            evaluate(kind, &dm, cfg.b, cfg.alpha, cfg.algo_seed, &genomes[i]).ratio
+        })
+    };
+    let fold = |pool: &mut Pool, genomes: Vec<Genome>, fits: Vec<f64>| {
+        for (g, f) in genomes.into_iter().zip(fits) {
+            assert!(
+                f.is_finite(),
+                "non-finite fitness {f} for {} — replay genome JSON: {}",
+                kind.label(),
+                g.to_json()
+            );
+            pool.offer(g, f);
+        }
+    };
+
+    // Seed round. Index 0 is the star nemesis: its fitness is the bar.
+    let seeds: Vec<Genome> = seed_genomes(cfg, &mcfg, &mut rng)
+        .into_iter()
+        .take(cfg.budget)
+        .collect();
+    let fits = run_batch(&seeds);
+    let star_baseline = fits[0];
+    evaluations += seeds.len();
+    fold(&mut pool, seeds, fits);
+
+    // Mutation rounds until the budget is spent.
+    while evaluations < cfg.budget {
+        let k = cfg.batch.min(cfg.budget - evaluations);
+        let mutants: Vec<Genome> = (0..k)
+            .map(|_| {
+                let parent = pool.select(&mut rng).genome.clone();
+                mutate(&parent, &mcfg, &mut rng)
+            })
+            .collect();
+        let fits = run_batch(&mutants);
+        evaluations += k;
+        fold(&mut pool, mutants, fits);
+    }
+
+    SearchOutcome {
+        best: pool.best().expect("pool non-empty after seeding").clone(),
+        star_baseline,
+        evaluations,
+        pool,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn search_is_deterministic_across_thread_counts() {
+        let mut cfg = SearchConfig::quick(11);
+        cfg.budget = 24;
+        cfg.batch = 8;
+        cfg.target_len = 200;
+        let kind = AlgorithmKind::Bma;
+        let a = {
+            let mut c = cfg.clone();
+            c.threads = 1;
+            search(&kind, &c)
+        };
+        let b = {
+            let mut c = cfg.clone();
+            c.threads = 4;
+            search(&kind, &c)
+        };
+        assert_eq!(a.best.genome, b.best.genome);
+        assert_eq!(a.best.fitness, b.best.fitness);
+        assert_eq!(a.star_baseline, b.star_baseline);
+        assert_eq!(a.evaluations, b.evaluations);
+    }
+
+    #[test]
+    fn best_never_below_the_seed_population() {
+        let mut cfg = SearchConfig::quick(3);
+        cfg.budget = 40;
+        cfg.batch = 8;
+        cfg.target_len = 200;
+        let out = search(&AlgorithmKind::Bma, &cfg);
+        assert!(out.best.fitness >= out.star_baseline);
+        assert_eq!(out.evaluations, 40);
+        assert!(out.best.fitness.is_finite() && out.best.fitness > 0.0);
+    }
+
+    #[test]
+    fn evaluate_replays_identically_from_the_genome_value() {
+        let cfg = SearchConfig::quick(5);
+        let dm = search_topology(cfg.num_racks);
+        let g = star_nemesis_genome(&cfg);
+        let kind = AlgorithmKind::Rbma { lazy: true };
+        let a = evaluate(&kind, &dm, cfg.b, cfg.alpha, cfg.algo_seed, &g);
+        let b = evaluate(&kind, &dm, cfg.b, cfg.alpha, cfg.algo_seed, &g);
+        assert_eq!(a.online.total.total_cost(), b.online.total.total_cost());
+        assert_eq!(a.offline_cost, b.offline_cost);
+        assert_eq!(a.ratio, b.ratio);
+    }
+
+    #[test]
+    fn search_beats_the_star_baseline_at_quick_scale() {
+        // The acceptance property at reduced budget: with mutation the
+        // pool must find something strictly worse (for the online
+        // algorithm) than the hand-written nemesis.
+        let mut cfg = SearchConfig::quick(7);
+        cfg.budget = 60;
+        cfg.batch = 12;
+        cfg.target_len = 300;
+        let out = search(&AlgorithmKind::Bma, &cfg);
+        assert!(
+            out.best.fitness > out.star_baseline,
+            "best {} did not beat star baseline {} — best genome JSON: {}",
+            out.best.fitness,
+            out.star_baseline,
+            out.best.genome.to_json()
+        );
+    }
+}

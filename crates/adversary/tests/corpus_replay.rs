@@ -1,0 +1,142 @@
+//! Tier-1 regression gate: every committed corpus genome must replay to
+//! its recorded costs **exactly**. Any drift in the simulator, the online
+//! algorithms, the RNG streams, or the genome lowering fails here with a
+//! copy-pasteable replay recipe (the full genome JSON is in the message).
+//!
+//! Regenerate after an *intentional* behaviour change with
+//! `cargo test -p dcn-adversary --test corpus_replay -- --ignored`
+//! and commit the rewritten `corpus/*.json`.
+
+use dcn_adversary::{search, CorpusEntry, SearchConfig};
+use dcn_core::algorithms::AlgorithmKind;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+fn corpus_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("corpus")
+}
+
+fn entries() -> Vec<(String, CorpusEntry)> {
+    let mut out = Vec::new();
+    for dirent in fs::read_dir(corpus_dir()).expect("corpus directory exists") {
+        let path = dirent.expect("readable corpus dirent").path();
+        if path.extension().is_some_and(|x| x == "json") {
+            let text = fs::read_to_string(&path).expect("readable corpus file");
+            let entry = CorpusEntry::from_json(&text)
+                .unwrap_or_else(|err| panic!("{}: {err}", path.display()));
+            let name = path.file_name().unwrap().to_string_lossy().into_owned();
+            out.push((name, entry));
+        }
+    }
+    out.sort_by(|a, b| a.0.cmp(&b.0));
+    out
+}
+
+#[test]
+fn corpus_is_nonempty_and_covers_multiple_algorithms() {
+    let entries = entries();
+    assert!(
+        entries.len() >= 3,
+        "expected at least 3 corpus entries, found {}",
+        entries.len()
+    );
+    let algorithms: std::collections::HashSet<&str> =
+        entries.iter().map(|(_, e)| e.algorithm.as_str()).collect();
+    assert!(
+        algorithms.len() >= 2,
+        "corpus should cover multiple algorithms, found {algorithms:?}"
+    );
+}
+
+#[test]
+fn every_corpus_entry_replays_exactly() {
+    let entries = entries();
+    assert!(!entries.is_empty());
+    for (name, entry) in entries {
+        if let Err(report) = entry.verify() {
+            panic!("{name}: {report}");
+        }
+    }
+}
+
+#[test]
+fn corpus_contains_a_search_win_over_the_star_nemesis() {
+    // The headline acceptance property, frozen: at least one committed
+    // genome is strictly worse for its online algorithm than the
+    // hand-written §2.4 star nemesis at the same scale.
+    let entries = entries();
+    assert!(
+        entries.iter().any(|(_, e)| e.ratio > e.star_baseline),
+        "no corpus entry beats its star baseline"
+    );
+}
+
+#[test]
+fn stored_ratios_match_the_stored_integer_pins() {
+    for (name, entry) in entries() {
+        let expect = (entry.expected_routing_cost + entry.expected_reconfig_cost) as f64
+            / entry.expected_offline_cost.max(1) as f64;
+        assert!(
+            (entry.ratio - expect).abs() < 1e-9,
+            "{name}: stored ratio {} disagrees with pinned costs ({expect})",
+            entry.ratio
+        );
+    }
+}
+
+/// Rebuilds the committed corpus. Deterministic: same seeds, same
+/// entries. Run manually after intentional behaviour changes.
+#[test]
+#[ignore = "regenerates corpus/*.json; run manually and commit the diff"]
+fn regenerate_corpus() {
+    let dir = corpus_dir();
+    fs::create_dir_all(&dir).unwrap();
+    let algorithms: Vec<(&str, AlgorithmKind)> = vec![
+        ("bma", AlgorithmKind::Bma),
+        ("rbma_lazy", AlgorithmKind::Rbma { lazy: true }),
+        ("rotor_50", AlgorithmKind::Rotor { period: 50 }),
+        ("periodic_100", AlgorithmKind::Periodic { period: 100 }),
+    ];
+    for (stem, kind) in algorithms {
+        let cfg = SearchConfig {
+            num_racks: 8,
+            b: 2,
+            alpha: 10,
+            algo_seed: 1,
+            search_seed: 42,
+            target_len: 400,
+            budget: 150,
+            batch: 16,
+            pool_capacity: 24,
+            threads: 0,
+        };
+        let outcome = search(&kind, &cfg);
+        let replay = dcn_adversary::evaluate(
+            &kind,
+            &dcn_adversary::search::search_topology(cfg.num_racks),
+            cfg.b,
+            cfg.alpha,
+            cfg.algo_seed,
+            &outcome.best.genome,
+        );
+        let entry = CorpusEntry::from_outcome(
+            &kind,
+            cfg.num_racks,
+            cfg.b,
+            cfg.alpha,
+            cfg.algo_seed,
+            outcome.star_baseline,
+            outcome.best.genome.clone(),
+            &replay,
+        );
+        let path = dir.join(format!("{stem}.json"));
+        fs::write(&path, entry.to_json()).unwrap();
+        println!(
+            "{stem}: ratio {:.4} vs star baseline {:.4} ({} evaluations) -> {}",
+            entry.ratio,
+            entry.star_baseline,
+            outcome.evaluations,
+            path.display()
+        );
+    }
+}

@@ -1,0 +1,52 @@
+//! Property tests over the mutation space: arbitrary mutation chains must
+//! keep genomes valid, length-bounded, JSON-round-trippable, and lowering
+//! must emit exactly `len()` well-formed requests.
+
+use dcn_adversary::{mutate, random_genome, MutationConfig};
+use dcn_traces::{Genome, RequestSource};
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+fn chain(seed: u64, steps: usize) -> (MutationConfig, Genome) {
+    let cfg = MutationConfig::for_search(8, 200);
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut g = random_genome(&cfg, 200, &mut rng);
+    for _ in 0..steps {
+        g = mutate(&g, &cfg, &mut rng);
+    }
+    (cfg, g)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    #[test]
+    fn mutated_genomes_lower_to_exactly_len_requests(seed in any::<u64>(), steps in 0usize..25) {
+        let (cfg, g) = chain(seed, steps);
+        prop_assert!(g.validate().is_ok(), "invalid genome: {}", g.to_json());
+        prop_assert!(g.len() <= cfg.max_total_len);
+        let mut src = g.source();
+        prop_assert_eq!(src.len(), g.len());
+        let mut emitted = 0usize;
+        while let Some(p) = src.next_request() {
+            prop_assert!((p.hi() as usize) < g.num_racks, "rack out of range in {}", g.to_json());
+            emitted += 1;
+        }
+        prop_assert_eq!(emitted, g.len(), "emitted count diverged for {}", g.to_json());
+    }
+
+    #[test]
+    fn mutated_genomes_round_trip_through_json(seed in any::<u64>(), steps in 0usize..25) {
+        let (_, g) = chain(seed, steps);
+        let back = Genome::from_json(&g.to_json());
+        prop_assert_eq!(back.as_ref().ok(), Some(&g), "round trip failed: {:?}", back.as_ref().err());
+    }
+
+    #[test]
+    fn mutation_determinism_holds_along_chains(seed in any::<u64>(), steps in 1usize..15) {
+        let (_, a) = chain(seed, steps);
+        let (_, b) = chain(seed, steps);
+        prop_assert_eq!(a, b);
+    }
+}

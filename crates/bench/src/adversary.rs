@@ -1,0 +1,151 @@
+//! The `repro_figures adversary` target: a budgeted coverage-guided
+//! adversarial search ([`mod@dcn_adversary::search`]) per online algorithm,
+//! reported as the usual [`SimpleTable`] (mergeable `BENCH_adversary.json`)
+//! plus one replayable [`CorpusEntry`] per row for the genome artifact.
+//!
+//! Determinism contract matches every other table target: row seeds are
+//! fixed per row (not per shard), so `--shard I/M` partitions the rows and
+//! `--merge-json` reassembles the exact unsharded artifact, for any
+//! `--threads`.
+
+use crate::ablations::SimpleTable;
+use dcn_adversary::search::search_topology;
+use dcn_adversary::{evaluate, search, CorpusEntry, SearchConfig};
+use dcn_core::algorithms::AlgorithmKind;
+use dcn_core::sweep::ShardSpec;
+
+/// The online algorithms the adversary attacks, with their corpus tags.
+fn attack_roster() -> Vec<(&'static str, AlgorithmKind)> {
+    vec![
+        ("Bma", AlgorithmKind::Bma),
+        ("RbmaLazy", AlgorithmKind::Rbma { lazy: true }),
+        ("RbmaStrict", AlgorithmKind::Rbma { lazy: false }),
+        ("Rotor:50", AlgorithmKind::Rotor { period: 50 }),
+        ("Periodic:100", AlgorithmKind::Periodic { period: 100 }),
+    ]
+}
+
+/// Search configuration at `scale` (1.0 ≈ 800-request genomes, 160
+/// evaluations per algorithm; floors keep `--fast --scale 0.1` smoke runs
+/// meaningful).
+fn scaled_config(scale: f64, search_seed: u64, threads: usize) -> SearchConfig {
+    SearchConfig {
+        num_racks: 8,
+        b: 2,
+        alpha: 10,
+        algo_seed: 1,
+        search_seed,
+        target_len: ((800.0 * scale).round() as usize).max(40),
+        budget: ((160.0 * scale).round() as usize).max(16),
+        batch: 16,
+        pool_capacity: 24,
+        threads,
+    }
+}
+
+/// Runs the per-algorithm adversarial search and returns the summary
+/// table plus one replayable corpus entry per computed row.
+pub fn adversary_search(
+    scale: f64,
+    threads: usize,
+    shard: ShardSpec,
+) -> (SimpleTable, Vec<CorpusEntry>) {
+    let mut rows = Vec::new();
+    let mut entries = Vec::new();
+    for (i, (tag, kind)) in attack_roster().into_iter().enumerate() {
+        if !shard.owns(i) {
+            continue;
+        }
+        // Per-row seed: stable under sharding and roster reordering-by-index.
+        let cfg = scaled_config(scale, 42 + i as u64, threads);
+        let outcome = search(&kind, &cfg);
+        let replay = evaluate(
+            &kind,
+            &search_topology(cfg.num_racks),
+            cfg.b,
+            cfg.alpha,
+            cfg.algo_seed,
+            &outcome.best.genome,
+        );
+        let entry = CorpusEntry::from_outcome(
+            &kind,
+            cfg.num_racks,
+            cfg.b,
+            cfg.alpha,
+            cfg.algo_seed,
+            outcome.star_baseline,
+            outcome.best.genome.clone(),
+            &replay,
+        );
+        rows.push((
+            tag.to_string(),
+            vec![
+                outcome.best.fitness,
+                outcome.star_baseline,
+                100.0 * (outcome.best.fitness / outcome.star_baseline - 1.0),
+                outcome.evaluations as f64,
+                outcome.best.genome.len() as f64,
+                cfg.search_seed as f64,
+                cfg.algo_seed as f64,
+            ],
+        ));
+        entries.push(entry);
+    }
+    let table = SimpleTable {
+        title: format!(
+            "Adversary: worst cost ratio vs SO-BMA found per algorithm \
+             (n=8, b=2, alpha=10, scale={scale})"
+        ),
+        columns: vec![
+            "best ratio".into(),
+            "star baseline".into(),
+            "gain %".into(),
+            "evaluations".into(),
+            "genome len".into(),
+            "search seed".into(),
+            "algo seed".into(),
+        ],
+        rows,
+    };
+    (table, entries)
+}
+
+/// The genome artifact accompanying `BENCH_adversary.json`: a JSON array
+/// of replayable corpus entries, one per computed row.
+pub fn genomes_to_json(entries: &[CorpusEntry]) -> String {
+    let parts: Vec<String> = entries.iter().map(CorpusEntry::to_json).collect();
+    format!("[{}]", parts.join(","))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_scale_produces_full_replayable_rows() {
+        let (table, entries) = adversary_search(0.02, 1, ShardSpec::full());
+        assert_eq!(table.rows.len(), 5);
+        assert_eq!(entries.len(), 5);
+        for ((label, values), entry) in table.rows.iter().zip(&entries) {
+            assert_eq!(label, &entry.algorithm);
+            assert!(values[0] >= values[1], "best below star baseline");
+            entry.verify().expect("bench row must replay exactly");
+        }
+        // The artifact parses back entry by entry.
+        let json = genomes_to_json(&entries);
+        assert!(json.starts_with('[') && json.ends_with(']'));
+    }
+
+    #[test]
+    fn sharded_rows_partition_the_table() {
+        let full = adversary_search(0.02, 1, ShardSpec::full()).0;
+        let a = adversary_search(0.02, 1, ShardSpec::parse("0/2").unwrap()).0;
+        let b = adversary_search(0.02, 1, ShardSpec::parse("1/2").unwrap()).0;
+        assert_eq!(a.rows.len() + b.rows.len(), full.rows.len());
+        let mut merged: Vec<_> = a.rows.iter().chain(&b.rows).cloned().collect();
+        merged.sort_by(|x, y| x.0.cmp(&y.0));
+        let mut expect = full.rows.clone();
+        expect.sort_by(|x, y| x.0.cmp(&y.0));
+        assert_eq!(merged, expect);
+    }
+}

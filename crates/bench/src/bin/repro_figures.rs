@@ -15,6 +15,10 @@
 //!   scaling                  streamed 10^5 -> 10^7 request sweep (O(1) memory)
 //!   demand                   demand mis-estimation sweep (static forecast vs drift)
 //!   sweep                    work-stealing executor scaling on a skewed job mix
+//!   adversary                coverage-guided adversarial trace search per
+//!                            algorithm (worst cost ratio vs SO-BMA); with
+//!                            --json also writes the replayable genomes as
+//!                            BENCH_adversary_genomes.json
 //!   ablations                all ablations
 //!   all                      everything
 //!
@@ -38,14 +42,14 @@
 //! ```
 
 use dcn_bench::{
-    ablation_alpha, ablation_augmentation, ablation_removal, ablation_skew, demand_sweep,
-    lower_bound_gap, run_panel, scaling_sweep, series_to_csv, series_to_markdown, shard,
-    sweep_scaling, FigureSpec, Panel, SimpleTable,
+    ablation_alpha, ablation_augmentation, ablation_removal, ablation_skew, adversary_search,
+    demand_sweep, genomes_to_json, lower_bound_gap, run_panel, scaling_sweep, series_to_csv,
+    series_to_markdown, shard, sweep_scaling, FigureSpec, Panel, SimpleTable,
 };
 use dcn_core::sweep::ShardSpec;
 use std::path::PathBuf;
 
-const TABLE_TARGETS: [&str; 8] = [
+const TABLE_TARGETS: [&str; 9] = [
     "ablation-alpha",
     "ablation-augmentation",
     "ablation-skew",
@@ -54,6 +58,7 @@ const TABLE_TARGETS: [&str; 8] = [
     "demand",
     "scaling",
     "sweep",
+    "adversary",
 ];
 
 fn main() {
@@ -156,6 +161,7 @@ fn main() {
                 "scaling",
                 "demand",
                 "sweep",
+                "adversary",
             ]
             .into_iter()
             .map(String::from)
@@ -258,6 +264,31 @@ fn main() {
                 };
                 print_table(
                     id,
+                    table,
+                    shard_spec,
+                    out_dir.as_deref(),
+                    json_dir.as_deref(),
+                );
+            }
+            "adversary" => {
+                let (table, genomes) = adversary_search(ablation_scale, threads, shard_spec);
+                if let Some(dir) = json_dir.as_deref() {
+                    // The replayable genome artifact rides alongside the
+                    // mergeable table JSON (genome files are per-shard
+                    // slices too, but have no --merge-json support; the
+                    // corpus replay test is their consumer).
+                    let name = if shard_spec.is_full() {
+                        shard::merged_file_name("adversary_genomes")
+                    } else {
+                        shard::shard_file_name("adversary_genomes", shard_spec)
+                    };
+                    let path = dir.join(name);
+                    std::fs::write(&path, genomes_to_json(&genomes))
+                        .expect("write genome artifact");
+                    println!("(wrote {})\n", path.display());
+                }
+                print_table(
+                    "adversary",
                     table,
                     shard_spec,
                     out_dir.as_deref(),

@@ -24,6 +24,7 @@
 //! materializes (one repetition at a time).
 
 pub mod ablations;
+pub mod adversary;
 pub mod demand;
 pub mod shard;
 
@@ -31,6 +32,7 @@ pub use ablations::{
     ablation_alpha, ablation_augmentation, ablation_removal, ablation_skew, lower_bound_gap,
     SimpleTable,
 };
+pub use adversary::{adversary_search, genomes_to_json};
 pub use demand::demand_sweep;
 pub use shard::{merge_tables, merged_file_name, shard_file_name};
 

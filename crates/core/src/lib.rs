@@ -23,6 +23,9 @@
 //!   (algorithm × b × trace-seed × algo-seed) runs across threads; each
 //!   job carries a [`dcn_traces::TraceSpec`] and synthesizes its own
 //!   stream in-place.
+//! * [`ratio`] — adversarial fitness: an online algorithm's total cost
+//!   relative to the static offline baseline on the same trace (the
+//!   objective the adversary search in `dcn-adversary` maximizes).
 //! * [`report`] — serializable run reports and cross-seed averaging.
 //!
 //! # Quickstart
@@ -46,11 +49,13 @@
 
 pub mod algorithms;
 pub mod analysis;
+pub mod ratio;
 pub mod report;
 pub mod scheduler;
 pub mod simulator;
 pub mod sweep;
 
+pub use ratio::{cost_ratio_vs_static, RatioOutcome};
 pub use report::{AveragedSeries, Checkpoint, RunReport};
 pub use scheduler::{OnlineScheduler, ServeOutcome};
 pub use simulator::{run, RequestStream, SimConfig};

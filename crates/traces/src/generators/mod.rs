@@ -5,5 +5,6 @@
 pub mod adversarial;
 pub mod demand;
 pub mod facebook;
+pub mod genome;
 pub mod microsoft;
 pub mod synthetic;

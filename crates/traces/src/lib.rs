@@ -60,6 +60,7 @@ pub use generators::facebook::{
     facebook_cluster_source, facebook_cluster_trace, facebook_source, facebook_trace,
     FacebookCluster, FacebookParams,
 };
+pub use generators::genome::{Genome, GenomeSource, Segment};
 pub use generators::microsoft::{microsoft_source, microsoft_trace, MicrosoftParams};
 pub use generators::synthetic::{
     hotspot_source, hotspot_trace, permutation_source, permutation_trace, uniform_source,

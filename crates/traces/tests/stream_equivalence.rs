@@ -13,7 +13,7 @@ use dcn_traces::{
     permutation_source, permutation_trace, sequence_source, sequence_trace,
     star_round_robin_blocks, star_round_robin_source, star_uniform_blocks, star_uniform_source,
     uniform_source, uniform_trace, zipf_pair_source, zipf_pair_trace, DemandMatrix,
-    FacebookCluster, FacebookParams, MatrixSequence, MicrosoftParams, Trace,
+    FacebookCluster, FacebookParams, Genome, MatrixSequence, MicrosoftParams, Segment, Trace,
 };
 use proptest::prelude::*;
 
@@ -284,6 +284,90 @@ fn drain_with_schedule(source: &mut dyn RequestSource, schedule: &[usize]) -> Ve
     out
 }
 
+/// Proptest strategy over valid [`Segment`]s for an 8-rack genome,
+/// covering all five segment families with their full parameter ranges.
+/// Lives here (not in `dcn-adversary`) so the trace crate's stream
+/// contract is pinned without a dependency on the search crate.
+fn segment_strategy() -> impl Strategy<Value = Segment> {
+    const N: usize = 8;
+    prop_oneof![
+        (1usize..120, any::<u64>()).prop_map(|(len, seed)| Segment::Uniform { len, seed }),
+        (
+            1usize..120,
+            2usize..=N,
+            0.0..1.0f64,
+            0usize..N,
+            any::<u64>()
+        )
+            .prop_map(|(len, num_hot, p_hot, offset, seed)| Segment::Hotspot {
+                len,
+                num_hot,
+                p_hot,
+                offset,
+                seed,
+            }),
+        (1usize..120, any::<u64>()).prop_map(|(len, seed)| Segment::Permutation { len, seed }),
+        (2usize..N, 1usize..12, 1usize..12, any::<u64>()).prop_map(
+            |(spokes, block_len, blocks, seed)| Segment::StarBlocks {
+                spokes,
+                block_len,
+                blocks,
+                seed,
+            }
+        ),
+        (1usize..120, 0.0..4.0f64, 0.0..4.0f64, any::<u64>()).prop_map(
+            |(len, s_start, s_end, seed)| Segment::ZipfRamp {
+                len,
+                s_start,
+                s_end,
+                seed,
+            }
+        ),
+    ]
+}
+
+/// Arbitrary valid genomes: 1–5 segments over 8 racks.
+fn genome_strategy() -> impl Strategy<Value = Genome> {
+    proptest::collection::vec(segment_strategy(), 1..6)
+        .prop_map(|segments| Genome::new(8, segments))
+}
+
+#[test]
+fn genome_stream_equals_trace() {
+    // A genome exercising every segment family (and hence every segment
+    // kernel's emit path) against the materialized counterpart, with the
+    // usual bookkeeping checks.
+    for seed in SEEDS {
+        let g = Genome::new(
+            8,
+            vec![
+                Segment::Uniform { len: 40, seed },
+                Segment::Hotspot {
+                    len: 50,
+                    num_hot: 3,
+                    p_hot: 0.85,
+                    offset: 6,
+                    seed,
+                },
+                Segment::Permutation { len: 24, seed },
+                Segment::StarBlocks {
+                    spokes: 4,
+                    block_len: 6,
+                    blocks: 8,
+                    seed,
+                },
+                Segment::ZipfRamp {
+                    len: 30,
+                    s_start: 0.3,
+                    s_end: 2.2,
+                    seed,
+                },
+            ],
+        );
+        assert_stream_equals_trace(g.source(), &g.as_trace());
+    }
+}
+
 proptest! {
     /// `fill` with an arbitrary batch-size schedule replays the exact
     /// `next_request` sequence for every kernel — the draw-for-draw batch
@@ -328,6 +412,47 @@ proptest! {
             }
             prop_assert_eq!(&mixed, &expected, "fill/next_request interleave");
         }
+    }
+
+    /// Genome-lowered sources obey the same contract as every built-in
+    /// kernel: `fill` under an arbitrary batch schedule replays the exact
+    /// `next_request` sequence, `reset()` replays identically from any
+    /// interrupt position, and the source emits exactly `len()` requests —
+    /// for arbitrary valid genomes, not just the hand-picked sample.
+    #[test]
+    fn genome_sources_replay_under_arbitrary_batch_schedules(
+        genome in genome_strategy(),
+        schedule in proptest::collection::vec(1usize..97, 1..8),
+        cut in 0usize..700,
+    ) {
+        let mut source = genome.source();
+        prop_assert_eq!(source.len(), genome.len());
+        prop_assert_eq!(source.num_racks(), genome.num_racks);
+        let expected: Vec<Pair> = std::iter::from_fn(|| source.next_request()).collect();
+        prop_assert_eq!(
+            expected.len(),
+            genome.len(),
+            "emitted count diverged for {}",
+            genome.to_json()
+        );
+        prop_assert!(
+            expected.iter().all(|p| (p.hi() as usize) < genome.num_racks),
+            "rack out of range for {}",
+            genome.to_json()
+        );
+        // Batched drain from a fresh start replays the streamed sequence,
+        // including across segment boundaries mid-chunk.
+        source.reset();
+        let batched = drain_with_schedule(&mut source, &schedule);
+        prop_assert_eq!(&batched, &expected, "schedule {:?} on {}", &schedule, genome.to_json());
+        // reset() from an arbitrary interrupt position replays identically.
+        source.reset();
+        for _ in 0..cut.min(genome.len()) {
+            source.next_request();
+        }
+        source.reset();
+        let after_cut = drain_with_schedule(&mut source, &schedule);
+        prop_assert_eq!(&after_cut, &expected, "reset mid-stream on {}", genome.to_json());
     }
 
     /// reset() replays the identical sequence, from any interrupt position,

@@ -6,12 +6,15 @@
 //! types exercise: primitives, strings, options, sequences, maps, structs,
 //! and unit/newtype enum variants.
 //!
-//! Note: this is intentionally an emitter only. The one consumer-side
-//! counterpart lives in `dcn-bench`'s shard module (`parse_table`), which
-//! reassembles sharded benchmark artifacts **byte-for-byte** and therefore
-//! depends on this emitter's exact escape set and float formatting
-//! (shortest-round-trip `Display`) — keep the two in sync if either
-//! changes.
+//! The consumer side is [`parse_json`]/[`JsonValue`]: a small
+//! recursive-descent parser for replaying committed artifacts (adversary
+//! genomes, regression corpora). Integers parse **exactly** (no float
+//! round-trip), so 64-bit RNG seeds survive a serialize→parse cycle
+//! bit-for-bit. A second, byte-exactness-oriented consumer lives in
+//! `dcn-bench`'s shard module (`parse_table`), which reassembles sharded
+//! benchmark artifacts **byte-for-byte** and therefore depends on this
+//! emitter's exact escape set and float formatting (shortest-round-trip
+//! `Display`) — keep the two in sync if either changes.
 
 use serde::ser::{self, Serialize};
 use std::fmt::{self, Display, Write as FmtWrite};
@@ -373,6 +376,334 @@ impl<'a, 'b> ser::SerializeStructVariant for Compound<'a, 'b> {
     }
 }
 
+/// A parsed JSON value — the consumer-side counterpart of
+/// [`to_json_string`] for replaying committed artifacts.
+///
+/// Integers keep their exact bits: a token with no sign, fraction or
+/// exponent parses into [`JsonValue::Uint`] (and a negative one into
+/// [`JsonValue::Int`]), so `u64` RNG seeds round-trip losslessly where a
+/// float-only representation would truncate above 2⁵³. Object key order is
+/// preserved.
+#[derive(Clone, Debug, PartialEq)]
+pub enum JsonValue {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Non-negative integer literal (exact).
+    Uint(u64),
+    /// Negative integer literal (exact).
+    Int(i64),
+    /// Any literal with a fraction or exponent.
+    Float(f64),
+    /// String literal (escapes decoded).
+    Str(String),
+    /// Array.
+    Array(Vec<JsonValue>),
+    /// Object, in source key order.
+    Object(Vec<(String, JsonValue)>),
+}
+
+impl JsonValue {
+    /// The value as an exact `u64`, if it is a non-negative integer.
+    pub fn as_u64(&self) -> Option<u64> {
+        match *self {
+            JsonValue::Uint(v) => Some(v),
+            JsonValue::Int(v) => u64::try_from(v).ok(),
+            _ => None,
+        }
+    }
+
+    /// The value as a `usize`, if it is a non-negative integer that fits.
+    pub fn as_usize(&self) -> Option<usize> {
+        self.as_u64().and_then(|v| usize::try_from(v).ok())
+    }
+
+    /// The value as an `f64` (any numeric variant).
+    pub fn as_f64(&self) -> Option<f64> {
+        match *self {
+            JsonValue::Uint(v) => Some(v as f64),
+            JsonValue::Int(v) => Some(v as f64),
+            JsonValue::Float(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// The value as a `bool`.
+    pub fn as_bool(&self) -> Option<bool> {
+        match *self {
+            JsonValue::Bool(b) => Some(b),
+            _ => None,
+        }
+    }
+
+    /// The value as a string slice.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            JsonValue::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as an array slice.
+    pub fn as_array(&self) -> Option<&[JsonValue]> {
+        match self {
+            JsonValue::Array(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// The value as an object (key/value pairs in source order).
+    pub fn as_object(&self) -> Option<&[(String, JsonValue)]> {
+        match self {
+            JsonValue::Object(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// Object field lookup (first match).
+    pub fn get(&self, key: &str) -> Option<&JsonValue> {
+        self.as_object()?
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v)
+    }
+}
+
+/// Parses a complete JSON document; trailing non-whitespace is an error.
+pub fn parse_json(text: &str) -> Result<JsonValue, String> {
+    let mut p = Parser {
+        bytes: text.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    let v = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(format!("trailing content at byte {}", p.pos));
+    }
+    Ok(v)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if matches!(b, b' ' | b'\t' | b'\n' | b'\r') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!(
+                "expected {:?} at byte {}, found {:?}",
+                b as char,
+                self.pos,
+                self.peek().map(|c| c as char)
+            ))
+        }
+    }
+
+    fn literal(&mut self, word: &str, value: JsonValue) -> Result<JsonValue, String> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(format!("invalid literal at byte {}", self.pos))
+        }
+    }
+
+    fn value(&mut self) -> Result<JsonValue, String> {
+        match self.peek() {
+            Some(b'n') => self.literal("null", JsonValue::Null),
+            Some(b't') => self.literal("true", JsonValue::Bool(true)),
+            Some(b'f') => self.literal("false", JsonValue::Bool(false)),
+            Some(b'"') => Ok(JsonValue::Str(self.string()?)),
+            Some(b'[') => self.array(),
+            Some(b'{') => self.object(),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            other => Err(format!(
+                "unexpected {:?} at byte {}",
+                other.map(|c| c as char),
+                self.pos
+            )),
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            // Collect the raw run up to the next escape or closing quote;
+            // str::from_utf8 keeps multi-byte characters intact.
+            let start = self.pos;
+            while let Some(&b) = self.bytes.get(self.pos) {
+                if b == b'"' || b == b'\\' {
+                    break;
+                }
+                self.pos += 1;
+            }
+            out.push_str(
+                std::str::from_utf8(&self.bytes[start..self.pos])
+                    .map_err(|_| "invalid UTF-8 in string".to_string())?,
+            );
+            match self.peek() {
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    let esc = self
+                        .peek()
+                        .ok_or_else(|| "unterminated escape".to_string())?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'u' => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos..self.pos + 4)
+                                .ok_or_else(|| "truncated \\u escape".to_string())?;
+                            let code = u32::from_str_radix(
+                                std::str::from_utf8(hex).map_err(|_| "bad \\u escape")?,
+                                16,
+                            )
+                            .map_err(|_| "bad \\u escape")?;
+                            self.pos += 4;
+                            // Surrogate pairs are out of scope: the emitter
+                            // never produces them (only control characters).
+                            out.push(
+                                char::from_u32(code)
+                                    .ok_or_else(|| "invalid \\u codepoint".to_string())?,
+                            );
+                        }
+                        other => return Err(format!("unknown escape \\{}", other as char)),
+                    }
+                }
+                _ => return Err("unterminated string".to_string()),
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<JsonValue, String> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(self.peek(), Some(b'0'..=b'9')) {
+            self.pos += 1;
+        }
+        let mut integral = true;
+        if self.peek() == Some(b'.') {
+            integral = false;
+            self.pos += 1;
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            integral = false;
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        let text =
+            std::str::from_utf8(&self.bytes[start..self.pos]).expect("number bytes are ASCII");
+        if integral {
+            if let Some(digits) = text.strip_prefix('-') {
+                if !digits.is_empty() {
+                    if let Ok(v) = text.parse::<i64>() {
+                        return Ok(JsonValue::Int(v));
+                    }
+                }
+            } else if let Ok(v) = text.parse::<u64>() {
+                return Ok(JsonValue::Uint(v));
+            }
+        }
+        text.parse::<f64>()
+            .map(JsonValue::Float)
+            .map_err(|_| format!("invalid number {text:?} at byte {start}"))
+    }
+
+    fn array(&mut self) -> Result<JsonValue, String> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(JsonValue::Array(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(JsonValue::Array(items));
+                }
+                _ => return Err(format!("expected ',' or ']' at byte {}", self.pos)),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<JsonValue, String> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(JsonValue::Object(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = self.value()?;
+            fields.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(JsonValue::Object(fields));
+                }
+                _ => return Err(format!("expected ',' or '}}' at byte {}", self.pos)),
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -449,5 +780,100 @@ mod tests {
     fn nested_options_and_tuples() {
         let v: (Option<u8>, Option<u8>, bool) = (Some(3), None, true);
         assert_eq!(to_json_string(&v).unwrap(), "[3,null,true]");
+    }
+
+    #[test]
+    fn parse_scalars() {
+        assert_eq!(parse_json("null").unwrap(), JsonValue::Null);
+        assert_eq!(parse_json(" true ").unwrap(), JsonValue::Bool(true));
+        assert_eq!(parse_json("false").unwrap(), JsonValue::Bool(false));
+        assert_eq!(parse_json("42").unwrap(), JsonValue::Uint(42));
+        assert_eq!(parse_json("-7").unwrap(), JsonValue::Int(-7));
+        assert_eq!(parse_json("1.5").unwrap(), JsonValue::Float(1.5));
+        assert_eq!(parse_json("2e3").unwrap(), JsonValue::Float(2000.0));
+        assert_eq!(
+            parse_json(r#""a\nb\"c""#).unwrap(),
+            JsonValue::Str("a\nb\"c".into())
+        );
+        assert_eq!(parse_json(r#""A""#).unwrap(), JsonValue::Str("A".into()));
+    }
+
+    #[test]
+    fn parse_u64_seeds_exactly() {
+        // Above 2^53: a float round-trip would corrupt these.
+        let seed = 0xDEAD_BEEF_CAFE_F00Du64;
+        let text = to_json_string(&seed).unwrap();
+        assert_eq!(parse_json(&text).unwrap().as_u64(), Some(seed));
+        assert_eq!(
+            parse_json("18446744073709551615").unwrap(),
+            JsonValue::Uint(u64::MAX)
+        );
+    }
+
+    #[test]
+    fn parse_compound_round_trip() {
+        #[derive(Serialize)]
+        struct Entry {
+            name: String,
+            seeds: Vec<u64>,
+            ratio: f64,
+            tag: Option<bool>,
+        }
+        let text = to_json_string(&Entry {
+            name: "worst \"genome\"".into(),
+            seeds: vec![1, u64::MAX],
+            ratio: 2.25,
+            tag: None,
+        })
+        .unwrap();
+        let v = parse_json(&text).unwrap();
+        assert_eq!(v.get("name").unwrap().as_str(), Some("worst \"genome\""));
+        let seeds: Vec<u64> = v
+            .get("seeds")
+            .unwrap()
+            .as_array()
+            .unwrap()
+            .iter()
+            .map(|s| s.as_u64().unwrap())
+            .collect();
+        assert_eq!(seeds, vec![1, u64::MAX]);
+        assert_eq!(v.get("ratio").unwrap().as_f64(), Some(2.25));
+        assert_eq!(v.get("tag").unwrap(), &JsonValue::Null);
+        // Enum variant shapes parse back too.
+        let e = parse_json(r#"{"Rbma":{"b":6}}"#).unwrap();
+        assert_eq!(e.get("Rbma").unwrap().get("b").unwrap().as_usize(), Some(6));
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        for bad in [
+            "",
+            "tru",
+            "[1,",
+            "{\"a\":}",
+            "[1 2]",
+            "\"unterminated",
+            "1.2.3",
+            "{,}",
+            "42 x",
+            "nullx",
+        ] {
+            assert!(parse_json(bad).is_err(), "{bad:?} should not parse");
+        }
+    }
+
+    #[test]
+    fn object_key_order_and_lookup() {
+        let v = parse_json(r#"{"b":1,"a":2,"b":3}"#).unwrap();
+        let keys: Vec<&str> = v
+            .as_object()
+            .unwrap()
+            .iter()
+            .map(|(k, _)| k.as_str())
+            .collect();
+        assert_eq!(keys, vec!["b", "a", "b"]);
+        // First match wins.
+        assert_eq!(v.get("b").unwrap().as_u64(), Some(1));
+        assert!(v.get("missing").is_none());
     }
 }

@@ -16,6 +16,8 @@
 //!   demand-aware static baselines (COUDER-style).
 //! * [`traces`] — synthetic datacenter workloads + trace statistics.
 //! * [`core`] — R-BMA, BMA, SO-BMA, the cost model and the simulator.
+//! * [`adversary`] — coverage-guided adversarial trace search over
+//!   mutation genomes, with a replayable regression corpus.
 //! * [`util`] — hashing, sampling sets, statistics, CSV/JSON.
 //!
 //! # Quickstart
@@ -47,6 +49,7 @@
 //! assert!(report.total.matched_fraction() > 0.0);
 //! ```
 
+pub use dcn_adversary as adversary;
 pub use dcn_core as core;
 pub use dcn_demand as demand;
 pub use dcn_matching as matching;

@@ -18,10 +18,36 @@ pub fn vec<S: Strategy>(element: S, len: Range<usize>) -> VecStrategy<S> {
     VecStrategy { element, len }
 }
 
-impl<S: Strategy> Strategy for VecStrategy<S> {
+impl<S: Strategy> Strategy for VecStrategy<S>
+where
+    S::Value: Clone,
+{
     type Value = Vec<S::Value>;
     fn generate(&self, rng: &mut SmallRng) -> Self::Value {
         let n = rng.random_range(self.len.clone());
         (0..n).map(|_| self.element.generate(rng)).collect()
+    }
+    fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+        let min = self.len.start;
+        let mut out = Vec::new();
+        // Length reductions first (most aggressive): halve toward the
+        // minimum, then drop the last element.
+        let half = min.max(value.len() / 2);
+        if half < value.len() {
+            out.push(value[..half].to_vec());
+        }
+        if value.len() > min && value.len() - 1 != half {
+            out.push(value[..value.len() - 1].to_vec());
+        }
+        // Then element-wise shrinks, one index at a time with the rest held
+        // fixed, so surviving elements converge to their own minima.
+        for i in 0..value.len() {
+            for candidate in self.element.shrink(&value[i]) {
+                let mut next = value.clone();
+                next[i] = candidate;
+                out.push(next);
+            }
+        }
+        out
     }
 }

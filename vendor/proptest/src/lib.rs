@@ -7,14 +7,23 @@
 //! Differences from real proptest, by design (the build environment has no
 //! registry access, so this replaces the real crate):
 //!
-//! * **No shrinking.** A failing case reports its inputs (via `Debug` where
-//!   the test formats them into the assertion message) and the case index;
-//!   re-running is deterministic, so the failure reproduces exactly.
+//! * **Greedy bounded shrinking.** On the first failing case the runner
+//!   repeatedly asks the strategy ([`Strategy::shrink`]) for smaller
+//!   candidates and keeps the first one that still fails, up to
+//!   [`MAX_SHRINK_CANDIDATES`] candidate executions. Integers halve toward
+//!   their range start (or toward 0 for `any`), collections truncate/pop
+//!   toward their minimum length and shrink elements in place, tuples
+//!   shrink per component, unions delegate to every arm. `prop_map`ped
+//!   strategies do not shrink (the mapping is not invertible).
+//! * **Copy-pasteable failure reports.** The panic message always contains
+//!   the minimal failing input (`Debug`), the shrink-step count, and the
+//!   exact seed + case index needed to replay the failure deterministically.
 //! * **Deterministic seeding.** The RNG seed is derived from the test
 //!   function's name, so runs are reproducible and independent of execution
 //!   order. There is no persistence file.
 //! * `prop_assume!` skips the offending case without drawing a replacement
-//!   (case counts are upper bounds, as they effectively are upstream too).
+//!   (case counts are upper bounds, as they effectively are upstream too);
+//!   a rejection during shrinking counts as "does not fail".
 
 use rand::rngs::SmallRng;
 use rand::{RngExt, SeedableRng};
@@ -52,6 +61,16 @@ pub trait Strategy {
     /// Draws one value.
     fn generate(&self, rng: &mut SmallRng) -> Self::Value;
 
+    /// Proposes *simpler* candidates for a failing `value`, best first.
+    ///
+    /// The runner greedily re-tests candidates and recurses on the first
+    /// one that still fails, so a good implementation orders candidates
+    /// from most aggressive (range minimum, half) to least (decrement).
+    /// Returning an empty vector (the default) means "fully shrunk".
+    fn shrink(&self, _value: &Self::Value) -> Vec<Self::Value> {
+        Vec::new()
+    }
+
     /// Post-processes generated values with `f`.
     fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
     where
@@ -77,6 +96,9 @@ impl<V> Strategy for BoxedStrategy<V> {
     fn generate(&self, rng: &mut SmallRng) -> V {
         (**self).generate(rng)
     }
+    fn shrink(&self, value: &V) -> Vec<V> {
+        (**self).shrink(value)
+    }
 }
 
 /// Strategy produced by [`Strategy::prop_map`].
@@ -92,6 +114,32 @@ impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
     }
 }
 
+/// Shrink candidates for an integer failing at `v` with lower bound `lo`:
+/// the bound itself, the halfway point, then the decrement — ordered most
+/// aggressive first so the greedy runner binary-searches toward `lo`.
+macro_rules! int_shrink_toward {
+    ($v:expr, $lo:expr) => {{
+        let (v, lo) = ($v, $lo);
+        let mut out = Vec::new();
+        if v > lo {
+            out.push(lo);
+            // checked_sub dodges signed overflow on pathological ranges
+            // (e.g. i64::MIN..i64::MAX); skipping the midpoint there is
+            // fine — the decrement still makes progress.
+            if let Some(d) = v.checked_sub(lo) {
+                let mid = lo + d / 2;
+                if mid != lo && mid != v {
+                    out.push(mid);
+                }
+            }
+            if v - 1 != lo {
+                out.push(v - 1);
+            }
+        }
+        out
+    }};
+}
+
 macro_rules! range_strategy {
     ($($t:ty),*) => {$(
         impl Strategy for core::ops::Range<$t> {
@@ -99,11 +147,17 @@ macro_rules! range_strategy {
             fn generate(&self, rng: &mut SmallRng) -> $t {
                 rng.random_range(self.clone())
             }
+            fn shrink(&self, value: &$t) -> Vec<$t> {
+                int_shrink_toward!(*value, self.start)
+            }
         }
         impl Strategy for core::ops::RangeInclusive<$t> {
             type Value = $t;
             fn generate(&self, rng: &mut SmallRng) -> $t {
                 rng.random_range(self.clone())
+            }
+            fn shrink(&self, value: &$t) -> Vec<$t> {
+                int_shrink_toward!(*value, *self.start())
             }
         }
     )*};
@@ -118,12 +172,33 @@ impl Strategy for core::ops::Range<f64> {
     }
 }
 
+/// The empty strategy backing zero-argument properties.
+impl Strategy for () {
+    type Value = ();
+    fn generate(&self, _rng: &mut SmallRng) {}
+}
+
 macro_rules! tuple_strategy {
     ($(($($n:tt $s:ident)+))+) => {$(
-        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+        impl<$($s: Strategy),+> Strategy for ($($s,)+)
+        where
+            $($s::Value: Clone,)+
+        {
             type Value = ($($s::Value,)+);
             fn generate(&self, rng: &mut SmallRng) -> Self::Value {
                 ($(self.$n.generate(rng),)+)
+            }
+            fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+                // One component shrinks at a time, the others held fixed.
+                let mut out = Vec::new();
+                $(
+                    for candidate in self.$n.shrink(&value.$n) {
+                        let mut next = value.clone();
+                        next.$n = candidate;
+                        out.push(next);
+                    }
+                )+
+                out
             }
         }
     )+};
@@ -154,6 +229,13 @@ impl Strategy for Any<bool> {
     fn generate(&self, rng: &mut SmallRng) -> bool {
         rng.random_bool(0.5)
     }
+    fn shrink(&self, value: &bool) -> Vec<bool> {
+        if *value {
+            vec![false]
+        } else {
+            Vec::new()
+        }
+    }
 }
 
 macro_rules! any_int_strategy {
@@ -162,6 +244,22 @@ macro_rules! any_int_strategy {
             type Value = $t;
             fn generate(&self, rng: &mut SmallRng) -> $t {
                 rng.random_range(<$t>::MIN..=<$t>::MAX)
+            }
+            fn shrink(&self, value: &$t) -> Vec<$t> {
+                // `any` shrinks toward 0 from either side.
+                let v = *value;
+                let mut out = Vec::new();
+                if v != 0 {
+                    out.push(0);
+                    if v / 2 != 0 {
+                        out.push(v / 2);
+                    }
+                    let dec = if v > 0 { v - 1 } else { v + 1 };
+                    if dec != 0 && dec != v / 2 {
+                        out.push(dec);
+                    }
+                }
+                out
             }
         }
     )*};
@@ -188,6 +286,12 @@ impl<V> Strategy for Union<V> {
         let idx = rng.random_range(0..self.arms.len());
         self.arms[idx].generate(rng)
     }
+    fn shrink(&self, value: &V) -> Vec<V> {
+        // The generating arm is not recorded, so let every arm propose
+        // candidates; ones outside the failing arm's range simply fail to
+        // reproduce and are skipped by the runner.
+        self.arms.iter().flat_map(|arm| arm.shrink(value)).collect()
+    }
 }
 
 /// Deterministic per-test seed: FNV-1a over the test path.
@@ -213,6 +317,85 @@ pub enum CaseResult {
     Reject,
     /// Property failed with a message.
     Fail(String),
+}
+
+/// Upper bound on candidate executions during one shrink session.
+///
+/// Shrinking re-runs the property once per candidate, so this caps the extra
+/// work a failing property can cost at roughly `MAX_SHRINK_CANDIDATES`
+/// additional case executions.
+pub const MAX_SHRINK_CANDIDATES: usize = 1024;
+
+/// Runs one property: `config.cases` generated cases, greedy bounded
+/// shrinking on the first failure, then a panic whose message contains the
+/// minimal failing input and the exact seed needed to replay it.
+///
+/// This is the engine behind [`proptest!`]; it is public so the macro
+/// expansion (and tests of the harness itself) can call it.
+pub fn run_property<S>(
+    name: &str,
+    path: &str,
+    config: &ProptestConfig,
+    strategy: &S,
+    mut prop: impl FnMut(&S::Value) -> CaseResult,
+) where
+    S: Strategy,
+    S::Value: Clone + core::fmt::Debug,
+{
+    let seed = fnv1a_seed(path);
+    let mut rng = SmallRng::seed_from_u64(seed);
+    for case in 0..config.cases {
+        let value = strategy.generate(&mut rng);
+        if let CaseResult::Fail(msg) = prop(&value) {
+            let (minimal, min_msg, steps, tried) = shrink_failure(strategy, value, msg, &mut prop);
+            panic!(
+                "property `{name}` failed at case {}/{}: {min_msg}\n\
+                 minimal failing input (after {steps} successful shrink step(s), \
+                 {tried} candidate(s) tried): {minimal:?}\n\
+                 replay: seed 0x{seed:016x} derived from test path \"{path}\"; \
+                 case index {case} (0-based)",
+                case + 1,
+                config.cases,
+            );
+        }
+    }
+}
+
+/// Greedy bounded shrink: repeatedly takes the first candidate that still
+/// fails and restarts from it, until no candidate reproduces the failure or
+/// the [`MAX_SHRINK_CANDIDATES`] budget is spent. A candidate that passes or
+/// is rejected by `prop_assume!` simply does not reproduce the failure.
+///
+/// Returns `(minimal value, its failure message, successful steps, candidates
+/// tried)`.
+fn shrink_failure<S>(
+    strategy: &S,
+    mut value: S::Value,
+    mut msg: String,
+    prop: &mut impl FnMut(&S::Value) -> CaseResult,
+) -> (S::Value, String, usize, usize)
+where
+    S: Strategy,
+    S::Value: Clone,
+{
+    let mut steps = 0usize;
+    let mut tried = 0usize;
+    'session: while tried < MAX_SHRINK_CANDIDATES {
+        for candidate in strategy.shrink(&value) {
+            if tried >= MAX_SHRINK_CANDIDATES {
+                break 'session;
+            }
+            tried += 1;
+            if let CaseResult::Fail(m) = prop(&candidate) {
+                value = candidate;
+                msg = m;
+                steps += 1;
+                continue 'session;
+            }
+        }
+        break; // no candidate reproduced the failure: fully shrunk
+    }
+    (value, msg, steps, tried)
 }
 
 /// Everything the test files import.
@@ -242,22 +425,24 @@ macro_rules! __proptest_impl {
             $(#[$meta])*
             fn $name() {
                 let __config: $crate::ProptestConfig = $cfg;
-                let mut __rng = $crate::runner_rng(concat!(module_path!(), "::", stringify!($name)));
-                for __case in 0..__config.cases {
-                    $(let $arg = $crate::Strategy::generate(&($strat), &mut __rng);)*
-                    let __outcome: $crate::CaseResult = (|| {
-                        $body
-                        #[allow(unreachable_code)]
-                        $crate::CaseResult::Pass
-                    })();
-                    match __outcome {
-                        $crate::CaseResult::Pass | $crate::CaseResult::Reject => {}
-                        $crate::CaseResult::Fail(msg) => panic!(
-                            "property `{}` failed at case {}/{}: {}",
-                            stringify!($name), __case + 1, __config.cases, msg
-                        ),
-                    }
-                }
+                // The tuple strategy generates components left to right, so
+                // the RNG draw order matches the historical per-argument
+                // `let` statements and seeded suites keep their cases.
+                let __strategy = ($($strat,)*);
+                $crate::run_property(
+                    stringify!($name),
+                    concat!(module_path!(), "::", stringify!($name)),
+                    &__config,
+                    &__strategy,
+                    |__value| {
+                        let ($($arg,)*) = __value.clone();
+                        (|| {
+                            $body
+                            #[allow(unreachable_code)]
+                            $crate::CaseResult::Pass
+                        })()
+                    },
+                );
             }
         )*
     };
@@ -393,5 +578,71 @@ mod tests {
             }
         }
         failing();
+    }
+
+    /// Runs a failing property and returns its full panic report.
+    fn failure_report(property: fn()) -> String {
+        *std::panic::catch_unwind(property)
+            .expect_err("property must fail")
+            .downcast::<String>()
+            .expect("panic payload is the formatted report")
+    }
+
+    #[test]
+    fn shrinks_int_to_boundary() {
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(20))]
+            fn fails_from_17(x in 0u64..1000) {
+                prop_assert!(x < 17, "x was {}", x);
+            }
+        }
+        let msg = failure_report(fails_from_17);
+        assert!(msg.contains("minimal failing input"), "{msg}");
+        assert!(
+            msg.contains("(17,)"),
+            "expected shrink to the boundary 17: {msg}"
+        );
+        assert!(msg.contains("x was 17"), "{msg}");
+        assert!(
+            !msg.contains("after 0 successful shrink step(s)"),
+            "expected a strictly smaller input than the generated one: {msg}"
+        );
+    }
+
+    #[test]
+    fn shrinks_vec_to_minimal_form() {
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(20))]
+            fn fails_at_len_3(v in prop::collection::vec(0u32..100, 0..10)) {
+                prop_assert!(v.len() < 3, "len was {}", v.len());
+            }
+        }
+        let msg = failure_report(fails_at_len_3);
+        assert!(
+            msg.contains("[0, 0, 0]"),
+            "expected the minimal 3-element all-zero vector: {msg}"
+        );
+        assert!(msg.contains("len was 3"), "{msg}");
+    }
+
+    #[test]
+    fn failure_report_is_replayable() {
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(5))]
+            fn always_fails(x in 0u32..10) {
+                prop_assert!(x > 100, "x was {}", x);
+            }
+        }
+        let msg = failure_report(always_fails);
+        // The report carries everything needed to replay by hand: the exact
+        // seed, the test path it was derived from, and the case index.
+        assert!(msg.contains("replay: seed 0x"), "{msg}");
+        let seed_hex = msg.split("replay: seed 0x").nth(1).unwrap()[..16].to_string();
+        let seed = u64::from_str_radix(&seed_hex, 16).unwrap();
+        assert_eq!(
+            seed,
+            super::fnv1a_seed(concat!(module_path!(), "::always_fails"))
+        );
+        assert!(msg.contains("case index 0 (0-based)"), "{msg}");
     }
 }
