@@ -14,6 +14,32 @@ use dcn_core::ratio::RatioOutcome;
 use dcn_traces::Genome;
 use dcn_util::json::{parse_json, to_json_string, JsonValue};
 use serde::Serialize;
+use std::path::{Path, PathBuf};
+
+/// The committed corpus directory (`crates/adversary/corpus/`).
+pub fn corpus_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("corpus")
+}
+
+/// Loads every committed `corpus/*.json` entry, sorted by file name.
+/// Panics on unreadable or malformed files — a broken corpus should fail
+/// loudly wherever it is consumed (the tier-1 replay gate, the scaling
+/// table's worst-case panel).
+pub fn committed_entries() -> Vec<(String, CorpusEntry)> {
+    let mut out = Vec::new();
+    for dirent in std::fs::read_dir(corpus_dir()).expect("corpus directory exists") {
+        let path = dirent.expect("readable corpus dirent").path();
+        if path.extension().is_some_and(|x| x == "json") {
+            let text = std::fs::read_to_string(&path).expect("readable corpus file");
+            let entry = CorpusEntry::from_json(&text)
+                .unwrap_or_else(|err| panic!("{}: {err}", path.display()));
+            let name = path.file_name().unwrap().to_string_lossy().into_owned();
+            out.push((name, entry));
+        }
+    }
+    out.sort_by(|a, b| a.0.cmp(&b.0));
+    out
+}
 
 /// One frozen adversarial discovery.
 #[derive(Clone, Debug, Serialize)]

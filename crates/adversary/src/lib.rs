@@ -36,7 +36,7 @@ pub mod mutate;
 pub mod pool;
 pub mod search;
 
-pub use corpus::{parse_kind, CorpusEntry};
+pub use corpus::{committed_entries, corpus_dir, parse_kind, CorpusEntry};
 pub use mutate::{mutate, random_genome, MutationConfig};
 pub use pool::{Pool, PoolEntry};
 pub use search::{evaluate, search, star_nemesis_genome, SearchConfig, SearchOutcome};

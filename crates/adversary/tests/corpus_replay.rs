@@ -7,30 +7,9 @@
 //! `cargo test -p dcn-adversary --test corpus_replay -- --ignored`
 //! and commit the rewritten `corpus/*.json`.
 
-use dcn_adversary::{search, CorpusEntry, SearchConfig};
+use dcn_adversary::{committed_entries as entries, corpus_dir, search, CorpusEntry, SearchConfig};
 use dcn_core::algorithms::AlgorithmKind;
 use std::fs;
-use std::path::{Path, PathBuf};
-
-fn corpus_dir() -> PathBuf {
-    Path::new(env!("CARGO_MANIFEST_DIR")).join("corpus")
-}
-
-fn entries() -> Vec<(String, CorpusEntry)> {
-    let mut out = Vec::new();
-    for dirent in fs::read_dir(corpus_dir()).expect("corpus directory exists") {
-        let path = dirent.expect("readable corpus dirent").path();
-        if path.extension().is_some_and(|x| x == "json") {
-            let text = fs::read_to_string(&path).expect("readable corpus file");
-            let entry = CorpusEntry::from_json(&text)
-                .unwrap_or_else(|err| panic!("{}: {err}", path.display()));
-            let name = path.file_name().unwrap().to_string_lossy().into_owned();
-            out.push((name, entry));
-        }
-    }
-    out.sort_by(|a, b| a.0.cmp(&b.0));
-    out
-}
 
 #[test]
 fn corpus_is_nonempty_and_covers_multiple_algorithms() {

@@ -89,6 +89,8 @@ fn serve_inner_batched_vs_unbatched(c: &mut Criterion) {
             });
         });
         for batch in BATCH_SIZES {
+            // "batched" is the default serve path: since the bucketing
+            // refactor that means the sorted (bucket-preprocessed) pass.
             group.bench_with_input(
                 BenchmarkId::new("batched", batch),
                 &batch,
@@ -98,6 +100,22 @@ fn serve_inner_batched_vs_unbatched(c: &mut Criterion) {
                         let mut acc = BatchOutcome::default();
                         for chunk in requests.chunks(batch) {
                             s.serve_batch(chunk, &dm, &mut acc);
+                        }
+                        black_box(acc)
+                    });
+                },
+            );
+            // The pre-bucketing fused loop, kept as an explicit point so the
+            // sorted-vs-unsorted win is a first-class benchmark artifact.
+            group.bench_with_input(
+                BenchmarkId::new("unsorted", batch),
+                &batch,
+                |bench, &batch| {
+                    bench.iter(|| {
+                        let mut s = algorithm.build_online(dm.clone(), DEGREE, ALPHA, 5);
+                        let mut acc = BatchOutcome::default();
+                        for chunk in requests.chunks(batch) {
+                            s.serve_batch_unsorted(chunk, &dm, &mut acc);
                         }
                         black_box(acc)
                     });
@@ -175,6 +193,35 @@ fn fill_batched_vs_unbatched(c: &mut Criterion) {
     group.finish();
 }
 
+/// Intra-run sharding: one simulation, the bucketing scan spread over an
+/// [`dcn_core::IntraPool`] of 1/2/4 workers (1 = no pool, the sequential
+/// sorted path). Reports are byte-identical at every width — this group
+/// measures what the sharding costs/buys on this host.
+fn serve_intra_widths(c: &mut Criterion) {
+    let dm = distances();
+    let mut group = c.benchmark_group("batch_intra_rbma_b12_zipf");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2))
+        .throughput(Throughput::Elements(LEN as u64));
+    let algorithm = AlgorithmKind::Rbma { lazy: true };
+    for intra in [1usize, 2, 4] {
+        group.bench_with_input(BenchmarkId::new("intra", intra), &intra, |bench, &intra| {
+            let config = SimConfig::default()
+                .with_batch_size(1024)
+                .with_intra_threads(intra);
+            let mut source = zipf_pair_source(RACKS, LEN, EXPONENT, 5);
+            bench.iter(|| {
+                source.reset();
+                let mut s = algorithm.build_online(dm.clone(), DEGREE, ALPHA, 5);
+                black_box(run(s.as_mut(), &dm, ALPHA, &mut source, &config))
+            });
+        });
+    }
+    group.finish();
+}
+
 /// The isolated BMA hit-path upkeep: touching matched edges in the recency
 /// index, flat intrusive LRU vs the historical BTreeMap reference, with
 /// everything else (counters, routing lookups, dispatch) stripped away.
@@ -234,6 +281,7 @@ criterion_group!(
     benches,
     serve_run_batch_sizes,
     serve_inner_batched_vs_unbatched,
+    serve_intra_widths,
     fill_batched_vs_unbatched,
     bma_recency_upkeep
 );

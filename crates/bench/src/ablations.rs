@@ -50,7 +50,13 @@ impl SimpleTable {
         for (label, values) in &self.rows {
             let _ = write!(out, "| {label} |");
             for v in values {
-                let _ = write!(out, " {v:.4} |");
+                // Non-finite cells are deliberate "not applicable" markers
+                // (e.g. speedup on a 1-core host) — render them readably.
+                if v.is_finite() {
+                    let _ = write!(out, " {v:.4} |");
+                } else {
+                    let _ = write!(out, " n/a |");
+                }
             }
             let _ = writeln!(out);
         }

@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! repro_figures [--fast] [--scale F] [--threads N] [--shard I/M]
+//!               [--intra-threads N] [--pr N] [--ledger-file PATH]
 //!               [--out DIR] [--json DIR] [--merge-json DIR] <target>...
 //!
 //! targets:
@@ -15,6 +16,9 @@
 //!   scaling                  streamed 10^5 -> 10^7 request sweep (O(1) memory)
 //!   demand                   demand mis-estimation sweep (static forecast vs drift)
 //!   sweep                    work-stealing executor scaling on a skewed job mix
+//!   ledger                   measure the standard point and upsert this PR's
+//!                            rows into the committed BENCH_LEDGER.json
+//!                            (requires --pr; not part of "all")
 //!   adversary                coverage-guided adversarial trace search per
 //!                            algorithm (worst cost ratio vs SO-BMA); with
 //!                            --json also writes the replayable genomes as
@@ -28,6 +32,12 @@
 //! --threads N   work-stealing worker count for job grids (0 = auto, one per
 //!               core — the default). Timing-sensitive serve loops (panel b,
 //!               scaling/sweep rows) stay sequential regardless.
+//! --intra-threads N  intra-run worker count for the scaling target's
+//!               sharded column and its live report-equality assertion
+//!               (0 = auto, one per core; default 2). Reports are
+//!               byte-identical at any value.
+//! --pr N        PR number to record ledger measurements under (ledger only)
+//! --ledger-file PATH  ledger location (default BENCH_LEDGER.json)
 //! --shard I/M   compute only this shard's slice of a table target's rows
 //!               (round-robin by row index; seeds unchanged). With --json,
 //!               writes BENCH_<target>.shard-I-of-M.json for --merge-json.
@@ -43,8 +53,9 @@
 
 use dcn_bench::{
     ablation_alpha, ablation_augmentation, ablation_removal, ablation_skew, adversary_search,
-    demand_sweep, genomes_to_json, lower_bound_gap, run_panel, scaling_sweep, series_to_csv,
-    series_to_markdown, shard, sweep_scaling, FigureSpec, Panel, SimpleTable,
+    demand_sweep, genomes_to_json, lower_bound_gap, measure_standard_point, run_panel,
+    scaling_sweep, series_to_csv, series_to_markdown, shard, sweep_scaling, FigureSpec, Ledger,
+    Panel, SimpleTable,
 };
 use dcn_core::sweep::ShardSpec;
 use std::path::PathBuf;
@@ -102,6 +113,28 @@ fn main() {
         },
         None => 0,
     };
+    // Intra-run workers for the scaling target (0 = auto; default 2 so the
+    // sharded column and its equality assertion are live even unasked).
+    let intra_threads: usize = match value_of("--intra-threads") {
+        Some(v) => match v.parse::<usize>() {
+            Ok(n) => n,
+            Err(_) => {
+                eprintln!("--intra-threads expects a non-negative integer (0 = auto), got {v:?}");
+                std::process::exit(2);
+            }
+        },
+        None => 2,
+    };
+    let pr: Option<u64> = value_of("--pr").map(|v| match v.parse::<u64>() {
+        Ok(n) => n,
+        Err(_) => {
+            eprintln!("--pr expects a non-negative integer, got {v:?}");
+            std::process::exit(2);
+        }
+    });
+    let ledger_file: PathBuf = value_of("--ledger-file")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("BENCH_LEDGER.json"));
     let shard_spec: ShardSpec = match value_of("--shard") {
         Some(v) => match ShardSpec::parse(&v) {
             Ok(s) => s,
@@ -126,6 +159,9 @@ fn main() {
             "--threads",
             "--shard",
             "--merge-json",
+            "--intra-threads",
+            "--pr",
+            "--ledger-file",
         ]
         .contains(&a.as_str())
         {
@@ -307,11 +343,38 @@ fn main() {
                     .collect();
                 print_table(
                     "scaling",
-                    scaling_sweep(&lens, threads, shard_spec),
+                    scaling_sweep(&lens, threads, shard_spec, intra_threads),
                     shard_spec,
                     out_dir.as_deref(),
                     json_dir.as_deref(),
                 );
+            }
+            "ledger" => {
+                let Some(pr) = pr else {
+                    eprintln!("ledger requires --pr N (the PR to record the measurement under)");
+                    std::process::exit(2);
+                };
+                let mut ledger = match std::fs::read_to_string(&ledger_file) {
+                    Ok(text) => match Ledger::from_json(&text) {
+                        Ok(l) => l,
+                        Err(e) => {
+                            eprintln!("{}: {e}", ledger_file.display());
+                            std::process::exit(2);
+                        }
+                    },
+                    // A missing file starts a fresh ledger (first run).
+                    Err(_) => Ledger::default(),
+                };
+                for entry in measure_standard_point(pr) {
+                    println!(
+                        "PR {pr}: {} {} = {:.1} Mreq/s",
+                        entry.algorithm, entry.mode, entry.mreq_per_sec
+                    );
+                    ledger.upsert(entry);
+                }
+                std::fs::write(&ledger_file, ledger.to_json()).expect("write ledger");
+                println!("(wrote {})\n", ledger_file.display());
+                println!("{}", ledger.to_markdown());
             }
             other => {
                 eprintln!("unknown target: {other}");

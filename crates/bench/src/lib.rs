@@ -26,6 +26,7 @@
 pub mod ablations;
 pub mod adversary;
 pub mod demand;
+pub mod ledger;
 pub mod shard;
 
 pub use ablations::{
@@ -34,6 +35,7 @@ pub use ablations::{
 };
 pub use adversary::{adversary_search, genomes_to_json};
 pub use demand::demand_sweep;
+pub use ledger::{measure_standard_point, Ledger, LedgerEntry};
 pub use shard::{merge_tables, merged_file_name, shard_file_name};
 
 use dcn_core::algorithms::static_offline::so_bma_series;
@@ -390,27 +392,57 @@ fn best_of_series(spec: &FigureSpec, threads: usize) -> Vec<AveragedSeries> {
 /// execution-time panels); `threads` only accelerates the one non-timed
 /// setup step (the APSP distance build). `shard` selects which rows (by
 /// original index, so seeds are unchanged) this invocation computes.
-pub fn scaling_sweep(lens: &[usize], threads: usize, shard: ShardSpec) -> SimpleTable {
+///
+/// PR 7 additions, both live in the artifact:
+///
+/// * **Four-path equivalence.** Every length row runs R-BMA through all
+///   four serve paths — bucketed/sorted (the new default), unsorted
+///   batched (the PR 5 fused loop), per-request (`batch_size = 1`), and
+///   intra-sharded (`intra_threads` workers over one run) — and asserts
+///   the full seeded `RunReport`s identical across all of them; BMA and
+///   Oblivious are cross-checked sorted-vs-per-request the same way. The
+///   unsorted and intra-sharded R-BMA throughputs become columns, so the
+///   bucketing win and the sharding behaviour ship with every run.
+/// * **Worst-case panel.** Every committed adversarial corpus entry
+///   (`crates/adversary/corpus/*.json`) appends a standing row: the entry
+///   is first replayed to its pinned costs ([`CorpusEntry::verify`] as
+///   gate), then its genome trace runs through the same column set on the
+///   entry's own topology and (b, α) — the discovered nemesis traces
+///   exercise the serve paths in the live table, not only in tests.
+///   Corpus rows shard by continued index (`lens.len() + i`).
+///
+/// [`CorpusEntry::verify`]: dcn_adversary::CorpusEntry::verify
+pub fn scaling_sweep(
+    lens: &[usize],
+    threads: usize,
+    shard: ShardSpec,
+    intra_threads: usize,
+) -> SimpleTable {
+    use dcn_core::ServeMode;
     let racks = 100;
     let b = 12;
     let alpha = 10u64;
     let exponent = 1.2;
+    let intra = dcn_core::parallel::resolve_intra(intra_threads);
     let net = builders::fat_tree_with_racks(racks);
     let dm = Arc::new(DistanceMatrix::between_racks_parallel(
         &net,
         resolve_threads(threads),
     ));
-    let run_streamed = |spec: &TraceSpec, algorithm: &AlgorithmKind, batch_size: usize| {
-        let mut source = spec.source();
-        let config = dcn_core::SimConfig {
-            seed: 7,
-            trace_name: spec.name(),
-            ..Default::default()
-        }
-        .with_batch_size(batch_size);
-        let mut scheduler = algorithm.build_online(Arc::clone(&dm), b, alpha, 7);
-        dcn_core::run(scheduler.as_mut(), &dm, alpha, source.as_mut(), &config)
-    };
+    let run_streamed =
+        |spec: &TraceSpec, algorithm: &AlgorithmKind, batch_size: usize, mode, intra_w| {
+            let mut source = spec.source();
+            let config = dcn_core::SimConfig {
+                seed: 7,
+                trace_name: spec.name(),
+                ..Default::default()
+            }
+            .with_batch_size(batch_size)
+            .with_serve_mode(mode)
+            .with_intra_threads(intra_w);
+            let mut scheduler = algorithm.build_online(Arc::clone(&dm), b, alpha, 7);
+            dcn_core::run(scheduler.as_mut(), &dm, alpha, source.as_mut(), &config)
+        };
     let throughput = |r: &dcn_core::RunReport| {
         if r.total.elapsed_secs > 0.0 {
             r.total.requests as f64 / r.total.elapsed_secs / 1e6
@@ -443,36 +475,46 @@ pub fn scaling_sweep(lens: &[usize], threads: usize, shard: ShardSpec) -> Simple
             exponent,
             seed: derive_seed(0x5CA1E, i as u64),
         };
-        let rbma = run_streamed(&spec, &AlgorithmKind::Rbma { lazy: true }, batched);
-        let bma = run_streamed(&spec, &AlgorithmKind::Bma, batched);
-        let oblivious = run_streamed(&spec, &AlgorithmKind::Oblivious, batched);
-        let rbma_unbatched = run_streamed(&spec, &AlgorithmKind::Rbma { lazy: true }, 1);
+        let rbma_kind = AlgorithmKind::Rbma { lazy: true };
+        let rbma = run_streamed(&spec, &rbma_kind, batched, ServeMode::Sorted, 1);
+        let bma = run_streamed(&spec, &AlgorithmKind::Bma, batched, ServeMode::Sorted, 1);
+        let oblivious = run_streamed(
+            &spec,
+            &AlgorithmKind::Oblivious,
+            batched,
+            ServeMode::Sorted,
+            1,
+        );
+        let rbma_unsorted = run_streamed(&spec, &rbma_kind, batched, ServeMode::Unsorted, 1);
+        let rbma_unbatched = run_streamed(&spec, &rbma_kind, 1, ServeMode::Unsorted, 1);
+        let rbma_sharded = run_streamed(&spec, &rbma_kind, batched, ServeMode::Sorted, intra);
         // Flat-LRU BMA vs the BTreeMap reference: every seeded report field
         // must match, live in the production target, not only in tests.
         let bma_btree = run_reference_bma(&spec, batched);
         assert_reports_equal(&bma, &bma_btree, "BMA flat-LRU vs BTreeMap recency");
-        // Every published algorithm is cross-checked against its unbatched
-        // run, so a regression in any hand-fused serve_batch override can't
-        // ship wrong numbers (the throughput columns reuse the R-BMA pair).
+        // The four-path contract, live: sorted ≡ unsorted ≡ per-request ≡
+        // intra-sharded, on every seeded report field.
+        assert_reports_equal(&rbma, &rbma_unsorted, "R-BMA sorted vs unsorted batched");
+        assert_reports_equal(&rbma, &rbma_unbatched, "R-BMA sorted vs per-request");
+        assert_reports_equal(
+            &rbma,
+            &rbma_sharded,
+            &format!("R-BMA sorted vs intra-sharded ({intra} workers)"),
+        );
         for (batched_report, algorithm) in [
-            (&rbma, AlgorithmKind::Rbma { lazy: true }),
             (&bma, AlgorithmKind::Bma),
             (&oblivious, AlgorithmKind::Oblivious),
         ] {
-            let unbatched = if matches!(algorithm, AlgorithmKind::Rbma { .. }) {
-                rbma_unbatched.clone()
-            } else {
-                run_streamed(&spec, &algorithm, 1)
-            };
-            assert_eq!(
-                batched_report.total.total_cost(),
-                unbatched.total.total_cost(),
-                "{}: batched and unbatched serve modes must cost identically",
-                algorithm.label()
+            let unbatched = run_streamed(&spec, &algorithm, 1, ServeMode::Unsorted, 1);
+            assert_reports_equal(
+                batched_report,
+                &unbatched,
+                &format!("{}: sorted batched vs per-request", algorithm.label()),
             );
         }
         let fast = throughput(&rbma);
         let slow = throughput(&rbma_unbatched);
+        let unsorted_tp = throughput(&rbma_unsorted);
         let bma_fast = throughput(&bma);
         let bma_btree_tp = throughput(&bma_btree);
         rows.push((
@@ -487,13 +529,93 @@ pub fn scaling_sweep(lens: &[usize], threads: usize, shard: ShardSpec) -> Simple
                 bma_fast / bma_btree_tp,
                 slow,
                 fast / slow,
+                unsorted_tp,
+                fast / unsorted_tp,
+                throughput(&rbma_sharded),
+            ],
+        ));
+    }
+    // Standing worst-case panel: one row per committed adversarial corpus
+    // entry, replay-gated, over the entry's own topology and parameters.
+    for (ci, (name, entry)) in dcn_adversary::committed_entries().iter().enumerate() {
+        if !shard.owns(lens.len() + ci) {
+            continue;
+        }
+        entry
+            .verify()
+            .unwrap_or_else(|report| panic!("worst-case panel gate: {report}"));
+        let trace = entry.genome.as_trace();
+        let adm = dcn_adversary::search::search_topology(entry.num_racks);
+        let run_adv = |algorithm: &AlgorithmKind, batch_size: usize, mode, intra_w| {
+            let config = dcn_core::SimConfig {
+                seed: entry.algo_seed,
+                trace_name: trace.name.clone(),
+                ..Default::default()
+            }
+            .with_batch_size(batch_size)
+            .with_serve_mode(mode)
+            .with_intra_threads(intra_w);
+            let mut scheduler =
+                algorithm.build_online(Arc::clone(&adm), entry.b, entry.alpha, entry.algo_seed);
+            dcn_core::run(
+                scheduler.as_mut(),
+                &adm,
+                entry.alpha,
+                &trace.requests,
+                &config,
+            )
+        };
+        let rbma_kind = AlgorithmKind::Rbma { lazy: true };
+        let rbma = run_adv(&rbma_kind, batched, ServeMode::Sorted, 1);
+        let bma = run_adv(&AlgorithmKind::Bma, batched, ServeMode::Sorted, 1);
+        let oblivious = run_adv(&AlgorithmKind::Oblivious, batched, ServeMode::Sorted, 1);
+        let rbma_unsorted = run_adv(&rbma_kind, batched, ServeMode::Unsorted, 1);
+        let rbma_unbatched = run_adv(&rbma_kind, 1, ServeMode::Unsorted, 1);
+        let rbma_sharded = run_adv(&rbma_kind, batched, ServeMode::Sorted, intra);
+        let bma_btree = {
+            let config = dcn_core::SimConfig {
+                seed: entry.algo_seed,
+                trace_name: trace.name.clone(),
+                ..Default::default()
+            }
+            .with_batch_size(batched);
+            let mut scheduler =
+                dcn_core::algorithms::bma::BmaBTree::new(Arc::clone(&adm), entry.b, entry.alpha);
+            dcn_core::run(&mut scheduler, &adm, entry.alpha, &trace.requests, &config)
+        };
+        let ctx = format!("worst-case {name}");
+        assert_reports_equal(&rbma, &rbma_unsorted, &ctx);
+        assert_reports_equal(&rbma, &rbma_unbatched, &ctx);
+        assert_reports_equal(&rbma, &rbma_sharded, &ctx);
+        assert_reports_equal(&bma, &bma_btree, &ctx);
+        let fast = throughput(&rbma);
+        let slow = throughput(&rbma_unbatched);
+        let unsorted_tp = throughput(&rbma_unsorted);
+        let bma_fast = throughput(&bma);
+        let bma_btree_tp = throughput(&bma_btree);
+        rows.push((
+            format!("worst-case {name}"),
+            vec![
+                rbma.total.total_cost() as f64,
+                bma.total.total_cost() as f64,
+                oblivious.total.routing_cost as f64,
+                fast,
+                bma_fast,
+                bma_btree_tp,
+                bma_fast / bma_btree_tp,
+                slow,
+                fast / slow,
+                unsorted_tp,
+                fast / unsorted_tp,
+                throughput(&rbma_sharded),
             ],
         ));
     }
     SimpleTable {
         title: format!(
             "Scaling: streamed Zipf(s={exponent}) workloads, {racks} racks, b={b}, α={alpha} \
-             (O(1) trace memory; serve batch={batched} vs 1)"
+             (O(1) trace memory; serve batch={batched} vs 1; intra={intra}) \
+             + adversarial worst-case panel"
         ),
         columns: vec![
             "R-BMA total".into(),
@@ -505,6 +627,9 @@ pub fn scaling_sweep(lens: &[usize], threads: usize, shard: ShardSpec) -> Simple
             "BMA recency speedup".into(),
             "R-BMA Mreq/s (batch=1)".into(),
             "batch speedup".into(),
+            "R-BMA Mreq/s (unsorted)".into(),
+            "sorted speedup".into(),
+            format!("R-BMA Mreq/s (intra={intra})"),
         ],
         rows,
     }
@@ -607,8 +732,15 @@ pub fn sweep_scaling(scale: f64, shard: ShardSpec) -> SimpleTable {
                 &format!("work-stealing vs sequential, job {k} ({workers} workers)"),
             );
         }
-        let speedup = seq_secs / secs;
         let ideal = workers.min(cores) as f64;
+        // On a single-core host a measured "speedup" is pure scheduling
+        // noise around 1.0 — report n/a instead of a misleading ≈1.0×.
+        let (speedup, efficiency) = if cores == 1 {
+            (f64::NAN, f64::NAN)
+        } else {
+            let s = seq_secs / secs;
+            (s, s / ideal)
+        };
         rows.push((
             format!("{workers} workers"),
             vec![
@@ -616,14 +748,19 @@ pub fn sweep_scaling(scale: f64, shard: ShardSpec) -> SimpleTable {
                 total_requests as f64 / secs / 1e6,
                 speedup,
                 ideal,
-                speedup / ideal,
+                efficiency,
             ],
         ));
     }
+    let core_note = if cores == 1 {
+        "; 1 core: speedup n/a"
+    } else {
+        ""
+    };
     SimpleTable {
         title: format!(
             "Sweep executor scaling: work-stealing run_jobs over a skewed job mix \
-             ({} jobs, 2×{big} + 8×{small} requests, Zipf s=1.2, {racks} racks, b={b})",
+             ({} jobs, 2×{big} + 8×{small} requests, Zipf s=1.2, {racks} racks, b={b}{core_note})",
             jobs.len()
         ),
         columns: vec![
@@ -800,38 +937,58 @@ mod tests {
 
     #[test]
     fn scaling_sweep_runs_streamed() {
-        let t = scaling_sweep(&[2_000, 4_000], 1, ShardSpec::full());
-        assert_eq!(t.rows.len(), 2);
-        assert_eq!(t.columns.len(), 9);
+        let corpus = dcn_adversary::committed_entries().len();
+        assert!(corpus >= 3, "committed corpus should seed the panel");
+        let t = scaling_sweep(&[2_000, 4_000], 1, ShardSpec::full(), 2);
+        assert_eq!(t.rows.len(), 2 + corpus);
+        assert_eq!(t.columns.len(), 12);
         for (label, v) in &t.rows {
             // Online totals are bounded by the oblivious upper envelope plus
             // reconfiguration spend; all must be positive.
             assert!(v[0] > 0.0 && v[1] > 0.0 && v[2] > 0.0, "{label}: {v:?}");
-            // Batched/unbatched and flat/btree throughputs and their ratios
-            // are real measurements (report equality is asserted inside the
-            // sweep, including the BMA-vs-BTreeMap oracle replay).
+            // Sorted/unsorted/per-request/sharded and flat/btree throughputs
+            // and their ratios are real measurements (full report equality is
+            // asserted across all four serve paths inside the sweep).
             assert!(v[3] > 0.0 && v[5] > 0.0 && v[7] > 0.0, "{label}: {v:?}");
             assert!(v[6].is_finite() && v[6] > 0.0, "{label}: {v:?}");
             assert!(v[8].is_finite() && v[8] > 0.0, "{label}: {v:?}");
+            assert!(v[9] > 0.0 && v[11] > 0.0, "{label}: {v:?}");
+            assert!(v[10].is_finite() && v[10] > 0.0, "{label}: {v:?}");
         }
         // Twice the requests ⇒ roughly twice the oblivious routing cost.
         let ratio = t.rows[1].1[2] / t.rows[0].1[2];
         assert!((1.5..=2.5).contains(&ratio), "ratio {ratio}");
+        // The worst-case panel rows follow the length rows, in corpus
+        // file-name order.
+        for (label, _) in &t.rows[2..] {
+            assert!(label.starts_with("worst-case "), "{label}");
+        }
     }
 
     #[test]
     fn scaling_sweep_shards_partition_the_rows() {
-        // Sharded invocations compute exactly their owned rows with the
-        // original per-row seeds: the union of the cost columns equals the
-        // unsharded run's (timing columns are wall-clock and excluded).
+        // Sharded invocations compute exactly their owned rows (lengths and
+        // corpus panel alike, by continued original index) with the original
+        // per-row seeds: the union of the cost columns equals the unsharded
+        // run's (timing columns are wall-clock and excluded).
         let lens = [1_500usize, 2_500, 3_500];
-        let full = scaling_sweep(&lens, 1, ShardSpec::full());
-        let a = scaling_sweep(&lens, 1, ShardSpec::new(0, 2));
-        let b = scaling_sweep(&lens, 1, ShardSpec::new(1, 2));
-        assert_eq!(a.rows.len(), 2);
-        assert_eq!(b.rows.len(), 1);
+        let full = scaling_sweep(&lens, 1, ShardSpec::full(), 2);
+        let a = scaling_sweep(&lens, 1, ShardSpec::new(0, 2), 2);
+        let b = scaling_sweep(&lens, 1, ShardSpec::new(1, 2), 2);
+        let total = full.rows.len();
+        assert_eq!(a.rows.len(), total.div_ceil(2));
+        assert_eq!(b.rows.len(), total / 2);
         assert_eq!(a.title, full.title, "titles must merge byte-identically");
-        let merged = [&a.rows[0], &b.rows[0], &a.rows[1]];
+        // Round-robin by original index: shard 0 owns even rows, shard 1 odd.
+        let mut merged = Vec::new();
+        let (mut ai, mut bi) = (a.rows.iter(), b.rows.iter());
+        for i in 0..total {
+            merged.push(if i % 2 == 0 {
+                ai.next().expect("shard 0 row")
+            } else {
+                bi.next().expect("shard 1 row")
+            });
+        }
         for (got, want) in merged.iter().zip(&full.rows) {
             assert_eq!(got.0, want.0);
             for c in 0..3 {
@@ -842,13 +999,24 @@ mod tests {
 
     #[test]
     fn sweep_scaling_reports_executor_rows() {
+        let cores = std::thread::available_parallelism().map_or(1, |p| p.get());
         let t = sweep_scaling(0.004, ShardSpec::full());
         assert_eq!(t.rows.len(), 4);
         assert_eq!(t.columns.len(), 5);
         for (label, v) in &t.rows {
             assert!(v[0] > 0.0, "{label}: elapsed must be positive");
             assert!(v[1] > 0.0, "{label}: throughput must be positive");
-            assert!(v[2] > 0.0 && v[3] >= 1.0, "{label}: {v:?}");
+            assert!(v[3] >= 1.0, "{label}: {v:?}");
+            if cores == 1 {
+                // Single-core hosts report n/a, not a noise-driven ≈1.0×.
+                assert!(v[2].is_nan() && v[4].is_nan(), "{label}: {v:?}");
+            } else {
+                assert!(v[2] > 0.0 && v[4] > 0.0, "{label}: {v:?}");
+            }
+        }
+        if cores == 1 {
+            assert!(t.title.contains("1 core: speedup n/a"), "{}", t.title);
+            assert!(t.to_markdown().contains(" n/a |"));
         }
         // Row sharding composes like every other table target.
         let first = sweep_scaling(0.004, ShardSpec::new(0, 4));

@@ -28,9 +28,19 @@
 //! counters cache `k_e` alongside the count, so the common (ordinary-
 //! request) path is one membership probe of the flat matching plus one hash
 //! bump, with no division and no distance lookup. The batched entry point
-//! ([`OnlineScheduler::serve_batch`]) fuses routing-cost accounting into
-//! the same loop.
+//! ([`OnlineScheduler::serve_batch`]) goes further: it buckets each chunk
+//! by rack pair into a **persistent** slab
+//! ([`crate::batch::PersistentPairSlab`]) that carries each pair's
+//! matched/cost/counter state across chunks, so membership probes, `ℓ_e`
+//! reads and counter fetches are paid once per pair *ever*; ordinary
+//! requests collapse to one multiply-accumulate per distinct pair per
+//! chunk while special requests execute at their precomputed positions in
+//! original request order (RNG draws must fire at the unsorted positions)
+//! — byte-identical to the unsorted fused loop
+//! ([`OnlineScheduler::serve_batch_unsorted`]), which remains available.
 
+use crate::batch::{PairBuckets, PersistentPairSlab, DENSE_RACK_LIMIT};
+use crate::parallel::IntraPool;
 use crate::scheduler::{BatchOutcome, OnlineScheduler, ServeOutcome};
 use dcn_matching::BMatching;
 use dcn_paging::{DenseAccess, DenseMarking};
@@ -58,19 +68,70 @@ struct SpecialCounter {
     k: u32,
 }
 
+/// Per-pair slab entry of the bucketed serve passes: everything the
+/// ordinary-request fast path needs, loaded once per pair per chunk
+/// instead of once per request. `matched`/`cost` are patched in place by
+/// the rare special-request slow path when it changes the matching.
+///
+/// In the default (persistent) serve path this *is* the pair's
+/// authoritative state, carried across chunks in a
+/// [`PersistentPairSlab`]; the intra-sharded path rebuilds a per-chunk
+/// copy from the hash store instead.
+#[derive(Clone, Copy, Debug, Default)]
+struct RbmaPairState {
+    /// Whether the pair is currently a matching edge.
+    matched: bool,
+    /// Routing cost of the next request to this pair (1 or `ℓ_e`).
+    cost: u32,
+    /// Theorem-1 counter. The chunk pre-pass reads it once, derives the
+    /// full special schedule, and advances it in closed form.
+    count: u32,
+    /// Cached period `k_e`.
+    k: u32,
+    /// Occurrence index (1-based) of the pair's next special request in
+    /// this chunk, advanced as the special schedule executes.
+    next_o: u32,
+    /// Conservative hint: `false` guarantees the pair is NOT in the
+    /// lazy-removal `marked` set, letting a matched special skip the
+    /// hash removal. `true` means "maybe" — maintained from the mark
+    /// scratch after every special, refreshed on store migration.
+    maybe_marked: bool,
+}
+
 /// The randomized online b-matching scheduler.
 pub struct Rbma {
     dm: Arc<DistanceMatrix>,
     alpha: u64,
     mode: RemovalMode,
-    /// Per-pair counter toward the next special request (Theorem 1).
+    /// Per-pair counter toward the next special request (Theorem 1) —
+    /// the authoritative store while `dense` is false (per-request and
+    /// unsorted-batched serving, and racks above [`DENSE_RACK_LIMIT`]).
     counters: FxHashMap<Pair, SpecialCounter>,
+    /// Dense pair-slot store of the default bucketed serve path —
+    /// authoritative while `dense` is true. Holds the Theorem-1 counter
+    /// *and* the cached `matched`/`cost` view per pair, persistent
+    /// across chunks, so the bucketed pass pays no hash traffic at all.
+    pslab: PersistentPairSlab<RbmaPairState>,
+    /// Which of the two stores above is current; serve paths migrate
+    /// lazily on entry ([`Rbma::ensure_dense`] / [`Rbma::ensure_hash`]).
+    dense: bool,
     /// Per-rack randomized marking caches (Theorem 2). Page ids are the
     /// partner rack ids — a dense universe, hence the flat layout.
     caches: Vec<DenseMarking>,
     matching: BMatching,
     /// Lazy mode: edges marked for removal but still carried in `M`.
     marked: FxHashSet<Pair>,
+    /// Reusable chunk-bucketing scratch for the batched serve path.
+    buckets: PairBuckets<RbmaPairState>,
+    /// Pairs the last [`Rbma::serve_special`] removed from the matching —
+    /// the batched pass patches their slab entries.
+    removed_scratch: Vec<Pair>,
+    /// Pairs the last [`Rbma::serve_special`] newly eviction-marked
+    /// (lazy mode) — the persistent pass raises their slab mark hints.
+    marked_scratch: Vec<Pair>,
+    /// Reusable bitmap over chunk positions marking where special
+    /// requests fire (the precomputed schedule of the bucketed pass).
+    special_bits: Vec<u64>,
 }
 
 impl Rbma {
@@ -92,9 +153,15 @@ impl Rbma {
             alpha,
             mode,
             counters: FxHashMap::default(),
+            pslab: PersistentPairSlab::default(),
+            dense: false,
             caches,
             matching: BMatching::new(n, b),
             marked: FxHashSet::default(),
+            buckets: PairBuckets::default(),
+            removed_scratch: Vec::new(),
+            marked_scratch: Vec::new(),
+            special_bits: Vec::new(),
         }
     }
 
@@ -134,6 +201,65 @@ impl Rbma {
         }
     }
 
+    /// Makes the dense slot store authoritative (entry migration of the
+    /// default bucketed path). Every hash entry is written through to
+    /// its persistent slot — counter verbatim, `matched`/`cost`
+    /// recomputed from the matching, since hash-mode serving does not
+    /// patch slots. The hash is a superset of the slots ever allocated
+    /// ([`Rbma::ensure_hash`] dumps them all back), so this refreshes
+    /// every stale slot. O(pairs), amortized free: a run serves through
+    /// one path only, so migrations fire at most once per run.
+    fn ensure_dense(&mut self, n: usize, dm: &DistanceMatrix) {
+        if self.dense {
+            return;
+        }
+        let counters = std::mem::take(&mut self.counters);
+        let mut pslab = std::mem::take(&mut self.pslab);
+        for (&pair, c) in &counters {
+            let matched = self.matching.contains(pair);
+            let slot = pslab.slot_for(pair, n, |_| RbmaPairState::default());
+            *pslab.state_mut(slot) = RbmaPairState {
+                matched,
+                cost: if matched { 1 } else { dm.ell(pair) as u32 },
+                count: c.count,
+                k: c.k,
+                next_o: 0,
+                maybe_marked: self.marked.contains(&pair),
+            };
+        }
+        self.pslab = pslab;
+        self.counters = counters;
+        self.counters.clear();
+        self.dense = true;
+    }
+
+    /// Makes the hash store authoritative (entry migration of the
+    /// per-request, unsorted-batched and intra-sharded paths): every
+    /// slot's Theorem-1 counter is dumped back into the hash. The slots
+    /// themselves stay allocated — a later [`Rbma::ensure_dense`]
+    /// refreshes them in place.
+    fn ensure_hash(&mut self) {
+        if !self.dense {
+            return;
+        }
+        for i in 0..self.pslab.len() {
+            let pair = self.pslab.seen()[i];
+            let slot = self
+                .pslab
+                .slot_of(pair)
+                .expect("seen pairs keep their slot");
+            let s = *self.pslab.state(slot);
+            self.counters.insert(
+                pair,
+                SpecialCounter {
+                    count: s.count,
+                    k: s.k,
+                },
+            );
+        }
+        self.dense = false;
+    }
+
     /// Applies one endpoint's cache update for a special request; returns
     /// the matching removals it caused.
     fn touch_cache(&mut self, node: NodeId, partner: NodeId) -> u32 {
@@ -147,12 +273,13 @@ impl Rbma {
             match self.mode {
                 RemovalMode::Strict => {
                     if self.matching.remove(gone) {
+                        self.removed_scratch.push(gone);
                         removed += 1;
                     }
                 }
                 RemovalMode::Lazy => {
-                    if self.matching.contains(gone) {
-                        self.marked.insert(gone);
+                    if self.matching.contains(gone) && self.marked.insert(gone) {
+                        self.marked_scratch.push(gone);
                     }
                 }
             }
@@ -173,14 +300,32 @@ impl Rbma {
                 .expect("lazy R-BMA: a full node must carry a marked edge");
             self.matching.remove(victim);
             self.marked.remove(&victim);
+            self.removed_scratch.push(victim);
             removed += 1;
         }
         removed
     }
 
     /// The Theorem-2 slow path of a special request: feed both endpoint
-    /// caches, restore the matching invariant. Returns `(added, removed)`.
+    /// caches, restore the matching invariant. Returns `(added, removed)`;
+    /// the removed pairs themselves land in `removed_scratch`.
     fn serve_special(&mut self, pair: Pair) -> (u32, u32) {
+        let matched = self.matching.contains(pair);
+        self.serve_special_known(pair, matched, true)
+    }
+
+    /// [`Rbma::serve_special`] with the pair's current matching membership
+    /// already known (the bucketed pass reads it from the chunk slab,
+    /// skipping the membership scan). `matched` must equal
+    /// `self.matching.contains(pair)` — the slab keeps it exact because
+    /// every mid-chunk removal patches the victim's entry and a pair's own
+    /// cache touches can never evict that same pair. `maybe_marked` may
+    /// only be `false` when the pair is provably absent from the lazy
+    /// `marked` set (the persistent slab's hint); pass `true` when
+    /// unknown.
+    fn serve_special_known(&mut self, pair: Pair, matched: bool, maybe_marked: bool) -> (u32, u32) {
+        self.removed_scratch.clear();
+        self.marked_scratch.clear();
         let (u, v) = pair.endpoints();
         let mut removed = self.touch_cache(u, v);
         removed += self.touch_cache(v, u);
@@ -194,18 +339,342 @@ impl Rbma {
             &self.caches[v as usize],
             u as u64
         ));
+        debug_assert_eq!(matched, self.matching.contains(pair));
         let mut added = 0;
-        if !self.matching.contains(pair) {
+        if !matched {
             if self.mode == RemovalMode::Lazy {
                 removed += self.prune_marked_at(u);
                 removed += self.prune_marked_at(v);
             }
             self.matching.insert(pair);
             added = 1;
+            // An unmatched pair is never marked (marked ⊆ M), so the
+            // matched branch's "alive again" unmark has nothing to do.
+        } else if maybe_marked {
+            // A re-requested edge is alive again.
+            self.marked.remove(&pair);
         }
-        // A re-requested edge is alive again.
-        self.marked.remove(&pair);
         (added, removed)
+    }
+
+    /// The intra-sharded bucketed batch pass.
+    ///
+    /// Phase A buckets the chunk by pair ([`PairBuckets::bucket`],
+    /// sharded by pair ownership across `pool`) and pays the expensive
+    /// reads — membership probe, `ℓ_e`, counter fetch — once per
+    /// **distinct** pair, then builds the CSR occurrence index
+    /// ([`PairBuckets::build_positions`]).
+    ///
+    /// Phase B never walks the requests. Because a pair's Theorem-1
+    /// counter advances only on its own occurrences, the chunk positions
+    /// of its special requests are a pure function of `(count₀, k_e,
+    /// multiplicity)` — computed up front into a position bitmap. Ordinary
+    /// requests collapse into one multiply-accumulate per distinct pair
+    /// (`m · cost`, `m · matched`); only the specials execute, in original
+    /// request order (mandatory: cache faults draw RNG), each followed by
+    /// exact cost corrections `remaining-occurrences × Δ` for every slab
+    /// entry it flips (the served pair itself and any eviction victims,
+    /// via [`PairBuckets::occurrences_after`]).
+    ///
+    /// Phase C writes the Theorem-1 counters back in closed form
+    /// (`count₀ + m − specials·k`), once per distinct pair.
+    ///
+    /// The unsharded default path ([`Rbma::serve_batch_persistent`])
+    /// runs the same three phases over the *persistent* slab instead,
+    /// which amortizes Phase A's per-pair reads and drops Phase C
+    /// entirely; this per-chunk variant stays because its scan shards
+    /// cleanly (worker-private buckets over frozen state), which the
+    /// always-mutable persistent slab cannot.
+    fn serve_batch_bucketed(
+        &mut self,
+        batch: &[Pair],
+        dm: &DistanceMatrix,
+        acc: &mut BatchOutcome,
+        pool: Option<&IntraPool>,
+    ) {
+        self.ensure_hash();
+        let n = self.dm.num_racks();
+        let mut buckets = std::mem::take(&mut self.buckets);
+        let ok = {
+            let matching = &self.matching;
+            let own_dm = &self.dm;
+            let counters = &self.counters;
+            let alpha = self.alpha;
+            buckets.bucket(
+                batch,
+                n,
+                |pair| {
+                    let matched = matching.contains(pair);
+                    let cost = if matched { 1 } else { dm.ell(pair) as u32 };
+                    // A fresh pair enters as (count=0, k=k_e): its first
+                    // special lands at occurrence k, reproducing
+                    // bump_counter's "special iff k ≤ 1" insert branch.
+                    let (count, k) = match counters.get(&pair) {
+                        Some(c) => (c.count, c.k),
+                        None => {
+                            let ell = own_dm.ell(pair).max(1) as u64;
+                            (0, alpha.div_ceil(ell) as u32)
+                        }
+                    };
+                    RbmaPairState {
+                        matched,
+                        cost,
+                        count,
+                        k,
+                        next_o: 0,
+                        // The per-chunk path always consults the marked
+                        // set itself; the hint is unused there.
+                        maybe_marked: false,
+                    }
+                },
+                pool,
+            )
+        };
+        if !ok {
+            self.buckets = buckets;
+            return self.serve_batch_unsorted(batch, dm, acc);
+        }
+        buckets.build_positions(batch.len());
+        let mut slab = buckets.take_slab();
+
+        // Schedule pre-pass: one multiply-accumulate per distinct pair
+        // plus its special positions, marked in the chunk bitmap.
+        let mut matched_total = 0u64;
+        let mut routing = 0u64;
+        self.special_bits.clear();
+        self.special_bits.resize(batch.len().div_ceil(64), 0);
+        let mut any_special = false;
+        for (j, s) in slab.iter_mut().enumerate() {
+            let m = buckets.counts()[j];
+            matched_total += m as u64 * s.matched as u64;
+            routing += m as u64 * s.cost as u64;
+            let specials = (s.count + m) / s.k;
+            if specials > 0 {
+                any_special = true;
+                let seg = buckets.positions_of(j);
+                s.next_o = s.k - s.count;
+                let mut o = s.next_o;
+                while o <= m {
+                    let p = seg[(o - 1) as usize] as usize;
+                    self.special_bits[p / 64] |= 1 << (p % 64);
+                    o += s.k;
+                }
+            }
+        }
+
+        // Specials, in original request order; everything they flip is
+        // charged back as remaining-occurrences × delta.
+        let mut routing_corr = 0i64;
+        let mut matched_corr = 0i64;
+        if any_special {
+            let bits = std::mem::take(&mut self.special_bits);
+            for (w, &bits_word) in bits.iter().enumerate() {
+                let mut word = bits_word;
+                while word != 0 {
+                    let p = w * 64 + word.trailing_zeros() as usize;
+                    word &= word - 1;
+                    let id = buckets.id_at(p);
+                    let was_matched = slab[id].matched;
+                    let (added, removed) = self.serve_special_known(batch[p], was_matched, true);
+                    acc.added += added as u64;
+                    acc.removed += removed as u64;
+                    if removed > 0 {
+                        let scratch = std::mem::take(&mut self.removed_scratch);
+                        for &victim in &scratch {
+                            if let Some(vid) = buckets.id_of(victim) {
+                                let rem = buckets.occurrences_after(vid, p as u32) as i64;
+                                let v = &mut slab[vid];
+                                let new_cost = dm.ell(victim) as u32;
+                                routing_corr += rem * (new_cost as i64 - v.cost as i64);
+                                matched_corr -= rem * v.matched as i64;
+                                v.matched = false;
+                                v.cost = new_cost;
+                            }
+                        }
+                        self.removed_scratch = scratch;
+                    }
+                    let s = &mut slab[id];
+                    let rem = (buckets.counts()[id] - s.next_o) as i64;
+                    s.next_o += s.k;
+                    routing_corr += rem * (1 - s.cost as i64);
+                    matched_corr += rem * (1 - s.matched as i64);
+                    s.matched = true;
+                    s.cost = 1;
+                }
+            }
+            self.special_bits = bits;
+        }
+        acc.matched += (matched_total as i64 + matched_corr) as u64;
+        acc.routing_cost += (routing as i64 + routing_corr) as u64;
+
+        for (idx, &pair) in buckets.distinct().iter().enumerate() {
+            let s = &slab[idx];
+            let m = buckets.counts()[idx];
+            let specials = (s.count + m) / s.k;
+            self.counters.insert(
+                pair,
+                SpecialCounter {
+                    count: s.count + m - specials * s.k,
+                    k: s.k,
+                },
+            );
+        }
+        buckets.restore_slab(slab);
+        self.buckets = buckets;
+    }
+
+    /// The persistent bucketed batch pass — the default `serve_batch`.
+    ///
+    /// Same three-phase structure as [`Rbma::serve_batch_bucketed`], but
+    /// the slab *is* the scheduler's pair state ([`PersistentPairSlab`];
+    /// authoritative while `dense`), so the per-chunk costs collapse:
+    ///
+    /// - **Phase A** is one counting scan (slot lookup, epoch-tagged
+    ///   multiplicity bump) plus the CSR build. The expensive per-pair
+    ///   initialization — `ℓ_e` read, `k_e` division — runs once per
+    ///   pair *ever*, not once per pair per chunk, and needs no
+    ///   matching probe at all (a first-ever-requested pair cannot be
+    ///   matched).
+    /// - **Phase B** is unchanged: precomputed special schedule,
+    ///   multiply-accumulate per distinct pair, corrections per flip.
+    ///   Eviction victims absent from the chunk still get their
+    ///   persistent entry patched (with a correction multiplier of 0).
+    /// - **Phase C** disappears: the pre-pass advances each active
+    ///   counter in closed form in place; there is nothing to write
+    ///   back.
+    fn serve_batch_persistent(
+        &mut self,
+        batch: &[Pair],
+        dm: &DistanceMatrix,
+        acc: &mut BatchOutcome,
+    ) {
+        let n = self.dm.num_racks();
+        if n == 0 || n > DENSE_RACK_LIMIT {
+            return self.serve_batch_unsorted(batch, dm, acc);
+        }
+        self.ensure_dense(n, dm);
+        let mut pslab = std::mem::take(&mut self.pslab);
+        {
+            let own_dm = &self.dm;
+            let alpha = self.alpha;
+            let ok = pslab.begin_chunk(batch, n, |pair| {
+                // First-ever occurrence: the pair was never requested,
+                // hence never matched, and its counter starts at 0 (its
+                // first special lands at occurrence k_e, reproducing
+                // bump_counter's "special iff k ≤ 1" insert branch).
+                let ell = own_dm.ell(pair).max(1) as u64;
+                RbmaPairState {
+                    matched: false,
+                    cost: dm.ell(pair) as u32,
+                    count: 0,
+                    k: alpha.div_ceil(ell) as u32,
+                    next_o: 0,
+                    // Never requested ⇒ never matched ⇒ never marked.
+                    maybe_marked: false,
+                }
+            });
+            debug_assert!(ok, "n was gated above");
+        }
+        let mut slab = pslab.take_slab();
+
+        // Schedule pre-pass: one multiply-accumulate per distinct pair
+        // plus its special positions, marked in the chunk bitmap; the
+        // Theorem-1 counter advances in closed form right here.
+        let mut matched_total = 0u64;
+        let mut routing = 0u64;
+        self.special_bits.clear();
+        self.special_bits.resize(batch.len().div_ceil(64), 0);
+        let mut any_special = false;
+        for &slot in pslab.active() {
+            let m = pslab.count(slot as usize);
+            let s = &mut slab[slot as usize];
+            matched_total += m as u64 * s.matched as u64;
+            routing += m as u64 * s.cost as u64;
+            let specials = (s.count + m) / s.k;
+            if specials > 0 {
+                any_special = true;
+                let seg = pslab.positions_of(slot as usize);
+                s.next_o = s.k - s.count;
+                let mut o = s.next_o;
+                while o <= m {
+                    let p = seg[(o - 1) as usize] as usize;
+                    self.special_bits[p / 64] |= 1 << (p % 64);
+                    o += s.k;
+                }
+            }
+            s.count = s.count + m - specials * s.k;
+        }
+
+        // Specials, in original request order; everything they flip is
+        // charged back as remaining-occurrences × delta.
+        let mut routing_corr = 0i64;
+        let mut matched_corr = 0i64;
+        if any_special {
+            let bits = std::mem::take(&mut self.special_bits);
+            for (w, &bits_word) in bits.iter().enumerate() {
+                let mut word = bits_word;
+                while word != 0 {
+                    let p = w * 64 + word.trailing_zeros() as usize;
+                    word &= word - 1;
+                    let id = pslab.id_at(p);
+                    let was_matched = slab[id].matched;
+                    let maybe_marked = slab[id].maybe_marked;
+                    let (added, removed) =
+                        self.serve_special_known(batch[p], was_matched, maybe_marked);
+                    acc.added += added as u64;
+                    acc.removed += removed as u64;
+                    // Raise mark hints before the removal patches: a pair
+                    // both newly marked and pruned in this same special
+                    // must end unmarked (removal wins).
+                    if !self.marked_scratch.is_empty() {
+                        let scratch = std::mem::take(&mut self.marked_scratch);
+                        for &marked_pair in &scratch {
+                            if let Some(mid) = pslab.slot_of(marked_pair) {
+                                slab[mid].maybe_marked = true;
+                            }
+                        }
+                        self.marked_scratch = scratch;
+                    }
+                    if removed > 0 {
+                        let scratch = std::mem::take(&mut self.removed_scratch);
+                        for &victim in &scratch {
+                            // Victims always have a slot (only requested
+                            // pairs enter the matching); patch it even
+                            // when the victim is absent from this chunk
+                            // — the state persists.
+                            if let Some(vid) = pslab.slot_of(victim) {
+                                let rem = pslab.occurrences_after(vid, p as u32) as i64;
+                                let v = &mut slab[vid];
+                                let new_cost = dm.ell(victim) as u32;
+                                routing_corr += rem * (new_cost as i64 - v.cost as i64);
+                                matched_corr -= rem * v.matched as i64;
+                                v.matched = false;
+                                v.cost = new_cost;
+                                // Pruned victims leave the marked set.
+                                v.maybe_marked = false;
+                            }
+                        }
+                        self.removed_scratch = scratch;
+                    }
+                    let s = &mut slab[id];
+                    let rem = (pslab.count(id) - s.next_o) as i64;
+                    s.next_o += s.k;
+                    routing_corr += rem * (1 - s.cost as i64);
+                    matched_corr += rem * (1 - s.matched as i64);
+                    s.matched = true;
+                    s.cost = 1;
+                    // The special either unmarked the pair (matched
+                    // branch) or found it unmatched, hence unmarked.
+                    s.maybe_marked = false;
+                }
+            }
+            self.special_bits = bits;
+        }
+        acc.matched += (matched_total as i64 + matched_corr) as u64;
+        acc.routing_cost += (routing as i64 + routing_corr) as u64;
+
+        pslab.restore_slab(slab);
+        self.pslab = pslab;
     }
 
     /// Number of edges currently marked for (lazy) removal.
@@ -235,6 +704,7 @@ impl OnlineScheduler for Rbma {
     }
 
     fn serve(&mut self, pair: Pair) -> ServeOutcome {
+        self.ensure_hash();
         let was_matched = self.matching.contains(pair);
         if !self.bump_counter(pair) {
             return ServeOutcome {
@@ -251,12 +721,18 @@ impl OnlineScheduler for Rbma {
         }
     }
 
-    /// Batched serve: the ordinary-request fast path — one flat membership
-    /// probe, one counter bump, fused routing accounting — runs without
-    /// per-request dispatch, distance lookups (only misses pay one `ℓ_e`
-    /// read) or stopwatch traffic; only special requests drop into the
-    /// paging slow path.
-    fn serve_batch(&mut self, batch: &[Pair], dm: &DistanceMatrix, acc: &mut BatchOutcome) {
+    /// Unsorted batched serve (the PR 5 fused loop): the ordinary-request
+    /// fast path — one flat membership probe, one counter bump, fused
+    /// routing accounting — runs without per-request dispatch, distance
+    /// lookups (only misses pay one `ℓ_e` read) or stopwatch traffic; only
+    /// special requests drop into the paging slow path.
+    fn serve_batch_unsorted(
+        &mut self,
+        batch: &[Pair],
+        dm: &DistanceMatrix,
+        acc: &mut BatchOutcome,
+    ) {
+        self.ensure_hash();
         let mut matched = 0u64;
         let mut routing = 0u64;
         for &pair in batch {
@@ -271,6 +747,26 @@ impl OnlineScheduler for Rbma {
         }
         acc.matched += matched;
         acc.routing_cost += routing;
+    }
+
+    /// Bucketed batched serve over the persistent pair slab: the
+    /// per-pair reads amortize to once per pair *ever* (see
+    /// `Rbma::serve_batch_persistent`); byte-identical to the
+    /// unsorted path.
+    fn serve_batch(&mut self, batch: &[Pair], dm: &DistanceMatrix, acc: &mut BatchOutcome) {
+        self.serve_batch_persistent(batch, dm, acc);
+    }
+
+    /// Bucketed batched serve with the preprocessing scan sharded by
+    /// rack-pair ownership across `pool`; byte-identical at any width.
+    fn serve_batch_sharded(
+        &mut self,
+        batch: &[Pair],
+        dm: &DistanceMatrix,
+        pool: &IntraPool,
+        acc: &mut BatchOutcome,
+    ) {
+        self.serve_batch_bucketed(batch, dm, acc, Some(pool));
     }
 
     fn matching(&self) -> &BMatching {
@@ -465,6 +961,23 @@ mod tests {
             a.sort_unstable();
             b.sort_unstable();
             assert_eq!(a, b, "mode {mode:?}: matchings diverged");
+
+            // The explicit unsorted pass and the intra-sharded bucketed
+            // pass must agree with the same accounting too.
+            let mut unsorted = Rbma::new(dm.clone(), 3, 8, mode, 5);
+            let mut acc_u = BatchOutcome::default();
+            for chunk in reqs.chunks(97) {
+                unsorted.serve_batch_unsorted(chunk, &dm, &mut acc_u);
+            }
+            assert_eq!(acc_u, expected, "mode {mode:?}: unsorted path");
+
+            let pool = IntraPool::new(3);
+            let mut sharded = Rbma::new(dm.clone(), 3, 8, mode, 5);
+            let mut acc_s = BatchOutcome::default();
+            for chunk in reqs.chunks(97) {
+                sharded.serve_batch_sharded(chunk, &dm, &pool, &mut acc_s);
+            }
+            assert_eq!(acc_s, expected, "mode {mode:?}: sharded path");
         }
     }
 }

@@ -1,0 +1,765 @@
+//! Batch preprocessing: bucket a serve chunk by rack pair into a
+//! reusable slab, so schedulers pay their expensive per-pair reads
+//! (matching membership, ℓ-lookup, counter fetch) once per **distinct**
+//! pair instead of once per request.
+//!
+//! Layout after [`PairBuckets::bucket`] (counting-sort by dense pair id):
+//!
+//! ```text
+//! batch:    [ (2,5) (1,3) (2,5) (2,5) (0,1) (1,3) ]   original order kept
+//!                │     │     │     │     │     │
+//! ids:      [    0     1     0     0     2     1  ]   request → slab slot
+//!                                                     (u32, one atomic store)
+//! distinct: [ (2,5) (1,3) (0,1) ]                     first-occurrence order
+//! counts:   [   3     2     1   ]                     multiplicity per pair
+//! slab:     [  S₀    S₁    S₂  ]                      scheduler state S, one
+//!                                                     per distinct pair
+//! ```
+//!
+//! The serve pass then walks the batch in **original request order**
+//! (mandatory for byte-identical `RunReport`s — RNG draws and evictions
+//! are order-sensitive) but every step is a cheap `slab[ids[i]]` load;
+//! slow scalar paths run only on the rare state-changing requests and
+//! patch the slab entries they invalidate.
+//!
+//! With an [`IntraPool`], the bucketing scan itself shards by pair
+//! ownership (`pair_id % width`): each worker builds a private
+//! `WorkerBuckets` over the pairs it owns and stores request ids into
+//! disjoint `ids` slots, so the scan is embarrassingly parallel; the
+//! worker slabs are concatenated in worker order afterwards. The slab
+//! *order* differs across widths but is behavior-neutral — schedulers
+//! only ever index it through `ids` — so reports stay byte-identical at
+//! any worker count.
+//!
+//! Everything is reused across chunks: the dense `map` is cleaned by
+//! iterating the previous chunk's distinct pairs (not by refilling n²
+//! slots), and `ids`/`pairs`/`counts`/`slab` keep their capacity.
+
+use crate::parallel::IntraPool;
+use dcn_topology::Pair;
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::Mutex;
+
+/// Above this rack count the dense n²-slot pair map is not worth its
+/// memory/reset cost and callers fall back to the unsorted serve path.
+pub const DENSE_RACK_LIMIT: usize = 1024;
+
+const EMPTY: u32 = u32::MAX;
+
+#[inline]
+fn pair_id(pair: Pair, n: usize) -> usize {
+    pair.lo() as usize * n + pair.hi() as usize
+}
+
+/// One worker's private bucketing state: a dense pair-id → local-slot
+/// map plus the distinct pairs it owns, in first-occurrence order.
+struct WorkerBuckets<S> {
+    n: usize,
+    map: Vec<u32>,
+    pairs: Vec<Pair>,
+    counts: Vec<u32>,
+    states: Vec<S>,
+}
+
+impl<S> WorkerBuckets<S> {
+    fn new() -> Self {
+        WorkerBuckets {
+            n: 0,
+            map: Vec::new(),
+            pairs: Vec::new(),
+            counts: Vec::new(),
+            states: Vec::new(),
+        }
+    }
+
+    /// Prepares for a new chunk: clears only the map slots the previous
+    /// chunk touched (O(distinct), not O(n²)) unless the topology size
+    /// changed.
+    fn reset(&mut self, n: usize) {
+        if self.n != n {
+            self.n = n;
+            self.map.clear();
+            self.map.resize(n * n, EMPTY);
+        } else {
+            for &p in &self.pairs {
+                self.map[pair_id(p, n)] = EMPTY;
+            }
+        }
+        self.pairs.clear();
+        self.counts.clear();
+        self.states.clear();
+    }
+}
+
+/// Reusable chunk-bucketing scratch: request → slab-slot ids plus one
+/// scheduler-defined state `S` per distinct pair. See the module docs
+/// for the layout.
+pub struct PairBuckets<S> {
+    n: usize,
+    width: usize,
+    workers: Vec<Mutex<WorkerBuckets<S>>>,
+    ids: Vec<AtomicU32>,
+    pairs: Vec<Pair>,
+    counts: Vec<u32>,
+    slab: Vec<S>,
+    offsets: Vec<u32>,
+    /// CSR occurrence index ([`Self::build_positions`]): request positions
+    /// of slot `j` are `positions[starts[j]..starts[j + 1]]`, ascending.
+    starts: Vec<u32>,
+    positions: Vec<u32>,
+    cursors: Vec<u32>,
+}
+
+impl<S> Default for PairBuckets<S> {
+    fn default() -> Self {
+        PairBuckets {
+            n: 0,
+            width: 1,
+            workers: Vec::new(),
+            ids: Vec::new(),
+            pairs: Vec::new(),
+            counts: Vec::new(),
+            slab: Vec::new(),
+            offsets: Vec::new(),
+            starts: Vec::new(),
+            positions: Vec::new(),
+            cursors: Vec::new(),
+        }
+    }
+}
+
+impl<S> std::fmt::Debug for PairBuckets<S> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PairBuckets")
+            .field("n", &self.n)
+            .field("width", &self.width)
+            .field("distinct", &self.pairs.len())
+            .finish()
+    }
+}
+
+impl<S> PairBuckets<S> {
+    /// Buckets `batch` over an `n`-rack topology, building one `S` per
+    /// distinct pair via `init` (which must be a **pure read** of frozen
+    /// scheduler state — it may run on any worker, in any pair order).
+    ///
+    /// Returns `false` — leaving the scratch untouched for reuse — when
+    /// the chunk is not worth bucketing (`n` of zero or above
+    /// [`DENSE_RACK_LIMIT`]); callers then serve the unsorted path.
+    ///
+    /// With `pool`, the scan shards by `pair_id % width`: workers read
+    /// the same frozen state and write disjoint slots, and because `init`
+    /// is pure, every slab value is identical to the sequential scan's —
+    /// only the slab *order* shifts, which nothing observes.
+    pub fn bucket<F>(&mut self, batch: &[Pair], n: usize, init: F, pool: Option<&IntraPool>) -> bool
+    where
+        S: Send,
+        F: Fn(Pair) -> S + Sync,
+    {
+        if n == 0 || n > DENSE_RACK_LIMIT {
+            return false;
+        }
+        let width = pool.map_or(1, IntraPool::width).max(1);
+        self.n = n;
+        self.width = width;
+        while self.workers.len() < width {
+            self.workers.push(Mutex::new(WorkerBuckets::new()));
+        }
+        if self.ids.len() < batch.len() {
+            self.ids.resize_with(batch.len(), || AtomicU32::new(EMPTY));
+        }
+
+        {
+            let workers = &self.workers;
+            let ids = &self.ids[..batch.len()];
+            let init = &init;
+            let scan = move |w: usize| {
+                let mut st = workers[w].lock().unwrap();
+                st.reset(n);
+                let st = &mut *st;
+                if width == 1 {
+                    for (i, &pair) in batch.iter().enumerate() {
+                        let pid = pair_id(pair, n);
+                        let mut id = st.map[pid];
+                        if id == EMPTY {
+                            id = st.pairs.len() as u32;
+                            st.map[pid] = id;
+                            st.pairs.push(pair);
+                            st.counts.push(0);
+                            st.states.push(init(pair));
+                        }
+                        st.counts[id as usize] += 1;
+                        ids[i].store(id, Ordering::Relaxed);
+                    }
+                } else {
+                    for (i, &pair) in batch.iter().enumerate() {
+                        let pid = pair_id(pair, n);
+                        if pid % width != w {
+                            continue;
+                        }
+                        let mut id = st.map[pid];
+                        if id == EMPTY {
+                            id = st.pairs.len() as u32;
+                            st.map[pid] = id;
+                            st.pairs.push(pair);
+                            st.counts.push(0);
+                            st.states.push(init(pair));
+                        }
+                        st.counts[id as usize] += 1;
+                        ids[i].store(id, Ordering::Relaxed);
+                    }
+                }
+            };
+            match pool {
+                Some(pool) if width > 1 => pool.broadcast(scan),
+                _ => scan(0),
+            }
+        }
+
+        // Merge: concatenate worker slots in worker order. Pairs/counts
+        // are copied (the worker keeps its list — reset() needs it to
+        // clean the dense map); states are moved.
+        self.pairs.clear();
+        self.counts.clear();
+        self.slab.clear();
+        self.offsets.clear();
+        for worker in &mut self.workers[..width] {
+            let st = worker.get_mut().unwrap();
+            self.offsets.push(self.pairs.len() as u32);
+            self.pairs.extend_from_slice(&st.pairs);
+            self.counts.extend_from_slice(&st.counts);
+            self.slab.append(&mut st.states);
+        }
+        if width > 1 {
+            for (i, &pair) in batch.iter().enumerate() {
+                let local = *self.ids[i].get_mut();
+                let owner = pair_id(pair, n) % width;
+                *self.ids[i].get_mut() = local + self.offsets[owner];
+            }
+        }
+        true
+    }
+
+    /// Slab slot of request `i` (valid for the last bucketed chunk).
+    #[inline]
+    pub fn id_at(&self, i: usize) -> usize {
+        self.ids[i].load(Ordering::Relaxed) as usize
+    }
+
+    /// Distinct pairs of the last bucketed chunk, in slab order.
+    pub fn distinct(&self) -> &[Pair] {
+        &self.pairs
+    }
+
+    /// Multiplicity of each distinct pair, parallel to [`Self::distinct`].
+    pub fn counts(&self) -> &[u32] {
+        &self.counts
+    }
+
+    /// Slab slot of an arbitrary pair, if it occurred in the last
+    /// bucketed chunk (used to patch eviction victims).
+    pub fn id_of(&self, pair: Pair) -> Option<usize> {
+        let pid = pair_id(pair, self.n);
+        let owner = if self.width > 1 { pid % self.width } else { 0 };
+        let st = self.workers[owner].lock().unwrap();
+        if st.n != self.n || pid >= st.map.len() {
+            return None;
+        }
+        match st.map[pid] {
+            EMPTY => None,
+            local => Some(local as usize + self.offsets[owner] as usize),
+        }
+    }
+
+    /// Detaches the slab so the caller can mutate it while still calling
+    /// `id_at`/`id_of` on `self`; pair it with [`Self::restore_slab`].
+    pub fn take_slab(&mut self) -> Vec<S> {
+        std::mem::take(&mut self.slab)
+    }
+
+    /// Returns a slab taken via [`Self::take_slab`], preserving its
+    /// capacity for the next chunk.
+    pub fn restore_slab(&mut self, slab: Vec<S>) {
+        self.slab = slab;
+    }
+
+    /// Builds the CSR occurrence index for the last bucketed chunk of
+    /// `len` requests: for every slot `j`, [`Self::positions_of`]`(j)`
+    /// lists the original request positions of pair `j`, ascending.
+    ///
+    /// One prefix sum over the distinct pairs plus one sequential pass
+    /// over the (already remapped) `ids` — the batch itself is not
+    /// re-read. Schedulers that serve by *schedule* instead of by walking
+    /// requests (R-BMA's precomputed special positions) call this right
+    /// after [`Self::bucket`].
+    pub fn build_positions(&mut self, len: usize) {
+        let distinct = self.pairs.len();
+        self.starts.clear();
+        self.starts.reserve(distinct + 1);
+        let mut acc = 0u32;
+        self.starts.push(0);
+        for &c in &self.counts {
+            acc += c;
+            self.starts.push(acc);
+        }
+        self.cursors.clear();
+        self.cursors.extend_from_slice(&self.starts[..distinct]);
+        self.positions.clear();
+        self.positions.resize(len, 0);
+        for i in 0..len {
+            let slot = self.ids[i].load(Ordering::Relaxed) as usize;
+            let cur = self.cursors[slot];
+            self.positions[cur as usize] = i as u32;
+            self.cursors[slot] = cur + 1;
+        }
+    }
+
+    /// Ascending request positions of slot `j` (valid after
+    /// [`Self::build_positions`]).
+    #[inline]
+    pub fn positions_of(&self, j: usize) -> &[u32] {
+        &self.positions[self.starts[j] as usize..self.starts[j + 1] as usize]
+    }
+
+    /// How many occurrences of slot `j` lie strictly after request
+    /// position `p` (valid after [`Self::build_positions`]) — the
+    /// multiplier for a mid-chunk cost-correction at `p`.
+    #[inline]
+    pub fn occurrences_after(&self, j: usize, p: u32) -> u32 {
+        let seg = self.positions_of(j);
+        (seg.len() - seg.partition_point(|&q| q <= p)) as u32
+    }
+}
+
+/// Chunk-bucketing scratch whose per-pair state **persists across
+/// chunks**: a pair keeps its slab slot (and its `S`) for the lifetime
+/// of the scheduler, so the expensive per-pair initialization runs once
+/// *ever* per pair — not once per chunk — and there is no per-chunk
+/// write-back at all.
+///
+/// [`PairBuckets`] re-derives every slab entry from scheduler state at
+/// each chunk; this type instead makes the slab *be* the scheduler
+/// state. The contract is therefore inverted: `init` runs only on a
+/// pair's first occurrence in the scheduler's lifetime, and the caller
+/// must patch slab entries whenever out-of-band mutations (evictions,
+/// matching flips) invalidate them — including for pairs absent from
+/// the current chunk, which is why [`Self::slot_of`] resolves *any*
+/// previously seen pair.
+///
+/// **Layout: slot ≡ dense pair id.** The slab is addressed directly by
+/// `lo·n + hi` (n² entries), so the counting scan is a *single*
+/// dependent random access per request — one `(epoch << 16) |
+/// multiplicity` tag word decides "seen this chunk?" and yields the
+/// running count at once — where a slot-compacted layout would pay a
+/// pair-id → slot indirection first. Tags are u32 (16-bit epoch,
+/// 16-bit multiplicity) and the CSR index u16, precisely so the arrays
+/// the scan hammers stay half the size a naive u64/u32 layout would
+/// be; a separate ever-seen bitmap survives the (rare, amortized-free)
+/// epoch wrap that clears the tags. The n² arrays are bounded by
+/// [`DENSE_RACK_LIMIT`] (the same gate as [`PairBuckets`]) and
+/// allocated once per topology.
+///
+/// Per chunk, [`Self::begin_chunk`] runs the counting scan and builds
+/// the CSR occurrence index; [`Self::active`] then lists this chunk's
+/// distinct slots. Chunk-scoped accessors ([`Self::count`],
+/// [`Self::positions_of`]) are valid for active slots only;
+/// [`Self::occurrences_after`] degrades to 0 for slots not in the
+/// current chunk, which is exactly the correction multiplier a patch
+/// of an absent pair needs.
+pub struct PersistentPairSlab<S> {
+    n: usize,
+    /// Pair-id-indexed state, n² entries; live only where the `ever`
+    /// bit is set.
+    slab: Vec<S>,
+    /// Pair-id-indexed `(epoch << 16) | multiplicity`. A stale (or
+    /// zero) epoch = not seen this chunk. The 16-bit epoch wraps every
+    /// 65535 chunks, at which point the whole array is cleared (epoch 0
+    /// is never current); the 16-bit multiplicity caps the chunk length
+    /// ([`Self::begin_chunk`] rejects longer batches).
+    tags: Vec<u32>,
+    /// Pair-id-indexed "initialized at least once" bitmap — the
+    /// ever-seen test must survive the epoch wrap that clears `tags`.
+    ever: Vec<u64>,
+    /// Pair-id-indexed CSR start of the current chunk (valid while
+    /// active); doubles as the fill cursor during the build. u16 is
+    /// enough: offsets are bounded by the 16-bit chunk length.
+    sstart: Vec<u16>,
+    cursors: Vec<u16>,
+    /// Append-only log of every pair ever initialized (store dumps).
+    seen: Vec<Pair>,
+    /// Current 16-bit tag epoch (1 ≤ epoch ≤ 0xFFFF once any chunk ran).
+    epoch: u32,
+    /// Pair ids occurring in the current chunk, first-occurrence order.
+    active: Vec<u32>,
+    /// Request position → pair id, for the current chunk.
+    ids: Vec<u32>,
+    /// CSR position store (request positions, hence u16 as well).
+    positions: Vec<u16>,
+}
+
+impl<S> Default for PersistentPairSlab<S> {
+    fn default() -> Self {
+        PersistentPairSlab {
+            n: 0,
+            slab: Vec::new(),
+            tags: Vec::new(),
+            ever: Vec::new(),
+            sstart: Vec::new(),
+            cursors: Vec::new(),
+            seen: Vec::new(),
+            epoch: 0,
+            active: Vec::new(),
+            ids: Vec::new(),
+            positions: Vec::new(),
+        }
+    }
+}
+
+impl<S> std::fmt::Debug for PersistentPairSlab<S> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PersistentPairSlab")
+            .field("n", &self.n)
+            .field("seen", &self.seen.len())
+            .field("active", &self.active.len())
+            .finish()
+    }
+}
+
+impl<S: Default> PersistentPairSlab<S> {
+    /// Drops all slots when the rack universe changes size (slot ids
+    /// are topology-relative).
+    fn ensure_topology(&mut self, n: usize) {
+        if self.n != n {
+            self.n = n;
+            self.slab.clear();
+            self.slab.resize_with(n * n, S::default);
+            self.tags.clear();
+            self.tags.resize(n * n, 0);
+            self.ever.clear();
+            self.ever.resize((n * n).div_ceil(64), 0);
+            self.sstart.clear();
+            self.sstart.resize(n * n, 0);
+            self.cursors.clear();
+            self.cursors.resize(n * n, 0);
+            self.seen.clear();
+            self.active.clear();
+            self.epoch = 0;
+        }
+    }
+
+    /// Slot of `pair`, allocating (and running `init`) if it was never
+    /// seen. The out-of-chunk entry point for state migrations.
+    pub fn slot_for<F: FnOnce(Pair) -> S>(&mut self, pair: Pair, n: usize, init: F) -> usize {
+        self.ensure_topology(n);
+        let pid = pair_id(pair, n);
+        if self.ever[pid / 64] & (1 << (pid % 64)) == 0 {
+            self.slab[pid] = init(pair);
+            self.seen.push(pair);
+            self.ever[pid / 64] |= 1 << (pid % 64);
+        }
+        pid
+    }
+
+    /// Opens a chunk: counting scan over `batch` (running `init` only on
+    /// first-*ever* occurrences) plus the CSR occurrence index. Returns
+    /// `false` — leaving all state untouched — when `n` is zero or above
+    /// [`DENSE_RACK_LIMIT`], or the batch exceeds the 16-bit per-chunk
+    /// multiplicity field; callers then serve an unsorted path.
+    pub fn begin_chunk<F: FnMut(Pair) -> S>(
+        &mut self,
+        batch: &[Pair],
+        n: usize,
+        mut init: F,
+    ) -> bool {
+        if n == 0 || n > DENSE_RACK_LIMIT || batch.len() > u16::MAX as usize {
+            return false;
+        }
+        self.ensure_topology(n);
+        self.epoch += 1;
+        if self.epoch > 0xFFFF {
+            // 16-bit epoch wrap: clear all tags so epoch 0 ("stale")
+            // can never alias a current chunk. Once per 65535 chunks.
+            self.tags.iter_mut().for_each(|t| *t = 0);
+            self.epoch = 1;
+        }
+        let epoch_bits = self.epoch << 16;
+        self.active.clear();
+        if self.ids.len() < batch.len() {
+            self.ids.resize(batch.len(), 0);
+        }
+        for (i, &pair) in batch.iter().enumerate() {
+            let pid = pair_id(pair, n);
+            let tag = self.tags[pid];
+            if tag & !0xFFFF == epoch_bits {
+                self.tags[pid] = tag + 1;
+            } else {
+                let (w, b) = (pid / 64, 1u64 << (pid % 64));
+                if self.ever[w] & b == 0 {
+                    self.slab[pid] = init(pair);
+                    self.seen.push(pair);
+                    self.ever[w] |= b;
+                }
+                self.tags[pid] = epoch_bits | 1;
+                self.active.push(pid as u32);
+            }
+            self.ids[i] = pid as u32;
+        }
+
+        // CSR occurrence index: prefix sum over the active slots, then
+        // one sequential pass over `ids` — the batch is not re-read.
+        let mut off = 0u16;
+        for &pid in &self.active {
+            let pid = pid as usize;
+            self.sstart[pid] = off;
+            self.cursors[pid] = off;
+            off = off.wrapping_add((self.tags[pid] & 0xFFFF) as u16);
+        }
+        self.positions.clear();
+        self.positions.resize(batch.len(), 0);
+        for (i, &pid) in self.ids[..batch.len()].iter().enumerate() {
+            let cur = self.cursors[pid as usize];
+            self.positions[cur as usize] = i as u16;
+            self.cursors[pid as usize] = cur + 1;
+        }
+        true
+    }
+
+    /// Slots of the current chunk's distinct pairs, first-occurrence
+    /// order.
+    #[inline]
+    pub fn active(&self) -> &[u32] {
+        &self.active
+    }
+
+    /// Multiplicity of slot `j` in the current chunk (valid for active
+    /// slots).
+    #[inline]
+    pub fn count(&self, j: usize) -> u32 {
+        debug_assert_eq!(self.tags[j] >> 16, self.epoch);
+        self.tags[j] & 0xFFFF
+    }
+
+    /// Slab slot of request `i` in the current chunk.
+    #[inline]
+    pub fn id_at(&self, i: usize) -> usize {
+        self.ids[i] as usize
+    }
+
+    /// Slot of any pair ever seen by this slab — present in the current
+    /// chunk or not (patching an eviction victim must reach its
+    /// persistent state either way).
+    #[inline]
+    pub fn slot_of(&self, pair: Pair) -> Option<usize> {
+        let pid = pair_id(pair, self.n);
+        match self.ever.get(pid / 64) {
+            Some(w) if w & (1 << (pid % 64)) != 0 => Some(pid),
+            _ => None,
+        }
+    }
+
+    /// Every pair ever initialized, in first-initialization order (the
+    /// iteration base for dumping the store back out).
+    pub fn seen(&self) -> &[Pair] {
+        &self.seen
+    }
+
+    /// Number of pairs ever seen.
+    pub fn len(&self) -> usize {
+        self.seen.len()
+    }
+
+    /// Whether no pair was ever seen.
+    pub fn is_empty(&self) -> bool {
+        self.seen.is_empty()
+    }
+
+    /// State of `slot` (valid whether or not the slot is active).
+    #[inline]
+    pub fn state(&self, slot: usize) -> &S {
+        &self.slab[slot]
+    }
+
+    /// Mutable state of `slot` (valid whether or not the slot is
+    /// active).
+    #[inline]
+    pub fn state_mut(&mut self, slot: usize) -> &mut S {
+        &mut self.slab[slot]
+    }
+
+    /// Ascending request positions of active slot `j` in the current
+    /// chunk.
+    #[inline]
+    pub fn positions_of(&self, j: usize) -> &[u16] {
+        let start = self.sstart[j] as usize;
+        &self.positions[start..start + self.count(j) as usize]
+    }
+
+    /// Occurrences of slot `j` strictly after request position `p` in
+    /// the current chunk — 0 when `j` does not occur in it at all (the
+    /// correction multiplier for patching an absent pair).
+    #[inline]
+    pub fn occurrences_after(&self, j: usize, p: u32) -> u32 {
+        if self.tags[j] >> 16 != self.epoch {
+            return 0;
+        }
+        let seg = {
+            let start = self.sstart[j] as usize;
+            &self.positions[start..start + (self.tags[j] & 0xFFFF) as usize]
+        };
+        (seg.len() - seg.partition_point(|&q| q as u32 <= p)) as u32
+    }
+
+    /// Detaches the slab so the caller can mutate it while still calling
+    /// the chunk accessors on `self`; pair with [`Self::restore_slab`].
+    pub fn take_slab(&mut self) -> Vec<S> {
+        std::mem::take(&mut self.slab)
+    }
+
+    /// Returns a slab taken via [`Self::take_slab`].
+    pub fn restore_slab(&mut self, slab: Vec<S>) {
+        self.slab = slab;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pairs_of(raw: &[(u32, u32)]) -> Vec<Pair> {
+        raw.iter().map(|&(a, b)| Pair::new(a, b)).collect()
+    }
+
+    #[test]
+    fn buckets_group_duplicates_and_keep_request_order() {
+        let batch = pairs_of(&[(2, 5), (1, 3), (2, 5), (2, 5), (0, 1), (1, 3)]);
+        let mut buckets: PairBuckets<u32> = PairBuckets::default();
+        assert!(buckets.bucket(&batch, 8, |p| p.lo() + p.hi(), None));
+        assert_eq!(buckets.distinct().len(), 3);
+        assert_eq!(buckets.counts().iter().sum::<u32>(), 6);
+        for (i, &pair) in batch.iter().enumerate() {
+            let id = buckets.id_at(i);
+            assert_eq!(buckets.distinct()[id], pair);
+            assert_eq!(buckets.id_of(pair), Some(id));
+            let slab = buckets.take_slab();
+            assert_eq!(slab[id], pair.lo() + pair.hi());
+            buckets.restore_slab(slab);
+        }
+        assert_eq!(buckets.id_of(Pair::new(6, 7)), None);
+    }
+
+    #[test]
+    fn rebucketing_reuses_scratch_without_leftovers() {
+        let mut buckets: PairBuckets<u32> = PairBuckets::default();
+        assert!(buckets.bucket(&pairs_of(&[(0, 1), (2, 3)]), 4, |_| 7, None));
+        assert!(buckets.bucket(&pairs_of(&[(1, 2), (1, 2)]), 4, |_| 9, None));
+        assert_eq!(buckets.distinct(), &[Pair::new(1, 2)]);
+        assert_eq!(buckets.counts(), &[2]);
+        assert_eq!(buckets.id_of(Pair::new(0, 1)), None, "stale entry leaked");
+        // Topology resize keeps it correct too.
+        assert!(buckets.bucket(&pairs_of(&[(5, 9)]), 10, |_| 1, None));
+        assert_eq!(buckets.distinct(), &[Pair::new(5, 9)]);
+    }
+
+    #[test]
+    fn oversized_topologies_are_rejected() {
+        let mut buckets: PairBuckets<u32> = PairBuckets::default();
+        assert!(!buckets.bucket(&pairs_of(&[(0, 1)]), DENSE_RACK_LIMIT + 1, |_| 0, None));
+        assert!(!buckets.bucket(&pairs_of(&[]), 0, |_| 0, None));
+    }
+
+    #[test]
+    fn persistent_slab_inits_once_and_survives_chunks() {
+        let mut slab: PersistentPairSlab<u32> = PersistentPairSlab::default();
+        let mut inits = 0u32;
+        let chunk1 = pairs_of(&[(0, 1), (2, 3), (0, 1)]);
+        assert!(slab.begin_chunk(&chunk1, 8, |_| {
+            inits += 1;
+            inits
+        }));
+        assert_eq!(inits, 2, "one init per distinct pair");
+        assert_eq!(slab.active().len(), 2);
+        let a = slab.id_at(0);
+        assert_eq!(slab.id_at(2), a);
+        assert_eq!(slab.count(a), 2);
+        assert_eq!(slab.positions_of(a), &[0, 2]);
+
+        // Second chunk: (0,1) keeps its slot and state, no re-init;
+        // the absent pair (2,3) still resolves for patching.
+        let chunk2 = pairs_of(&[(0, 1), (4, 5)]);
+        assert!(slab.begin_chunk(&chunk2, 8, |_| {
+            inits += 1;
+            inits
+        }));
+        assert_eq!(inits, 3, "only the new pair initialized");
+        assert_eq!(slab.id_at(0), a);
+        assert_eq!(*slab.state(a), 1, "state persisted across chunks");
+        assert_eq!(slab.count(a), 1);
+        let absent = slab
+            .slot_of(Pair::new(2, 3))
+            .expect("absent pair keeps its slot");
+        assert_eq!(
+            slab.occurrences_after(absent, 0),
+            0,
+            "absent pair has no occurrences"
+        );
+        assert_eq!(slab.occurrences_after(a, 0), 0);
+        let present = slab.slot_of(Pair::new(4, 5)).unwrap();
+        assert_eq!(slab.occurrences_after(present, 0), 1);
+        assert_eq!(slab.occurrences_after(present, 1), 0);
+        assert_eq!(slab.len(), 3);
+        assert_eq!(slab.seen()[0], Pair::new(0, 1));
+    }
+
+    #[test]
+    fn persistent_slab_rejects_oversized_and_resets_on_resize() {
+        let mut slab: PersistentPairSlab<u32> = PersistentPairSlab::default();
+        assert!(!slab.begin_chunk(&pairs_of(&[(0, 1)]), DENSE_RACK_LIMIT + 1, |_| 0));
+        assert!(!slab.begin_chunk(&[], 0, |_| 0));
+        assert!(slab.is_empty());
+
+        assert!(slab.begin_chunk(&pairs_of(&[(0, 1)]), 4, |_| 7));
+        assert_eq!(slab.len(), 1);
+        // Topology resize invalidates slots: everything re-initializes.
+        assert!(slab.begin_chunk(&pairs_of(&[(0, 1)]), 6, |_| 9));
+        assert_eq!(slab.len(), 1);
+        assert_eq!(*slab.state(slab.id_at(0)), 9);
+        assert_eq!(slab.slot_of(Pair::new(2, 3)), None);
+    }
+
+    #[test]
+    fn sharded_scan_matches_sequential_modulo_slab_order() {
+        let n = 16u32;
+        let batch: Vec<Pair> = (0..500u32)
+            .map(|i| Pair::new((i * 7) % n, ((i * 7) % n + 1 + (i * 13) % (n - 1)) % n))
+            .collect();
+        let mut seq: PairBuckets<u64> = PairBuckets::default();
+        assert!(seq.bucket(
+            &batch,
+            n as usize,
+            |p| p.lo() as u64 * 100 + p.hi() as u64,
+            None
+        ));
+        for width in [2usize, 3, 4] {
+            let pool = IntraPool::new(width);
+            let mut shd: PairBuckets<u64> = PairBuckets::default();
+            assert!(shd.bucket(
+                &batch,
+                n as usize,
+                |p| p.lo() as u64 * 100 + p.hi() as u64,
+                Some(&pool)
+            ));
+            assert_eq!(shd.counts().iter().sum::<u32>(), batch.len() as u32);
+            assert_eq!(shd.distinct().len(), seq.distinct().len(), "width {width}");
+            // Per-request view is identical even though slab order is not.
+            let seq_slab = seq.take_slab();
+            let shd_slab = shd.take_slab();
+            for (i, &pair) in batch.iter().enumerate() {
+                assert_eq!(shd.distinct()[shd.id_at(i)], pair);
+                assert_eq!(seq_slab[seq.id_at(i)], shd_slab[shd.id_at(i)]);
+                assert_eq!(shd.id_of(pair), Some(shd.id_at(i)));
+            }
+            seq.restore_slab(seq_slab);
+            shd.restore_slab(shd_slab);
+        }
+    }
+}

@@ -1,0 +1,273 @@
+//! Intra-run parallelism: a persistent fork-join pool that shards **one**
+//! simulation's serve batches across worker threads.
+//!
+//! The sweep executor ([`crate::sweep`]) parallelizes *across* runs; this
+//! module parallelizes *inside* a single run. The unit of work is one
+//! broadcast per serve chunk: every worker scans the chunk and handles the
+//! rack pairs it owns (ownership is `pair_id % width`, fixed for the run),
+//! and the caller thread participates as worker 0. Reconciliation happens
+//! only at chunk boundaries — and the simulator cuts chunks at checkpoint,
+//! verification and (for rotor-style schedulers) reconfiguration
+//! boundaries, so those are exactly the barriers.
+//!
+//! Only the **read-only** preprocessing phase of a batch is sharded (see
+//! [`crate::batch::PairBuckets::bucket`]); every state mutation and every
+//! RNG draw stays on the caller thread in original request order. That is
+//! what makes sharded runs byte-identical to sequential ones at any worker
+//! count — the contract `repro_figures scaling` asserts live.
+//!
+//! The pool is deliberately tiny: `std::sync::{Mutex, Condvar}` (the
+//! vendored `parking_lot` carries no condvar), one generation counter, no
+//! queues. A `broadcast` costs two lock acquisitions per worker — noise
+//! against a 1024-request chunk — and spawning happens once per run, not
+//! per chunk (`scoped` spawn-per-chunk costs ~10µs; this is ~100ns).
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+/// A lifetime-erased reference to the borrowed job closure. The `'static`
+/// is a lie told to the type system; it is sound because
+/// [`IntraPool::broadcast`] does not return until every worker has finished
+/// calling the closure (see the safety argument there).
+#[derive(Clone, Copy)]
+struct JobRef(&'static (dyn Fn(usize) + Sync));
+
+struct PoolState {
+    job: Option<JobRef>,
+    /// Bumped per broadcast; workers run each generation exactly once.
+    generation: u64,
+    /// Workers still inside the current generation's job.
+    remaining: usize,
+    /// A worker's job invocation panicked (re-raised on the caller).
+    panicked: bool,
+    shutdown: bool,
+}
+
+struct Shared {
+    state: Mutex<PoolState>,
+    /// Signals workers: new generation or shutdown.
+    work: Condvar,
+    /// Signals the caller: `remaining` reached zero.
+    done: Condvar,
+}
+
+/// Persistent fork-join pool of `width - 1` spawned workers plus the
+/// calling thread (worker index 0). `width <= 1` degrades to inline calls
+/// with no threads and no synchronization.
+pub struct IntraPool {
+    width: usize,
+    shared: Arc<Shared>,
+    handles: Vec<JoinHandle<()>>,
+}
+
+impl IntraPool {
+    /// Creates a pool of `width` workers total (the caller counts as one;
+    /// `width - 1` threads are spawned). `0` and `1` both mean "no
+    /// parallelism".
+    pub fn new(width: usize) -> Self {
+        let width = width.max(1);
+        let shared = Arc::new(Shared {
+            state: Mutex::new(PoolState {
+                job: None,
+                generation: 0,
+                remaining: 0,
+                panicked: false,
+                shutdown: false,
+            }),
+            work: Condvar::new(),
+            done: Condvar::new(),
+        });
+        let handles = (1..width)
+            .map(|w| {
+                let shared = Arc::clone(&shared);
+                std::thread::spawn(move || worker_loop(&shared, w))
+            })
+            .collect();
+        Self {
+            width,
+            shared,
+            handles,
+        }
+    }
+
+    /// Total worker count, including the calling thread.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Runs `f(w)` once for every worker index `w in 0..width`, with the
+    /// caller executing `f(0)`, and returns when **all** invocations have
+    /// finished (a full fork-join barrier).
+    ///
+    /// Safety of the internal borrow erasure: workers only pick up the job
+    /// after observing the new generation, and `remaining` reaches zero only
+    /// after every worker's invocation has returned — so the erased
+    /// reference to `f` is never used after `broadcast` returns, i.e. never
+    /// outlives the borrow.
+    pub fn broadcast<F: Fn(usize) + Sync>(&self, f: F) {
+        if self.width <= 1 {
+            f(0);
+            return;
+        }
+        // SAFETY: the erased reference never outlives this call — the wait
+        // loop below blocks until every worker's invocation has returned.
+        let job = JobRef(unsafe {
+            std::mem::transmute::<&(dyn Fn(usize) + Sync), &'static (dyn Fn(usize) + Sync)>(&f)
+        });
+        {
+            let mut st = self.shared.state.lock().unwrap();
+            debug_assert_eq!(st.remaining, 0, "broadcast while one is in flight");
+            st.job = Some(job);
+            st.generation += 1;
+            st.remaining = self.width - 1;
+            self.shared.work.notify_all();
+        }
+        let caller_result = catch_unwind(AssertUnwindSafe(|| f(0)));
+        let mut st = self.shared.state.lock().unwrap();
+        while st.remaining > 0 {
+            st = self.shared.done.wait(st).unwrap();
+        }
+        st.job = None;
+        let worker_panicked = std::mem::replace(&mut st.panicked, false);
+        drop(st);
+        if let Err(payload) = caller_result {
+            std::panic::resume_unwind(payload);
+        }
+        if worker_panicked {
+            panic!("IntraPool worker panicked during broadcast");
+        }
+    }
+}
+
+impl Drop for IntraPool {
+    fn drop(&mut self) {
+        {
+            let mut st = self.shared.state.lock().unwrap();
+            st.shutdown = true;
+            self.shared.work.notify_all();
+        }
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+fn worker_loop(shared: &Shared, w: usize) {
+    let mut seen = 0u64;
+    loop {
+        let job = {
+            let mut st = shared.state.lock().unwrap();
+            loop {
+                if st.shutdown {
+                    return;
+                }
+                if st.generation != seen {
+                    seen = st.generation;
+                    break st.job.expect("job is set when the generation advances");
+                }
+                st = shared.work.wait(st).unwrap();
+            }
+        };
+        // broadcast blocks until remaining == 0, so the pointee closure is
+        // still alive for the whole invocation despite the erased lifetime.
+        let result = catch_unwind(AssertUnwindSafe(|| (job.0)(w)));
+        let mut st = shared.state.lock().unwrap();
+        if result.is_err() {
+            st.panicked = true;
+        }
+        st.remaining -= 1;
+        if st.remaining == 0 {
+            shared.done.notify_one();
+        }
+    }
+}
+
+/// Resolves an intra-run worker-count knob: `0` = one worker per available
+/// core, anything else is taken literally (`1` = off).
+pub fn resolve_intra(threads: usize) -> usize {
+    if threads == 0 {
+        std::thread::available_parallelism().map_or(1, |p| p.get())
+    } else {
+        threads
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    #[test]
+    fn broadcast_reaches_every_worker_exactly_once() {
+        for width in [1usize, 2, 3, 8] {
+            let pool = IntraPool::new(width);
+            let hits: Vec<AtomicU64> = (0..width).map(|_| AtomicU64::new(0)).collect();
+            pool.broadcast(|w| {
+                hits[w].fetch_add(1, Ordering::Relaxed);
+            });
+            for (w, h) in hits.iter().enumerate() {
+                assert_eq!(h.load(Ordering::Relaxed), 1, "width {width}, worker {w}");
+            }
+        }
+    }
+
+    #[test]
+    fn pool_is_reusable_across_many_broadcasts() {
+        let pool = IntraPool::new(4);
+        let total = AtomicU64::new(0);
+        for _ in 0..200 {
+            pool.broadcast(|w| {
+                total.fetch_add(w as u64 + 1, Ordering::Relaxed);
+            });
+        }
+        // Each broadcast adds 1+2+3+4 = 10.
+        assert_eq!(total.load(Ordering::Relaxed), 2000);
+    }
+
+    #[test]
+    fn sharded_sums_are_exact() {
+        // The shape schedulers use: each worker owns indices i % width == w
+        // and writes disjoint slots; the barrier makes the merge safe.
+        let pool = IntraPool::new(3);
+        let data: Vec<u64> = (0..10_000).collect();
+        let partial: Vec<AtomicU64> = (0..pool.width()).map(|_| AtomicU64::new(0)).collect();
+        pool.broadcast(|w| {
+            let mut sum = 0u64;
+            for (i, &x) in data.iter().enumerate() {
+                if i % pool.width() == w {
+                    sum += x;
+                }
+            }
+            partial[w].store(sum, Ordering::Relaxed);
+        });
+        let total: u64 = partial.iter().map(|p| p.load(Ordering::Relaxed)).sum();
+        assert_eq!(total, 10_000 * 9_999 / 2);
+    }
+
+    #[test]
+    fn worker_panic_propagates_to_the_caller() {
+        let pool = IntraPool::new(2);
+        let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            pool.broadcast(|w| {
+                if w == 1 {
+                    panic!("boom");
+                }
+            });
+        }));
+        assert!(result.is_err());
+        // The pool survives the panic and keeps serving broadcasts.
+        let count = AtomicU64::new(0);
+        pool.broadcast(|_| {
+            count.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(count.load(Ordering::Relaxed), 2);
+    }
+
+    #[test]
+    fn resolve_intra_auto_and_literal() {
+        assert!(resolve_intra(0) >= 1);
+        assert_eq!(resolve_intra(1), 1);
+        assert_eq!(resolve_intra(5), 5);
+    }
+}

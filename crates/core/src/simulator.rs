@@ -4,8 +4,11 @@
 //! The simulator owns the cost model: routing cost is decided by the
 //! matching state *at request arrival* (1 if matched, `ℓ_e` otherwise),
 //! reconfigurations cost α each. Wall-clock time covers only the serve
-//! loop — snapshotting is excluded, and runs are single-threaded, matching
-//! "each simulation is run sequentially" in §3.1.
+//! loop — snapshotting is excluded, and runs are single-threaded by
+//! default, matching "each simulation is run sequentially" in §3.1.
+//! [`SimConfig::intra_threads`] can shard each chunk's *preprocessing scan*
+//! across an [`IntraPool`] (state mutation stays sequential), which changes
+//! wall-clock only — every reported number is identical at any width.
 //!
 //! The serve loop is **batched**: requests are pulled through the
 //! [`RequestStream`] abstraction in chunks of up to
@@ -23,6 +26,7 @@
 //! the stream length, so workloads of tens of millions of requests run at
 //! constant memory.
 
+use crate::parallel::{resolve_intra, IntraPool};
 use crate::report::{Checkpoint, RunReport};
 use crate::scheduler::{BatchOutcome, OnlineScheduler};
 use dcn_topology::{DistanceMatrix, Pair};
@@ -34,6 +38,19 @@ use dcn_util::Stopwatch;
 /// into noise, small enough that the buffer stays cache-resident (8 KiB of
 /// packed pairs).
 pub const DEFAULT_BATCH_SIZE: usize = 1024;
+
+/// Which batch entry point the serve loop drives (reports are identical
+/// either way — this tunes the constant, never the result).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum ServeMode {
+    /// [`OnlineScheduler::serve_batch`] — the pair-bucketed path where the
+    /// scheduler has one, the unsorted pass otherwise.
+    #[default]
+    Sorted,
+    /// [`OnlineScheduler::serve_batch_unsorted`] — the straight fused
+    /// per-request pass (kept addressable for equality gates and benches).
+    Unsorted,
+}
 
 /// Simulation options.
 #[derive(Clone, Debug)]
@@ -52,6 +69,13 @@ pub struct SimConfig {
     /// (`0` is treated as `1`, i.e. per-request serving). Any value
     /// produces the identical report; this only tunes the constant.
     pub batch_size: usize,
+    /// Which batch entry point to drive (identical reports either way).
+    pub serve_mode: ServeMode,
+    /// Intra-run workers sharding each chunk's preprocessing scan by
+    /// rack-pair ownership (`1` = off, `0` = one per available core).
+    /// Any width produces the identical report. Widths above 1 force the
+    /// sorted path ([`OnlineScheduler::serve_batch_sharded`]).
+    pub intra_threads: usize,
 }
 
 impl Default for SimConfig {
@@ -62,6 +86,8 @@ impl Default for SimConfig {
             seed: 0,
             trace_name: String::new(),
             batch_size: DEFAULT_BATCH_SIZE,
+            serve_mode: ServeMode::default(),
+            intra_threads: 1,
         }
     }
 }
@@ -70,6 +96,19 @@ impl SimConfig {
     /// A copy serving `batch_size` requests per scheduler call.
     pub fn with_batch_size(mut self, batch_size: usize) -> Self {
         self.batch_size = batch_size;
+        self
+    }
+
+    /// A copy driving the given batch entry point.
+    pub fn with_serve_mode(mut self, serve_mode: ServeMode) -> Self {
+        self.serve_mode = serve_mode;
+        self
+    }
+
+    /// A copy sharding each chunk's preprocessing scan across
+    /// `intra_threads` workers (`0` = one per available core).
+    pub fn with_intra_threads(mut self, intra_threads: usize) -> Self {
+        self.intra_threads = intra_threads;
         self
     }
 
@@ -213,6 +252,10 @@ pub fn run<S: OnlineScheduler + ?Sized, R: RequestStream>(
 
     let batch = config.batch_size.max(1).min(total.max(1));
     let mut buf = vec![Pair::new(0, 1); batch];
+    // The pool outlives the serve loop: workers spawn once per run, and
+    // serve_batch_sharded broadcasts one scan per chunk.
+    let intra = resolve_intra(config.intra_threads);
+    let pool = (intra > 1).then(|| IntraPool::new(intra));
     let mut state = Checkpoint::default();
     let mut checkpoints = Vec::with_capacity(cps.len());
     let mut next_cp = 0usize;
@@ -238,7 +281,11 @@ pub fn run<S: OnlineScheduler + ?Sized, R: RequestStream>(
         }
         let mut acc = BatchOutcome::default();
         sw.start();
-        scheduler.serve_batch(chunk, dm, &mut acc);
+        match (&pool, config.serve_mode) {
+            (Some(pool), _) => scheduler.serve_batch_sharded(chunk, dm, pool, &mut acc),
+            (None, ServeMode::Sorted) => scheduler.serve_batch(chunk, dm, &mut acc),
+            (None, ServeMode::Unsorted) => scheduler.serve_batch_unsorted(chunk, dm, &mut acc),
+        }
         sw.pause();
 
         state.requests += n as u64;
@@ -485,6 +532,32 @@ mod tests {
                     &unbatched,
                     &format!("{name} streamed b={batch_size}"),
                 );
+                // Explicit unsorted mode and intra-sharded runs: same
+                // report again, at every pool width.
+                let mut s = make();
+                let uns = run(
+                    s.as_mut(),
+                    &dm,
+                    10,
+                    &trace.requests,
+                    &config.clone().with_serve_mode(ServeMode::Unsorted),
+                );
+                assert_reports_identical(&uns, &unbatched, &format!("{name} unsorted"));
+                for intra in [2usize, 3] {
+                    let mut s = make();
+                    let sharded = run(
+                        s.as_mut(),
+                        &dm,
+                        10,
+                        &trace.requests,
+                        &config.clone().with_intra_threads(intra),
+                    );
+                    assert_reports_identical(
+                        &sharded,
+                        &unbatched,
+                        &format!("{name} b={batch_size} intra={intra}"),
+                    );
+                }
             }
         }
     }

@@ -46,7 +46,16 @@ const NIL: u32 = u32::MAX;
 /// A degree-capped matching with per-endpoint LRU recency over its incident
 /// edges. The one contract BMA needs: membership-with-touch, MRU insertion,
 /// removal, and the per-endpoint LRU victim.
-pub trait RecencyMatching {
+///
+/// `Sync` is a supertrait because BMA's bucketed serve pass shares the
+/// index immutably with its (possibly sharded) chunk-preprocessing scan;
+/// both implementations here are plain owned data and qualify. Mutation
+/// stays single-threaded — and the bucketed pass *defers* hit touches,
+/// splicing each pair once per flush interval at its last-occurrence
+/// position instead of once per hit, which is observation-equivalent
+/// because recency is only read at buy/eviction points (immediately after
+/// a flush) and only the per-endpoint last-touch *order* decides victims.
+pub trait RecencyMatching: Sync {
     /// Empty structure over `n` racks with degree cap `b`.
     fn new(n: usize, b: usize) -> Self;
 
