@@ -277,12 +277,52 @@ fn bma_recency_upkeep(c: &mut Criterion) {
     group.finish();
 }
 
+/// The telemetry tax at the standard point: the same R-BMA run with a live
+/// enabled sink (chunk stopwatch + end-of-run flush), with the default
+/// disabled handle (one branch per flush site), and — when the workspace is
+/// built with `--cfg dcn_telemetry_off` — with the layer compiled out
+/// entirely. CI gates `enabled` against the shared baseline; the
+/// acceptance bar is enabled ≤ 2% over disabled.
+fn telemetry_overhead(c: &mut Criterion) {
+    let dm = distances();
+    let mut group = c.benchmark_group("batch_telemetry_rbma_b12_zipf");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2))
+        .throughput(Throughput::Elements(LEN as u64));
+    let algorithm = AlgorithmKind::Rbma { lazy: true };
+    let points: &[&str] = if dcn_telemetry::compiled() {
+        &["disabled", "enabled"]
+    } else {
+        &["compiled_off"]
+    };
+    for &point in points {
+        group.bench_function(point, |bench| {
+            let config = SimConfig::default().with_batch_size(1024);
+            let config = if point == "enabled" {
+                config.with_telemetry(dcn_telemetry::Telemetry::enabled())
+            } else {
+                config
+            };
+            let mut source = zipf_pair_source(RACKS, LEN, EXPONENT, 5);
+            bench.iter(|| {
+                source.reset();
+                let mut s = algorithm.build_online(dm.clone(), DEGREE, ALPHA, 5);
+                black_box(run(s.as_mut(), &dm, ALPHA, &mut source, &config))
+            });
+        });
+    }
+    group.finish();
+}
+
 criterion_group!(
     benches,
     serve_run_batch_sizes,
     serve_inner_batched_vs_unbatched,
     serve_intra_widths,
     fill_batched_vs_unbatched,
-    bma_recency_upkeep
+    bma_recency_upkeep,
+    telemetry_overhead
 );
 criterion_main!(benches);

@@ -3,7 +3,9 @@
 //! ```text
 //! repro_figures [--fast] [--scale F] [--threads N] [--shard I/M]
 //!               [--intra-threads N] [--pr N] [--ledger-file PATH]
-//!               [--out DIR] [--json DIR] [--merge-json DIR] <target>...
+//!               [--out DIR] [--json DIR] [--merge-json DIR]
+//!               [--telemetry DIR] <target>...
+//! repro_figures --telemetry-diff A.json B.json
 //!
 //! targets:
 //!   fig1 fig2 fig3 fig4      the paper's Figures 1-4 (panels a, b, c)
@@ -48,17 +50,29 @@
 //!               (machine-readable summaries, e.g. CI's BENCH_demand.json)
 //! --merge-json DIR  run nothing; instead union DIR's shard files for each
 //!               named table target into BENCH_<target>.json (byte-identical
-//!               to an unsharded run for deterministic tables)
+//!               to an unsharded run for deterministic tables). When DIR also
+//!               holds TELEM_<target>.shard-*.json files, they are absorbed
+//!               (counters sum, gauges max, histogram buckets sum) into
+//!               TELEM_<target>.json alongside.
+//! --telemetry DIR  install a process-wide telemetry sink and, after each
+//!               target, drain it into DIR as TELEM_<target>.json (plus a
+//!               Prometheus-text TELEM_<target>.prom on unsharded runs) and
+//!               print a per-metric summary table. Reports and BENCH json
+//!               stay byte-identical with or without this flag.
+//! --telemetry-diff A B  run nothing; compare the deterministic projection
+//!               (scheduling-independent counters + histogram observation
+//!               counts) of two TELEM json files, exit 1 on divergence.
 //! ```
 
 use dcn_bench::{
     ablation_alpha, ablation_augmentation, ablation_removal, ablation_skew, adversary_search,
     demand_sweep, genomes_to_json, lower_bound_gap, measure_standard_point, run_panel,
-    scaling_sweep, series_to_csv, series_to_markdown, shard, sweep_scaling, FigureSpec, Ledger,
-    Panel, SimpleTable,
+    scaling_sweep, series_to_csv, series_to_markdown, shard, sweep_scaling, telem, FigureSpec,
+    Ledger, Panel, SimpleTable,
 };
 use dcn_core::sweep::ShardSpec;
 use std::path::PathBuf;
+use std::time::Instant;
 
 const TABLE_TARGETS: [&str; 9] = [
     "ablation-alpha",
@@ -87,9 +101,19 @@ fn main() {
             }
         }
     };
+    // Diff mode takes two file operands and runs nothing else.
+    if let Some(i) = args.iter().position(|a| a == "--telemetry-diff") {
+        let (Some(a), Some(b)) = (args.get(i + 1), args.get(i + 2)) else {
+            eprintln!("--telemetry-diff requires two TELEM json files");
+            std::process::exit(2);
+        };
+        diff_telemetry(a, b);
+        return;
+    }
     let out_dir: Option<PathBuf> = value_of("--out").map(PathBuf::from);
     let json_dir: Option<PathBuf> = value_of("--json").map(PathBuf::from);
     let merge_dir: Option<PathBuf> = value_of("--merge-json").map(PathBuf::from);
+    let telemetry_dir: Option<PathBuf> = value_of("--telemetry").map(PathBuf::from);
     let scale_factor: f64 = match value_of("--scale") {
         Some(v) => match v.parse::<f64>() {
             // `!(x > 0.0)` also rejects NaN, which `x <= 0.0` would let
@@ -162,6 +186,7 @@ fn main() {
             "--intra-threads",
             "--pr",
             "--ledger-file",
+            "--telemetry",
         ]
         .contains(&a.as_str())
         {
@@ -175,8 +200,16 @@ fn main() {
     if targets.is_empty() {
         targets.push("all".into());
     }
-    for dir in [&out_dir, &json_dir].into_iter().flatten() {
+    for dir in [&out_dir, &json_dir, &telemetry_dir].into_iter().flatten() {
         std::fs::create_dir_all(dir).expect("create output directory");
+    }
+    if telemetry_dir.is_some() {
+        // Every SimConfig::default() in the figure/table code paths picks
+        // this handle up; reports stay byte-identical either way.
+        dcn_telemetry::install_global(dcn_telemetry::Telemetry::enabled());
+        if !dcn_telemetry::compiled() {
+            eprintln!("note: built with --cfg dcn_telemetry_off; TELEM artifacts will be empty");
+        }
     }
 
     let divisor = if fast { 20 } else { 1 };
@@ -261,11 +294,33 @@ fn main() {
                     std::process::exit(2);
                 }
             }
+            // Telemetry shards ride along when present; a BENCH-only run
+            // has none and that is not an error.
+            if has_telem_shards(&dir, target) {
+                match telem::merge_target_dir(&dir, target) {
+                    Ok((snapshot, parts)) => {
+                        let path = dir.join(telem::telem_file_name(target));
+                        std::fs::write(&path, snapshot.to_json(target))
+                            .expect("write merged TELEM json");
+                        println!(
+                            "merged {} telemetry shard file(s) -> {}",
+                            parts.len(),
+                            path.display()
+                        );
+                    }
+                    Err(e) => {
+                        eprintln!("--merge-json {target}: {e}");
+                        std::process::exit(2);
+                    }
+                }
+            }
         }
         return;
     }
 
     for target in queue {
+        let target_t0 = Instant::now();
+        let served_before = dcn_core::total_served();
         match target.as_str() {
             id @ ("fig1" | "fig2" | "fig3" | "fig4") => {
                 if !shard_spec.is_full() {
@@ -381,7 +436,87 @@ fn main() {
                 std::process::exit(2);
             }
         }
+        // Per-target footer: wall clock, requests actually pushed through
+        // the serve loop (simulator-side counter, live even with telemetry
+        // disabled) and the effective aggregate rate.
+        let wall = target_t0.elapsed().as_secs_f64();
+        let served = dcn_core::total_served() - served_before;
+        let mreq_s = if wall > 0.0 {
+            served as f64 / wall / 1e6
+        } else {
+            0.0
+        };
+        println!(
+            "[{target}] {wall:.2}s wall, {served} requests simulated, {mreq_s:.2} Mreq/s effective"
+        );
+        if let Some(dir) = telemetry_dir.as_deref() {
+            export_telemetry(dir, &target, shard_spec);
+        }
     }
+}
+
+/// Drains the global telemetry sink into `dir` as this target's TELEM
+/// artifact(s) and prints the per-metric summary. Draining per target
+/// keeps multi-target invocations separated.
+fn export_telemetry(dir: &std::path::Path, target: &str, shard_spec: ShardSpec) {
+    let snapshot = dcn_telemetry::global().drain();
+    let name = if shard_spec.is_full() {
+        telem::telem_file_name(target)
+    } else {
+        telem::telem_shard_file_name(target, shard_spec)
+    };
+    let path = dir.join(name);
+    std::fs::write(&path, snapshot.to_json(target)).expect("write TELEM json");
+    println!("(wrote {})\n", path.display());
+    if shard_spec.is_full() {
+        let prom = dir.join(telem::telem_prom_file_name(target));
+        std::fs::write(&prom, snapshot.to_prometheus()).expect("write TELEM prom");
+        println!("(wrote {})\n", prom.display());
+    }
+    print!("{}", telem::summary_table(&snapshot));
+}
+
+/// `--telemetry-diff A B`: compares the deterministic projections of two
+/// TELEM files (any mix of shard and merged artifacts of the same run
+/// shape) and exits non-zero on divergence.
+fn diff_telemetry(a: &str, b: &str) {
+    let load = |p: &str| {
+        let text = std::fs::read_to_string(p).unwrap_or_else(|e| {
+            eprintln!("--telemetry-diff: {p}: {e}");
+            std::process::exit(2);
+        });
+        telem::parse_snapshot(&text).unwrap_or_else(|e| {
+            eprintln!("--telemetry-diff: {p}: {e}");
+            std::process::exit(2);
+        })
+    };
+    let ((ta, sa), (tb, sb)) = (load(a), load(b));
+    if ta != tb {
+        eprintln!("--telemetry-diff: targets differ: {ta:?} vs {tb:?}");
+        std::process::exit(1);
+    }
+    match telem::diff_projection(&sa, &sb) {
+        Ok(()) => {
+            let keys = telem::projection(&sa).len();
+            println!("telemetry projections match ({keys} deterministic keys)");
+        }
+        Err(divergences) => {
+            eprintln!("telemetry projections diverge:\n{divergences}");
+            std::process::exit(1);
+        }
+    }
+}
+
+/// Whether `dir` holds any `TELEM_<target>.shard-*.json` files.
+fn has_telem_shards(dir: &std::path::Path, target: &str) -> bool {
+    let prefix = format!("TELEM_{target}.shard-");
+    std::fs::read_dir(dir).is_ok_and(|entries| {
+        entries.flatten().any(|e| {
+            e.file_name()
+                .to_str()
+                .is_some_and(|n| n.starts_with(&prefix) && n.ends_with(".json"))
+        })
+    })
 }
 
 fn run_figure(spec: &FigureSpec, threads: usize, out_dir: Option<&std::path::Path>) {

@@ -28,6 +28,7 @@ pub mod adversary;
 pub mod demand;
 pub mod ledger;
 pub mod shard;
+pub mod telem;
 
 pub use ablations::{
     ablation_alpha, ablation_augmentation, ablation_removal, ablation_skew, lower_bound_gap,

@@ -34,6 +34,7 @@ use crate::batch::PairBuckets;
 use crate::parallel::IntraPool;
 use crate::scheduler::{BatchOutcome, OnlineScheduler, ServeOutcome};
 use dcn_matching::{BMatching, BTreeRecencyMatching, LruBMatching, RecencyMatching};
+use dcn_telemetry::{Counter, Telemetry};
 use dcn_topology::{DistanceMatrix, NodeId, Pair};
 use dcn_util::FxHashMap;
 use std::sync::Arc;
@@ -76,6 +77,24 @@ pub struct BmaWith<M: RecencyMatching> {
     index: M,
     /// Reusable chunk-bucketing scratch for the batched serve path.
     buckets: PairBuckets<BmaPairState>,
+    /// Local event recorders, drained by `telemetry_flush` (hits are bulk
+    /// adds at loop ends; only buy/evict/splice events pay a per-event
+    /// bump — all of them off the per-request fast path).
+    stats: BmaStats,
+}
+
+/// BMA's telemetry recorders (ZSTs under `--cfg dcn_telemetry_off`).
+#[derive(Default)]
+struct BmaStats {
+    /// Requests that arrived on a matching edge.
+    hits: Counter,
+    /// LRU list-splice operations (immediate touches on the unsorted
+    /// path, deferred flushes on the bucketed one — the §3.2 upkeep).
+    splices: Counter,
+    /// Rent-or-buy threshold crossings (edge insertions).
+    buys: Counter,
+    /// Deterministic LRU evictions.
+    evictions: Counter,
 }
 
 /// BMA over the flat intrusive LRU — the production instantiation.
@@ -98,6 +117,7 @@ impl<M: RecencyMatching> BmaWith<M> {
             counters: FxHashMap::default(),
             index: M::new(n, b),
             buckets: PairBuckets::default(),
+            stats: BmaStats::default(),
         }
     }
 
@@ -111,6 +131,7 @@ impl<M: RecencyMatching> BmaWith<M> {
             return (0, 0);
         }
         self.counters.remove(&pair);
+        self.stats.buys.bump();
 
         // Buy the edge; make room deterministically.
         let mut removed = 0;
@@ -132,6 +153,7 @@ impl<M: RecencyMatching> BmaWith<M> {
             .expect("eviction requested at a node with no matching edges");
         self.index.remove(victim);
         self.counters.remove(&victim);
+        self.stats.evictions.bump();
         victim
     }
 
@@ -149,6 +171,7 @@ impl<M: RecencyMatching> BmaWith<M> {
         slab: &mut [BmaPairState],
         batch: &[Pair],
         range: std::ops::Range<usize>,
+        splices: &mut Counter,
     ) {
         for j in range {
             let id = buckets.id_at(j);
@@ -156,6 +179,7 @@ impl<M: RecencyMatching> BmaWith<M> {
                 slab[id].last_touch = NO_TOUCH;
                 let hit = index.touch_hit(batch[j]);
                 debug_assert!(hit, "deferred touch on an unmatched pair");
+                splices.bump();
             }
         }
     }
@@ -226,9 +250,17 @@ impl<M: RecencyMatching> BmaWith<M> {
                 continue;
             }
             // Buy: the only point that reads recency — settle it first.
-            Self::flush_touches(&mut self.index, &buckets, &mut slab, batch, flushed..i);
+            Self::flush_touches(
+                &mut self.index,
+                &buckets,
+                &mut slab,
+                batch,
+                flushed..i,
+                &mut self.stats.splices,
+            );
             flushed = i;
             self.counters.remove(&pair);
+            self.stats.buys.bump();
             let mut removed = 0u32;
             for node in [pair.lo(), pair.hi()] {
                 if self.index.matching().degree(node) >= cap {
@@ -260,7 +292,9 @@ impl<M: RecencyMatching> BmaWith<M> {
             &mut slab,
             batch,
             flushed..batch.len(),
+            &mut self.stats.splices,
         );
+        self.stats.hits.add(matched_total);
         acc.matched += matched_total;
         acc.routing_cost += routing;
         // Write the advanced rent counters back, once per distinct pair.
@@ -296,6 +330,8 @@ impl<M: RecencyMatching> OnlineScheduler for BmaWith<M> {
         // operation (on the flat index, the membership scan already locates
         // the intrusive list node).
         if self.index.touch_hit(pair) {
+            self.stats.hits.bump();
+            self.stats.splices.bump();
             return ServeOutcome {
                 was_matched: true,
                 added: 0,
@@ -338,6 +374,8 @@ impl<M: RecencyMatching> OnlineScheduler for BmaWith<M> {
                 acc.removed += removed as u64;
             }
         }
+        self.stats.hits.add(matched);
+        self.stats.splices.add(matched);
         acc.matched += matched;
         acc.routing_cost += routing;
     }
@@ -370,6 +408,13 @@ impl<M: RecencyMatching> OnlineScheduler for BmaWith<M> {
 
     fn matching(&self) -> &BMatching {
         self.index.matching()
+    }
+
+    fn telemetry_flush(&mut self, sink: &Telemetry) {
+        sink.add_counter("bma.hits", self.stats.hits.take());
+        sink.add_counter("bma.lru_splices", self.stats.splices.take());
+        sink.add_counter("bma.buys", self.stats.buys.take());
+        sink.add_counter("bma.evictions", self.stats.evictions.take());
     }
 }
 

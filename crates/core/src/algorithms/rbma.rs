@@ -44,6 +44,7 @@ use crate::parallel::IntraPool;
 use crate::scheduler::{BatchOutcome, OnlineScheduler, ServeOutcome};
 use dcn_matching::BMatching;
 use dcn_paging::{DenseAccess, DenseMarking};
+use dcn_telemetry::{Counter, Telemetry};
 use dcn_topology::{DistanceMatrix, NodeId, Pair};
 use dcn_util::rngx::derive_seed;
 use dcn_util::{FxHashMap, FxHashSet};
@@ -132,6 +133,28 @@ pub struct Rbma {
     /// Reusable bitmap over chunk positions marking where special
     /// requests fire (the precomputed schedule of the bucketed pass).
     special_bits: Vec<u64>,
+    /// Local event recorders, drained by `telemetry_flush` (only the
+    /// rare slow paths pay a bump; ordinary requests record nothing).
+    stats: RbmaStats,
+}
+
+/// R-BMA's telemetry recorders (ZSTs under `--cfg dcn_telemetry_off`).
+/// The wrap/phase fields are flush baselines for cumulative sources
+/// owned elsewhere (the slab and the marking caches count over their
+/// lifetime; each flush emits the delta since the previous one).
+#[derive(Default)]
+struct RbmaStats {
+    /// Theorem-1 special requests executed (the Theorem-2 slow path).
+    specials: Counter,
+    /// hash → dense store migrations (bucketed-path entry).
+    dense_migrations: Counter,
+    /// dense → hash store migrations (per-request/unsorted entry).
+    hash_migrations: Counter,
+    /// Slab epoch wraps already reported by earlier flushes.
+    flushed_wraps: u64,
+    /// Marking-phase resets (summed over the per-rack caches) already
+    /// reported by earlier flushes.
+    flushed_phases: u64,
 }
 
 impl Rbma {
@@ -162,6 +185,7 @@ impl Rbma {
             removed_scratch: Vec::new(),
             marked_scratch: Vec::new(),
             special_bits: Vec::new(),
+            stats: RbmaStats::default(),
         }
     }
 
@@ -213,6 +237,7 @@ impl Rbma {
         if self.dense {
             return;
         }
+        self.stats.dense_migrations.bump();
         let counters = std::mem::take(&mut self.counters);
         let mut pslab = std::mem::take(&mut self.pslab);
         for (&pair, c) in &counters {
@@ -242,6 +267,7 @@ impl Rbma {
         if !self.dense {
             return;
         }
+        self.stats.hash_migrations.bump();
         for i in 0..self.pslab.len() {
             let pair = self.pslab.seen()[i];
             let slot = self
@@ -324,6 +350,7 @@ impl Rbma {
     /// `marked` set (the persistent slab's hint); pass `true` when
     /// unknown.
     fn serve_special_known(&mut self, pair: Pair, matched: bool, maybe_marked: bool) -> (u32, u32) {
+        self.stats.specials.bump();
         self.removed_scratch.clear();
         self.marked_scratch.clear();
         let (u, v) = pair.endpoints();
@@ -771,6 +798,19 @@ impl OnlineScheduler for Rbma {
 
     fn matching(&self) -> &BMatching {
         &self.matching
+    }
+
+    fn telemetry_flush(&mut self, sink: &Telemetry) {
+        sink.add_counter("rbma.specials", self.stats.specials.take());
+        sink.add_counter("rbma.dense_migrations", self.stats.dense_migrations.take());
+        sink.add_counter("rbma.hash_migrations", self.stats.hash_migrations.take());
+        // Cumulative sources: emit deltas against the last flush.
+        let wraps = self.pslab.epoch_wraps();
+        sink.add_counter("rbma.slab_epoch_wraps", wraps - self.stats.flushed_wraps);
+        self.stats.flushed_wraps = wraps;
+        let phases: u64 = self.caches.iter().map(|c| c.phase_transitions()).sum();
+        sink.add_counter("rbma.marking_phases", phases - self.stats.flushed_phases);
+        self.stats.flushed_phases = phases;
     }
 }
 

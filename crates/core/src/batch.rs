@@ -389,6 +389,9 @@ pub struct PersistentPairSlab<S> {
     seen: Vec<Pair>,
     /// Current 16-bit tag epoch (1 ≤ epoch ≤ 0xFFFF once any chunk ran).
     epoch: u32,
+    /// Times the 16-bit epoch wrapped (telemetry; a topology reset is
+    /// not a wrap).
+    wraps: u64,
     /// Pair ids occurring in the current chunk, first-occurrence order.
     active: Vec<u32>,
     /// Request position → pair id, for the current chunk.
@@ -408,6 +411,7 @@ impl<S> Default for PersistentPairSlab<S> {
             cursors: Vec::new(),
             seen: Vec::new(),
             epoch: 0,
+            wraps: 0,
             active: Vec::new(),
             ids: Vec::new(),
             positions: Vec::new(),
@@ -481,6 +485,7 @@ impl<S: Default> PersistentPairSlab<S> {
             // can never alias a current chunk. Once per 65535 chunks.
             self.tags.iter_mut().for_each(|t| *t = 0);
             self.epoch = 1;
+            self.wraps += 1;
         }
         let epoch_bits = self.epoch << 16;
         self.active.clear();
@@ -571,6 +576,12 @@ impl<S: Default> PersistentPairSlab<S> {
     /// Whether no pair was ever seen.
     pub fn is_empty(&self) -> bool {
         self.seen.is_empty()
+    }
+
+    /// Times the 16-bit tag epoch has wrapped (and cleared the tag
+    /// array) over this slab's lifetime — cumulative, for telemetry.
+    pub fn epoch_wraps(&self) -> u64 {
+        self.wraps
     }
 
     /// State of `slot` (valid whether or not the slot is active).

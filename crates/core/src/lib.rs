@@ -30,6 +30,11 @@
 //!   (algorithm × b × trace-seed × algo-seed) runs across threads; each
 //!   job carries a [`dcn_traces::TraceSpec`] and synthesizes its own
 //!   stream in-place.
+//! * Telemetry — the simulator, schedulers and both executors flush event
+//!   counters and log2 latency histograms into a
+//!   [`dcn_telemetry::Telemetry`] handle
+//!   ([`simulator::SimConfig::telemetry`]; disabled by default). Reports
+//!   stay byte-identical with telemetry on, off, or compiled out.
 //! * [`ratio`] — adversarial fitness: an online algorithm's total cost
 //!   relative to the static offline baseline on the same trace (the
 //!   objective the adversary search in `dcn-adversary` maximizes).
@@ -69,5 +74,5 @@ pub use parallel::IntraPool;
 pub use ratio::{cost_ratio_vs_static, RatioOutcome};
 pub use report::{AveragedSeries, Checkpoint, RunReport};
 pub use scheduler::{OnlineScheduler, ServeOutcome};
-pub use simulator::{run, RequestStream, ServeMode, SimConfig};
+pub use simulator::{run, total_served, RequestStream, ServeMode, SimConfig};
 pub use sweep::ShardSpec;

@@ -22,9 +22,12 @@
 //! against a 1024-request chunk — and spawning happens once per run, not
 //! per chunk (`scoped` spawn-per-chunk costs ~10µs; this is ~100ns).
 
+use dcn_telemetry::Telemetry;
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
+use std::time::Instant;
 
 /// A lifetime-erased reference to the borrowed job closure. The `'static`
 /// is a lie told to the type system; it is sound because
@@ -52,6 +55,17 @@ struct Shared {
     done: Condvar,
 }
 
+/// Per-worker shard-imbalance accounting for an instrumented pool (see
+/// [`IntraPool::instrumented`]). One relaxed add per worker per broadcast —
+/// the uninstrumented pool carries none of it.
+struct PoolStats {
+    /// Broadcasts issued since the last flush.
+    broadcasts: AtomicU64,
+    /// Per-worker nanoseconds spent inside job invocations since the last
+    /// flush (busy time; the gap to the slowest worker is the imbalance).
+    busy_ns: Vec<AtomicU64>,
+}
+
 /// Persistent fork-join pool of `width - 1` spawned workers plus the
 /// calling thread (worker index 0). `width <= 1` degrades to inline calls
 /// with no threads and no synchronization.
@@ -59,6 +73,7 @@ pub struct IntraPool {
     width: usize,
     shared: Arc<Shared>,
     handles: Vec<JoinHandle<()>>,
+    stats: Option<PoolStats>,
 }
 
 impl IntraPool {
@@ -66,6 +81,18 @@ impl IntraPool {
     /// `width - 1` threads are spawned). `0` and `1` both mean "no
     /// parallelism".
     pub fn new(width: usize) -> Self {
+        Self::build(width, false)
+    }
+
+    /// Like [`IntraPool::new`], but each broadcast also records per-worker
+    /// busy time for shard-imbalance telemetry (drained by
+    /// [`IntraPool::telemetry_flush`]). The simulator picks this flavor only
+    /// when its run has an enabled telemetry handle.
+    pub fn instrumented(width: usize) -> Self {
+        Self::build(width, true)
+    }
+
+    fn build(width: usize, instrumented: bool) -> Self {
         let width = width.max(1);
         let shared = Arc::new(Shared {
             state: Mutex::new(PoolState {
@@ -88,12 +115,41 @@ impl IntraPool {
             width,
             shared,
             handles,
+            stats: instrumented.then(|| PoolStats {
+                broadcasts: AtomicU64::new(0),
+                busy_ns: (0..width).map(|_| AtomicU64::new(0)).collect(),
+            }),
         }
     }
 
     /// Total worker count, including the calling thread.
     pub fn width(&self) -> usize {
         self.width
+    }
+
+    /// Drains accumulated per-worker busy time into `sink` as
+    /// `intra.worker.{w}.busy_ns` counters plus an `intra.imbalance_pct`
+    /// gauge (`(max - min) / max` busy time across workers). No-op on an
+    /// uninstrumented pool.
+    pub fn telemetry_flush(&self, sink: &Telemetry) {
+        let Some(stats) = &self.stats else { return };
+        sink.add_counter(
+            "intra.broadcasts",
+            stats.broadcasts.swap(0, Ordering::Relaxed),
+        );
+        let busy: Vec<u64> = stats
+            .busy_ns
+            .iter()
+            .map(|b| b.swap(0, Ordering::Relaxed))
+            .collect();
+        for (w, ns) in busy.iter().enumerate() {
+            sink.add_counter(&format!("intra.worker.{w}.busy_ns"), *ns);
+        }
+        let max = busy.iter().copied().max().unwrap_or(0);
+        let min = busy.iter().copied().min().unwrap_or(0);
+        if max > 0 {
+            sink.gauge_max("intra.imbalance_pct", ((max - min) * 100 / max) as i64);
+        }
     }
 
     /// Runs `f(w)` once for every worker index `w in 0..width`, with the
@@ -106,6 +162,22 @@ impl IntraPool {
     /// reference to `f` is never used after `broadcast` returns, i.e. never
     /// outlives the borrow.
     pub fn broadcast<F: Fn(usize) + Sync>(&self, f: F) {
+        match &self.stats {
+            None => self.broadcast_inner(&f),
+            // The timing wrapper exists only on instrumented pools, so the
+            // default path pays nothing (not even a time read).
+            Some(stats) => {
+                stats.broadcasts.fetch_add(1, Ordering::Relaxed);
+                self.broadcast_inner(&|w: usize| {
+                    let t0 = Instant::now();
+                    f(w);
+                    stats.busy_ns[w].fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+                });
+            }
+        }
+    }
+
+    fn broadcast_inner(&self, f: &(dyn Fn(usize) + Sync)) {
         if self.width <= 1 {
             f(0);
             return;
@@ -113,7 +185,7 @@ impl IntraPool {
         // SAFETY: the erased reference never outlives this call — the wait
         // loop below blocks until every worker's invocation has returned.
         let job = JobRef(unsafe {
-            std::mem::transmute::<&(dyn Fn(usize) + Sync), &'static (dyn Fn(usize) + Sync)>(&f)
+            std::mem::transmute::<&(dyn Fn(usize) + Sync), &'static (dyn Fn(usize) + Sync)>(f)
         });
         {
             let mut st = self.shared.state.lock().unwrap();

@@ -143,6 +143,11 @@ pub trait OnlineScheduler {
 
     /// Read access to the current matching (for verification and analysis).
     fn matching(&self) -> &BMatching;
+
+    /// Drains the scheduler's local telemetry recorders into `sink` (called
+    /// once by the simulator at end of run — never on the serve path). The
+    /// default reports nothing.
+    fn telemetry_flush(&mut self, _sink: &dcn_telemetry::Telemetry) {}
 }
 
 #[cfg(test)]

@@ -29,10 +29,24 @@
 use crate::parallel::{resolve_intra, IntraPool};
 use crate::report::{Checkpoint, RunReport};
 use crate::scheduler::{BatchOutcome, OnlineScheduler};
+use dcn_telemetry::{Histogram, Telemetry};
 use dcn_topology::{DistanceMatrix, Pair};
 use dcn_traces::source::RequestSource;
 use dcn_traces::Trace;
 use dcn_util::Stopwatch;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+/// Requests served by [`run`] across the whole process, telemetry or not —
+/// one relaxed add per chunk, powering the per-target throughput footer of
+/// `repro_figures` without a telemetry registry.
+static TOTAL_SERVED: AtomicU64 = AtomicU64::new(0);
+
+/// Requests served by [`run`] so far, process-wide. Monotone; diff two
+/// reads to attribute requests to a span of work.
+pub fn total_served() -> u64 {
+    TOTAL_SERVED.load(Ordering::Relaxed)
+}
 
 /// Default serve-batch size: large enough to amortize per-batch overhead
 /// into noise, small enough that the buffer stays cache-resident (8 KiB of
@@ -76,6 +90,13 @@ pub struct SimConfig {
     /// Any width produces the identical report. Widths above 1 force the
     /// sorted path ([`OnlineScheduler::serve_batch_sharded`]).
     pub intra_threads: usize,
+    /// Sink for run telemetry (serve-latency histogram, scheduler event
+    /// counters, executor stats). The default picks up the process-global
+    /// handle ([`dcn_telemetry::global`]), so sweeps and ablations built on
+    /// `SimConfig::default()` report automatically once `repro_figures
+    /// --telemetry` installs one. Disabled handles cost one branch per
+    /// chunk; the report is byte-identical either way (pinned by proptest).
+    pub telemetry: Telemetry,
 }
 
 impl Default for SimConfig {
@@ -88,6 +109,7 @@ impl Default for SimConfig {
             batch_size: DEFAULT_BATCH_SIZE,
             serve_mode: ServeMode::default(),
             intra_threads: 1,
+            telemetry: dcn_telemetry::global(),
         }
     }
 }
@@ -109,6 +131,13 @@ impl SimConfig {
     /// `intra_threads` workers (`0` = one per available core).
     pub fn with_intra_threads(mut self, intra_threads: usize) -> Self {
         self.intra_threads = intra_threads;
+        self
+    }
+
+    /// A copy flushing run telemetry into `telemetry` (instead of the
+    /// process-global handle `Default` picks up).
+    pub fn with_telemetry(mut self, telemetry: Telemetry) -> Self {
+        self.telemetry = telemetry;
         self
     }
 
@@ -252,10 +281,21 @@ pub fn run<S: OnlineScheduler + ?Sized, R: RequestStream>(
 
     let batch = config.batch_size.max(1).min(total.max(1));
     let mut buf = vec![Pair::new(0, 1); batch];
+    // Telemetry recorders are run-local; the registry is only touched at
+    // the flush below. With a disabled handle (or the layer compiled off)
+    // the serve loop pays one branch per chunk and nothing else.
+    let telem_on = config.telemetry.is_enabled();
+    let mut chunk_ns = Histogram::default();
     // The pool outlives the serve loop: workers spawn once per run, and
     // serve_batch_sharded broadcasts one scan per chunk.
     let intra = resolve_intra(config.intra_threads);
-    let pool = (intra > 1).then(|| IntraPool::new(intra));
+    let pool = (intra > 1).then(|| {
+        if telem_on {
+            IntraPool::instrumented(intra)
+        } else {
+            IntraPool::new(intra)
+        }
+    });
     let mut state = Checkpoint::default();
     let mut checkpoints = Vec::with_capacity(cps.len());
     let mut next_cp = 0usize;
@@ -280,6 +320,9 @@ pub fn run<S: OnlineScheduler + ?Sized, R: RequestStream>(
             break; // defensive: stream ended short of its advertised total
         }
         let mut acc = BatchOutcome::default();
+        // Chunk latency reads the clock outside the stopwatch window, so
+        // `elapsed_secs` is identical with telemetry on or off.
+        let chunk_t0 = telem_on.then(Instant::now);
         sw.start();
         match (&pool, config.serve_mode) {
             (Some(pool), _) => scheduler.serve_batch_sharded(chunk, dm, pool, &mut acc),
@@ -287,6 +330,10 @@ pub fn run<S: OnlineScheduler + ?Sized, R: RequestStream>(
             (None, ServeMode::Unsorted) => scheduler.serve_batch_unsorted(chunk, dm, &mut acc),
         }
         sw.pause();
+        if let Some(t0) = chunk_t0 {
+            chunk_ns.record(t0.elapsed().as_nanos() as u64);
+        }
+        TOTAL_SERVED.fetch_add(n as u64, Ordering::Relaxed);
 
         state.requests += n as u64;
         state.matched_requests += acc.matched;
@@ -305,6 +352,19 @@ pub fn run<S: OnlineScheduler + ?Sized, R: RequestStream>(
         }
     }
     state.elapsed_secs = sw.elapsed_secs();
+
+    if telem_on {
+        let sink = &config.telemetry;
+        sink.add_counter("serve.chunks", chunk_ns.count());
+        sink.add_counter("serve.requests", state.requests);
+        sink.add_counter("serve.matched", state.matched_requests);
+        sink.add_counter("serve.reconfigurations", state.reconfigurations);
+        sink.merge_histogram("serve.chunk_ns", &chunk_ns);
+        scheduler.telemetry_flush(sink);
+        if let Some(pool) = &pool {
+            pool.telemetry_flush(sink);
+        }
+    }
 
     RunReport {
         algorithm: scheduler.name().to_string(),

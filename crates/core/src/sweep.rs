@@ -39,11 +39,13 @@
 use crate::algorithms::AlgorithmKind;
 use crate::report::RunReport;
 use crate::simulator::{run, SimConfig};
+use dcn_telemetry::{Histogram, Telemetry};
 use dcn_topology::DistanceMatrix;
 use dcn_traces::TraceSpec;
 use parking_lot::Mutex;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
+use std::time::Instant;
 
 /// One simulation job: an algorithm configuration plus the workload it runs
 /// on.
@@ -193,6 +195,13 @@ pub fn run_jobs_sharded(
 /// its preallocated slot. `result[k] == f(k)`, in index order, for every
 /// thread count.
 pub fn steal_map<T: Send>(n: usize, threads: usize, f: impl Fn(usize) -> T + Sync) -> Vec<T> {
+    // One global-handle read per fan-out, never per job. With telemetry
+    // enabled the instrumented twin runs instead; the path below is the
+    // byte-for-byte historical executor.
+    let telemetry = dcn_telemetry::global();
+    if telemetry.is_enabled() {
+        return steal_map_instrumented(n, threads, f, &telemetry);
+    }
     let threads = resolve_threads(threads).min(n);
     if threads <= 1 {
         return (0..n).map(f).collect();
@@ -212,6 +221,88 @@ pub fn steal_map<T: Send>(n: usize, threads: usize, f: impl Fn(usize) -> T + Syn
                     break;
                 }
                 *slots[k].lock() = Some(f(k));
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|s| s.into_inner().expect("all claimed indices completed"))
+        .collect()
+}
+
+/// [`steal_map`] with per-worker accounting: each worker keeps local
+/// recorders (jobs claimed, steals, busy/idle nanoseconds, a job wall-clock
+/// histogram) and flushes them into `sink` once, when its claim loop ends.
+/// A claim of index `k` by worker `w` counts as a **steal** when
+/// `k % threads != w`, i.e. the dynamic cursor deviated from the static
+/// round-robin split — the signal that load balancing actually moved work.
+/// Results are identical to the uninstrumented path (same claim protocol).
+fn steal_map_instrumented<T: Send>(
+    n: usize,
+    threads: usize,
+    f: impl Fn(usize) -> T + Sync,
+    sink: &Telemetry,
+) -> Vec<T> {
+    let threads = resolve_threads(threads).min(n);
+    sink.add_counter("sweep.jobs", n as u64);
+    if threads <= 1 {
+        // Sequential fan-out: still attributed, as worker 0 with no steals.
+        let mut busy = 0u64;
+        let mut job_ns = Histogram::default();
+        let t_start = Instant::now();
+        let out = (0..n)
+            .map(|k| {
+                let t0 = Instant::now();
+                let r = f(k);
+                let ns = t0.elapsed().as_nanos() as u64;
+                busy += ns;
+                job_ns.record(ns);
+                r
+            })
+            .collect();
+        let wall = t_start.elapsed().as_nanos() as u64;
+        sink.add_counter("sweep.worker.0.jobs", n as u64);
+        sink.add_counter("sweep.worker.0.busy_ns", busy);
+        sink.add_counter("sweep.worker.0.idle_ns", wall.saturating_sub(busy));
+        sink.merge_histogram("sweep.job_ns", &job_ns);
+        return out;
+    }
+    let cursor = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<T>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for w in 0..threads {
+            let cursor = &cursor;
+            let slots = &slots;
+            let f = &f;
+            scope.spawn(move || {
+                let mut jobs = 0u64;
+                let mut steals = 0u64;
+                let mut busy = 0u64;
+                let mut job_ns = Histogram::default();
+                let t_start = Instant::now();
+                loop {
+                    let k = cursor.fetch_add(1, Ordering::Relaxed);
+                    if k >= n {
+                        break;
+                    }
+                    let t0 = Instant::now();
+                    let r = f(k);
+                    let ns = t0.elapsed().as_nanos() as u64;
+                    *slots[k].lock() = Some(r);
+                    jobs += 1;
+                    busy += ns;
+                    job_ns.record(ns);
+                    steals += (k % threads != w) as u64;
+                }
+                let wall = t_start.elapsed().as_nanos() as u64;
+                sink.add_counter(&format!("sweep.worker.{w}.jobs"), jobs);
+                sink.add_counter(&format!("sweep.worker.{w}.steals"), steals);
+                sink.add_counter(&format!("sweep.worker.{w}.busy_ns"), busy);
+                sink.add_counter(
+                    &format!("sweep.worker.{w}.idle_ns"),
+                    wall.saturating_sub(busy),
+                );
+                sink.merge_histogram("sweep.job_ns", &job_ns);
             });
         }
     });

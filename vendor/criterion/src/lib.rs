@@ -37,8 +37,12 @@
 //! The median is still recorded and printed for context.
 //!
 //! The JSON is a flat map without a JSON dependency: `"bench name"` maps
-//! to the median (the historical format, so old baselines stay readable)
-//! and `"bench name::min"` to the min.
+//! to the median (the historical format, so old baselines stay readable),
+//! `"bench name::min"` to the min, and `"bench name::samples"` to how many
+//! timed samples produced those statistics. Loading a baseline whose
+//! `::samples` entry is below 3 is a hard error — a min over one or two
+//! samples is a fluke, not a statistic. Baselines predating the key load
+//! unchanged.
 
 use std::hint::black_box as std_black_box;
 use std::path::PathBuf;
@@ -164,12 +168,40 @@ impl Bencher<'_> {
 struct Sample {
     median: f64,
     min: f64,
+    samples: usize,
 }
 
 /// Baseline-JSON key carrying a bench's min (the bare name carries the
 /// median, which is also the historical single-value format).
 fn min_key(bench: &str) -> String {
     format!("{bench}::min")
+}
+
+/// Baseline-JSON key carrying how many timed samples produced a bench's
+/// median/min. A min taken over one or two samples is not a statistic —
+/// gating against it institutionalizes a fluke — so baselines that carry
+/// the key with a value below [`MIN_BASELINE_SAMPLES`] are rejected on
+/// load. Baselines from before this key existed pass unchanged.
+fn samples_key(bench: &str) -> String {
+    format!("{bench}::samples")
+}
+
+/// The fewest samples a saved baseline statistic may summarize.
+const MIN_BASELINE_SAMPLES: usize = 3;
+
+/// Validates a loaded baseline's sample counts; `Err` names the offender.
+fn validate_baseline(map: &std::collections::BTreeMap<String, f64>) -> Result<(), String> {
+    for (key, &v) in map {
+        if let Some(bench) = key.strip_suffix("::samples") {
+            if v < MIN_BASELINE_SAMPLES as f64 {
+                return Err(format!(
+                    "baseline entry {bench:?} was saved from {v} sample(s); \
+                     at least {MIN_BASELINE_SAMPLES} required"
+                ));
+            }
+        }
+    }
+    Ok(())
 }
 
 /// The gate's comparison choice for one bench — the single definition used
@@ -197,6 +229,7 @@ fn save_results(results: &[(String, Sample)], path: &PathBuf) {
     for (bench, sample) in results {
         map.insert(bench.clone(), sample.median);
         map.insert(min_key(bench), sample.min);
+        map.insert(samples_key(bench), sample.samples as f64);
     }
     write_baseline(path, &map);
 }
@@ -287,7 +320,13 @@ impl Criterion {
         }
         if let Some(name) = &self.baseline_name {
             match read_baseline(&baseline_path(name)) {
-                Some(map) => self.baseline = Some(map),
+                Some(map) => {
+                    if let Err(e) = validate_baseline(&map) {
+                        eprintln!("criterion: {}: {e}", baseline_path(name).display());
+                        std::process::exit(2);
+                    }
+                    self.baseline = Some(map)
+                }
                 None => {
                     eprintln!(
                         "criterion: baseline {:?} not found; run with --save-baseline {name} first",
@@ -511,7 +550,11 @@ fn run_one<F: FnMut(&mut Bencher)>(
         line.push_str(&format!("   min {}", format_time(min).trim_start()));
     }
     // The inline delta is exactly what the gate will compare.
-    let sample = Sample { median: ns, min };
+    let sample = Sample {
+        median: ns,
+        min,
+        samples: bencher.samples.len(),
+    };
     if let Some((kind, base, cur)) = baseline.and_then(|b| gate_comparison(b, name, sample)) {
         if base > 0.0 && cur.is_finite() {
             line.push_str(&format!(
@@ -671,6 +714,7 @@ mod tests {
                 Sample {
                     median: 120.0,
                     min: 100.0,
+                    samples: 10,
                 },
             ),
             (
@@ -678,6 +722,7 @@ mod tests {
                 Sample {
                     median: 3.5,
                     min: 3.25,
+                    samples: 5,
                 },
             ),
         ];
@@ -685,8 +730,10 @@ mod tests {
         let map = read_baseline(&path).expect("baseline written");
         assert_eq!(map["g/point"], 120.0);
         assert_eq!(map["g/point::min"], 100.0);
+        assert_eq!(map["g/point::samples"], 10.0);
         assert_eq!(map["solo"], 3.5);
         assert_eq!(map["solo::min"], 3.25);
+        assert_eq!(map["solo::samples"], 5.0);
         // Merge semantics: a second save updates, never truncates.
         save_results(
             &[(
@@ -694,6 +741,7 @@ mod tests {
                 Sample {
                     median: 110.0,
                     min: 95.0,
+                    samples: 10,
                 },
             )],
             &path,
@@ -714,6 +762,7 @@ mod tests {
         let sample = Sample {
             median: 500.0, // noisy median, 5x the baseline median
             min: 91.0,     // min within ~1% of the baseline min
+            samples: 10,
         };
         // Baseline with a min entry: min vs min, so a fast min passes even
         // when the median regresses.
@@ -733,6 +782,25 @@ mod tests {
         );
         // No overlap at all: nothing to gate.
         assert!(gate_comparison(&baseline, "absent", sample).is_none());
+    }
+
+    #[test]
+    fn baselines_with_too_few_samples_are_rejected() {
+        let mut map = std::collections::BTreeMap::new();
+        map.insert("x".to_string(), 100.0);
+        map.insert(min_key("x"), 90.0);
+        // No ::samples key (a pre-samples baseline): valid.
+        assert!(validate_baseline(&map).is_ok());
+        map.insert(samples_key("x"), 10.0);
+        assert!(validate_baseline(&map).is_ok());
+        map.insert(samples_key("x"), 2.0);
+        let err = validate_baseline(&map).unwrap_err();
+        assert!(
+            err.contains("\"x\"") && err.contains("2 sample(s)"),
+            "{err}"
+        );
+        map.insert(samples_key("x"), MIN_BASELINE_SAMPLES as f64);
+        assert!(validate_baseline(&map).is_ok(), "the floor itself passes");
     }
 
     #[test]
