@@ -7,6 +7,12 @@
 //! through [`crate::evaluate`], and demands bit-exact agreement — any
 //! behavioural drift in the simulator, the algorithms, the RNG streams,
 //! or the genome lowering fails the build with a copy-pasteable report.
+//!
+//! Beyond the replay gate, the corpus is a standing benchmark input: the
+//! `scaling` target replays every entry as serve-path equality rows, and
+//! `fig1`/`demand` append it as a replay-gated worst-case panel table
+//! (each entry re-verified via [`CorpusEntry::verify`] before its row is
+//! computed).
 
 use crate::search::{evaluate, search_topology};
 use dcn_core::algorithms::AlgorithmKind;

@@ -193,6 +193,46 @@ fn fill_batched_vs_unbatched(c: &mut Criterion) {
     group.finish();
 }
 
+/// Specials-density axis: the standard point at α ∈ {4, 10, 40}. The
+/// Theorem-1 period `k_e = ⌈α/ℓ_e⌉` makes α the direct dial on how many
+/// requests take the Theorem-2 specials path (at α = 4 and fat-tree
+/// ℓ ∈ {2, 4}, k_e ∈ {1, 2}: most requests are special), so this group
+/// gates the specials fast path against the criterion baseline exactly
+/// like every other hot-path change: a regression hiding in the rare
+/// path shows up here before it shows up in the α = 10 headline.
+fn serve_specials_density(c: &mut Criterion) {
+    let dm = distances();
+    let requests = zipf_requests();
+    let mut group = c.benchmark_group("batch_alpha_rbma_b12_zipf");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2))
+        .throughput(Throughput::Elements(requests.len() as u64));
+    for alpha in [4u64, 10, 40] {
+        group.bench_with_input(
+            BenchmarkId::new("batched", alpha),
+            &alpha,
+            |bench, &alpha| {
+                bench.iter(|| {
+                    let mut s = AlgorithmKind::Rbma { lazy: true }.build_online(
+                        dm.clone(),
+                        DEGREE,
+                        alpha,
+                        5,
+                    );
+                    let mut acc = BatchOutcome::default();
+                    for chunk in requests.chunks(1024) {
+                        s.serve_batch(chunk, &dm, &mut acc);
+                    }
+                    black_box(acc)
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
 /// Intra-run sharding: one simulation, the bucketing scan spread over an
 /// [`dcn_core::IntraPool`] of 1/2/4 workers (1 = no pool, the sequential
 /// sorted path). Reports are byte-identical at every width — this group
@@ -320,6 +360,7 @@ criterion_group!(
     benches,
     serve_run_batch_sizes,
     serve_inner_batched_vs_unbatched,
+    serve_specials_density,
     serve_intra_widths,
     fill_batched_vs_unbatched,
     bma_recency_upkeep,

@@ -34,10 +34,14 @@
 //! --threads N   work-stealing worker count for job grids (0 = auto, one per
 //!               core — the default). Timing-sensitive serve loops (panel b,
 //!               scaling/sweep rows) stay sequential regardless.
-//! --intra-threads N  intra-run worker count for the scaling target's
-//!               sharded column and its live report-equality assertion
-//!               (0 = auto, one per core; default 2). Reports are
-//!               byte-identical at any value.
+//! --intra-threads N  intra-run worker count: each simulation that serves
+//!               an intra-sharded column (R-BMA's Phase-A charging, BMA's
+//!               bucketed scan in the scaling target, plus the live
+//!               report-equality assertion) shards its own scan this wide
+//!               (0 = auto, one per core; default 2). Per-simulation width
+//!               — composes with --threads, which fans out across
+//!               simulations, so S workers at width W can occupy S × W
+//!               cores. Reports are byte-identical at any value.
 //! --pr N        PR number to record ledger measurements under (ledger only)
 //! --ledger-file PATH  ledger location (default BENCH_LEDGER.json)
 //! --shard I/M   compute only this shard's slice of a table target's rows
@@ -67,8 +71,8 @@
 use dcn_bench::{
     ablation_alpha, ablation_augmentation, ablation_removal, ablation_skew, adversary_search,
     demand_sweep, genomes_to_json, lower_bound_gap, measure_standard_point, run_panel,
-    scaling_sweep, series_to_csv, series_to_markdown, shard, sweep_scaling, telem, FigureSpec,
-    Ledger, Panel, SimpleTable,
+    scaling_sweep, series_to_csv, series_to_markdown, shard, sweep_scaling, telem,
+    worst_case_panel, FigureSpec, Ledger, Panel, SimpleTable,
 };
 use dcn_core::sweep::ShardSpec;
 use std::path::PathBuf;
@@ -334,6 +338,18 @@ fn main() {
                 let spec = if fast { spec.scaled(divisor) } else { spec };
                 let spec = spec.scaled_by(scale_factor);
                 run_figure(&spec, threads, out_dir.as_deref());
+                // Standing worst-case panel: fig1 carries the committed
+                // adversarial corpus rows, so figure runs exercise the
+                // discovered nemesis traces, not only `scaling`.
+                if id == "fig1" {
+                    print_table(
+                        "fig1-worst-case",
+                        worst_case_panel(),
+                        shard_spec,
+                        out_dir.as_deref(),
+                        json_dir.as_deref(),
+                    );
+                }
             }
             id @ ("ablation-alpha"
             | "ablation-augmentation"
@@ -360,6 +376,18 @@ fn main() {
                     out_dir.as_deref(),
                     json_dir.as_deref(),
                 );
+                // The demand target carries the standing worst-case panel
+                // too (unsharded runs only: the panel is not part of the
+                // mergeable per-shard BENCH json).
+                if id == "demand" && shard_spec.is_full() {
+                    print_table(
+                        "demand-worst-case",
+                        worst_case_panel(),
+                        shard_spec,
+                        out_dir.as_deref(),
+                        json_dir.as_deref(),
+                    );
+                }
             }
             "adversary" => {
                 let (table, genomes) = adversary_search(ablation_scale, threads, shard_spec);
@@ -396,13 +424,27 @@ fn main() {
                     .iter()
                     .map(|&l| ((l as f64 * scale_factor).round() as usize).max(1))
                     .collect();
+                let (table, specials_share) =
+                    scaling_sweep(&lens, threads, shard_spec, intra_threads);
                 print_table(
                     "scaling",
-                    scaling_sweep(&lens, threads, shard_spec, intra_threads),
+                    table,
                     shard_spec,
                     out_dir.as_deref(),
                     json_dir.as_deref(),
                 );
+                // Footer: the measured Theorem-1 specials share across the
+                // R-BMA runs (the slow-path density the serve numbers above
+                // are facing), from the `rbma.specials` telemetry counter.
+                match specials_share {
+                    Some(share) => println!(
+                        "[scaling] measured specials share: {:.1}% of R-BMA requests (rbma.specials)",
+                        share * 100.0
+                    ),
+                    None => println!(
+                        "[scaling] measured specials share: n/a (telemetry compiled out)"
+                    ),
+                }
             }
             "ledger" => {
                 let Some(pr) = pr else {

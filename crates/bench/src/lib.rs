@@ -367,6 +367,70 @@ fn best_of_series(spec: &FigureSpec, threads: usize) -> Vec<AveragedSeries> {
     out
 }
 
+/// The standing adversarial worst-case panel seeded into the figure and
+/// demand targets (the PR 6 follow-up in ROADMAP): one row per
+/// committed corpus entry (`crates/adversary/corpus/*.json`). Each
+/// entry is replay-gated first ([`CorpusEntry::verify`] pins its
+/// discovered costs), then the genome trace runs through R-BMA (sorted
+/// batched), BMA and Oblivious on the entry's own topology and (b, α)
+/// — so every figure run exercises the discovered nemesis traces, not
+/// only the `scaling` target.
+///
+/// [`CorpusEntry::verify`]: dcn_adversary::CorpusEntry::verify
+pub fn worst_case_panel() -> SimpleTable {
+    let mut rows = Vec::new();
+    for (name, entry) in dcn_adversary::committed_entries() {
+        entry
+            .verify()
+            .unwrap_or_else(|report| panic!("worst-case panel gate: {report}"));
+        let trace = entry.genome.as_trace();
+        let adm = dcn_adversary::search::search_topology(entry.num_racks);
+        let run = |algorithm: &AlgorithmKind| {
+            let config = dcn_core::SimConfig {
+                seed: entry.algo_seed,
+                trace_name: trace.name.clone(),
+                ..Default::default()
+            };
+            let mut scheduler =
+                algorithm.build_online(Arc::clone(&adm), entry.b, entry.alpha, entry.algo_seed);
+            dcn_core::run(
+                scheduler.as_mut(),
+                &adm,
+                entry.alpha,
+                &trace.requests,
+                &config,
+            )
+        };
+        let rbma = run(&AlgorithmKind::Rbma { lazy: true });
+        let bma = run(&AlgorithmKind::Bma);
+        let oblivious = run(&AlgorithmKind::Oblivious);
+        rows.push((
+            format!(
+                "worst-case {name} (n={}, b={}, α={})",
+                entry.num_racks, entry.b, entry.alpha
+            ),
+            vec![
+                rbma.total.total_cost() as f64,
+                bma.total.total_cost() as f64,
+                oblivious.total.routing_cost as f64,
+                entry.ratio,
+            ],
+        ));
+    }
+    SimpleTable {
+        title: "Adversarial worst-case panel: committed corpus genomes, replay-gated \
+                (pinned ratio = discovered cost vs SO-BMA)"
+            .into(),
+        columns: vec![
+            "R-BMA total".into(),
+            "BMA total".into(),
+            "Oblivious routing".into(),
+            "pinned cost ratio".into(),
+        ],
+        rows,
+    }
+}
+
 /// The `scaling` target: online algorithms over streamed workloads of
 /// growing length (default 10⁵ → 10⁷ requests) at constant trace memory —
 /// the beyond-paper scenario the streaming pipeline exists for. Returns one
@@ -412,13 +476,28 @@ fn best_of_series(spec: &FigureSpec, threads: usize) -> Vec<AveragedSeries> {
 ///   exercise the serve paths in the live table, not only in tests.
 ///   Corpus rows shard by continued index (`lens.len() + i`).
 ///
+/// PR 9 additions:
+///
+/// * **BMA joins the sharded world.** Every row also runs BMA through
+///   its intra-sharded bucketed pass (`intra_threads` workers over the
+///   preprocessing scan) and asserts the full report identical to the
+///   fused loop — `--intra-threads` is no longer an R-BMA-only flag;
+///   the BMA intra throughput is a column.
+/// * **Measured specials share.** The runs meter into a local
+///   telemetry sink (merged into the process-global one afterwards, so
+///   `--telemetry` artifacts stay whole); the second return value is
+///   the observed `rbma.specials` share of all R-BMA requests served —
+///   `None` when the telemetry layer is compiled out
+///   (`--cfg dcn_telemetry_off`). The caller prints it as the target
+///   footer.
+///
 /// [`CorpusEntry::verify`]: dcn_adversary::CorpusEntry::verify
 pub fn scaling_sweep(
     lens: &[usize],
     threads: usize,
     shard: ShardSpec,
     intra_threads: usize,
-) -> SimpleTable {
+) -> (SimpleTable, Option<f64>) {
     use dcn_core::ServeMode;
     let racks = 100;
     let b = 12;
@@ -430,10 +509,15 @@ pub fn scaling_sweep(
         &net,
         resolve_threads(threads),
     ));
+    // Local metering sink: the measured runs flush here first so the
+    // footer can report the observed specials share; the snapshot merges
+    // into the process-global sink at the end (a no-op when none is
+    // installed), keeping `--telemetry` artifacts whole.
+    let specials_sink = dcn_telemetry::Telemetry::enabled();
     let run_streamed =
         |spec: &TraceSpec, algorithm: &AlgorithmKind, batch_size: usize, mode, intra_w| {
             let mut source = spec.source();
-            let config = dcn_core::SimConfig {
+            let mut config = dcn_core::SimConfig {
                 seed: 7,
                 trace_name: spec.name(),
                 ..Default::default()
@@ -441,6 +525,7 @@ pub fn scaling_sweep(
             .with_batch_size(batch_size)
             .with_serve_mode(mode)
             .with_intra_threads(intra_w);
+            config.telemetry = specials_sink.clone();
             let mut scheduler = algorithm.build_online(Arc::clone(&dm), b, alpha, 7);
             dcn_core::run(scheduler.as_mut(), &dm, alpha, source.as_mut(), &config)
         };
@@ -466,6 +551,9 @@ pub fn scaling_sweep(
     };
     let batched = dcn_core::simulator::DEFAULT_BATCH_SIZE;
     let mut rows = Vec::new();
+    // Denominator of the footer's specials share: every R-BMA run's
+    // requests (all four serve paths bump `rbma.specials` identically).
+    let mut rbma_requests = 0u64;
     for (i, &len) in lens.iter().enumerate() {
         if !shard.owns(i) {
             continue;
@@ -489,6 +577,14 @@ pub fn scaling_sweep(
         let rbma_unsorted = run_streamed(&spec, &rbma_kind, batched, ServeMode::Unsorted, 1);
         let rbma_unbatched = run_streamed(&spec, &rbma_kind, 1, ServeMode::Unsorted, 1);
         let rbma_sharded = run_streamed(&spec, &rbma_kind, batched, ServeMode::Sorted, intra);
+        let bma_sharded = run_streamed(
+            &spec,
+            &AlgorithmKind::Bma,
+            batched,
+            ServeMode::Sorted,
+            intra,
+        );
+        rbma_requests += rbma.total.requests * 4;
         // Flat-LRU BMA vs the BTreeMap reference: every seeded report field
         // must match, live in the production target, not only in tests.
         let bma_btree = run_reference_bma(&spec, batched);
@@ -501,6 +597,11 @@ pub fn scaling_sweep(
             &rbma,
             &rbma_sharded,
             &format!("R-BMA sorted vs intra-sharded ({intra} workers)"),
+        );
+        assert_reports_equal(
+            &bma,
+            &bma_sharded,
+            &format!("BMA fused vs intra-sharded bucketed ({intra} workers)"),
         );
         for (batched_report, algorithm) in [
             (&bma, AlgorithmKind::Bma),
@@ -533,6 +634,7 @@ pub fn scaling_sweep(
                 unsorted_tp,
                 fast / unsorted_tp,
                 throughput(&rbma_sharded),
+                throughput(&bma_sharded),
             ],
         ));
     }
@@ -548,7 +650,7 @@ pub fn scaling_sweep(
         let trace = entry.genome.as_trace();
         let adm = dcn_adversary::search::search_topology(entry.num_racks);
         let run_adv = |algorithm: &AlgorithmKind, batch_size: usize, mode, intra_w| {
-            let config = dcn_core::SimConfig {
+            let mut config = dcn_core::SimConfig {
                 seed: entry.algo_seed,
                 trace_name: trace.name.clone(),
                 ..Default::default()
@@ -556,6 +658,7 @@ pub fn scaling_sweep(
             .with_batch_size(batch_size)
             .with_serve_mode(mode)
             .with_intra_threads(intra_w);
+            config.telemetry = specials_sink.clone();
             let mut scheduler =
                 algorithm.build_online(Arc::clone(&adm), entry.b, entry.alpha, entry.algo_seed);
             dcn_core::run(
@@ -573,6 +676,8 @@ pub fn scaling_sweep(
         let rbma_unsorted = run_adv(&rbma_kind, batched, ServeMode::Unsorted, 1);
         let rbma_unbatched = run_adv(&rbma_kind, 1, ServeMode::Unsorted, 1);
         let rbma_sharded = run_adv(&rbma_kind, batched, ServeMode::Sorted, intra);
+        let bma_sharded = run_adv(&AlgorithmKind::Bma, batched, ServeMode::Sorted, intra);
+        rbma_requests += rbma.total.requests * 4;
         let bma_btree = {
             let config = dcn_core::SimConfig {
                 seed: entry.algo_seed,
@@ -588,6 +693,7 @@ pub fn scaling_sweep(
         assert_reports_equal(&rbma, &rbma_unsorted, &ctx);
         assert_reports_equal(&rbma, &rbma_unbatched, &ctx);
         assert_reports_equal(&rbma, &rbma_sharded, &ctx);
+        assert_reports_equal(&bma, &bma_sharded, &ctx);
         assert_reports_equal(&bma, &bma_btree, &ctx);
         let fast = throughput(&rbma);
         let slow = throughput(&rbma_unbatched);
@@ -609,10 +715,18 @@ pub fn scaling_sweep(
                 unsorted_tp,
                 fast / unsorted_tp,
                 throughput(&rbma_sharded),
+                throughput(&bma_sharded),
             ],
         ));
     }
-    SimpleTable {
+    // Merge the metered counters outward, then derive the footer share.
+    let metered = specials_sink.snapshot();
+    dcn_telemetry::global().merge(&metered);
+    let specials_share = metered
+        .counters
+        .get("rbma.specials")
+        .map(|&s| s as f64 / rbma_requests.max(1) as f64);
+    let table = SimpleTable {
         title: format!(
             "Scaling: streamed Zipf(s={exponent}) workloads, {racks} racks, b={b}, α={alpha} \
              (O(1) trace memory; serve batch={batched} vs 1; intra={intra}) \
@@ -631,9 +745,11 @@ pub fn scaling_sweep(
             "R-BMA Mreq/s (unsorted)".into(),
             "sorted speedup".into(),
             format!("R-BMA Mreq/s (intra={intra})"),
+            format!("BMA Mreq/s (intra={intra})"),
         ],
         rows,
-    }
+    };
+    (table, specials_share)
 }
 
 /// Asserts two reports are identical in every deterministic field (all
@@ -940,9 +1056,19 @@ mod tests {
     fn scaling_sweep_runs_streamed() {
         let corpus = dcn_adversary::committed_entries().len();
         assert!(corpus >= 3, "committed corpus should seed the panel");
-        let t = scaling_sweep(&[2_000, 4_000], 1, ShardSpec::full(), 2);
+        let (t, specials_share) = scaling_sweep(&[2_000, 4_000], 1, ShardSpec::full(), 2);
         assert_eq!(t.rows.len(), 2 + corpus);
-        assert_eq!(t.columns.len(), 12);
+        assert_eq!(t.columns.len(), 13);
+        // The footer share is a real measurement when telemetry is
+        // compiled in (the standard point sits near 30% specials; the
+        // corpus rows pull the mix around, so just bound it).
+        #[cfg(not(dcn_telemetry_off))]
+        {
+            let share = specials_share.expect("telemetry compiled in");
+            assert!(share > 0.0 && share < 1.0, "share {share}");
+        }
+        #[cfg(dcn_telemetry_off)]
+        assert!(specials_share.is_none());
         for (label, v) in &t.rows {
             // Online totals are bounded by the oblivious upper envelope plus
             // reconfiguration spend; all must be positive.
@@ -955,6 +1081,9 @@ mod tests {
             assert!(v[8].is_finite() && v[8] > 0.0, "{label}: {v:?}");
             assert!(v[9] > 0.0 && v[11] > 0.0, "{label}: {v:?}");
             assert!(v[10].is_finite() && v[10] > 0.0, "{label}: {v:?}");
+            // The BMA intra column is a real measurement too (full report
+            // equality vs the fused loop is asserted inside the sweep).
+            assert!(v[12] > 0.0, "{label}: {v:?}");
         }
         // Twice the requests ⇒ roughly twice the oblivious routing cost.
         let ratio = t.rows[1].1[2] / t.rows[0].1[2];
@@ -967,15 +1096,30 @@ mod tests {
     }
 
     #[test]
+    fn worst_case_panel_rows_are_replay_gated() {
+        let corpus = dcn_adversary::committed_entries().len();
+        let t = worst_case_panel();
+        assert_eq!(t.rows.len(), corpus);
+        assert_eq!(t.columns.len(), 4);
+        for (label, v) in &t.rows {
+            assert!(label.starts_with("worst-case "), "{label}");
+            // Replay-gated totals plus the pinned adversarial ratio
+            // (every committed nemesis beats the SO-BMA baseline).
+            assert!(v[0] > 0.0 && v[1] > 0.0 && v[2] > 0.0, "{label}: {v:?}");
+            assert!(v[3] > 1.0, "{label}: {v:?}");
+        }
+    }
+
+    #[test]
     fn scaling_sweep_shards_partition_the_rows() {
         // Sharded invocations compute exactly their owned rows (lengths and
         // corpus panel alike, by continued original index) with the original
         // per-row seeds: the union of the cost columns equals the unsharded
         // run's (timing columns are wall-clock and excluded).
         let lens = [1_500usize, 2_500, 3_500];
-        let full = scaling_sweep(&lens, 1, ShardSpec::full(), 2);
-        let a = scaling_sweep(&lens, 1, ShardSpec::new(0, 2), 2);
-        let b = scaling_sweep(&lens, 1, ShardSpec::new(1, 2), 2);
+        let full = scaling_sweep(&lens, 1, ShardSpec::full(), 2).0;
+        let a = scaling_sweep(&lens, 1, ShardSpec::new(0, 2), 2).0;
+        let b = scaling_sweep(&lens, 1, ShardSpec::new(1, 2), 2).0;
         let total = full.rows.len();
         assert_eq!(a.rows.len(), total.div_ceil(2));
         assert_eq!(b.rows.len(), total / 2);

@@ -95,6 +95,8 @@ struct BmaStats {
     buys: Counter,
     /// Deterministic LRU evictions.
     evictions: Counter,
+    /// Chunks whose bucketing scan ran sharded across an `IntraPool`.
+    sharded_chunks: Counter,
 }
 
 /// BMA over the flat intrusive LRU — the production instantiation.
@@ -403,6 +405,9 @@ impl<M: RecencyMatching> OnlineScheduler for BmaWith<M> {
         pool: &IntraPool,
         acc: &mut BatchOutcome,
     ) {
+        if pool.width() > 1 {
+            self.stats.sharded_chunks.bump();
+        }
         self.serve_batch_bucketed(batch, dm, acc, Some(pool));
     }
 
@@ -415,6 +420,7 @@ impl<M: RecencyMatching> OnlineScheduler for BmaWith<M> {
         sink.add_counter("bma.lru_splices", self.stats.splices.take());
         sink.add_counter("bma.buys", self.stats.buys.take());
         sink.add_counter("bma.evictions", self.stats.evictions.take());
+        sink.add_counter("bma.sharded_chunks", self.stats.sharded_chunks.take());
     }
 }
 

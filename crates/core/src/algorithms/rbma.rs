@@ -39,8 +39,8 @@
 //! — byte-identical to the unsorted fused loop
 //! ([`OnlineScheduler::serve_batch_unsorted`]), which remains available.
 
-use crate::batch::{PairBuckets, PersistentPairSlab, DENSE_RACK_LIMIT};
-use crate::parallel::IntraPool;
+use crate::batch::{PersistentPairSlab, DENSE_RACK_LIMIT};
+use crate::parallel::{IntraPool, ShardSlice};
 use crate::scheduler::{BatchOutcome, OnlineScheduler, ServeOutcome};
 use dcn_matching::BMatching;
 use dcn_paging::{DenseAccess, DenseMarking};
@@ -48,7 +48,24 @@ use dcn_telemetry::{Counter, Telemetry};
 use dcn_topology::{DistanceMatrix, NodeId, Pair};
 use dcn_util::rngx::derive_seed;
 use dcn_util::{FxHashMap, FxHashSet};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+
+/// Specials share (as a fraction) above which the unpooled `serve_batch`
+/// diverts a chunk to the unsorted fused loop. With the flat stores of
+/// this PR (`matched_set` bitmap probes, `DenseCounters` indexed loads)
+/// the per-request reads the sorted slab pass was built to amortize cost
+/// almost nothing, and measured on the dev container the fused loop is
+/// at par or ahead from ~8% share upward; the cutoff is set just below
+/// the α = 10 standard point (~25–30% specials, which diverts) while
+/// keeping the slab — and its intra-shardable Phase-A scan — the default
+/// in the low-share regime its amortization was designed for. The
+/// intra-pooled entry (`serve_batch_sharded`) never diverts: the fused
+/// loop has nothing to shard.
+const SPECIALS_DENSE_CUTOFF: (u64, u64) = (1, 5);
+
+/// Batched requests observed before the density estimate is trusted.
+const SPECIALS_DISPATCH_WARMUP: u64 = 1024;
 
 /// How evictions from the per-node caches translate to matching removals.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -74,10 +91,9 @@ struct SpecialCounter {
 /// instead of once per request. `matched`/`cost` are patched in place by
 /// the rare special-request slow path when it changes the matching.
 ///
-/// In the default (persistent) serve path this *is* the pair's
-/// authoritative state, carried across chunks in a
-/// [`PersistentPairSlab`]; the intra-sharded path rebuilds a per-chunk
-/// copy from the hash store instead.
+/// In the bucketed (persistent) serve paths — sequential and
+/// intra-sharded alike — this *is* the pair's authoritative state,
+/// carried across chunks in a [`PersistentPairSlab`].
 #[derive(Clone, Copy, Debug, Default)]
 struct RbmaPairState {
     /// Whether the pair is currently a matching edge.
@@ -107,7 +123,7 @@ pub struct Rbma {
     /// Per-pair counter toward the next special request (Theorem 1) —
     /// the authoritative store while `dense` is false (per-request and
     /// unsorted-batched serving, and racks above [`DENSE_RACK_LIMIT`]).
-    counters: FxHashMap<Pair, SpecialCounter>,
+    counters: DenseCounters,
     /// Dense pair-slot store of the default bucketed serve path —
     /// authoritative while `dense` is true. Holds the Theorem-1 counter
     /// *and* the cached `matched`/`cost` view per pair, persistent
@@ -120,10 +136,14 @@ pub struct Rbma {
     /// partner rack ids — a dense universe, hence the flat layout.
     caches: Vec<DenseMarking>,
     matching: BMatching,
-    /// Lazy mode: edges marked for removal but still carried in `M`.
-    marked: FxHashSet<Pair>,
-    /// Reusable chunk-bucketing scratch for the batched serve path.
-    buckets: PairBuckets<RbmaPairState>,
+    /// Mirror of `matching`'s edge set (kept in lockstep by the three
+    /// mutation sites below): turns the per-eviction "is the victim
+    /// edge matched?" test and the per-request entry probes of the
+    /// unbatched paths into one bit test instead of an adjacency scan.
+    matched_set: DensePairSet,
+    /// Lazy mode: edges marked for removal but still carried in `M`
+    /// (dense bitmap at bucketed-path rack counts, hash set beyond).
+    marked: DensePairSet,
     /// Pairs the last [`Rbma::serve_special`] removed from the matching —
     /// the batched pass patches their slab entries.
     removed_scratch: Vec<Pair>,
@@ -132,7 +152,19 @@ pub struct Rbma {
     marked_scratch: Vec<Pair>,
     /// Reusable bitmap over chunk positions marking where special
     /// requests fire (the precomputed schedule of the bucketed pass).
-    special_bits: Vec<u64>,
+    /// Atomic because one 64-position word can span several workers'
+    /// pairs in the sharded charge (`fetch_or` there — OR commutes, so
+    /// the final bitmap is width-independent; plain `get_mut` stores on
+    /// the sequential path).
+    special_bits: Vec<AtomicU64>,
+    /// Per-worker (routing, matched, any-special) partials of the
+    /// sharded Phase-A charge, folded in worker order afterwards.
+    shard_parts: Vec<(AtomicU64, AtomicU64, AtomicU64)>,
+    /// Requests served so far through the batched entry points — the
+    /// denominator of the specials-density dispatch estimate.
+    served_reqs: u64,
+    /// Special requests among them (the numerator).
+    served_specials: u64,
     /// Local event recorders, drained by `telemetry_flush` (only the
     /// rare slow paths pay a bump; ordinary requests record nothing).
     stats: RbmaStats,
@@ -146,6 +178,14 @@ pub struct Rbma {
 struct RbmaStats {
     /// Theorem-1 special requests executed (the Theorem-2 slow path).
     specials: Counter,
+    /// Specials served by the hint-clean fast path (matched, provably
+    /// unmarked ⇒ two mark-only cache hits, no fault/RNG machinery).
+    fast_specials: Counter,
+    /// Chunks whose Phase-A charging ran sharded across an `IntraPool`.
+    sharded_chunks: Counter,
+    /// Chunks `serve_batch` diverted to the unsorted fused loop because
+    /// the observed specials share crossed [`SPECIALS_DENSE_CUTOFF`].
+    unsorted_diverts: Counter,
     /// hash → dense store migrations (bucketed-path entry).
     dense_migrations: Counter,
     /// dense → hash store migrations (per-request/unsorted entry).
@@ -175,18 +215,36 @@ impl Rbma {
             dm,
             alpha,
             mode,
-            counters: FxHashMap::default(),
+            counters: DenseCounters::new(n),
             pslab: PersistentPairSlab::default(),
             dense: false,
             caches,
             matching: BMatching::new(n, b),
-            marked: FxHashSet::default(),
-            buckets: PairBuckets::default(),
+            matched_set: DensePairSet::new(n),
+            marked: DensePairSet::new(n),
             removed_scratch: Vec::new(),
             marked_scratch: Vec::new(),
             special_bits: Vec::new(),
+            shard_parts: Vec::new(),
             stats: RbmaStats::default(),
+            served_reqs: 0,
+            served_specials: 0,
         }
+    }
+
+    /// Whether the observed specials share is past the point where the
+    /// sorted slab pass stops paying off. At high density (small α)
+    /// nearly every request drops into Phase B anyway, so the counting
+    /// scan, CSR fill and closed-form charging are pure overhead and
+    /// the unsorted fused loop wins; the two paths are byte-identical
+    /// (asserted live in `scaling`), so `serve_batch` may pick either
+    /// per chunk. The estimate warms up over the first few chunks
+    /// before it is trusted.
+    #[inline]
+    fn specials_dense(&self) -> bool {
+        self.served_reqs >= SPECIALS_DISPATCH_WARMUP
+            && self.served_specials * SPECIALS_DENSE_CUTOFF.1
+                > self.served_reqs * SPECIALS_DENSE_CUTOFF.0
     }
 
     /// `k_e = ⌈α/ℓ_e⌉` — the special-request period of a pair.
@@ -200,7 +258,7 @@ impl Rbma {
     /// special. The period is computed once per pair and cached.
     #[inline]
     fn bump_counter(&mut self, pair: Pair) -> bool {
-        match self.counters.get_mut(&pair) {
+        match self.counters.get_mut(pair) {
             Some(c) => {
                 c.count += 1;
                 if c.count >= c.k {
@@ -240,8 +298,8 @@ impl Rbma {
         self.stats.dense_migrations.bump();
         let counters = std::mem::take(&mut self.counters);
         let mut pslab = std::mem::take(&mut self.pslab);
-        for (&pair, c) in &counters {
-            let matched = self.matching.contains(pair);
+        for (pair, c) in counters.iter() {
+            let matched = self.matched_set.contains(pair);
             let slot = pslab.slot_for(pair, n, |_| RbmaPairState::default());
             *pslab.state_mut(slot) = RbmaPairState {
                 matched,
@@ -249,7 +307,7 @@ impl Rbma {
                 count: c.count,
                 k: c.k,
                 next_o: 0,
-                maybe_marked: self.marked.contains(&pair),
+                maybe_marked: self.marked.contains(pair),
             };
         }
         self.pslab = pslab;
@@ -298,13 +356,15 @@ impl Rbma {
             let gone = Pair::new(node, evicted_page as NodeId);
             match self.mode {
                 RemovalMode::Strict => {
-                    if self.matching.remove(gone) {
+                    if self.matched_set.remove(gone) {
+                        let present = self.matching.remove(gone);
+                        debug_assert!(present, "matched_set out of sync at {gone}");
                         self.removed_scratch.push(gone);
                         removed += 1;
                     }
                 }
                 RemovalMode::Lazy => {
-                    if self.matching.contains(gone) && self.marked.insert(gone) {
+                    if self.matched_set.contains(gone) && self.marked.insert(gone) {
                         self.marked_scratch.push(gone);
                     }
                 }
@@ -322,10 +382,11 @@ impl Rbma {
                 .incident_edges(node)
                 .iter()
                 .copied()
-                .find(|e| self.marked.contains(e))
+                .find(|&e| self.marked.contains(e))
                 .expect("lazy R-BMA: a full node must carry a marked edge");
             self.matching.remove(victim);
-            self.marked.remove(&victim);
+            self.matched_set.remove(victim);
+            self.marked.remove(victim);
             self.removed_scratch.push(victim);
             removed += 1;
         }
@@ -336,7 +397,7 @@ impl Rbma {
     /// caches, restore the matching invariant. Returns `(added, removed)`;
     /// the removed pairs themselves land in `removed_scratch`.
     fn serve_special(&mut self, pair: Pair) -> (u32, u32) {
-        let matched = self.matching.contains(pair);
+        let matched = self.matched_set.contains(pair);
         self.serve_special_known(pair, matched, true)
     }
 
@@ -353,6 +414,21 @@ impl Rbma {
         self.stats.specials.bump();
         self.removed_scratch.clear();
         self.marked_scratch.clear();
+        if matched && !(maybe_marked && self.marked.contains(pair)) {
+            // Superset invariant: a matched, unmarked pair is cached at
+            // both endpoints (strict mode evicts the edge with the page;
+            // lazy mode marks it), so both touches are pure hits — mark
+            // them directly and skip the fault/eviction machinery and any
+            // RNG traffic.
+            self.stats.fast_specials.bump();
+            let (u, v) = pair.endpoints();
+            let (cu, cv) = two_caches(&mut self.caches, u, v);
+            debug_assert!(cu.probe(v as u64).0 && cv.probe(u as u64).0);
+            cu.mark_cached_hit(v as u64);
+            cv.mark_cached_hit(u as u64);
+            debug_assert!(self.matching.contains(pair));
+            return (0, 0);
+        }
         let (u, v) = pair.endpoints();
         let mut removed = self.touch_cache(u, v);
         removed += self.touch_cache(v, u);
@@ -374,180 +450,15 @@ impl Rbma {
                 removed += self.prune_marked_at(v);
             }
             self.matching.insert(pair);
+            self.matched_set.insert(pair);
             added = 1;
             // An unmatched pair is never marked (marked ⊆ M), so the
             // matched branch's "alive again" unmark has nothing to do.
         } else if maybe_marked {
             // A re-requested edge is alive again.
-            self.marked.remove(&pair);
+            self.marked.remove(pair);
         }
         (added, removed)
-    }
-
-    /// The intra-sharded bucketed batch pass.
-    ///
-    /// Phase A buckets the chunk by pair ([`PairBuckets::bucket`],
-    /// sharded by pair ownership across `pool`) and pays the expensive
-    /// reads — membership probe, `ℓ_e`, counter fetch — once per
-    /// **distinct** pair, then builds the CSR occurrence index
-    /// ([`PairBuckets::build_positions`]).
-    ///
-    /// Phase B never walks the requests. Because a pair's Theorem-1
-    /// counter advances only on its own occurrences, the chunk positions
-    /// of its special requests are a pure function of `(count₀, k_e,
-    /// multiplicity)` — computed up front into a position bitmap. Ordinary
-    /// requests collapse into one multiply-accumulate per distinct pair
-    /// (`m · cost`, `m · matched`); only the specials execute, in original
-    /// request order (mandatory: cache faults draw RNG), each followed by
-    /// exact cost corrections `remaining-occurrences × Δ` for every slab
-    /// entry it flips (the served pair itself and any eviction victims,
-    /// via [`PairBuckets::occurrences_after`]).
-    ///
-    /// Phase C writes the Theorem-1 counters back in closed form
-    /// (`count₀ + m − specials·k`), once per distinct pair.
-    ///
-    /// The unsharded default path ([`Rbma::serve_batch_persistent`])
-    /// runs the same three phases over the *persistent* slab instead,
-    /// which amortizes Phase A's per-pair reads and drops Phase C
-    /// entirely; this per-chunk variant stays because its scan shards
-    /// cleanly (worker-private buckets over frozen state), which the
-    /// always-mutable persistent slab cannot.
-    fn serve_batch_bucketed(
-        &mut self,
-        batch: &[Pair],
-        dm: &DistanceMatrix,
-        acc: &mut BatchOutcome,
-        pool: Option<&IntraPool>,
-    ) {
-        self.ensure_hash();
-        let n = self.dm.num_racks();
-        let mut buckets = std::mem::take(&mut self.buckets);
-        let ok = {
-            let matching = &self.matching;
-            let own_dm = &self.dm;
-            let counters = &self.counters;
-            let alpha = self.alpha;
-            buckets.bucket(
-                batch,
-                n,
-                |pair| {
-                    let matched = matching.contains(pair);
-                    let cost = if matched { 1 } else { dm.ell(pair) as u32 };
-                    // A fresh pair enters as (count=0, k=k_e): its first
-                    // special lands at occurrence k, reproducing
-                    // bump_counter's "special iff k ≤ 1" insert branch.
-                    let (count, k) = match counters.get(&pair) {
-                        Some(c) => (c.count, c.k),
-                        None => {
-                            let ell = own_dm.ell(pair).max(1) as u64;
-                            (0, alpha.div_ceil(ell) as u32)
-                        }
-                    };
-                    RbmaPairState {
-                        matched,
-                        cost,
-                        count,
-                        k,
-                        next_o: 0,
-                        // The per-chunk path always consults the marked
-                        // set itself; the hint is unused there.
-                        maybe_marked: false,
-                    }
-                },
-                pool,
-            )
-        };
-        if !ok {
-            self.buckets = buckets;
-            return self.serve_batch_unsorted(batch, dm, acc);
-        }
-        buckets.build_positions(batch.len());
-        let mut slab = buckets.take_slab();
-
-        // Schedule pre-pass: one multiply-accumulate per distinct pair
-        // plus its special positions, marked in the chunk bitmap.
-        let mut matched_total = 0u64;
-        let mut routing = 0u64;
-        self.special_bits.clear();
-        self.special_bits.resize(batch.len().div_ceil(64), 0);
-        let mut any_special = false;
-        for (j, s) in slab.iter_mut().enumerate() {
-            let m = buckets.counts()[j];
-            matched_total += m as u64 * s.matched as u64;
-            routing += m as u64 * s.cost as u64;
-            let specials = (s.count + m) / s.k;
-            if specials > 0 {
-                any_special = true;
-                let seg = buckets.positions_of(j);
-                s.next_o = s.k - s.count;
-                let mut o = s.next_o;
-                while o <= m {
-                    let p = seg[(o - 1) as usize] as usize;
-                    self.special_bits[p / 64] |= 1 << (p % 64);
-                    o += s.k;
-                }
-            }
-        }
-
-        // Specials, in original request order; everything they flip is
-        // charged back as remaining-occurrences × delta.
-        let mut routing_corr = 0i64;
-        let mut matched_corr = 0i64;
-        if any_special {
-            let bits = std::mem::take(&mut self.special_bits);
-            for (w, &bits_word) in bits.iter().enumerate() {
-                let mut word = bits_word;
-                while word != 0 {
-                    let p = w * 64 + word.trailing_zeros() as usize;
-                    word &= word - 1;
-                    let id = buckets.id_at(p);
-                    let was_matched = slab[id].matched;
-                    let (added, removed) = self.serve_special_known(batch[p], was_matched, true);
-                    acc.added += added as u64;
-                    acc.removed += removed as u64;
-                    if removed > 0 {
-                        let scratch = std::mem::take(&mut self.removed_scratch);
-                        for &victim in &scratch {
-                            if let Some(vid) = buckets.id_of(victim) {
-                                let rem = buckets.occurrences_after(vid, p as u32) as i64;
-                                let v = &mut slab[vid];
-                                let new_cost = dm.ell(victim) as u32;
-                                routing_corr += rem * (new_cost as i64 - v.cost as i64);
-                                matched_corr -= rem * v.matched as i64;
-                                v.matched = false;
-                                v.cost = new_cost;
-                            }
-                        }
-                        self.removed_scratch = scratch;
-                    }
-                    let s = &mut slab[id];
-                    let rem = (buckets.counts()[id] - s.next_o) as i64;
-                    s.next_o += s.k;
-                    routing_corr += rem * (1 - s.cost as i64);
-                    matched_corr += rem * (1 - s.matched as i64);
-                    s.matched = true;
-                    s.cost = 1;
-                }
-            }
-            self.special_bits = bits;
-        }
-        acc.matched += (matched_total as i64 + matched_corr) as u64;
-        acc.routing_cost += (routing as i64 + routing_corr) as u64;
-
-        for (idx, &pair) in buckets.distinct().iter().enumerate() {
-            let s = &slab[idx];
-            let m = buckets.counts()[idx];
-            let specials = (s.count + m) / s.k;
-            self.counters.insert(
-                pair,
-                SpecialCounter {
-                    count: s.count + m - specials * s.k,
-                    k: s.k,
-                },
-            );
-        }
-        buckets.restore_slab(slab);
-        self.buckets = buckets;
     }
 
     /// The persistent bucketed batch pass — the default `serve_batch`.
@@ -569,26 +480,38 @@ impl Rbma {
     /// - **Phase C** disappears: the pre-pass advances each active
     ///   counter in closed form in place; there is nothing to write
     ///   back.
+    ///
+    /// With a `pool` of width > 1, Phase A runs **sharded**: the
+    /// counting scan and CSR fill broadcast inside
+    /// [`PersistentPairSlab::begin_chunk_sharded`], and the charging
+    /// pre-pass broadcasts here — each worker charges the runs of the
+    /// pairs it owns (`pair_id % width`, disjoint slab slots) into
+    /// per-worker (routing, matched) partials that fold deterministically
+    /// in worker order. Only Phase B stays sequential, in original
+    /// request order, so the RNG byte stream is untouched and reports
+    /// remain byte-identical at every width.
     fn serve_batch_persistent(
         &mut self,
         batch: &[Pair],
         dm: &DistanceMatrix,
         acc: &mut BatchOutcome,
+        pool: Option<&IntraPool>,
     ) {
         let n = self.dm.num_racks();
         if n == 0 || n > DENSE_RACK_LIMIT {
             return self.serve_batch_unsorted(batch, dm, acc);
         }
         self.ensure_dense(n, dm);
+        let width = pool.map_or(1, IntraPool::width);
         let mut pslab = std::mem::take(&mut self.pslab);
         {
             let own_dm = &self.dm;
             let alpha = self.alpha;
-            let ok = pslab.begin_chunk(batch, n, |pair| {
-                // First-ever occurrence: the pair was never requested,
-                // hence never matched, and its counter starts at 0 (its
-                // first special lands at occurrence k_e, reproducing
-                // bump_counter's "special iff k ≤ 1" insert branch).
+            // First-ever occurrence: the pair was never requested,
+            // hence never matched, and its counter starts at 0 (its
+            // first special lands at occurrence k_e, reproducing
+            // bump_counter's "special iff k ≤ 1" insert branch).
+            let init = |pair: Pair| {
                 let ell = own_dm.ell(pair).max(1) as u64;
                 RbmaPairState {
                     matched: false,
@@ -599,8 +522,17 @@ impl Rbma {
                     // Never requested ⇒ never matched ⇒ never marked.
                     maybe_marked: false,
                 }
-            });
-            debug_assert!(ok, "n was gated above");
+            };
+            let ok = match pool {
+                Some(pool) if width > 1 => pslab.begin_chunk_sharded(batch, n, init, pool),
+                _ => pslab.begin_chunk(batch, n, init),
+            };
+            if !ok {
+                // n was gated above, so this is the u16 multiplicity
+                // gate: the chunk is longer than 65535 requests.
+                self.pslab = pslab;
+                return self.serve_batch_unsorted(batch, dm, acc);
+            }
         }
         let mut slab = pslab.take_slab();
 
@@ -610,42 +542,121 @@ impl Rbma {
         let mut matched_total = 0u64;
         let mut routing = 0u64;
         self.special_bits.clear();
-        self.special_bits.resize(batch.len().div_ceil(64), 0);
+        self.special_bits
+            .resize_with(batch.len().div_ceil(64), || AtomicU64::new(0));
         let mut any_special = false;
-        for &slot in pslab.active() {
-            let m = pslab.count(slot as usize);
-            let s = &mut slab[slot as usize];
-            matched_total += m as u64 * s.matched as u64;
-            routing += m as u64 * s.cost as u64;
-            let specials = (s.count + m) / s.k;
-            if specials > 0 {
-                any_special = true;
-                let seg = pslab.positions_of(slot as usize);
-                s.next_o = s.k - s.count;
-                let mut o = s.next_o;
-                while o <= m {
-                    let p = seg[(o - 1) as usize] as usize;
-                    self.special_bits[p / 64] |= 1 << (p % 64);
-                    o += s.k;
-                }
+        if let Some(pool) = pool.filter(|p| p.width() > 1) {
+            // Sharded charge: workers walk their own active slots.
+            self.stats.sharded_chunks.bump();
+            while self.shard_parts.len() < width {
+                self.shard_parts.push(Default::default());
             }
-            s.count = s.count + m - specials * s.k;
+            {
+                let parts = &self.shard_parts;
+                let bits = &self.special_bits;
+                let slab_cells = ShardSlice::new(&mut slab[..]);
+                let pslab_ref = &pslab;
+                pool.broadcast(move |w| {
+                    let mut routing_w = 0u64;
+                    let mut matched_w = 0u64;
+                    let mut any_w = false;
+                    for &slot in pslab_ref.active_of(w) {
+                        let slot = slot as usize;
+                        let m = pslab_ref.count(slot);
+                        // SAFETY: `slot`'s pair is owned by worker `w`
+                        // alone, and the broadcast barrier orders this
+                        // write before the caller's next read.
+                        let s = unsafe { slab_cells.get_mut(slot) };
+                        matched_w += m as u64 * s.matched as u64;
+                        routing_w += m as u64 * s.cost as u64;
+                        let specials = (s.count + m) / s.k;
+                        if specials > 0 {
+                            any_w = true;
+                            let seg = pslab_ref.positions_of(slot);
+                            s.next_o = s.k - s.count;
+                            let mut o = s.next_o;
+                            while o <= m {
+                                let p = seg[(o - 1) as usize] as usize;
+                                bits[p / 64].fetch_or(1 << (p % 64), Ordering::Relaxed);
+                                o += s.k;
+                            }
+                        }
+                        s.count = s.count + m - specials * s.k;
+                    }
+                    let (r, mt, any) = &parts[w];
+                    r.store(routing_w, Ordering::Relaxed);
+                    mt.store(matched_w, Ordering::Relaxed);
+                    any.store(any_w as u64, Ordering::Relaxed);
+                });
+            }
+            // Fold the partials in worker order. Integer sums commute,
+            // so the totals equal the sequential pass's bit for bit.
+            for parts in self.shard_parts[..width].iter_mut() {
+                routing += *parts.0.get_mut();
+                matched_total += *parts.1.get_mut();
+                any_special |= *parts.2.get_mut() != 0;
+            }
+        } else {
+            for &slot in pslab.active() {
+                let m = pslab.count(slot as usize);
+                let s = &mut slab[slot as usize];
+                matched_total += m as u64 * s.matched as u64;
+                routing += m as u64 * s.cost as u64;
+                let specials = (s.count + m) / s.k;
+                if specials > 0 {
+                    any_special = true;
+                    let seg = pslab.positions_of(slot as usize);
+                    s.next_o = s.k - s.count;
+                    let mut o = s.next_o;
+                    while o <= m {
+                        let p = seg[(o - 1) as usize] as usize;
+                        *self.special_bits[p / 64].get_mut() |= 1 << (p % 64);
+                        o += s.k;
+                    }
+                }
+                s.count = s.count + m - specials * s.k;
+            }
         }
 
         // Specials, in original request order; everything they flip is
         // charged back as remaining-occurrences × delta.
         let mut routing_corr = 0i64;
         let mut matched_corr = 0i64;
+        let mut specials_in_chunk = 0u64;
         if any_special {
-            let bits = std::mem::take(&mut self.special_bits);
-            for (w, &bits_word) in bits.iter().enumerate() {
-                let mut word = bits_word;
+            let mut bits = std::mem::take(&mut self.special_bits);
+            for (w, bits_word) in bits.iter_mut().enumerate() {
+                let mut word = *bits_word.get_mut();
                 while word != 0 {
                     let p = w * 64 + word.trailing_zeros() as usize;
                     word &= word - 1;
+                    specials_in_chunk += 1;
                     let id = pslab.id_at(p);
                     let was_matched = slab[id].matched;
                     let maybe_marked = slab[id].maybe_marked;
+                    // Hint-clean fast path: a matched pair provably
+                    // absent from the lazy `marked` set sits in both
+                    // endpoint caches (in strict mode M *is* the cache
+                    // intersection; in lazy mode an M-edge outside the
+                    // intersection must be marked — the superset
+                    // invariant). Both accesses are hits: no fault, no
+                    // eviction draw, no matching change — just the
+                    // unmarked→marked move in each cache. Every
+                    // correction term is zero (`cost`/`matched` are
+                    // already 1/true), so the schedule just advances.
+                    if was_matched && !maybe_marked {
+                        self.stats.specials.bump();
+                        self.stats.fast_specials.bump();
+                        let (u, v) = batch[p].endpoints();
+                        debug_assert!(self.matching.contains(batch[p]));
+                        debug_assert!(!self.marked.contains(batch[p]));
+                        let (cu, cv) = two_caches(&mut self.caches, u, v);
+                        debug_assert!(cu.probe(v as u64).0 && cv.probe(u as u64).0);
+                        cu.mark_cached_hit(v as u64);
+                        cv.mark_cached_hit(u as u64);
+                        slab[id].next_o += slab[id].k;
+                        continue;
+                    }
                     let (added, removed) =
                         self.serve_special_known(batch[p], was_matched, maybe_marked);
                     acc.added += added as u64;
@@ -699,6 +710,8 @@ impl Rbma {
         }
         acc.matched += (matched_total as i64 + matched_corr) as u64;
         acc.routing_cost += (routing as i64 + routing_corr) as u64;
+        self.served_reqs += batch.len() as u64;
+        self.served_specials += specials_in_chunk;
 
         pslab.restore_slab(slab);
         self.pslab = pslab;
@@ -721,6 +734,199 @@ impl Rbma {
     }
 }
 
+/// A pair set the specials slow path can probe in one bit test. At
+/// rack counts where the bucketed serve path runs dense
+/// ([`DENSE_RACK_LIMIT`]) it is a flat pair-id bitmap — L1-resident at
+/// paper scale — and only beyond that a hash set. Used for the
+/// lazy-removal `marked` set (hit on every eviction, every prune scan
+/// — up to `b` membership probes per freed slot — and every matched
+/// re-request) and as a mirror of the matching's edge set (so the
+/// per-eviction "is the victim edge matched?" test and the unbatched
+/// entry probe skip [`BMatching`]'s bounded adjacency scan). `len` is
+/// tracked so [`Rbma::marked_count`] stays O(1).
+struct DensePairSet {
+    /// Rack count of the dense id space; 0 = hash representation.
+    n: usize,
+    len: usize,
+    /// Dense representation: bit `lo·n + hi` ⇔ pair marked.
+    bits: Vec<u64>,
+    /// Sparse fallback for rack counts above the dense gate.
+    hash: FxHashSet<Pair>,
+}
+
+impl DensePairSet {
+    fn new(n: usize) -> Self {
+        let dense = n > 0 && n <= DENSE_RACK_LIMIT;
+        Self {
+            n: if dense { n } else { 0 },
+            len: 0,
+            bits: if dense {
+                vec![0; (n * n).div_ceil(64)]
+            } else {
+                Vec::new()
+            },
+            hash: FxHashSet::default(),
+        }
+    }
+
+    #[inline]
+    fn id(&self, pair: Pair) -> usize {
+        pair.lo() as usize * self.n + pair.hi() as usize
+    }
+
+    #[inline]
+    fn contains(&self, pair: Pair) -> bool {
+        if self.n != 0 {
+            let i = self.id(pair);
+            self.bits[i >> 6] >> (i & 63) & 1 != 0
+        } else {
+            self.hash.contains(&pair)
+        }
+    }
+
+    /// Inserts `pair`; returns whether it was newly marked.
+    #[inline]
+    fn insert(&mut self, pair: Pair) -> bool {
+        if self.n != 0 {
+            let i = self.id(pair);
+            let word = &mut self.bits[i >> 6];
+            let bit = 1u64 << (i & 63);
+            let fresh = *word & bit == 0;
+            *word |= bit;
+            self.len += fresh as usize;
+            fresh
+        } else {
+            let fresh = self.hash.insert(pair);
+            self.len += fresh as usize;
+            fresh
+        }
+    }
+
+    /// Removes `pair`; returns whether it was marked.
+    #[inline]
+    fn remove(&mut self, pair: Pair) -> bool {
+        if self.n != 0 {
+            let i = self.id(pair);
+            let word = &mut self.bits[i >> 6];
+            let bit = 1u64 << (i & 63);
+            let was = *word & bit != 0;
+            *word &= !bit;
+            self.len -= was as usize;
+            was
+        } else {
+            let was = self.hash.remove(&pair);
+            self.len -= was as usize;
+            was
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.len
+    }
+}
+
+/// Theorem-1 counter store of the hash-side serve paths (per-request
+/// and unsorted-batched). At bucketed-path rack counts
+/// ([`DENSE_RACK_LIMIT`]) it is a flat pair-id-indexed array mirroring
+/// the persistent slab's dense addressing — `bump_counter` becomes one
+/// indexed load instead of a hash probe, which is most of the
+/// per-request budget on specials-heavy traces — with `k == 0` marking
+/// a never-seen slot (real periods are ≥ 1) and a `seen` list for
+/// O(pairs-seen) iteration and clearing. Beyond the limit it falls
+/// back to a hash map. The flat array (8 B × n², ≤ 8 MiB at the limit)
+/// allocates on first insert, so dense-path-only runs never pay for it.
+#[derive(Default)]
+struct DenseCounters {
+    /// Rack count of the dense id space; 0 = hash representation.
+    n: usize,
+    /// Flat pair-id-indexed slots (`k == 0` ⇒ never seen).
+    slots: Vec<SpecialCounter>,
+    /// Pairs with a live slot, for iteration and clearing.
+    seen: Vec<Pair>,
+    /// Fallback representation above [`DENSE_RACK_LIMIT`].
+    hash: FxHashMap<Pair, SpecialCounter>,
+}
+
+impl DenseCounters {
+    fn new(n: usize) -> Self {
+        if n > 0 && n <= DENSE_RACK_LIMIT {
+            Self {
+                n,
+                ..Self::default()
+            }
+        } else {
+            Self::default()
+        }
+    }
+
+    #[inline]
+    fn id(&self, pair: Pair) -> usize {
+        pair.lo() as usize * self.n + pair.hi() as usize
+    }
+
+    #[inline]
+    fn get_mut(&mut self, pair: Pair) -> Option<&mut SpecialCounter> {
+        if self.n != 0 {
+            let id = self.id(pair);
+            // `get_mut` handles the not-yet-allocated (empty) array too.
+            match self.slots.get_mut(id) {
+                Some(c) if c.k != 0 => Some(c),
+                _ => None,
+            }
+        } else {
+            self.hash.get_mut(&pair)
+        }
+    }
+
+    fn insert(&mut self, pair: Pair, c: SpecialCounter) {
+        debug_assert!(c.k >= 1, "period 0 is the empty-slot sentinel");
+        if self.n != 0 {
+            if self.slots.is_empty() {
+                self.slots = vec![SpecialCounter { count: 0, k: 0 }; self.n * self.n];
+            }
+            let id = self.id(pair);
+            if self.slots[id].k == 0 {
+                self.seen.push(pair);
+            }
+            self.slots[id] = c;
+        } else {
+            self.hash.insert(pair, c);
+        }
+    }
+
+    fn iter(&self) -> impl Iterator<Item = (Pair, SpecialCounter)> + '_ {
+        let dense = self.seen.iter().map(move |&p| (p, self.slots[self.id(p)]));
+        let hash = self.hash.iter().map(|(&p, &c)| (p, c));
+        dense.chain(hash)
+    }
+
+    fn clear(&mut self) {
+        let n = self.n;
+        for &p in &self.seen {
+            self.slots[p.lo() as usize * n + p.hi() as usize].k = 0;
+        }
+        self.seen.clear();
+        self.hash.clear();
+    }
+}
+
+/// Split-borrows the two (distinct) endpoint caches of a pair.
+#[inline]
+fn two_caches(
+    caches: &mut [DenseMarking],
+    u: NodeId,
+    v: NodeId,
+) -> (&mut DenseMarking, &mut DenseMarking) {
+    debug_assert_ne!(u, v);
+    if u < v {
+        let (a, b) = caches.split_at_mut(v as usize);
+        (&mut a[u as usize], &mut b[0])
+    } else {
+        let (a, b) = caches.split_at_mut(u as usize);
+        (&mut b[0], &mut a[v as usize])
+    }
+}
+
 impl OnlineScheduler for Rbma {
     fn name(&self) -> &str {
         "R-BMA"
@@ -732,7 +938,7 @@ impl OnlineScheduler for Rbma {
 
     fn serve(&mut self, pair: Pair) -> ServeOutcome {
         self.ensure_hash();
-        let was_matched = self.matching.contains(pair);
+        let was_matched = self.matched_set.contains(pair);
         if !self.bump_counter(pair) {
             return ServeOutcome {
                 was_matched,
@@ -762,11 +968,13 @@ impl OnlineScheduler for Rbma {
         self.ensure_hash();
         let mut matched = 0u64;
         let mut routing = 0u64;
+        let mut specials = 0u64;
         for &pair in batch {
-            let was_matched = self.matching.contains(pair);
+            let was_matched = self.matched_set.contains(pair);
             matched += was_matched as u64;
             routing += if was_matched { 1 } else { dm.ell(pair) as u64 };
             if self.bump_counter(pair) {
+                specials += 1;
                 let (added, removed) = self.serve_special(pair);
                 acc.added += added as u64;
                 acc.removed += removed as u64;
@@ -774,6 +982,8 @@ impl OnlineScheduler for Rbma {
         }
         acc.matched += matched;
         acc.routing_cost += routing;
+        self.served_reqs += batch.len() as u64;
+        self.served_specials += specials;
     }
 
     /// Bucketed batched serve over the persistent pair slab: the
@@ -781,11 +991,23 @@ impl OnlineScheduler for Rbma {
     /// `Rbma::serve_batch_persistent`); byte-identical to the
     /// unsorted path.
     fn serve_batch(&mut self, batch: &[Pair], dm: &DistanceMatrix, acc: &mut BatchOutcome) {
-        self.serve_batch_persistent(batch, dm, acc);
+        // Density dispatch: above the measured crossover share the
+        // sorted slab pass amortizes less than its scan costs — divert
+        // to the unsorted fused loop, which is byte-identical (the
+        // four-path equality contract asserted live in `scaling`), so
+        // the pick is purely a matter of speed.
+        if self.specials_dense() {
+            self.stats.unsorted_diverts.bump();
+            self.serve_batch_unsorted(batch, dm, acc);
+        } else {
+            self.serve_batch_persistent(batch, dm, acc, None);
+        }
     }
 
-    /// Bucketed batched serve with the preprocessing scan sharded by
-    /// rack-pair ownership across `pool`; byte-identical at any width.
+    /// The persistent pass with the counting scan, CSR fill **and**
+    /// Phase-A charging sharded by rack-pair ownership across `pool`;
+    /// only the specials schedule stays sequential. Byte-identical at
+    /// any width.
     fn serve_batch_sharded(
         &mut self,
         batch: &[Pair],
@@ -793,7 +1015,7 @@ impl OnlineScheduler for Rbma {
         pool: &IntraPool,
         acc: &mut BatchOutcome,
     ) {
-        self.serve_batch_bucketed(batch, dm, acc, Some(pool));
+        self.serve_batch_persistent(batch, dm, acc, Some(pool));
     }
 
     fn matching(&self) -> &BMatching {
@@ -802,6 +1024,9 @@ impl OnlineScheduler for Rbma {
 
     fn telemetry_flush(&mut self, sink: &Telemetry) {
         sink.add_counter("rbma.specials", self.stats.specials.take());
+        sink.add_counter("rbma.fast_specials", self.stats.fast_specials.take());
+        sink.add_counter("rbma.sharded_chunks", self.stats.sharded_chunks.take());
+        sink.add_counter("rbma.unsorted_diverts", self.stats.unsorted_diverts.take());
         sink.add_counter("rbma.dense_migrations", self.stats.dense_migrations.take());
         sink.add_counter("rbma.hash_migrations", self.stats.hash_migrations.take());
         // Cumulative sources: emit deltas against the last flush.
@@ -915,7 +1140,7 @@ mod tests {
                 let in_both = r.cache(e.lo()).contains(e.hi() as u64)
                     && r.cache(e.hi()).contains(e.lo() as u64);
                 assert!(
-                    in_both || r.marked.contains(&e),
+                    in_both || r.marked.contains(e),
                     "unmarked edge {e} outside cache intersection"
                 );
             }

@@ -35,9 +35,9 @@
 //! iterating the previous chunk's distinct pairs (not by refilling n²
 //! slots), and `ids`/`pairs`/`counts`/`slab` keep their capacity.
 
-use crate::parallel::IntraPool;
+use crate::parallel::{IntraPool, ShardSlice};
 use dcn_topology::Pair;
-use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
 use std::sync::Mutex;
 
 /// Above this rack count the dense n²-slot pair map is not worth its
@@ -379,7 +379,10 @@ pub struct PersistentPairSlab<S> {
     tags: Vec<u32>,
     /// Pair-id-indexed "initialized at least once" bitmap — the
     /// ever-seen test must survive the epoch wrap that clears `tags`.
-    ever: Vec<u64>,
+    /// Atomic because one 64-pair word can span several workers'
+    /// ownership classes in the sharded scan (`fetch_or` there,
+    /// plain `get_mut` ops on the sequential path).
+    ever: Vec<AtomicU64>,
     /// Pair-id-indexed CSR start of the current chunk (valid while
     /// active); doubles as the fill cursor during the build. u16 is
     /// enough: offsets are bounded by the 16-bit chunk length.
@@ -392,12 +395,23 @@ pub struct PersistentPairSlab<S> {
     /// Times the 16-bit epoch wrapped (telemetry; a topology reset is
     /// not a wrap).
     wraps: u64,
-    /// Pair ids occurring in the current chunk, first-occurrence order.
+    /// Pair ids occurring in the current chunk, first-occurrence order
+    /// (after a sharded chunk: worker-concatenation order — the
+    /// consumers are order-independent, see [`Self::begin_chunk_sharded`]).
     active: Vec<u32>,
+    /// Worker-boundary prefix offsets into `active` for the last sharded
+    /// chunk (`active[bounds[w]..bounds[w+1]]` = worker `w`'s slots);
+    /// `[0, active.len()]` after a sequential chunk.
+    active_bounds: Vec<u32>,
     /// Request position → pair id, for the current chunk.
     ids: Vec<u32>,
     /// CSR position store (request positions, hence u16 as well).
     positions: Vec<u16>,
+    /// Per-worker first-occurrence staging for the sharded counting scan
+    /// (locked once per worker per broadcast, merged in worker order).
+    worker_active: Vec<Mutex<Vec<u32>>>,
+    /// Per-worker staging of first-*ever* pairs (merged into `seen`).
+    worker_seen: Vec<Mutex<Vec<Pair>>>,
 }
 
 impl<S> Default for PersistentPairSlab<S> {
@@ -413,8 +427,11 @@ impl<S> Default for PersistentPairSlab<S> {
             epoch: 0,
             wraps: 0,
             active: Vec::new(),
+            active_bounds: Vec::new(),
             ids: Vec::new(),
             positions: Vec::new(),
+            worker_active: Vec::new(),
+            worker_seen: Vec::new(),
         }
     }
 }
@@ -440,7 +457,8 @@ impl<S: Default> PersistentPairSlab<S> {
             self.tags.clear();
             self.tags.resize(n * n, 0);
             self.ever.clear();
-            self.ever.resize((n * n).div_ceil(64), 0);
+            self.ever
+                .resize_with((n * n).div_ceil(64), || AtomicU64::new(0));
             self.sstart.clear();
             self.sstart.resize(n * n, 0);
             self.cursors.clear();
@@ -456,10 +474,11 @@ impl<S: Default> PersistentPairSlab<S> {
     pub fn slot_for<F: FnOnce(Pair) -> S>(&mut self, pair: Pair, n: usize, init: F) -> usize {
         self.ensure_topology(n);
         let pid = pair_id(pair, n);
-        if self.ever[pid / 64] & (1 << (pid % 64)) == 0 {
+        let (w, b) = (pid / 64, 1u64 << (pid % 64));
+        if *self.ever[w].get_mut() & b == 0 {
             self.slab[pid] = init(pair);
             self.seen.push(pair);
-            self.ever[pid / 64] |= 1 << (pid % 64);
+            *self.ever[w].get_mut() |= b;
         }
         pid
     }
@@ -499,10 +518,10 @@ impl<S: Default> PersistentPairSlab<S> {
                 self.tags[pid] = tag + 1;
             } else {
                 let (w, b) = (pid / 64, 1u64 << (pid % 64));
-                if self.ever[w] & b == 0 {
+                if *self.ever[w].get_mut() & b == 0 {
                     self.slab[pid] = init(pair);
                     self.seen.push(pair);
-                    self.ever[w] |= b;
+                    *self.ever[w].get_mut() |= b;
                 }
                 self.tags[pid] = epoch_bits | 1;
                 self.active.push(pid as u32);
@@ -526,14 +545,173 @@ impl<S: Default> PersistentPairSlab<S> {
             self.positions[cur as usize] = i as u16;
             self.cursors[pid as usize] = cur + 1;
         }
+        self.active_bounds.clear();
+        self.active_bounds.push(0);
+        self.active_bounds.push(self.active.len() as u32);
+        true
+    }
+
+    /// [`Self::begin_chunk`] with the counting scan and the CSR fill
+    /// broadcast across `pool` under `pair_id % width` ownership: every
+    /// worker walks the whole batch but touches only the tags, slab
+    /// slots and CSR cursors of the pairs it owns (plus the `ids` slot
+    /// of each owned request), so all writes are disjoint; first-ever
+    /// initialization and first-occurrence slots stage per worker and
+    /// merge in worker order. `active` therefore lists this chunk's
+    /// distinct slots in worker-concatenation order rather than global
+    /// first-occurrence order — behavior-neutral, because every consumer
+    /// of `active` is order-independent (commutative accumulation,
+    /// idempotent bitmap stores, per-slot closed-form writes).
+    ///
+    /// Gates and state effects are exactly [`Self::begin_chunk`]'s; a
+    /// width-1 pool degrades to the sequential scan.
+    pub fn begin_chunk_sharded<F>(
+        &mut self,
+        batch: &[Pair],
+        n: usize,
+        init: F,
+        pool: &IntraPool,
+    ) -> bool
+    where
+        S: Send,
+        F: Fn(Pair) -> S + Sync,
+    {
+        let width = pool.width();
+        if width <= 1 {
+            return self.begin_chunk(batch, n, init);
+        }
+        if n == 0 || n > DENSE_RACK_LIMIT || batch.len() > u16::MAX as usize {
+            return false;
+        }
+        self.ensure_topology(n);
+        self.epoch += 1;
+        if self.epoch > 0xFFFF {
+            self.tags.iter_mut().for_each(|t| *t = 0);
+            self.epoch = 1;
+            self.wraps += 1;
+        }
+        let epoch_bits = self.epoch << 16;
+        if self.ids.len() < batch.len() {
+            self.ids.resize(batch.len(), 0);
+        }
+        while self.worker_active.len() < width {
+            self.worker_active.push(Mutex::new(Vec::new()));
+            self.worker_seen.push(Mutex::new(Vec::new()));
+        }
+
+        // Broadcast 1: counting/tag scan. SAFETY (for every ShardSlice
+        // access below): `tags[pid]`/`slab[pid]` are touched only by the
+        // worker owning `pid % width`, and `ids[i]` only by the owner of
+        // request i's pair — all indices in bounds (pid < n², i <
+        // batch.len()); the broadcast barrier orders these writes before
+        // the sequential reads that follow.
+        {
+            let tags = ShardSlice::new(&mut self.tags);
+            let slab = ShardSlice::new(&mut self.slab);
+            let ids = ShardSlice::new(&mut self.ids[..batch.len()]);
+            let ever = &self.ever;
+            let worker_active = &self.worker_active;
+            let worker_seen = &self.worker_seen;
+            let init = &init;
+            pool.broadcast(move |w| {
+                let mut active = worker_active[w].lock().unwrap();
+                let mut seen = worker_seen[w].lock().unwrap();
+                active.clear();
+                seen.clear();
+                for (i, &pair) in batch.iter().enumerate() {
+                    let pid = pair_id(pair, n);
+                    if pid % width != w {
+                        continue;
+                    }
+                    unsafe {
+                        let tag = tags.read(pid);
+                        if tag & !0xFFFF == epoch_bits {
+                            tags.write(pid, tag + 1);
+                        } else {
+                            let (wd, b) = (pid / 64, 1u64 << (pid % 64));
+                            // The `ever` word may span ownership classes:
+                            // the bit itself is owner-exclusive but the
+                            // word is shared, hence the atomic OR.
+                            if ever[wd].load(Ordering::Relaxed) & b == 0 {
+                                slab.write(pid, init(pair));
+                                seen.push(pair);
+                                ever[wd].fetch_or(b, Ordering::Relaxed);
+                            }
+                            tags.write(pid, epoch_bits | 1);
+                            active.push(pid as u32);
+                        }
+                        ids.write(i, pid as u32);
+                    }
+                }
+            });
+        }
+
+        // Merge the per-worker stagings (worker order — deterministic
+        // for a given width) and lay out the CSR offsets sequentially:
+        // O(distinct), off the scan's critical path.
+        self.active.clear();
+        self.active_bounds.clear();
+        self.active_bounds.push(0);
+        for w in 0..width {
+            self.active
+                .extend_from_slice(self.worker_active[w].get_mut().unwrap());
+            self.active_bounds.push(self.active.len() as u32);
+            self.seen
+                .extend_from_slice(self.worker_seen[w].get_mut().unwrap());
+        }
+        let mut off = 0u16;
+        for &pid in &self.active {
+            let pid = pid as usize;
+            self.sstart[pid] = off;
+            self.cursors[pid] = off;
+            off = off.wrapping_add((self.tags[pid] & 0xFFFF) as u16);
+        }
+        self.positions.clear();
+        self.positions.resize(batch.len(), 0);
+
+        // Broadcast 2: CSR position fill. SAFETY: `cursors[pid]` is
+        // owner-exclusive; each `positions` slot lies inside the CSR
+        // region of exactly one pid, hence of exactly one owner; the
+        // barrier again orders writes before the caller's reads.
+        {
+            let ids = &self.ids[..batch.len()];
+            let cursors = ShardSlice::new(&mut self.cursors);
+            let positions = ShardSlice::new(&mut self.positions);
+            pool.broadcast(move |w| {
+                for (i, &pid) in ids.iter().enumerate() {
+                    let pid = pid as usize;
+                    if pid % width != w {
+                        continue;
+                    }
+                    unsafe {
+                        let cur = cursors.read(pid);
+                        positions.write(cur as usize, i as u16);
+                        cursors.write(pid, cur + 1);
+                    }
+                }
+            });
+        }
         true
     }
 
     /// Slots of the current chunk's distinct pairs, first-occurrence
-    /// order.
+    /// order (worker-concatenation order after a sharded chunk).
     #[inline]
     pub fn active(&self) -> &[u32] {
         &self.active
+    }
+
+    /// Worker `w`'s slice of [`Self::active`] for the current chunk —
+    /// the slots whose pairs `w` owns, in `w`'s first-occurrence order.
+    /// After a sequential chunk only worker 0 is populated.
+    #[inline]
+    pub fn active_of(&self, w: usize) -> &[u32] {
+        if w + 1 >= self.active_bounds.len() {
+            return &[];
+        }
+        let lo = self.active_bounds[w] as usize;
+        let hi = self.active_bounds[w + 1] as usize;
+        &self.active[lo..hi]
     }
 
     /// Multiplicity of slot `j` in the current chunk (valid for active
@@ -557,7 +735,7 @@ impl<S: Default> PersistentPairSlab<S> {
     pub fn slot_of(&self, pair: Pair) -> Option<usize> {
         let pid = pair_id(pair, self.n);
         match self.ever.get(pid / 64) {
-            Some(w) if w & (1 << (pid % 64)) != 0 => Some(pid),
+            Some(w) if w.load(Ordering::Relaxed) & (1 << (pid % 64)) != 0 => Some(pid),
             _ => None,
         }
     }

@@ -10,11 +10,16 @@
 //! verification and (for rotor-style schedulers) reconfiguration
 //! boundaries, so those are exactly the barriers.
 //!
-//! Only the **read-only** preprocessing phase of a batch is sharded (see
-//! [`crate::batch::PairBuckets::bucket`]); every state mutation and every
-//! RNG draw stays on the caller thread in original request order. That is
-//! what makes sharded runs byte-identical to sequential ones at any worker
-//! count — the contract `repro_figures scaling` asserts live.
+//! Two batch phases shard: the bucketing/counting **scan** (see
+//! [`crate::batch::PairBuckets::bucket`] and
+//! [`crate::batch::PersistentPairSlab::begin_chunk_sharded`]) and the
+//! closed-form per-pair **charging** pre-pass (R-BMA's Phase A), whose
+//! writes land in disjoint pair-owned slots and whose per-worker
+//! (cost, matched) partials fold deterministically in worker order. Every
+//! RNG draw — the specials schedule, Phase B — stays on the caller thread
+//! in original request order. That is what makes sharded runs
+//! byte-identical to sequential ones at any worker count — the contract
+//! `repro_figures scaling` asserts live.
 //!
 //! The pool is deliberately tiny: `std::sync::{Mutex, Condvar}` (the
 //! vendored `parking_lot` carries no condvar), one generation counter, no
@@ -35,6 +40,73 @@ use std::time::Instant;
 /// calling the closure (see the safety argument there).
 #[derive(Clone, Copy)]
 struct JobRef(&'static (dyn Fn(usize) + Sync));
+
+/// A shared mutable view over `&mut [T]` for [`IntraPool::broadcast`] jobs
+/// whose workers touch provably **disjoint** indices — the `pair_id %
+/// width` ownership discipline of the sharded scan and charging passes.
+///
+/// Raw-pointer accesses sidestep the exclusive-alias rule a `&mut` slice
+/// would impose across workers. Soundness rests on the same two facts as
+/// the pool's lifetime erasure: (1) the ownership discipline maps every
+/// index to exactly one worker, so no two threads ever touch the same
+/// element, and (2) `broadcast` is a full barrier — it does not return
+/// until every worker is done — so all worker writes happen-before the
+/// caller's next read of the slice.
+pub(crate) struct ShardSlice<T> {
+    ptr: *mut T,
+    len: usize,
+}
+
+unsafe impl<T: Send> Send for ShardSlice<T> {}
+unsafe impl<T: Send> Sync for ShardSlice<T> {}
+
+impl<T> ShardSlice<T> {
+    /// Wraps `slice` for the duration of one broadcast; the caller must
+    /// not touch `slice` through any other path until the broadcast
+    /// returns.
+    pub(crate) fn new(slice: &mut [T]) -> Self {
+        ShardSlice {
+            ptr: slice.as_mut_ptr(),
+            len: slice.len(),
+        }
+    }
+
+    /// Reads element `i`.
+    ///
+    /// # Safety
+    /// `i < len`, and no other worker reads or writes index `i` during
+    /// this broadcast.
+    #[inline]
+    pub(crate) unsafe fn read(&self, i: usize) -> T
+    where
+        T: Copy,
+    {
+        debug_assert!(i < self.len);
+        unsafe { *self.ptr.add(i) }
+    }
+
+    /// Overwrites element `i` (dropping the old value).
+    ///
+    /// # Safety
+    /// As for [`Self::read`].
+    #[inline]
+    pub(crate) unsafe fn write(&self, i: usize, v: T) {
+        debug_assert!(i < self.len);
+        unsafe { *self.ptr.add(i) = v };
+    }
+
+    /// Mutable reference to element `i`; must not outlive the broadcast.
+    ///
+    /// # Safety
+    /// As for [`Self::read`], plus: at most one such reference per index
+    /// may be live at a time.
+    #[inline]
+    #[allow(clippy::mut_from_ref)]
+    pub(crate) unsafe fn get_mut(&self, i: usize) -> &mut T {
+        debug_assert!(i < self.len);
+        unsafe { &mut *self.ptr.add(i) }
+    }
+}
 
 struct PoolState {
     job: Option<JobRef>,
@@ -257,6 +329,15 @@ fn worker_loop(shared: &Shared, w: usize) {
 
 /// Resolves an intra-run worker-count knob: `0` = one worker per available
 /// core, anything else is taken literally (`1` = off).
+///
+/// The resolved width is **per simulation**: every sweep job that asks for
+/// a pool gets its own `IntraPool` of this width sharding that run's
+/// bucketing scan, independent of — and composing with — the sweep-level
+/// worker count (`sweep::run_jobs`'s `threads`, `repro_figures --threads`).
+/// Running S sweep workers at intra width W occupies up to `S × W` cores;
+/// both knobs default conservatively (`--intra-threads` defaults to 1, the
+/// sweep count to one worker per core), so over-subscription is always an
+/// explicit choice.
 pub fn resolve_intra(threads: usize) -> usize {
     if threads == 0 {
         std::thread::available_parallelism().map_or(1, |p| p.get())

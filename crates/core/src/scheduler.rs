@@ -119,8 +119,10 @@ pub trait OnlineScheduler {
     /// Serves a batch of requests, accumulating cost components into `acc`.
     ///
     /// The preferred entry point: implementors may preprocess the chunk
-    /// (e.g. bucket it by rack pair, [`crate::batch::PairBuckets`]) as long
-    /// as the accumulated outcome stays identical to
+    /// (e.g. bucket it by rack pair, [`crate::batch::PairBuckets`]) — or
+    /// pick a different internal pass per chunk, as R-BMA's specials-share
+    /// density dispatch does — as long as the accumulated outcome stays
+    /// identical to
     /// [`serve_batch_unsorted`](Self::serve_batch_unsorted) — byte-identical
     /// reports across the two paths are pinned by simulator tests.
     fn serve_batch(&mut self, batch: &[Pair], dm: &DistanceMatrix, acc: &mut BatchOutcome) {

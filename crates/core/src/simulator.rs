@@ -57,8 +57,10 @@ pub const DEFAULT_BATCH_SIZE: usize = 1024;
 /// either way — this tunes the constant, never the result).
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub enum ServeMode {
-    /// [`OnlineScheduler::serve_batch`] — the pair-bucketed path where the
-    /// scheduler has one, the unsorted pass otherwise.
+    /// [`OnlineScheduler::serve_batch`] — the scheduler's preferred batched
+    /// path: pair-bucketed where the scheduler has one (R-BMA dispatches
+    /// per chunk between its persistent slab and its fused loop from the
+    /// observed specials share), the unsorted pass otherwise.
     #[default]
     Sorted,
     /// [`OnlineScheduler::serve_batch_unsorted`] — the straight fused
@@ -88,7 +90,10 @@ pub struct SimConfig {
     /// Intra-run workers sharding each chunk's preprocessing scan by
     /// rack-pair ownership (`1` = off, `0` = one per available core).
     /// Any width produces the identical report. Widths above 1 force the
-    /// sorted path ([`OnlineScheduler::serve_batch_sharded`]).
+    /// sorted path ([`OnlineScheduler::serve_batch_sharded`]). The width
+    /// is **per simulation** and composes with sweep-level fan-out
+    /// ([`crate::sweep::run_jobs`]'s worker count): S sweep workers at
+    /// width W can occupy S × W cores.
     pub intra_threads: usize,
     /// Sink for run telemetry (serve-latency histogram, scheduler event
     /// counters, executor stats). The default picks up the process-global

@@ -23,7 +23,12 @@
 
 use crate::policy::{Access, PageId, PagingPolicy};
 use rand::rngs::SmallRng;
-use rand::{RngExt, SeedableRng};
+use rand::{Rng, SeedableRng};
+
+/// How many raw RNG words one refill pulls into the draw buffer. Small
+/// enough that a cloned cache carries negligible pre-drawn state, large
+/// enough to amortize the generator's state load/store across faults.
+const RNG_BLOCK: usize = 8;
 
 /// Result of one access on the allocation-free path: marking evicts at most
 /// one page per fault, so no `Vec` is needed.
@@ -79,6 +84,21 @@ pub struct DenseMarking {
     /// Bitset: page currently marked (implies cached).
     marked: Vec<u64>,
     rng: SmallRng,
+    /// Precomputed rejection zones for the eviction draw, indexed by span
+    /// (`zones[s]` for `1 ≤ s ≤ capacity`): the largest draw the
+    /// rejection sampler accepts for that span. Hoisting the two modulos
+    /// out of the per-fault hot path changes nothing about which draws
+    /// are accepted — `tests::replays_marking_access_for_access` pins it.
+    zones: Vec<u64>,
+    /// Block-refilled scratch of raw RNG words for the eviction draws
+    /// (the "per-chunk draw buffer" of the specials fast path). Buffering
+    /// only *prefetches* the very words `random_range` would pull one at
+    /// a time, in order, so the byte stream is untouched by construction.
+    /// Note spans of 1 consume **no** word (the sampler early-returns 0),
+    /// exactly as the unbuffered path.
+    words: [u64; RNG_BLOCK],
+    /// Next unconsumed index into `words` (`RNG_BLOCK` = buffer empty).
+    word_pos: usize,
     phases: u64,
 }
 
@@ -87,6 +107,17 @@ impl DenseMarking {
     pub fn new(capacity: usize, num_pages: usize, seed: u64) -> Self {
         assert!(capacity >= 1, "capacity must be positive");
         let words = num_pages.div_ceil(64).max(1);
+        // zones[0] is a pad; zones[1] is never consulted (span-1 draws
+        // return 0 without sampling, mirroring the generic sampler).
+        let zones = (0..=capacity as u64)
+            .map(|s| {
+                if s == 0 {
+                    0
+                } else {
+                    u64::MAX - (u64::MAX - s + 1) % s
+                }
+            })
+            .collect();
         Self {
             capacity,
             num_pages,
@@ -96,6 +127,9 @@ impl DenseMarking {
             cached: vec![0; words],
             marked: vec![0; words],
             rng: SmallRng::seed_from_u64(seed),
+            zones,
+            words: [0; RNG_BLOCK],
+            word_pos: RNG_BLOCK,
             phases: 0,
         }
     }
@@ -126,20 +160,64 @@ impl DenseMarking {
         victim
     }
 
+    /// One indexed pass over both bitsets: `(cached, marked)` for `page`.
+    /// Read-only — callers hoist this ahead of the mutating paths (the
+    /// R-BMA specials fast path probes both endpoints' slots up front).
+    #[inline]
+    pub fn probe(&self, page: PageId) -> (bool, bool) {
+        let i = page as usize;
+        debug_assert!(i < self.num_pages, "page {page} outside dense universe");
+        (bit(&self.cached, i), bit(&self.marked, i))
+    }
+
+    /// The hit half of [`Self::access_dense`] with the cached probe already
+    /// done by the caller: marks `page`, moving it from the unmarked to the
+    /// marked list if needed. `page` **must** be cached.
+    #[inline]
+    pub fn mark_cached_hit(&mut self, page: PageId) {
+        let i = page as usize;
+        debug_assert!(bit(&self.cached, i), "page {page} is not cached");
+        if !bit(&self.marked, i) {
+            let idx = self.slot[i] as usize;
+            Self::swap_remove(&mut self.unmarked_items, &mut self.slot, idx);
+            set_bit(&mut self.marked, i);
+            self.slot[i] = self.marked_items.len() as u32;
+            self.marked_items.push(page);
+        }
+    }
+
+    /// Draws a uniform victim index in `0..len` from the buffered word
+    /// stream — byte-for-byte the words (and rejections) `random_range`
+    /// would consume, with the rejection zone looked up instead of
+    /// recomputed. `len == 1` consumes nothing, as in the generic sampler.
+    #[inline]
+    fn draw_index(&mut self, len: usize) -> usize {
+        if len == 1 {
+            return 0;
+        }
+        let zone = self.zones[len];
+        loop {
+            if self.word_pos == RNG_BLOCK {
+                for w in &mut self.words {
+                    *w = self.rng.next_u64();
+                }
+                self.word_pos = 0;
+            }
+            let draw = self.words[self.word_pos];
+            self.word_pos += 1;
+            if draw <= zone {
+                return (draw % len as u64) as usize;
+            }
+        }
+    }
+
     /// Processes one access without allocating; see [`DenseAccess`].
     #[inline]
     pub fn access_dense(&mut self, page: PageId) -> DenseAccess {
         let i = page as usize;
         debug_assert!(i < self.num_pages, "page {page} outside dense universe");
         if bit(&self.cached, i) {
-            if !bit(&self.marked, i) {
-                // Unmarked hit: move to the marked list.
-                let idx = self.slot[i] as usize;
-                Self::swap_remove(&mut self.unmarked_items, &mut self.slot, idx);
-                set_bit(&mut self.marked, i);
-                self.slot[i] = self.marked_items.len() as u32;
-                self.marked_items.push(page);
-            }
+            self.mark_cached_hit(page);
             return DenseAccess::Hit;
         }
         // Fault.
@@ -155,7 +233,7 @@ impl DenseMarking {
                     clear_bit(&mut self.marked, p as usize);
                 }
             }
-            let idx = self.rng.random_range(0..self.unmarked_items.len());
+            let idx = self.draw_index(self.unmarked_items.len());
             let victim = Self::swap_remove(&mut self.unmarked_items, &mut self.slot, idx);
             clear_bit(&mut self.cached, victim as usize);
             evicted = Some(victim);
@@ -227,6 +305,7 @@ impl PagingPolicy for DenseMarking {
 mod tests {
     use super::*;
     use crate::Marking;
+    use rand::RngExt;
 
     /// The hard contract: DenseMarking replays Marking access for access —
     /// same hits, same faults, same victims, same phase count — because
@@ -254,6 +333,31 @@ mod tests {
                 a.sort_unstable();
                 b.sort_unstable();
                 assert_eq!(a, b);
+            }
+        }
+    }
+
+    #[test]
+    fn probe_and_mark_hit_match_access_on_cached_pages() {
+        // Mixing the hoisted hit path (probe + mark_cached_hit) with full
+        // accesses must leave state and RNG stream identical to always
+        // calling access_dense: hits never draw, so streams cannot diverge.
+        for seed in [2u64, 11] {
+            let universe = 24usize;
+            let mut reference = DenseMarking::new(5, universe, seed);
+            let mut hoisted = DenseMarking::new(5, universe, seed);
+            let mut walk = SmallRng::seed_from_u64(seed ^ 0x5C5C);
+            for _ in 0..3_000u32 {
+                let page = walk.random_range(0..universe as u64);
+                let expected = reference.access_dense(page);
+                let (cached, _) = hoisted.probe(page);
+                if cached {
+                    hoisted.mark_cached_hit(page);
+                    assert_eq!(expected, DenseAccess::Hit);
+                } else {
+                    assert_eq!(hoisted.access_dense(page), expected);
+                }
+                assert_eq!(hoisted.cached_pages(), reference.cached_pages());
             }
         }
     }

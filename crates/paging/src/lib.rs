@@ -23,7 +23,10 @@
 //!   ids): flat index-addressed slot tables plus cached/marked bitsets,
 //!   and an allocation-free access path. Draw-for-draw identical to
 //!   [`Marking`] under the same seed (tested), so the two are
-//!   interchangeable without changing simulated costs.
+//!   interchangeable without changing simulated costs. Callers that can
+//!   prove an access is a cached hit (R-BMA's matched-and-unmarked
+//!   specials gate) may take the `mark_cached_hit` entry directly,
+//!   skipping the probe/fault machinery with identical observable state.
 //! * [`Lru`], [`Fifo`], [`Fwf`], [`RandomEvict`], [`Lfu`], [`Clock`] —
 //!   deterministic and randomized baselines.
 //! * [`Belady`] — the offline optimum (farthest-in-future), used as the

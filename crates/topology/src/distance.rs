@@ -37,7 +37,7 @@ impl DistanceMatrix {
 
     /// Computes rack-to-rack distances using up to `threads` worker threads.
     /// Each worker runs the BFS for a contiguous chunk of source racks.
-    /// Falls back to the sequential path below [`PARALLEL_MIN_RACKS`]
+    /// Falls back to the sequential path below `PARALLEL_MIN_RACKS` (128)
     /// sources — and always clamps to the machine's available parallelism —
     /// so this is never slower than [`DistanceMatrix::between_racks`]
     /// (thread spawns would be pure overhead in both cases).

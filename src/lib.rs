@@ -18,6 +18,8 @@
 //! * [`core`] — R-BMA, BMA, SO-BMA, the cost model and the simulator.
 //! * [`adversary`] — coverage-guided adversarial trace search over
 //!   mutation genomes, with a replayable regression corpus.
+//! * [`telemetry`] — zero-overhead counters/gauges/histograms riding the
+//!   hot paths (reports stay byte-identical with the sink on or off).
 //! * [`util`] — hashing, sampling sets, statistics, CSV/JSON.
 //!
 //! # Quickstart
@@ -54,6 +56,7 @@ pub use dcn_core as core;
 pub use dcn_demand as demand;
 pub use dcn_matching as matching;
 pub use dcn_paging as paging;
+pub use dcn_telemetry as telemetry;
 pub use dcn_topology as topology;
 pub use dcn_traces as traces;
 pub use dcn_util as util;
