@@ -356,6 +356,52 @@ fn telemetry_overhead(c: &mut Criterion) {
     group.finish();
 }
 
+/// The failpoint tax at the standard point: the serve loop passes
+/// `sim.chunk` once per chunk. `disarmed` is the production configuration
+/// (one relaxed atomic load per hit site — the ISSUE's zero-overhead
+/// acceptance point); `armed_other` arms an *unrelated* name, paying the
+/// registry lookup on every hit without firing, the worst non-firing case;
+/// `compiled_off` (under `--cfg dcn_failpoints_off`) is the hard floor
+/// with the module compiled to nothing. CI gates `disarmed` against the
+/// shared criterion baseline like every other hot-path change.
+fn failpoint_overhead(c: &mut Criterion) {
+    let dm = distances();
+    let mut group = c.benchmark_group("batch_failpoint_rbma_b12_zipf");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2))
+        .throughput(Throughput::Elements(LEN as u64));
+    let algorithm = AlgorithmKind::Rbma { lazy: true };
+    let points: &[&str] = if dcn_util::failpoint::compiled() {
+        &["disarmed", "armed_other"]
+    } else {
+        &["compiled_off"]
+    };
+    for &point in points {
+        group.bench_function(point, |bench| {
+            if point == "armed_other" {
+                dcn_util::failpoint::arm(
+                    "bench.unrelated",
+                    dcn_util::failpoint::Action::Delay(Duration::ZERO),
+                    dcn_util::failpoint::Trigger::Nth(u64::MAX),
+                );
+            }
+            let config = SimConfig::default().with_batch_size(1024);
+            let mut source = zipf_pair_source(RACKS, LEN, EXPONENT, 5);
+            bench.iter(|| {
+                source.reset();
+                let mut s = algorithm.build_online(dm.clone(), DEGREE, ALPHA, 5);
+                black_box(run(s.as_mut(), &dm, ALPHA, &mut source, &config))
+            });
+            if point == "armed_other" {
+                dcn_util::failpoint::disarm("bench.unrelated");
+            }
+        });
+    }
+    group.finish();
+}
+
 criterion_group!(
     benches,
     serve_run_batch_sizes,
@@ -364,6 +410,7 @@ criterion_group!(
     serve_intra_widths,
     fill_batched_vs_unbatched,
     bma_recency_upkeep,
-    telemetry_overhead
+    telemetry_overhead,
+    failpoint_overhead
 );
 criterion_main!(benches);

@@ -15,7 +15,7 @@ use serde::Serialize;
 use std::sync::Arc;
 
 /// A generic result table (rows × named columns).
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug, Default)]
 pub struct SimpleTable {
     /// Table caption.
     pub title: String,
@@ -23,6 +23,28 @@ pub struct SimpleTable {
     pub columns: Vec<String>,
     /// (row label, one value per column).
     pub rows: Vec<(String, Vec<f64>)>,
+    /// Sparse per-row degradation notes `(row index, status)`, sorted by
+    /// row index — populated when supervised execution quarantined one of
+    /// the jobs behind a row, so partial artifacts degrade *visibly*.
+    pub statuses: Vec<(usize, String)>,
+}
+
+// Hand-written so the `statuses` field is emitted only when non-empty:
+// failure-free artifacts keep their historical bytes (the shard-merge and
+// kill-and-resume identity gates diff artifacts byte-for-byte).
+impl Serialize for SimpleTable {
+    fn serialize<S: serde::Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        use serde::ser::SerializeStruct;
+        let fields = 3 + usize::from(!self.statuses.is_empty());
+        let mut s = serializer.serialize_struct("SimpleTable", fields)?;
+        s.serialize_field("title", &self.title)?;
+        s.serialize_field("columns", &self.columns)?;
+        s.serialize_field("rows", &self.rows)?;
+        if !self.statuses.is_empty() {
+            s.serialize_field("statuses", &self.statuses)?;
+        }
+        s.end()
+    }
 }
 
 impl SimpleTable {
@@ -59,6 +81,13 @@ impl SimpleTable {
                 }
             }
             let _ = writeln!(out);
+        }
+        if !self.statuses.is_empty() {
+            let _ = writeln!(out);
+            for (i, note) in &self.statuses {
+                let label = self.rows.get(*i).map_or("?", |(l, _)| l.as_str());
+                let _ = writeln!(out, "> ⚠ row {label}: {note}");
+            }
         }
         out
     }
@@ -151,6 +180,7 @@ pub fn ablation_alpha(scale: f64, threads: usize, shard: ShardSpec) -> SimpleTab
             "BMA total".into(),
         ],
         rows,
+        statuses: Vec::new(),
     }
 }
 
@@ -200,6 +230,7 @@ pub fn ablation_augmentation(scale: f64, threads: usize, shard: ShardSpec) -> Si
             "ratio".into(),
         ],
         rows,
+        statuses: Vec::new(),
     }
 }
 
@@ -232,6 +263,7 @@ pub fn ablation_skew(scale: f64, threads: usize, shard: ShardSpec) -> SimpleTabl
             .into(),
         columns: vec!["Oblivious".into(), "R-BMA".into(), "reduction".into()],
         rows,
+        statuses: Vec::new(),
     }
 }
 
@@ -273,6 +305,7 @@ pub fn ablation_removal(scale: f64, threads: usize, shard: ShardSpec) -> SimpleT
             "reconfig strict".into(),
         ],
         rows,
+        statuses: Vec::new(),
     }
 }
 
@@ -340,6 +373,7 @@ pub fn lower_bound_gap(scale: f64, threads: usize, shard: ShardSpec) -> SimpleTa
         ),
         columns: vec!["BMA excess".into(), "R-BMA excess".into(), "ratio".into()],
         rows,
+        statuses: Vec::new(),
     }
 }
 

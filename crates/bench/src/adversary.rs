@@ -106,6 +106,7 @@ pub fn adversary_search(
             "algo seed".into(),
         ],
         rows,
+        statuses: Vec::new(),
     };
     (table, entries)
 }

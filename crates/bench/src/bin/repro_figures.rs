@@ -4,7 +4,7 @@
 //! repro_figures [--fast] [--scale F] [--threads N] [--shard I/M]
 //!               [--intra-threads N] [--pr N] [--ledger-file PATH]
 //!               [--out DIR] [--json DIR] [--merge-json DIR]
-//!               [--telemetry DIR] <target>...
+//!               [--telemetry DIR] [--journal FILE] [--resume] <target>...
 //! repro_figures --telemetry-diff A.json B.json
 //!
 //! targets:
@@ -66,15 +66,28 @@
 //! --telemetry-diff A B  run nothing; compare the deterministic projection
 //!               (scheduling-independent counters + histogram observation
 //!               counts) of two TELEM json files, exit 1 on divergence.
+//! --journal FILE  append one JSON line per completed supervised job (the
+//!               demand target) to FILE via atomic write-then-rename. A run
+//!               killed mid-sweep leaves a valid journal behind.
+//! --resume      replay FILE before running: journaled jobs are served from
+//!               their recorded reports (digest-checked), only missing or
+//!               quarantined jobs re-run. The merged artifact is
+//!               byte-identical to an uninterrupted run. Requires --journal.
+//!
+//! The environment variable `DCN_FAILPOINTS` (e.g.
+//! `sweep.job_claim=panic@5`, `sim.chunk=delay:2ms@10%`) arms deterministic
+//! fault-injection points for chaos testing; see `dcn_util::failpoint`.
+//! Schedules replay exactly for a fixed `DCN_FAILPOINTS_SEED`.
 //! ```
 
 use dcn_bench::{
     ablation_alpha, ablation_augmentation, ablation_removal, ablation_skew, adversary_search,
-    demand_sweep, genomes_to_json, lower_bound_gap, measure_standard_point, run_panel,
-    scaling_sweep, series_to_csv, series_to_markdown, shard, sweep_scaling, telem,
-    worst_case_panel, FigureSpec, Ledger, Panel, SimpleTable,
+    demand_sweep_supervised, genomes_to_json, locked_update, lower_bound_gap,
+    measure_standard_point, run_panel, scaling_sweep, series_to_csv, series_to_markdown, shard,
+    sweep_scaling, telem, worst_case_panel, FigureSpec, Panel, SimpleTable,
 };
-use dcn_core::sweep::ShardSpec;
+use dcn_core::sweep::{JobFailure, ShardSpec, Supervisor};
+use serde::Serialize;
 use std::path::PathBuf;
 use std::time::Instant;
 
@@ -173,6 +186,44 @@ fn main() {
         },
         None => ShardSpec::full(),
     };
+    // Chaos harness: DCN_FAILPOINTS arms deterministic fault injection
+    // before any work runs; a malformed spec is a startup error, not a
+    // silently unarmed run.
+    match dcn_util::failpoint::arm_from_env() {
+        Ok(0) => {}
+        Ok(n) => eprintln!("failpoints: {n} armed from DCN_FAILPOINTS"),
+        Err(e) => {
+            eprintln!("DCN_FAILPOINTS: {e}");
+            std::process::exit(2);
+        }
+    }
+    let journal_file: Option<PathBuf> = value_of("--journal").map(PathBuf::from);
+    let resume = args.iter().any(|a| a == "--resume");
+    if resume && journal_file.is_none() {
+        eprintln!("--resume requires --journal FILE (the journal to replay)");
+        std::process::exit(2);
+    }
+    if let Some(path) = &journal_file {
+        if let Some(parent) = path.parent().filter(|p| !p.as_os_str().is_empty()) {
+            std::fs::create_dir_all(parent).expect("create journal directory");
+        }
+        match dcn_core::journal::RunJournal::open(path, resume) {
+            Ok(j) => {
+                if resume {
+                    println!(
+                        "journal: {} completed job(s) will replay from {}",
+                        j.len(),
+                        path.display()
+                    );
+                }
+                dcn_core::journal::install(j);
+            }
+            Err(e) => {
+                eprintln!("--journal {}: {e}", path.display());
+                std::process::exit(2);
+            }
+        }
+    }
     let mut targets: Vec<String> = Vec::new();
     let mut skip_next = false;
     for a in &args {
@@ -191,6 +242,7 @@ fn main() {
             "--pr",
             "--ledger-file",
             "--telemetry",
+            "--journal",
         ]
         .contains(&a.as_str())
         {
@@ -358,17 +410,34 @@ fn main() {
             | "lower-bound"
             | "demand"
             | "sweep") => {
-                let table = match id {
-                    "ablation-alpha" => ablation_alpha(ablation_scale, threads, shard_spec),
-                    "ablation-augmentation" => {
-                        ablation_augmentation(ablation_scale, threads, shard_spec)
+                let (table, failures) = match id {
+                    "ablation-alpha" => {
+                        (ablation_alpha(ablation_scale, threads, shard_spec), vec![])
                     }
-                    "ablation-skew" => ablation_skew(ablation_scale, threads, shard_spec),
-                    "ablation-removal" => ablation_removal(ablation_scale, threads, shard_spec),
-                    "lower-bound" => lower_bound_gap(ablation_scale, threads, shard_spec),
-                    "sweep" => sweep_scaling(ablation_scale, shard_spec),
-                    _ => demand_sweep(ablation_scale, threads, shard_spec),
+                    "ablation-augmentation" => (
+                        ablation_augmentation(ablation_scale, threads, shard_spec),
+                        vec![],
+                    ),
+                    "ablation-skew" => (ablation_skew(ablation_scale, threads, shard_spec), vec![]),
+                    "ablation-removal" => (
+                        ablation_removal(ablation_scale, threads, shard_spec),
+                        vec![],
+                    ),
+                    "lower-bound" => (lower_bound_gap(ablation_scale, threads, shard_spec), vec![]),
+                    "sweep" => (sweep_scaling(ablation_scale, shard_spec), vec![]),
+                    // The demand target runs supervised: per-job retries,
+                    // quarantine instead of abort, and (with --journal)
+                    // resumability.
+                    _ => demand_sweep_supervised(
+                        ablation_scale,
+                        threads,
+                        shard_spec,
+                        &Supervisor::scoped("demand"),
+                    ),
                 };
+                if id == "demand" {
+                    report_quarantines(&failures, json_dir.as_deref());
+                }
                 print_table(
                     id,
                     table,
@@ -451,25 +520,27 @@ fn main() {
                     eprintln!("ledger requires --pr N (the PR to record the measurement under)");
                     std::process::exit(2);
                 };
-                let mut ledger = match std::fs::read_to_string(&ledger_file) {
-                    Ok(text) => match Ledger::from_json(&text) {
-                        Ok(l) => l,
-                        Err(e) => {
-                            eprintln!("{}: {e}", ledger_file.display());
-                            std::process::exit(2);
-                        }
-                    },
-                    // A missing file starts a fresh ledger (first run).
-                    Err(_) => Ledger::default(),
-                };
-                for entry in measure_standard_point(pr) {
+                // Measure outside the lock (minutes of wall clock), then
+                // read-modify-write the file under the advisory lock so
+                // concurrent CI runs serialize instead of losing rows.
+                let entries = measure_standard_point(pr);
+                for entry in &entries {
                     println!(
                         "PR {pr}: {} {} = {:.1} Mreq/s",
                         entry.algorithm, entry.mode, entry.mreq_per_sec
                     );
-                    ledger.upsert(entry);
                 }
-                std::fs::write(&ledger_file, ledger.to_json()).expect("write ledger");
+                let ledger = match locked_update(
+                    &ledger_file,
+                    entries,
+                    std::time::Duration::from_secs(30),
+                ) {
+                    Ok(l) => l,
+                    Err(e) => {
+                        eprintln!("{}: {e}", ledger_file.display());
+                        std::process::exit(2);
+                    }
+                };
                 println!("(wrote {})\n", ledger_file.display());
                 println!("{}", ledger.to_markdown());
             }
@@ -494,6 +565,48 @@ fn main() {
         if let Some(dir) = telemetry_dir.as_deref() {
             export_telemetry(dir, &target, shard_spec);
         }
+    }
+}
+
+/// The machine-readable quarantine report that rides alongside
+/// `BENCH_demand.json`: CI uploads it as an artifact, so a degraded sweep
+/// is diagnosable from the failure rows without rerunning anything.
+struct QuarantineReport<'a> {
+    target: &'a str,
+    failures: &'a [JobFailure],
+}
+
+// Manual impl: the vendored serde_derive does not handle lifetime-generic
+// types.
+impl Serialize for QuarantineReport<'_> {
+    fn serialize<S: serde::Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        use serde::ser::SerializeStruct;
+        let mut s = serializer.serialize_struct("QuarantineReport", 2)?;
+        s.serialize_field("target", &self.target)?;
+        s.serialize_field("failures", &self.failures)?;
+        s.end()
+    }
+}
+
+/// Prints quarantined jobs to stderr and (with `--json`) writes the
+/// structured `QUARANTINE_demand.json` report — always, so a failure-free
+/// run leaves an explicit empty report rather than an absent file.
+fn report_quarantines(failures: &[JobFailure], json_dir: Option<&std::path::Path>) {
+    for f in failures {
+        eprintln!(
+            "quarantined job {} ({}): {} after {} attempt(s): {}",
+            f.index, f.key, f.reason, f.attempts, f.detail
+        );
+    }
+    if let Some(dir) = json_dir {
+        let report = QuarantineReport {
+            target: "demand",
+            failures,
+        };
+        let path = dir.join("QUARANTINE_demand.json");
+        let json = dcn_util::json::to_json_string(&report).expect("quarantine serialization");
+        std::fs::write(&path, json).expect("write quarantine report");
+        println!("(wrote {})\n", path.display());
     }
 }
 

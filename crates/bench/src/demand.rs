@@ -22,7 +22,8 @@
 
 use crate::SimpleTable;
 use dcn_core::algorithms::AlgorithmKind;
-use dcn_core::sweep::{resolve_threads, run_jobs, Job, ShardSpec};
+use dcn_core::sweep::run_jobs_supervised;
+use dcn_core::sweep::{resolve_threads, Job, JobFailure, ShardSpec, Supervisor};
 use dcn_demand::{DemandMatrix, MicrosoftParams};
 use dcn_topology::{builders, DistanceMatrix};
 use dcn_traces::TraceSpec;
@@ -36,6 +37,23 @@ use std::sync::Arc;
 /// computes — the sweep is fully deterministic, so shard artifacts merge
 /// byte-identically into the unsharded table.
 pub fn demand_sweep(scale: f64, threads: usize, shard: ShardSpec) -> SimpleTable {
+    demand_sweep_supervised(scale, threads, shard, &Supervisor::scoped("demand")).0
+}
+
+/// [`demand_sweep`] under supervised execution: each job runs inside the
+/// retry/quarantine envelope of `sup`, and (with a journal installed)
+/// completed jobs replay on `--resume` instead of re-running. When every
+/// job completes, the table is **byte-identical** to the historical
+/// unsupervised artifact; when a job exhausts its retries, the affected
+/// row's dependent cells degrade to NaN (serialized `null`), the row gets
+/// a `statuses` note, and the structured [`JobFailure`] records are
+/// returned for the quarantine report.
+pub fn demand_sweep_supervised(
+    scale: f64,
+    threads: usize,
+    shard: ShardSpec,
+    sup: &Supervisor,
+) -> (SimpleTable, Vec<JobFailure>) {
     assert!(scale > 0.0, "scale factor must be positive");
     let racks = 50;
     let b = 6;
@@ -91,15 +109,27 @@ pub fn demand_sweep(scale: f64, threads: usize, shard: ShardSpec) -> SimpleTable
             }
         }
     }
-    let reports = run_jobs(&dm, &jobs, threads);
+    let outcomes = run_jobs_supervised(&dm, &jobs, threads, sup);
+    let failures: Vec<JobFailure> = outcomes
+        .iter()
+        .filter_map(|o| o.failure().cloned())
+        .collect();
+    let reports: Vec<Option<&dcn_core::RunReport>> = outcomes.iter().map(|o| o.report()).collect();
 
     let mut rows = Vec::new();
+    let mut statuses = Vec::new();
+    let row_jobs = algorithms.len() * reps as usize;
     for (oi, &(_, lambda)) in owned.iter().enumerate() {
         // Mean total routing / total cost per algorithm across repetitions.
+        // A quarantined repetition poisons its algorithm's cells to NaN
+        // rather than silently averaging over fewer samples.
         let mean = |ai: usize, f: &dyn Fn(&dcn_core::RunReport) -> f64| -> f64 {
             let start = (oi * algorithms.len() + ai) * reps as usize;
             let slice = &reports[start..start + reps as usize];
-            slice.iter().map(f).sum::<f64>() / reps as f64
+            if slice.iter().any(|r| r.is_none()) {
+                return f64::NAN;
+            }
+            slice.iter().map(|r| f(r.expect("checked"))).sum::<f64>() / reps as f64
         };
         let da = mean(0, &|r| r.total.routing_cost as f64);
         let hedged = mean(1, &|r| r.total.routing_cost as f64);
@@ -118,8 +148,19 @@ pub fn demand_sweep(scale: f64, threads: usize, shard: ShardSpec) -> SimpleTable
                 1.0 - rbma / oblivious,
             ],
         ));
+        let start = oi * row_jobs;
+        let failed = reports[start..start + row_jobs]
+            .iter()
+            .filter(|r| r.is_none())
+            .count();
+        if failed > 0 {
+            statuses.push((
+                rows.len() - 1,
+                format!("{failed} of {row_jobs} jobs quarantined; affected cells are null"),
+            ));
+        }
     }
-    SimpleTable {
+    let table = SimpleTable {
         title: format!(
             "Demand mis-estimation sweep: static forecast vs drifting traffic \
              (microsoft matrices, {racks} racks, b={b}, α={alpha}, {len} requests, λ = drift)"
@@ -134,7 +175,9 @@ pub fn demand_sweep(scale: f64, threads: usize, shard: ShardSpec) -> SimpleTable
             "R-BMA saving".into(),
         ],
         rows,
-    }
+        statuses,
+    };
+    (table, failures)
 }
 
 #[cfg(test)]

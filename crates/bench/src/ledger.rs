@@ -144,6 +144,35 @@ impl Ledger {
     }
 }
 
+/// Read-modify-write of the ledger at `path` under an advisory file lock:
+/// acquires `<path>.lock` (create-and-rename exclusivity, up to `wait`),
+/// re-reads the file *inside* the critical section, upserts `entries`, and
+/// writes the result atomically. Two concurrent CI runs updating the same
+/// `BENCH_LEDGER.json` therefore serialize instead of interleaving — the
+/// loser of the lock race sees the winner's rows and adds its own, and no
+/// torn or lost update is possible. Returns the merged ledger.
+pub fn locked_update(
+    path: &std::path::Path,
+    entries: Vec<LedgerEntry>,
+    wait: std::time::Duration,
+) -> Result<Ledger, String> {
+    let _lock = dcn_util::fsx::FileLock::acquire(path, wait)?;
+    // Failure injection for the race test: a delay here widens the
+    // critical section; without the lock the interleaving would lose rows.
+    dcn_util::failpoint::hit("ledger.critical");
+    let mut ledger = match std::fs::read_to_string(path) {
+        Ok(text) => Ledger::from_json(&text)?,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ledger::default(),
+        Err(e) => return Err(format!("{}: {e}", path.display())),
+    };
+    for entry in entries {
+        ledger.upsert(entry);
+    }
+    dcn_util::fsx::write_atomic(path, ledger.to_json().as_bytes())
+        .map_err(|e| format!("{}: {e}", path.display()))?;
+    Ok(ledger)
+}
+
 /// Measures the current tree at the standard point and returns this PR's
 /// rows: R-BMA through the sorted/batched, unsorted/batched and
 /// per-request paths, BMA through the default batched path. Strictly

@@ -35,8 +35,8 @@ pub use ablations::{
     SimpleTable,
 };
 pub use adversary::{adversary_search, genomes_to_json};
-pub use demand::demand_sweep;
-pub use ledger::{measure_standard_point, Ledger, LedgerEntry};
+pub use demand::{demand_sweep, demand_sweep_supervised};
+pub use ledger::{locked_update, measure_standard_point, Ledger, LedgerEntry};
 pub use shard::{merge_tables, merged_file_name, shard_file_name};
 
 use dcn_core::algorithms::static_offline::so_bma_series;
@@ -428,6 +428,7 @@ pub fn worst_case_panel() -> SimpleTable {
             "pinned cost ratio".into(),
         ],
         rows,
+        statuses: Vec::new(),
     }
 }
 
@@ -748,6 +749,7 @@ pub fn scaling_sweep(
             format!("BMA Mreq/s (intra={intra})"),
         ],
         rows,
+        statuses: Vec::new(),
     };
     (table, specials_share)
 }
@@ -888,6 +890,7 @@ pub fn sweep_scaling(scale: f64, shard: ShardSpec) -> SimpleTable {
             "efficiency".into(),
         ],
         rows,
+        statuses: Vec::new(),
     }
 }
 

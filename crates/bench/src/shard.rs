@@ -102,18 +102,39 @@ pub fn merge_tables(parts: Vec<(ShardSpec, SimpleTable)>) -> Result<SimpleTable,
             ));
         }
     }
+    // Quarantine notes travel with their rows: local row `r` of shard `i`
+    // sits at grid position `r * count + i` after re-interleaving.
+    let mut statuses = Vec::new();
+    for (i, t) in tables.iter().enumerate() {
+        for (local, note) in &t.statuses {
+            if *local >= t.rows.len() {
+                return Err(format!(
+                    "shard {i}-of-{count} status points at row {local}, \
+                     but the shard has only {} row(s)",
+                    t.rows.len()
+                ));
+            }
+            statuses.push((local * count + i, note.clone()));
+        }
+    }
+    statuses.sort_by(|a, b| a.0.cmp(&b.0));
     Ok(SimpleTable {
         title: reference.title.clone(),
         columns: reference.columns.clone(),
         rows,
+        statuses,
     })
 }
 
 /// Scans `dir` for `target`'s shard files, parses and merges them, and
-/// returns the merged table together with the paths it consumed.
+/// returns the merged table together with the paths it consumed. Every
+/// failure is a structured error naming the offending file (and, for parse
+/// errors, the byte offset) — a corrupt or inconsistent shard set must
+/// never panic or silently drop rows.
 pub fn merge_target_dir(dir: &Path, target: &str) -> Result<(SimpleTable, Vec<PathBuf>), String> {
     let prefix = format!("BENCH_{target}.shard-");
-    let mut parts = Vec::new();
+    let mut parts: Vec<(ShardSpec, SimpleTable)> = Vec::new();
+    let mut names: Vec<String> = Vec::new();
     let mut paths = Vec::new();
     let entries =
         std::fs::read_dir(dir).map_err(|e| format!("cannot read {}: {e}", dir.display()))?;
@@ -133,9 +154,35 @@ pub fn merge_target_dir(dir: &Path, target: &str) -> Result<(SimpleTable, Vec<Pa
         };
         let shard = ShardSpec::parse(&format!("{i}/{m}"))
             .map_err(|e| format!("shard file {name:?}: {e}"))?;
+        // Pre-validate against what is already collected so the error can
+        // name both files involved (merge_tables only sees the tables).
+        if let Some((first, first_name)) = parts
+            .first()
+            .map(|(s, _)| s)
+            .zip(names.first())
+            .filter(|(s, _)| s.count() != shard.count())
+        {
+            return Err(format!(
+                "mixed shard counts: {name:?} is of {} shard(s) but {first_name:?} \
+                 is of {} shard(s)",
+                shard.count(),
+                first.count()
+            ));
+        }
+        if let Some(dup) = parts
+            .iter()
+            .position(|(s, _)| s.index() == shard.index())
+            .map(|p| &names[p])
+        {
+            return Err(format!(
+                "duplicate shard index {}: {name:?} vs {dup:?}",
+                shard.index()
+            ));
+        }
         let text = std::fs::read_to_string(entry.path()).map_err(|e| format!("{name}: {e}"))?;
         let table = parse_table(&text).map_err(|e| format!("{name}: {e}"))?;
         parts.push((shard, table));
+        names.push(name.to_string());
         paths.push(entry.path());
     }
     if parts.is_empty() {
@@ -149,13 +196,19 @@ pub fn merge_target_dir(dir: &Path, target: &str) -> Result<(SimpleTable, Vec<Pa
 }
 
 /// Parses the JSON that [`SimpleTable::to_json`] emits:
-/// `{"title": str, "columns": [str], "rows": [[str, [num]]]}`.
+/// `{"title": str, "columns": [str], "rows": [[str, [num]]],
+/// "statuses"?: [[int, str]]}`.
 ///
 /// This is the one place the workspace parses JSON back (merging shard
 /// artifacts); the grammar is the emitter's, handled exactly — strings
 /// with the emitter's escape set, floats via `str::parse` (lossless
-/// against shortest-round-trip output), no trailing garbage.
+/// against shortest-round-trip output), no trailing garbage, no duplicate
+/// keys. Every error names the byte offset it tripped on, so a corrupt
+/// artifact points straight at the damage.
 pub fn parse_table(text: &str) -> Result<SimpleTable, String> {
+    if let Some(msg) = dcn_util::failpoint::eval("shard.parse") {
+        return Err(msg);
+    }
     let mut p = Parser {
         bytes: text.as_bytes(),
         pos: 0,
@@ -165,17 +218,21 @@ pub fn parse_table(text: &str) -> Result<SimpleTable, String> {
     let mut title = None;
     let mut columns = None;
     let mut rows = None;
+    let mut statuses = None;
     loop {
         p.skip_ws();
+        let key_at = p.pos;
         let key = p.parse_string()?;
         p.skip_ws();
         p.expect(b':')?;
         p.skip_ws();
-        match key.as_str() {
-            "title" => title = Some(p.parse_string()?),
-            "columns" => columns = Some(p.parse_array(|p| p.parse_string())?),
-            "rows" => {
-                rows = Some(p.parse_array(|p| {
+        let dup = match key.as_str() {
+            "title" => title.replace(p.parse_string()?).is_some(),
+            "columns" => columns
+                .replace(p.parse_array(|p| p.parse_string())?)
+                .is_some(),
+            "rows" => rows
+                .replace(p.parse_array(|p| {
                     // One row: ["label", [v, v, ...]]
                     p.expect(b'[')?;
                     p.skip_ws();
@@ -188,24 +245,53 @@ pub fn parse_table(text: &str) -> Result<SimpleTable, String> {
                     p.expect(b']')?;
                     Ok((label, values))
                 })?)
+                .is_some(),
+            "statuses" => statuses
+                .replace(p.parse_array(|p| {
+                    // One note: [row index, "note"]
+                    p.expect(b'[')?;
+                    p.skip_ws();
+                    let index = p.parse_usize()?;
+                    p.skip_ws();
+                    p.expect(b',')?;
+                    p.skip_ws();
+                    let note = p.parse_string()?;
+                    p.skip_ws();
+                    p.expect(b']')?;
+                    Ok((index, note))
+                })?)
+                .is_some(),
+            other => {
+                return Err(format!(
+                    "unexpected key {other:?} at byte {key_at} in table JSON"
+                ))
             }
-            other => return Err(format!("unexpected key {other:?} in table JSON")),
+        };
+        if dup {
+            return Err(format!("duplicate key {key:?} at byte {key_at}"));
         }
         p.skip_ws();
         match p.next()? {
             b',' => continue,
             b'}' => break,
-            c => return Err(format!("expected ',' or '}}', got {:?}", c as char)),
+            c => {
+                return Err(format!(
+                    "expected ',' or '}}' at byte {}, got {:?}",
+                    p.pos - 1,
+                    c as char
+                ))
+            }
         }
     }
     p.skip_ws();
     if p.pos != p.bytes.len() {
-        return Err("trailing data after table JSON".into());
+        return Err(format!("trailing data after table JSON at byte {}", p.pos));
     }
     Ok(SimpleTable {
         title: title.ok_or("table JSON missing \"title\"")?,
         columns: columns.ok_or("table JSON missing \"columns\"")?,
         rows: rows.ok_or("table JSON missing \"rows\"")?,
+        statuses: statuses.unwrap_or_default(),
     })
 }
 
@@ -226,7 +312,10 @@ impl Parser<'_> {
     }
 
     fn next(&mut self) -> Result<u8, String> {
-        let b = *self.bytes.get(self.pos).ok_or("unexpected end of JSON")?;
+        let b = *self
+            .bytes
+            .get(self.pos)
+            .ok_or_else(|| format!("unexpected end of JSON at byte {}", self.pos))?;
         self.pos += 1;
         Ok(b)
     }
@@ -255,7 +344,7 @@ impl Parser<'_> {
             }
             out.push_str(
                 std::str::from_utf8(&self.bytes[start..self.pos])
-                    .map_err(|_| "invalid UTF-8 in JSON string")?,
+                    .map_err(|_| format!("invalid UTF-8 in JSON string at byte {start}"))?,
             );
             match self.next()? {
                 b'"' => return Ok(out),
@@ -269,18 +358,40 @@ impl Parser<'_> {
                     b'u' => {
                         let mut code = 0u32;
                         for _ in 0..4 {
+                            let at = self.pos;
                             let d = (self.next()? as char)
                                 .to_digit(16)
-                                .ok_or("invalid \\u escape")?;
+                                .ok_or(format!("invalid \\u escape at byte {at}"))?;
                             code = code * 16 + d;
                         }
-                        out.push(char::from_u32(code).ok_or("invalid \\u code point")?);
+                        out.push(
+                            char::from_u32(code)
+                                .ok_or(format!("invalid \\u code point at byte {}", self.pos))?,
+                        );
                     }
-                    e => return Err(format!("unsupported escape \\{}", e as char)),
+                    e => {
+                        return Err(format!(
+                            "unsupported escape \\{} at byte {}",
+                            e as char,
+                            self.pos - 1
+                        ))
+                    }
                 },
                 _ => unreachable!("scan stopped on quote or backslash"),
             }
         }
+    }
+
+    /// A non-negative integer (used for `statuses` row indices) — parsed
+    /// exactly, so the round trip back through the emitter is identical.
+    fn parse_usize(&mut self) -> Result<usize, String> {
+        let start = self.pos;
+        while self.bytes.get(self.pos).is_some_and(u8::is_ascii_digit) {
+            self.pos += 1;
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ascii digits");
+        text.parse::<usize>()
+            .map_err(|_| format!("invalid row index {text:?} at byte {start}"))
     }
 
     fn parse_number(&mut self) -> Result<f64, String> {
@@ -320,7 +431,13 @@ impl Parser<'_> {
             match self.next()? {
                 b',' => continue,
                 b']' => return Ok(out),
-                c => return Err(format!("expected ',' or ']', got {:?}", c as char)),
+                c => {
+                    return Err(format!(
+                        "expected ',' or ']' at byte {}, got {:?}",
+                        self.pos - 1,
+                        c as char
+                    ))
+                }
             }
         }
     }
@@ -339,6 +456,7 @@ mod tests {
                 ("row2".into(), vec![-0.5, 1e-9]),
                 ("row3".into(), vec![123456789.0, 0.3333333333333333]),
             ],
+            statuses: Vec::new(),
         }
     }
 
@@ -364,6 +482,97 @@ mod tests {
     }
 
     #[test]
+    fn statuses_survive_the_json_round_trip() {
+        let mut table = sample_table();
+        table.statuses = vec![
+            (0, "2 of 8 jobs quarantined".into()),
+            (2, "degraded".into()),
+        ];
+        let json = table.to_json();
+        assert!(json.contains("\"statuses\""));
+        let back = parse_table(&json).expect("parse");
+        assert_eq!(back.statuses, table.statuses);
+        assert_eq!(back.to_json(), json, "round trip must be byte-identical");
+        // And a failure-free table omits the key entirely (historical bytes).
+        assert!(!sample_table().to_json().contains("statuses"));
+    }
+
+    #[test]
+    fn merge_reindexes_statuses_to_grid_positions() {
+        let full = sample_table();
+        let mut shard0 = SimpleTable {
+            title: full.title.clone(),
+            columns: full.columns.clone(),
+            rows: vec![full.rows[0].clone(), full.rows[2].clone()],
+            statuses: vec![(1, "late".into())],
+        };
+        let shard1 = SimpleTable {
+            title: full.title.clone(),
+            columns: full.columns.clone(),
+            rows: vec![full.rows[1].clone()],
+            statuses: vec![(0, "early".into())],
+        };
+        let merged = merge_tables(vec![
+            (ShardSpec::new(0, 2), shard0.clone()),
+            (ShardSpec::new(1, 2), shard1),
+        ])
+        .expect("merge");
+        // Local row 1 of shard 0 → grid 2; local row 0 of shard 1 → grid 1.
+        assert_eq!(
+            merged.statuses,
+            vec![(1, "early".to_string()), (2, "late".to_string())]
+        );
+        // A status pointing past the shard's rows is a structured error.
+        shard0.statuses = vec![(7, "dangling".into())];
+        let err = merge_tables(vec![(ShardSpec::new(0, 1), shard0)]).unwrap_err();
+        assert!(err.contains("row 7"), "{err}");
+    }
+
+    #[test]
+    fn truncated_artifacts_error_without_panicking() {
+        // Kill-mid-write leaves a prefix: every strict prefix of a valid
+        // artifact must come back as Err (naming a byte offset for the
+        // common "ran out of input" case), never a panic or a silent Ok.
+        let mut table = sample_table();
+        table.statuses = vec![(1, "note".into())];
+        let json = table.to_json();
+        for cut in 0..json.len() {
+            if !json.is_char_boundary(cut) {
+                continue;
+            }
+            let err = parse_table(&json[..cut]).expect_err("prefix must not parse");
+            assert!(!err.is_empty());
+        }
+        assert!(parse_table(&json[..json.len() - 1])
+            .unwrap_err()
+            .contains("byte"));
+    }
+
+    #[test]
+    fn corrupted_bytes_error_or_parse_but_never_panic() {
+        // Single-byte corruption: overwrite each position with a hostile
+        // byte. Many mutants still parse (flipping a digit), some fail —
+        // either way the parser must return, not panic or loop.
+        let json = sample_table().to_json();
+        for evil in [b'{', b'}', b'"', b'\\', b',', b'x', 0xFFu8] {
+            for i in 0..json.len() {
+                let mut bytes = json.clone().into_bytes();
+                bytes[i] = evil;
+                if let Ok(mutant) = String::from_utf8(bytes) {
+                    let _ = parse_table(&mutant);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn duplicate_keys_are_rejected_with_an_offset() {
+        let err = parse_table(r#"{"title": "a", "title": "b"}"#).unwrap_err();
+        assert!(err.contains("duplicate key \"title\""), "{err}");
+        assert!(err.contains("byte 15"), "{err}");
+    }
+
+    #[test]
     fn merge_reassembles_round_robin_rows() {
         let full = sample_table();
         // Shard by row index round-robin, as the table targets do.
@@ -377,6 +586,7 @@ mod tests {
                 .filter(|(r, _)| ShardSpec::new(i, m).owns(*r))
                 .map(|(_, row)| row.clone())
                 .collect(),
+            statuses: Vec::new(),
         };
         for m in 1..=3usize {
             let parts: Vec<_> = (0..m)
@@ -443,6 +653,7 @@ mod tests {
                     .filter(|(r, _)| shard.owns(*r))
                     .map(|(_, row)| row.clone())
                     .collect(),
+                statuses: Vec::new(),
             };
             std::fs::write(dir.join(shard_file_name("demo", shard)), part.to_json())
                 .expect("write shard");
@@ -451,6 +662,31 @@ mod tests {
         assert_eq!(paths.len(), 2);
         assert_eq!(merged.to_json(), full.to_json());
         assert!(merge_target_dir(&dir, "absent").is_err());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn merge_target_dir_names_the_offending_file() {
+        let dir = std::env::temp_dir().join(format!("rdcn-shard-harden-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("tmp dir");
+        let full = sample_table();
+
+        // A truncated shard file: the error must carry the file name and
+        // the byte offset the parser tripped on.
+        let name0 = shard_file_name("mangled", ShardSpec::new(0, 2));
+        let json = full.to_json();
+        std::fs::write(dir.join(&name0), &json[..json.len() / 2]).expect("write");
+        let err = merge_target_dir(&dir, "mangled").unwrap_err();
+        assert!(err.contains(&name0), "{err}");
+        assert!(err.contains("byte"), "{err}");
+
+        // Mixed shard counts: both file names appear in the error.
+        std::fs::write(dir.join(&name0), &json).expect("write");
+        let name1 = shard_file_name("mangled", ShardSpec::new(1, 3));
+        std::fs::write(dir.join(&name1), &json).expect("write");
+        let err = merge_target_dir(&dir, "mangled").unwrap_err();
+        assert!(err.contains("mixed shard counts"), "{err}");
+        assert!(err.contains(&name0) && err.contains(&name1), "{err}");
         let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -1,0 +1,123 @@
+//! Cooperative cancellation for long simulation runs.
+//!
+//! A [`CancelToken`] is a cheap, cloneable flag the supervised sweep
+//! executor hands to [`crate::simulator::run`] through
+//! [`crate::simulator::SimConfig::cancel`]. The simulator polls it once
+//! per serve chunk — never inside the per-request hot loop — so a job
+//! whose wall-clock deadline has passed stops at the next chunk boundary
+//! and returns its partial report instead of being torn down mid-state.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// A cooperative stop signal, optionally carrying a wall-clock deadline.
+///
+/// The default token is *inert*: it holds no allocation and
+/// [`should_stop`](CancelToken::should_stop) is a single `None` check, so
+/// unsupervised runs pay nothing for the hook.
+#[derive(Clone, Debug, Default)]
+pub struct CancelToken(Option<Arc<Inner>>);
+
+#[derive(Debug)]
+struct Inner {
+    cancelled: AtomicBool,
+    deadline: Option<Instant>,
+}
+
+impl CancelToken {
+    /// An inert token that never requests a stop.
+    pub fn none() -> Self {
+        CancelToken(None)
+    }
+
+    /// A token that stops only when [`cancel`](CancelToken::cancel) is called.
+    pub fn manual() -> Self {
+        CancelToken(Some(Arc::new(Inner {
+            cancelled: AtomicBool::new(false),
+            deadline: None,
+        })))
+    }
+
+    /// A token that additionally trips once `timeout` has elapsed from now.
+    pub fn with_deadline(timeout: Duration) -> Self {
+        CancelToken(Some(Arc::new(Inner {
+            cancelled: AtomicBool::new(false),
+            deadline: Some(Instant::now() + timeout),
+        })))
+    }
+
+    /// Requests a stop. No-op on an inert token.
+    pub fn cancel(&self) {
+        if let Some(inner) = &self.0 {
+            inner.cancelled.store(true, Ordering::Relaxed);
+        }
+    }
+
+    /// Whether a stop has been requested (flag only; does not consult the
+    /// clock). After a run, this tells the supervisor whether the report it
+    /// got back is partial.
+    pub fn is_cancelled(&self) -> bool {
+        self.0
+            .as_ref()
+            .is_some_and(|inner| inner.cancelled.load(Ordering::Relaxed))
+    }
+
+    /// Polls the token at a chunk boundary: returns `true` when the run
+    /// should stop, latching the flag if the deadline has passed so
+    /// [`is_cancelled`](CancelToken::is_cancelled) reflects it afterwards.
+    #[inline]
+    pub fn should_stop(&self) -> bool {
+        let Some(inner) = &self.0 else {
+            return false;
+        };
+        if inner.cancelled.load(Ordering::Relaxed) {
+            return true;
+        }
+        if let Some(deadline) = inner.deadline {
+            if Instant::now() >= deadline {
+                inner.cancelled.store(true, Ordering::Relaxed);
+                return true;
+            }
+        }
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inert_token_never_stops() {
+        let t = CancelToken::none();
+        assert!(!t.should_stop());
+        t.cancel();
+        assert!(!t.should_stop());
+        assert!(!t.is_cancelled());
+    }
+
+    #[test]
+    fn manual_cancel_is_seen_by_clones() {
+        let t = CancelToken::manual();
+        let c = t.clone();
+        assert!(!c.should_stop());
+        t.cancel();
+        assert!(c.should_stop());
+        assert!(c.is_cancelled());
+    }
+
+    #[test]
+    fn expired_deadline_latches_the_flag() {
+        let t = CancelToken::with_deadline(Duration::ZERO);
+        assert!(t.should_stop());
+        assert!(t.is_cancelled());
+    }
+
+    #[test]
+    fn future_deadline_does_not_stop() {
+        let t = CancelToken::with_deadline(Duration::from_secs(3600));
+        assert!(!t.should_stop());
+        assert!(!t.is_cancelled());
+    }
+}

@@ -30,6 +30,13 @@
 //!   (algorithm × b × trace-seed × algo-seed) runs across threads; each
 //!   job carries a [`dcn_traces::TraceSpec`] and synthesizes its own
 //!   stream in-place.
+//! * [`cancel`] / [`journal`] / [`sweep::run_jobs_supervised`] — the
+//!   fault-tolerance layer: cooperative per-job deadlines observed at chunk
+//!   boundaries, `catch_unwind` supervision with a deterministic retry
+//!   budget and structured quarantine ([`sweep::JobFailure`]), and a
+//!   resumable completed-job journal ([`journal::RunJournal`]) written with
+//!   atomic rename so kill-and-resume reproduces an uninterrupted run
+//!   byte-for-byte (DESIGN §8).
 //! * Telemetry — the simulator, schedulers and both executors flush event
 //!   counters and log2 latency histograms into a
 //!   [`dcn_telemetry::Telemetry`] handle
@@ -62,6 +69,8 @@
 pub mod algorithms;
 pub mod analysis;
 pub mod batch;
+pub mod cancel;
+pub mod journal;
 pub mod parallel;
 pub mod ratio;
 pub mod report;
@@ -70,9 +79,11 @@ pub mod simulator;
 pub mod sweep;
 
 pub use batch::PairBuckets;
+pub use cancel::CancelToken;
+pub use journal::RunJournal;
 pub use parallel::IntraPool;
 pub use ratio::{cost_ratio_vs_static, RatioOutcome};
 pub use report::{AveragedSeries, Checkpoint, RunReport};
 pub use scheduler::{OnlineScheduler, ServeOutcome};
 pub use simulator::{run, total_served, RequestStream, ServeMode, SimConfig};
-pub use sweep::ShardSpec;
+pub use sweep::{JobFailure, JobOutcome, ShardSpec, Supervisor};

@@ -250,6 +250,7 @@ impl IntraPool {
     }
 
     fn broadcast_inner(&self, f: &(dyn Fn(usize) + Sync)) {
+        dcn_util::failpoint::hit("intra.broadcast");
         if self.width <= 1 {
             f(0);
             return;

@@ -1,5 +1,6 @@
 //! Serializable run reports and cross-seed aggregation.
 
+use dcn_util::json::JsonValue;
 use serde::Serialize;
 
 /// Cumulative state snapshot at a checkpoint (one x-axis point of the
@@ -36,6 +37,27 @@ impl Checkpoint {
             self.matched_requests as f64 / self.requests as f64
         }
     }
+
+    /// Parses a checkpoint from a parsed JSON object (inverse of the
+    /// `Serialize` impl; see [`RunReport::from_json`]).
+    pub fn from_json_value(v: &JsonValue) -> Result<Self, String> {
+        let u = |key: &str| {
+            v.get(key)
+                .and_then(JsonValue::as_u64)
+                .ok_or_else(|| format!("checkpoint field '{key}' missing or not an integer"))
+        };
+        Ok(Checkpoint {
+            requests: u("requests")?,
+            routing_cost: u("routing_cost")?,
+            reconfig_cost: u("reconfig_cost")?,
+            reconfigurations: u("reconfigurations")?,
+            matched_requests: u("matched_requests")?,
+            elapsed_secs: v
+                .get("elapsed_secs")
+                .and_then(JsonValue::as_f64)
+                .ok_or("checkpoint field 'elapsed_secs' missing or not a number")?,
+        })
+    }
 }
 
 /// Full result of one simulation run.
@@ -61,6 +83,51 @@ impl RunReport {
     /// Serializes to a compact JSON string.
     pub fn to_json(&self) -> String {
         dcn_util::json::to_json_string(self).expect("report serialization cannot fail")
+    }
+
+    /// Parses a report back from [`RunReport::to_json`] output.
+    ///
+    /// The round trip is **exact**: integer fields parse as `u64`, and
+    /// `elapsed_secs` survives because the writer emits the shortest
+    /// round-trip decimal for finite floats. `from_json(r.to_json())`
+    /// re-serializes to the identical bytes — the run journal's digest
+    /// check and the `--resume` byte-identity contract both rest on this
+    /// (pinned in tests).
+    pub fn from_json(text: &str) -> Result<Self, String> {
+        Self::from_json_value(&dcn_util::json::parse_json(text)?)
+    }
+
+    /// Parses a report from an already-parsed JSON object.
+    pub fn from_json_value(v: &JsonValue) -> Result<Self, String> {
+        let s = |key: &str| {
+            v.get(key)
+                .and_then(JsonValue::as_str)
+                .map(str::to_string)
+                .ok_or_else(|| format!("report field '{key}' missing or not a string"))
+        };
+        let u = |key: &str| {
+            v.get(key)
+                .and_then(JsonValue::as_u64)
+                .ok_or_else(|| format!("report field '{key}' missing or not an integer"))
+        };
+        let checkpoints = v
+            .get("checkpoints")
+            .and_then(JsonValue::as_array)
+            .ok_or("report field 'checkpoints' missing or not an array")?
+            .iter()
+            .map(Checkpoint::from_json_value)
+            .collect::<Result<Vec<_>, _>>()?;
+        let total =
+            Checkpoint::from_json_value(v.get("total").ok_or("report field 'total' missing")?)?;
+        Ok(RunReport {
+            algorithm: s("algorithm")?,
+            trace: s("trace")?,
+            b: u("b")? as usize,
+            alpha: u("alpha")?,
+            seed: u("seed")?,
+            checkpoints,
+            total,
+        })
     }
 }
 
@@ -163,6 +230,31 @@ mod tests {
         let j = r.to_json();
         assert!(j.contains("\"algorithm\":\"X\""));
         assert!(j.contains("\"routing_cost\":1"));
+    }
+
+    #[test]
+    fn json_round_trip_is_byte_exact() {
+        // The journal contract: parse(to_json) re-serializes identically,
+        // including an "ugly" float elapsed and max-range integers.
+        let mut r = mk_report(&[17, u64::MAX]);
+        r.seed = u64::MAX;
+        r.total.elapsed_secs = 0.1 + 0.2; // 0.30000000000000004
+        r.checkpoints[0].elapsed_secs = 1.0 / 3.0;
+        let j = r.to_json();
+        let back = RunReport::from_json(&j).unwrap();
+        assert_eq!(back.to_json(), j, "round trip must be byte-identical");
+        assert_eq!(back.seed, u64::MAX);
+        assert_eq!(back.checkpoints.len(), 2);
+    }
+
+    #[test]
+    fn from_json_names_the_missing_field() {
+        let err = RunReport::from_json("{\"algorithm\":\"X\"}").unwrap_err();
+        assert!(
+            err.contains("checkpoints"),
+            "error should name the field: {err}"
+        );
+        assert!(RunReport::from_json("not json").is_err());
     }
 
     #[test]

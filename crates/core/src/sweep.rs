@@ -37,15 +37,18 @@
 //! [`run_jobs_sequential`]) for those, as the figure harness does.
 
 use crate::algorithms::AlgorithmKind;
+use crate::cancel::CancelToken;
 use crate::report::RunReport;
 use crate::simulator::{run, SimConfig};
 use dcn_telemetry::{Histogram, Telemetry};
 use dcn_topology::DistanceMatrix;
 use dcn_traces::TraceSpec;
 use parking_lot::Mutex;
+use serde::Serialize;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// One simulation job: an algorithm configuration plus the workload it runs
 /// on.
@@ -204,7 +207,16 @@ pub fn steal_map<T: Send>(n: usize, threads: usize, f: impl Fn(usize) -> T + Syn
     }
     let threads = resolve_threads(threads).min(n);
     if threads <= 1 {
-        return (0..n).map(f).collect();
+        return (0..n)
+            .map(|k| {
+                // The claim site sits *outside* any per-job supervision:
+                // a failpoint panic here kills the whole fan-out, which is
+                // exactly the "process died mid-sweep" scenario the
+                // journal-resume tests and the CI chaos step simulate.
+                dcn_util::failpoint::hit("sweep.job_claim");
+                f(k)
+            })
+            .collect();
     }
     let cursor = AtomicUsize::new(0);
     // One slot per index: workers lock only their own claimed slot, so
@@ -220,6 +232,7 @@ pub fn steal_map<T: Send>(n: usize, threads: usize, f: impl Fn(usize) -> T + Syn
                 if k >= n {
                     break;
                 }
+                dcn_util::failpoint::hit("sweep.job_claim");
                 *slots[k].lock() = Some(f(k));
             });
         }
@@ -252,6 +265,7 @@ fn steal_map_instrumented<T: Send>(
         let t_start = Instant::now();
         let out = (0..n)
             .map(|k| {
+                dcn_util::failpoint::hit("sweep.job_claim");
                 let t0 = Instant::now();
                 let r = f(k);
                 let ns = t0.elapsed().as_nanos() as u64;
@@ -285,6 +299,7 @@ fn steal_map_instrumented<T: Send>(
                     if k >= n {
                         break;
                     }
+                    dcn_util::failpoint::hit("sweep.job_claim");
                     let t0 = Instant::now();
                     let r = f(k);
                     let ns = t0.elapsed().as_nanos() as u64;
@@ -329,9 +344,15 @@ pub fn run_jobs_sequential(dm: &Arc<DistanceMatrix>, jobs: &[Job]) -> Vec<RunRep
 }
 
 fn execute(dm: &Arc<DistanceMatrix>, job: &Job) -> RunReport {
+    execute_with_cancel(dm, job, &CancelToken::none())
+}
+
+fn execute_with_cancel(dm: &Arc<DistanceMatrix>, job: &Job, cancel: &CancelToken) -> RunReport {
+    dcn_util::failpoint::hit("sweep.job_eval");
     let mut config = SimConfig {
         checkpoints: job.checkpoints.clone(),
         seed: job.seed,
+        cancel: cancel.clone(),
         ..SimConfig::default()
     };
     let mut report = if job.algorithm.needs_materialized_trace() {
@@ -358,6 +379,244 @@ fn execute(dm: &Arc<DistanceMatrix>, job: &Job) -> RunReport {
     };
     report.algorithm = job.algorithm.label();
     report
+}
+
+/// Supervision policy for [`run_jobs_supervised`].
+#[derive(Clone, Debug)]
+pub struct Supervisor {
+    /// Journal key namespace, conventionally the `repro_figures` target
+    /// name (`"demand"`). Keys must be stable across runs for `--resume`
+    /// to match completed jobs.
+    pub scope: String,
+    /// Extra attempts after the first failed one (so a job executes at
+    /// most `retries + 1` times).
+    pub retries: u32,
+    /// Backoff before retry `k` (1-based): `backoff_base << (k-1)` —
+    /// deterministic, so injected-failure schedules replay identically.
+    pub backoff_base: Duration,
+    /// Per-attempt wall-clock budget, observed cooperatively at simulator
+    /// chunk boundaries. `None` = no deadline.
+    pub deadline: Option<Duration>,
+}
+
+impl Default for Supervisor {
+    fn default() -> Self {
+        Self {
+            scope: String::new(),
+            retries: 2,
+            backoff_base: Duration::from_millis(10),
+            deadline: None,
+        }
+    }
+}
+
+impl Supervisor {
+    /// A supervisor namespaced under `scope` with the default policy.
+    pub fn scoped(scope: impl Into<String>) -> Self {
+        Self {
+            scope: scope.into(),
+            ..Default::default()
+        }
+    }
+
+    /// A copy with the given retry budget.
+    pub fn with_retries(mut self, retries: u32) -> Self {
+        self.retries = retries;
+        self
+    }
+
+    /// A copy with the given backoff base (use `Duration::ZERO` in tests).
+    pub fn with_backoff(mut self, backoff_base: Duration) -> Self {
+        self.backoff_base = backoff_base;
+        self
+    }
+
+    /// A copy with a per-attempt deadline.
+    pub fn with_deadline(mut self, deadline: Duration) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+}
+
+/// Structured record of a job that exhausted its retry budget.
+#[derive(Clone, Debug, Serialize)]
+pub struct JobFailure {
+    /// Index of the job in the submitted grid.
+    pub index: usize,
+    /// The job's journal key (scope + index + configuration fingerprint).
+    pub key: String,
+    /// `"panic"` or `"deadline"`.
+    pub reason: String,
+    /// Panic payload of the last attempt, or the deadline description.
+    pub detail: String,
+    /// Attempts made (`retries + 1` when quarantined).
+    pub attempts: u32,
+    /// Wall-clock seconds from first attempt to quarantine.
+    pub elapsed_secs: f64,
+}
+
+/// Outcome of one supervised job: a report, or a quarantine record.
+#[derive(Clone, Debug)]
+pub enum JobOutcome {
+    /// The job produced a report (possibly replayed from the journal).
+    Completed(RunReport),
+    /// The job exhausted its retry budget and was quarantined.
+    Quarantined(JobFailure),
+}
+
+impl JobOutcome {
+    /// The report, if the job completed.
+    pub fn report(&self) -> Option<&RunReport> {
+        match self {
+            JobOutcome::Completed(r) => Some(r),
+            JobOutcome::Quarantined(_) => None,
+        }
+    }
+
+    /// The failure record, if the job was quarantined.
+    pub fn failure(&self) -> Option<&JobFailure> {
+        match self {
+            JobOutcome::Completed(_) => None,
+            JobOutcome::Quarantined(f) => Some(f),
+        }
+    }
+}
+
+/// The deterministic journal key for job `index` of a supervised grid:
+/// scope, grid position, and the job's configuration fingerprint. A
+/// resumed run rebuilds the same grid and therefore the same keys; a
+/// *changed* grid changes the fingerprint, so stale journal entries can
+/// never masquerade as the new grid's results.
+pub fn job_key(scope: &str, index: usize, job: &Job) -> String {
+    format!(
+        "{scope}#{index}:{}/b={}/alpha={}/seed={}/{}",
+        job.algorithm.label(),
+        job.b,
+        job.alpha,
+        job.seed,
+        job.trace.name()
+    )
+}
+
+/// [`run_jobs`] with fault tolerance: each job runs under `catch_unwind`
+/// with `supervisor`'s retry budget, deterministic exponential backoff and
+/// optional per-attempt deadline. Jobs that exhaust the budget are
+/// returned as [`JobOutcome::Quarantined`] instead of unwinding the sweep.
+///
+/// When a process-global journal is installed ([`crate::journal::install`])
+/// completed jobs are recorded as they finish and already-recorded jobs
+/// are replayed without executing — the `--resume` half of the
+/// kill-and-resume contract. Outcomes are in job order for every thread
+/// count, and a failure-free supervised sweep produces exactly the
+/// [`run_jobs`] reports.
+pub fn run_jobs_supervised(
+    dm: &Arc<DistanceMatrix>,
+    jobs: &[Job],
+    threads: usize,
+    supervisor: &Supervisor,
+) -> Vec<JobOutcome> {
+    // One global-handle read and one journal lookup per fan-out, shared by
+    // every worker closure invocation.
+    let telemetry = dcn_telemetry::global();
+    let journal = crate::journal::installed();
+    steal_map(jobs.len(), threads, |index| {
+        execute_supervised(
+            dm,
+            &jobs[index],
+            index,
+            supervisor,
+            &telemetry,
+            journal.as_deref(),
+        )
+    })
+}
+
+fn execute_supervised(
+    dm: &Arc<DistanceMatrix>,
+    job: &Job,
+    index: usize,
+    supervisor: &Supervisor,
+    telemetry: &Telemetry,
+    journal: Option<&crate::journal::RunJournal>,
+) -> JobOutcome {
+    let key = job_key(&supervisor.scope, index, job);
+    if let Some(journal) = journal {
+        if let Some(report) = journal.lookup(&key) {
+            return JobOutcome::Completed(report);
+        }
+    }
+    let telem_on = telemetry.is_enabled();
+    let t0 = Instant::now();
+    let mut attempts = 0u32;
+    loop {
+        attempts += 1;
+        let cancel = supervisor
+            .deadline
+            .map(CancelToken::with_deadline)
+            .unwrap_or_default();
+        // AssertUnwindSafe: on Err every captured structure (scheduler,
+        // stream, accumulators) is dropped with the unwound attempt; the
+        // retry rebuilds all job state from the job description alone.
+        let attempt = catch_unwind(AssertUnwindSafe(|| execute_with_cancel(dm, job, &cancel)));
+        let (reason, detail) = match attempt {
+            Ok(report) if !cancel.is_cancelled() => {
+                if let Some(journal) = journal {
+                    journal.record(&key, &report);
+                }
+                return JobOutcome::Completed(report);
+            }
+            Ok(_) => {
+                if telem_on {
+                    telemetry.add_counter("sweep.deadline_hits", 1);
+                }
+                (
+                    "deadline",
+                    format!(
+                        "exceeded per-attempt deadline of {:.3}s",
+                        supervisor.deadline.unwrap_or_default().as_secs_f64()
+                    ),
+                )
+            }
+            Err(payload) => {
+                if telem_on {
+                    telemetry.add_counter("sweep.panics_caught", 1);
+                }
+                ("panic", panic_message(payload.as_ref()))
+            }
+        };
+        if attempts > supervisor.retries {
+            if telem_on {
+                telemetry.add_counter("sweep.quarantined", 1);
+            }
+            return JobOutcome::Quarantined(JobFailure {
+                index,
+                key,
+                reason: reason.to_string(),
+                detail,
+                attempts,
+                elapsed_secs: t0.elapsed().as_secs_f64(),
+            });
+        }
+        // Deterministic exponential backoff: base << (retry# - 1).
+        let backoff = supervisor.backoff_base * (1u32 << (attempts - 1).min(16));
+        if telem_on {
+            telemetry.add_counter("sweep.retries", 1);
+            telemetry.observe("sweep.retry_backoff_ns", backoff.as_nanos() as u64);
+        }
+        if !backoff.is_zero() {
+            std::thread::sleep(backoff);
+        }
+    }
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
 }
 
 #[cfg(test)]
@@ -706,6 +965,87 @@ mod tests {
         assert_eq!(out.len(), 1);
         assert_eq!(out[0].algorithm, "BMA");
         assert_eq!(out[0].checkpoints.len(), 2, "1500 plus trace end");
+    }
+
+    #[test]
+    fn supervised_equals_plain_when_failure_free() {
+        // No armed failpoints, no journal: supervised execution is the
+        // plain executor plus a catch_unwind shell, and must produce the
+        // identical reports in the identical order at every thread count.
+        // Wall-clock is the one legitimately varying field; zero it before
+        // the byte comparison (same canonicalization as the telemetry
+        // identity proptest).
+        let canonical = |r: &RunReport| {
+            let mut r = r.clone();
+            r.total.elapsed_secs = 0.0;
+            for c in &mut r.checkpoints {
+                c.elapsed_secs = 0.0;
+            }
+            r.to_json()
+        };
+        let dm = setup();
+        let js = jobs();
+        let plain = run_jobs(&dm, &js, 2);
+        for threads in [1usize, 4] {
+            let sup = Supervisor::scoped("test").with_backoff(Duration::ZERO);
+            let outcomes = run_jobs_supervised(&dm, &js, threads, &sup);
+            assert_eq!(outcomes.len(), plain.len());
+            for (i, (o, want)) in outcomes.iter().zip(&plain).enumerate() {
+                let got = o
+                    .report()
+                    .unwrap_or_else(|| panic!("job {i} unexpectedly quarantined"));
+                assert_eq!(canonical(got), canonical(want), "threads={threads} job={i}");
+            }
+        }
+    }
+
+    #[test]
+    fn supervised_deadline_quarantines_with_structured_failure() {
+        // A zero deadline trips before the first chunk of every attempt:
+        // the job must exhaust its budget and come back as a structured
+        // quarantine row, not a panic and not a bogus report.
+        let dm = setup();
+        let js = &jobs()[..2];
+        let sup = Supervisor::scoped("test")
+            .with_retries(1)
+            .with_backoff(Duration::ZERO)
+            .with_deadline(Duration::ZERO);
+        let outcomes = run_jobs_supervised(&dm, js, 2, &sup);
+        for (i, o) in outcomes.iter().enumerate() {
+            let failure = o
+                .failure()
+                .unwrap_or_else(|| panic!("job {i} should have quarantined on the zero deadline"));
+            assert_eq!(failure.index, i);
+            assert_eq!(failure.reason, "deadline");
+            assert_eq!(failure.attempts, 2, "retries=1 means 2 attempts");
+            assert!(failure.key.starts_with("test#"), "key: {}", failure.key);
+            // The failure row serializes (it lands in QUARANTINE artifacts).
+            let json = dcn_util::json::to_json_string(failure).unwrap();
+            assert!(json.contains("\"reason\":\"deadline\""), "{json}");
+        }
+    }
+
+    #[test]
+    fn job_keys_are_stable_and_distinct() {
+        let js = jobs();
+        let keys: Vec<String> = js
+            .iter()
+            .enumerate()
+            .map(|(i, j)| job_key("demand", i, j))
+            .collect();
+        let mut deduped = keys.clone();
+        deduped.sort();
+        deduped.dedup();
+        assert_eq!(deduped.len(), keys.len(), "keys must be unique");
+        assert_eq!(keys, {
+            let again: Vec<String> = js
+                .iter()
+                .enumerate()
+                .map(|(i, j)| job_key("demand", i, j))
+                .collect();
+            again
+        });
+        assert!(keys[0].contains("/b=2/"), "fingerprint in key: {}", keys[0]);
     }
 
     #[test]

@@ -144,3 +144,64 @@ fn pinned_corner_cases() {
     check_identity(12, 200, 7, 100_000, 1);
     check_identity(10, 200, 3, 64, 3);
 }
+
+/// The supervised executor is under the same contract: with the sink on,
+/// its retry/quarantine accounting may not shift a single reported byte,
+/// and the new `sweep.*` supervision counters flow into the registry the
+/// sweep executor already feeds.
+#[test]
+fn supervised_sweep_reports_identical_with_telemetry_on_or_off() {
+    use dcn_core::algorithms::AlgorithmKind;
+    use dcn_core::sweep::{run_jobs_supervised, Job, Supervisor};
+    use dcn_traces::TraceSpec;
+
+    let net = builders::fat_tree_with_racks(12);
+    let dm = Arc::new(DistanceMatrix::between_racks(&net));
+    let jobs: Vec<Job> = (0..5u64)
+        .map(|seed| Job {
+            algorithm: AlgorithmKind::Rbma { lazy: true },
+            b: 3,
+            alpha: 10,
+            seed,
+            checkpoints: vec![800],
+            trace: TraceSpec::Uniform {
+                num_racks: 12,
+                len: 2000,
+                seed: 3,
+            },
+        })
+        .collect();
+    let sup = Supervisor::scoped("telem");
+
+    // Off: whatever global handle is installed right now is disabled (no
+    // test in this binary installs one before this point).
+    let off: Vec<String> = run_jobs_supervised(&dm, &jobs, 2, &sup)
+        .iter()
+        .map(|o| canonical_json(o.report().expect("failure-free").clone()))
+        .collect();
+
+    // On: supervised runs pick the sink up through the global handle, the
+    // same way `repro_figures --telemetry` wires it.
+    let sink = Telemetry::enabled();
+    dcn_telemetry::install_global(sink.clone());
+    let on: Vec<String> = run_jobs_supervised(&dm, &jobs, 2, &sup)
+        .iter()
+        .map(|o| canonical_json(o.report().expect("failure-free").clone()))
+        .collect();
+    dcn_telemetry::install_global(Telemetry::disabled());
+
+    assert_eq!(off, on, "telemetry perturbed a supervised sweep");
+    if dcn_telemetry::compiled() {
+        let snap = sink.drain();
+        assert_eq!(snap.counters.get("sweep.jobs").copied(), Some(5));
+        assert_eq!(
+            snap.counters.get("serve.requests").copied(),
+            Some(5 * 2000),
+            "each supervised job must flush its serve counters"
+        );
+        // Failure-free: the supervision counters stay silent rather than
+        // emitting zero-valued noise.
+        assert!(!snap.counters.contains_key("sweep.retries"));
+        assert!(!snap.counters.contains_key("sweep.quarantined"));
+    }
+}

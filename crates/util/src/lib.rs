@@ -24,8 +24,14 @@
 //!   an independent but reproducible RNG stream, plus the shared seeded
 //!   Fisher–Yates [`rngx::shuffle`] whose draw order the byte-identical
 //!   stream guarantees rest on.
+//! * [`failpoint`] — deterministic fault injection: named, seeded,
+//!   replayable failure sites compiled out under `--cfg dcn_failpoints_off`.
+//! * [`fsx`] — crash-safe filesystem primitives: atomic write-then-rename
+//!   and an advisory create-new file lock.
 
 pub mod csv;
+pub mod failpoint;
+pub mod fsx;
 pub mod fxhash;
 pub mod indexed_set;
 pub mod json;
